@@ -1,0 +1,63 @@
+// Command mcdprof runs phase one (ATOM-style profiling) on a benchmark
+// and reports the call tree and its long-running nodes.
+//
+// Usage:
+//
+//	mcdprof -bench epic_encode [-input train] [-scheme L+F+C+P] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/calltree"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gsm_decode", "benchmark name")
+	inputName := flag.String("input", "train", "input set: train | ref")
+	schemeName := flag.String("scheme", "L+F+C+P", "context scheme")
+	verbose := flag.Bool("v", false, "dump every node")
+	flag.Parse()
+
+	b := workload.ByName(*bench)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	var scheme calltree.Scheme
+	found := false
+	for _, s := range calltree.Schemes() {
+		if s.Name == *schemeName {
+			scheme, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(1)
+	}
+
+	in, window := b.Input(*inputName)
+	tree := profiler.Profile(b.Prog, in, window, scheme)
+
+	fmt.Printf("benchmark:      %s (%s input, %d instructions)\n", b.Name(), *inputName, window)
+	fmt.Printf("scheme:         %s\n", scheme.Name)
+	fmt.Printf("tree nodes:     %d\n", tree.NumNodes())
+	fmt.Printf("long-running:   %d (cutoff %d instructions/instance, exclusive)\n",
+		tree.NumLongRunning(), calltree.LongRunningCutoff)
+	fmt.Printf("tracked points: %d\n", len(tree.TrackedNodes()))
+	fmt.Printf("distinct subs:  %d\n", len(tree.Subroutines()))
+	fmt.Printf("lookup tables:  %d bytes\n", tree.LookupTableBytes())
+
+	if *verbose {
+		fmt.Println("\nlong-running nodes:")
+		for _, n := range tree.LongRunning() {
+			fmt.Printf("  %-60s  instances=%-6d avg-exclusive=%.0f\n",
+				n.Path(), n.Instances, n.AvgExclusive())
+		}
+	}
+}

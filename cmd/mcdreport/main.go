@@ -1,0 +1,95 @@
+// Command mcdreport regenerates the paper's tables and figures on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	mcdreport [-only fig4,fig5,...] [-bench name1,name2] [-delta 2.0] [-parallel N]
+//
+// Without -only it produces everything: Tables 1-4, Figures 4-12 and the
+// MCD baseline-penalty analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig4..fig12,baseline")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
+	delta := flag.Float64("delta", 0, "slowdown threshold delta in percent (default: calibrated)")
+	parallel := flag.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *delta > 0 {
+		cfg.DeltaPct = *delta
+	}
+	r := experiments.NewRunner(cfg)
+	r.Parallel = *parallel
+	if *benches != "" {
+		r.Names = strings.Split(*benches, ",")
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	out := os.Stdout
+	emit := func(s string) { fmt.Fprintln(out, s) }
+
+	if sel("table1") {
+		emit(r.Table1())
+	}
+	if sel("table2") {
+		emit(r.Table2())
+	}
+	if sel("fig4") {
+		emit(r.Figure4())
+	}
+	if sel("fig5") {
+		emit(r.Figure5())
+	}
+	if sel("fig6") {
+		emit(r.Figure6())
+	}
+	if sel("fig7") {
+		emit(r.Figure7())
+	}
+	if sel("fig8") {
+		emit(r.Figure8())
+	}
+	if sel("fig9") {
+		emit(r.Figure9())
+	}
+	if sel("fig10") || sel("fig11") {
+		off, lf, on := r.Sweep()
+		if sel("fig10") {
+			emit(experiments.Figure10(off, lf, on))
+		}
+		if sel("fig11") {
+			emit(experiments.Figure11(off, lf, on))
+		}
+	}
+	if sel("fig12") {
+		emit(r.Figure12())
+	}
+	if sel("table3") {
+		emit(r.Table3())
+	}
+	if sel("table4") {
+		emit(r.Table4())
+	}
+	if sel("baseline") {
+		emit(r.BaselinePenalty())
+	}
+}

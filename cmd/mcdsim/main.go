@@ -1,0 +1,97 @@
+// Command mcdsim runs one benchmark under one control policy on the MCD
+// simulator and prints the run metrics.
+//
+// Usage:
+//
+//	mcdsim -bench gsm_decode [-policy baseline|offline|online|global|profile]
+//	       [-scheme L+F] [-input ref] [-delta 1.75]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/calltree"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gsm_decode", "benchmark name (see mcdreport -only table2)")
+	policy := flag.String("policy", "profile", "baseline | offline | online | global | profile")
+	schemeName := flag.String("scheme", "L+F", "context scheme for -policy profile")
+	inputName := flag.String("input", "ref", "input set: train | ref")
+	delta := flag.Float64("delta", 0, "slowdown threshold delta (percent)")
+	flag.Parse()
+
+	b := workload.ByName(*bench)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; available: %v\n", *bench, workload.Names())
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	if *delta > 0 {
+		cfg.DeltaPct = *delta
+	}
+	in, window := b.Input(*inputName)
+
+	base := core.RunBaseline(cfg, b.Prog, in, window)
+	var res sim.Result
+	switch *policy {
+	case "baseline":
+		res = base
+	case "offline":
+		res, _ = core.RunOffline(cfg, b.Prog, in, window)
+	case "online":
+		res = core.RunOnline(cfg, b.Prog, in, window)
+	case "global":
+		single := core.RunSingleClock(cfg, b.Prog, in, window, cfg.Sim.BaseMHz)
+		off, _ := core.RunOffline(cfg, b.Prog, in, window)
+		mhz := control.GlobalDVSMHz(single.TimePs, off.TimePs)
+		fmt.Printf("global DVS frequency: %d MHz\n", mhz)
+		res = core.RunSingleClock(cfg, b.Prog, in, window, mhz)
+	case "profile":
+		var scheme calltree.Scheme
+		found := false
+		for _, s := range calltree.Schemes() {
+			if s.Name == *schemeName {
+				scheme, found = s, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+			os.Exit(1)
+		}
+		prof := core.Train(cfg, b.Prog, b.Train, b.TrainWindow, scheme)
+		var st core.EditStats
+		res, st = core.RunEdited(cfg, b.Prog, in, window, prof.Plan, false)
+		fmt.Printf("instrumentation: %d reconfig execs, %d total execs, %.3f%% overhead\n",
+			st.DynReconfig, st.DynInstr, st.OverheadPct)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark:   %s (%s input, %d instructions)\n", b.Name(), *inputName, window)
+	fmt.Printf("policy:      %s\n", *policy)
+	fmt.Printf("time:        %.3f us\n", float64(res.TimePs)/1e6)
+	fmt.Printf("energy:      %.3f uJ\n", res.EnergyPJ/1e6)
+	fmt.Printf("IPC@1GHz:    %.3f\n", res.IPCAt(1000))
+	for i, d := range arch.ScalableDomains() {
+		fmt.Printf("avg %-9s %.0f MHz\n", d.String()+":", res.AvgMHz[i])
+	}
+	if *policy != "baseline" {
+		d := stats.Vs(res, base)
+		fmt.Printf("vs baseline: %s\n", d)
+	}
+	fmt.Printf("sync:        %d crossings, %d penalties\n", res.SyncCrossings, res.SyncPenalties)
+	fmt.Printf("bpred:       %.2f%% mispredict\n", res.MispredictRate*100)
+	fmt.Printf("caches:      IL1 %.2f%%  DL1 %.2f%%  L2 %.2f%% miss\n",
+		res.IL1MissRate*100, res.DL1MissRate*100, res.L2MissRate*100)
+}

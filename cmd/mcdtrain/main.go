@@ -1,0 +1,90 @@
+// Command mcdtrain runs the full training pipeline (profile, shake,
+// threshold, edit) on a benchmark's training input and dumps the chosen
+// per-node frequencies and the edit plan summary.
+//
+// Usage:
+//
+//	mcdtrain -bench applu [-scheme L+F] [-delta 1.75]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gsm_decode", "benchmark name")
+	schemeName := flag.String("scheme", "L+F", "context scheme")
+	delta := flag.Float64("delta", 0, "slowdown threshold delta (percent)")
+	flag.Parse()
+
+	b := workload.ByName(*bench)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	var scheme calltree.Scheme
+	found := false
+	for _, s := range calltree.Schemes() {
+		if s.Name == *schemeName {
+			scheme, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(1)
+	}
+
+	cfg := core.DefaultConfig()
+	if *delta > 0 {
+		cfg.DeltaPct = *delta
+	}
+	prof := core.Train(cfg, b.Prog, b.Train, b.TrainWindow, scheme)
+
+	rc, instr := prof.Plan.StaticPoints()
+	fmt.Printf("benchmark:       %s (training window %d)\n", b.Name(), b.TrainWindow)
+	fmt.Printf("scheme:          %s   delta: %.2f%%\n", scheme.Name, cfg.DeltaPct)
+	fmt.Printf("tree:            %d nodes, %d long-running\n",
+		prof.Tree.NumNodes(), prof.Tree.NumLongRunning())
+	fmt.Printf("static points:   %d reconfiguration, %d instrumented\n", rc, instr)
+	fmt.Printf("table footprint: %d bytes\n", prof.Plan.LookupTableBytes())
+
+	fmt.Println("\nchosen frequencies (MHz):")
+	fmt.Printf("  %-52s %9s %9s %9s %9s\n", "node",
+		arch.FrontEnd, arch.Integer, arch.FP, arch.Memory)
+	if scheme.Path {
+		type row struct {
+			path string
+			f    [4]uint16
+		}
+		var rows []row
+		for n, f := range prof.Plan.NodeFreqs {
+			rows = append(rows, row{n.Path(), f})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
+		for _, r := range rows {
+			fmt.Printf("  %-52s %9d %9d %9d %9d\n", r.path, r.f[0], r.f[1], r.f[2], r.f[3])
+		}
+	} else {
+		type row struct {
+			key string
+			f   [4]uint16
+		}
+		var rows []row
+		for k, f := range prof.Plan.StaticFreqs {
+			rows = append(rows, row{fmt.Sprintf("%s%d", k.Kind, k.ID), f})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+		for _, r := range rows {
+			fmt.Printf("  %-52s %9d %9d %9d %9d\n", r.key, r.f[0], r.f[1], r.f[2], r.f[3])
+		}
+	}
+}

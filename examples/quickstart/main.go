@@ -1,0 +1,43 @@
+// Quickstart: the complete profile-driven DVFS pipeline on one
+// benchmark — train on the small input, edit the binary, run on the
+// large input, and compare against the MCD baseline.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Pick a benchmark stand-in (gsm decode: integer-heavy MediaBench
+	// codec) and the paper-calibrated configuration.
+	b := workload.ByName("gsm_decode")
+	cfg := core.DefaultConfig()
+
+	// 1. Baseline: every domain at full speed.
+	base := core.RunBaseline(cfg, b.Prog, b.Ref, b.RefWindow)
+	fmt.Printf("baseline: %v\n", base)
+
+	// 2. Train on the SMALL input (phases 1-4: profile, shake,
+	//    threshold, edit) using the recommended L+F scheme.
+	prof := core.Train(cfg, b.Prog, b.Train, b.TrainWindow, calltree.LF)
+	fmt.Printf("training: %d call-tree nodes, %d long-running, %d reconfiguration points\n",
+		prof.Tree.NumNodes(), prof.Tree.NumLongRunning(), len(prof.Plan.StaticFreqs))
+
+	// 3. Run the edited binary on the LARGE input.
+	res, st := core.RunEdited(cfg, b.Prog, b.Ref, b.RefWindow, prof.Plan, false)
+	fmt.Printf("edited:   %v\n", res)
+	fmt.Printf("          %d reconfigurations executed, %.3f%% instrumentation overhead\n",
+		st.DynReconfig, st.OverheadPct)
+
+	// 4. Compare.
+	d := stats.Vs(res, base)
+	fmt.Printf("result:   %.1f%% slowdown, %.1f%% energy savings, %.1f%% energy-delay improvement\n",
+		d.Slowdown, d.EnergySavings, d.EDImprovement)
+	fmt.Printf("domains:  front-end %.0f MHz, integer %.0f MHz, fp %.0f MHz, memory %.0f MHz (averages)\n",
+		res.AvgMHz[0], res.AvgMHz[1], res.AvgMHz[2], res.AvgMHz[3])
+}

@@ -1,0 +1,40 @@
+// Sensitivity: sweep the slowdown threshold delta on a few benchmarks
+// (the data behind Figures 10 and 11). Training happens once per
+// benchmark; each delta point replans the frequencies from the cached
+// shaken histograms and reruns the production input.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	benches := []string{"gsm_decode", "mcf", "swim"}
+	deltas := []float64{0.5, 1, 2, 4, 8}
+
+	for _, name := range benches {
+		b := workload.ByName(name)
+		base := core.RunBaseline(cfg, b.Prog, b.Ref, b.RefWindow)
+		prof := core.Train(cfg, b.Prog, b.Train, b.TrainWindow, calltree.LF)
+
+		t := stats.NewTable("delta %", "slowdown %", "savings %", "ED improvement %")
+		for _, d := range deltas {
+			plan := core.Replan(prof, d)
+			res, _ := core.RunEdited(cfg, b.Prog, b.Ref, b.RefWindow, plan, false)
+			v := stats.Vs(res, base)
+			t.Row(d, v.Slowdown, v.EnergySavings, v.EDImprovement)
+		}
+		fmt.Printf("%s: slowdown-threshold sweep (L+F)\n", name)
+		fmt.Print(t)
+		fmt.Println()
+	}
+	fmt.Println("Expected shape (paper, Figures 10-11): savings and energy-delay")
+	fmt.Println("improvement grow roughly linearly with the tolerated slowdown for")
+	fmt.Println("profile-based reconfiguration across this range.")
+}

@@ -1,0 +1,55 @@
+// Package arch defines the architectural vocabulary shared by every layer
+// of the MCD (Multiple Clock Domain) simulator: the set of clock domains
+// and their roles, following Semeraro et al. (HPCA 2002) and Magklis et
+// al. (ISCA 2003), Figure 1.
+package arch
+
+import "fmt"
+
+// Domain identifies one of the independently clocked regions of the MCD
+// processor. The first four are on-chip and scalable; External models main
+// memory, which always runs at full speed.
+type Domain uint8
+
+const (
+	// FrontEnd contains the fetch unit, L1 I-cache, branch predictor,
+	// reorder buffer, rename and dispatch logic.
+	FrontEnd Domain = iota
+	// Integer contains the integer issue queue, ALUs and register file.
+	Integer
+	// FP contains the floating-point issue queue, ALUs and register file.
+	FP
+	// Memory contains the load/store unit, L1 D-cache and unified L2.
+	Memory
+	// External models off-chip main memory; it is not voltage-scaled.
+	External
+
+	// NumDomains is the number of domains, including External.
+	NumDomains = 5
+	// NumScalable is the number of on-chip domains subject to DVFS.
+	NumScalable = 4
+)
+
+var domainNames = [NumDomains]string{"front-end", "integer", "fp", "memory", "external"}
+
+// String returns the lower-case conventional name of the domain.
+func (d Domain) String() string {
+	if int(d) < len(domainNames) {
+		return domainNames[d]
+	}
+	return fmt.Sprintf("domain(%d)", uint8(d))
+}
+
+// Scalable reports whether the domain participates in dynamic voltage and
+// frequency scaling.
+func (d Domain) Scalable() bool { return d < External }
+
+// Domains returns all five domains in canonical order.
+func Domains() [NumDomains]Domain {
+	return [NumDomains]Domain{FrontEnd, Integer, FP, Memory, External}
+}
+
+// ScalableDomains returns the four on-chip scalable domains.
+func ScalableDomains() [NumScalable]Domain {
+	return [NumScalable]Domain{FrontEnd, Integer, FP, Memory}
+}

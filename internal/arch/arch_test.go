@@ -1,0 +1,44 @@
+package arch
+
+import "testing"
+
+func TestDomainNames(t *testing.T) {
+	want := map[Domain]string{
+		FrontEnd: "front-end",
+		Integer:  "integer",
+		FP:       "fp",
+		Memory:   "memory",
+		External: "external",
+	}
+	for d, name := range want {
+		if d.String() != name {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), name)
+		}
+	}
+	if got := Domain(99).String(); got != "domain(99)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}
+
+func TestScalable(t *testing.T) {
+	for _, d := range ScalableDomains() {
+		if !d.Scalable() {
+			t.Errorf("%v should be scalable", d)
+		}
+	}
+	if External.Scalable() {
+		t.Error("external memory must not be scalable")
+	}
+}
+
+func TestDomainCounts(t *testing.T) {
+	if len(Domains()) != NumDomains {
+		t.Errorf("Domains() has %d entries", len(Domains()))
+	}
+	if len(ScalableDomains()) != NumScalable {
+		t.Errorf("ScalableDomains() has %d entries", len(ScalableDomains()))
+	}
+	if NumScalable != NumDomains-1 {
+		t.Error("exactly one domain (external) must be unscalable")
+	}
+}

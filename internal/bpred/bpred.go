@@ -1,0 +1,184 @@
+// Package bpred implements the branch prediction hardware of the
+// simulated core (paper Table 1): a combination of a bimodal predictor
+// and a 2-level PAg predictor selected by a combining chooser, plus a
+// 4096-set 2-way BTB. The mispredict penalty is applied by the pipeline,
+// not here.
+package bpred
+
+// Config sizes the predictor structures.
+type Config struct {
+	BimodalSize int // bimodal 2-bit counter table entries
+	Level1Size  int // PAg per-branch history table entries
+	HistoryBits int // history length
+	Level2Size  int // PAg pattern table entries
+	ChooserSize int // combining predictor entries
+	BTBSets     int
+	BTBWays     int
+}
+
+// DefaultConfig returns the Table 1 configuration: bimodal 1024, PAg
+// L1 1024 x 10-bit history, L2 1024, chooser 4096, BTB 4096 sets 2-way.
+func DefaultConfig() Config {
+	return Config{
+		BimodalSize: 1024,
+		Level1Size:  1024,
+		HistoryBits: 10,
+		Level2Size:  1024,
+		ChooserSize: 4096,
+		BTBSets:     4096,
+		BTBWays:     2,
+	}
+}
+
+// Predictor is the combined branch predictor. It is not safe for
+// concurrent use.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8 // 2-bit saturating counters
+	history []uint16
+	pattern []uint8
+	chooser []uint8 // 2-bit: >=2 favors PAg
+	btbTag  [][]uint32
+	btbLRU  []uint8
+
+	// Statistics.
+	Lookups     int64
+	Mispredicts int64
+	BTBMisses   int64
+}
+
+// New returns a predictor with all counters weakly not-taken.
+func New(cfg Config) *Predictor {
+	p := &Predictor{
+		cfg:     cfg,
+		bimodal: make([]uint8, cfg.BimodalSize),
+		history: make([]uint16, cfg.Level1Size),
+		pattern: make([]uint8, cfg.Level2Size),
+		chooser: make([]uint8, cfg.ChooserSize),
+		btbLRU:  make([]uint8, cfg.BTBSets),
+	}
+	for i := range p.bimodal {
+		p.bimodal[i] = 1
+	}
+	for i := range p.pattern {
+		p.pattern[i] = 1
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 2
+	}
+	p.btbTag = make([][]uint32, cfg.BTBSets)
+	for i := range p.btbTag {
+		p.btbTag[i] = make([]uint32, cfg.BTBWays)
+	}
+	return p
+}
+
+func taken(counter uint8) bool { return counter >= 2 }
+
+func bump(counter uint8, t bool) uint8 {
+	if t {
+		if counter < 3 {
+			return counter + 1
+		}
+		return counter
+	}
+	if counter > 0 {
+		return counter - 1
+	}
+	return 0
+}
+
+func (p *Predictor) pagIndex(pc uint32) (l1 int, l2 int) {
+	l1 = int(pc>>2) % p.cfg.Level1Size
+	hist := int(p.history[l1]) & ((1 << p.cfg.HistoryBits) - 1)
+	l2 = hist % p.cfg.Level2Size
+	return
+}
+
+// Lookup predicts the outcome of the branch at pc and updates all
+// predictor state with the actual outcome (actualTaken), returning
+// whether the prediction was wrong. A taken branch that misses in the
+// BTB also counts as a misprediction, since the front end cannot
+// redirect without a target.
+func (p *Predictor) Lookup(pc uint32, actualTaken bool) (mispredict bool) {
+	p.Lookups++
+	bi := int(pc>>2) % p.cfg.BimodalSize
+	l1, l2 := p.pagIndex(pc)
+	ch := int(pc>>2) % p.cfg.ChooserSize
+
+	bimodalPred := taken(p.bimodal[bi])
+	pagPred := taken(p.pattern[l2])
+	pred := bimodalPred
+	usePag := taken(p.chooser[ch])
+	if usePag {
+		pred = pagPred
+	}
+
+	// BTB check for predicted-taken branches.
+	if pred && actualTaken {
+		if !p.btbProbe(pc) {
+			p.BTBMisses++
+			mispredict = true
+		}
+	}
+	if pred != actualTaken {
+		mispredict = true
+	}
+	if mispredict {
+		p.Mispredicts++
+	}
+
+	// Update chooser only when the component predictors disagree.
+	if bimodalPred != pagPred {
+		p.chooser[ch] = bump(p.chooser[ch], pagPred == actualTaken)
+	}
+	p.bimodal[bi] = bump(p.bimodal[bi], actualTaken)
+	p.pattern[l2] = bump(p.pattern[l2], actualTaken)
+	h := p.history[l1] << 1
+	if actualTaken {
+		h |= 1
+	}
+	p.history[l1] = h & ((1 << p.cfg.HistoryBits) - 1)
+	if actualTaken {
+		p.btbInsert(pc)
+	}
+	return mispredict
+}
+
+func (p *Predictor) btbProbe(pc uint32) bool {
+	set := int(pc>>2) % p.cfg.BTBSets
+	for w, tag := range p.btbTag[set] {
+		if tag == pc {
+			if p.cfg.BTBWays == 2 {
+				p.btbLRU[set] = uint8(w)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Predictor) btbInsert(pc uint32) {
+	set := int(pc>>2) % p.cfg.BTBSets
+	ways := p.btbTag[set]
+	for w, tag := range ways {
+		if tag == pc {
+			p.btbLRU[set] = uint8(w)
+			return
+		}
+	}
+	victim := 0
+	if p.cfg.BTBWays == 2 {
+		victim = 1 - int(p.btbLRU[set])
+	}
+	ways[victim] = pc
+	p.btbLRU[set] = uint8(victim)
+}
+
+// MispredictRate returns the fraction of lookups that mispredicted.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}

@@ -1,0 +1,122 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy (paper Table 1): 64 KB 2-way L1 instruction and data
+// caches with 2-cycle access, and a 1 MB direct-mapped unified L2 with
+// 12-cycle access. Only hit/miss behaviour is modeled (tag arrays with
+// LRU replacement); latencies are applied by the pipeline.
+package cache
+
+import "fmt"
+
+// Config sizes one cache.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+}
+
+// L1Config returns the 64 KB 2-way L1 configuration.
+func L1Config() Config { return Config{SizeBytes: 64 << 10, Ways: 2, LineBytes: 64} }
+
+// L2Config returns the 1 MB direct-mapped L2 configuration.
+func L2Config() Config { return Config{SizeBytes: 1 << 20, Ways: 1, LineBytes: 64} }
+
+// Cache is a tag-array cache model with true-LRU replacement. It is not
+// safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	sets  int
+	shift uint
+	tags  []uint32 // sets*ways, 0 = invalid
+	lru   []uint8  // per-line LRU rank: 0 = most recent
+
+	Accesses int64
+	Misses   int64
+}
+
+// New builds a cache from the configuration; sizes must be powers of two.
+func New(cfg Config) *Cache {
+	if cfg.Ways < 1 || cfg.LineBytes < 1 || cfg.SizeBytes < cfg.Ways*cfg.LineBytes {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		shift: shift,
+		tags:  make([]uint32, sets*cfg.Ways),
+		lru:   make([]uint8, sets*cfg.Ways),
+	}
+}
+
+// Access looks up addr, updating replacement state and allocating the
+// line on a miss. It returns true on a hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.Accesses++
+	line := addr >> c.shift
+	set := int(line) & (c.sets - 1)
+	tag := line | 0x80000000 // ensure nonzero (0 = invalid)
+	base := set * c.cfg.Ways
+
+	hitWay := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touch(base, hitWay)
+		return true
+	}
+	c.Misses++
+	// Choose the LRU way (highest rank) as victim.
+	victim, worst := 0, uint8(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == 0 {
+			victim = w
+			break
+		}
+		if c.lru[base+w] >= worst {
+			worst = c.lru[base+w]
+			victim = w
+		}
+	}
+	c.tags[base+victim] = tag
+	c.touch(base, victim)
+	return false
+}
+
+// touch marks way as most recently used within its set.
+func (c *Cache) touch(base, way int) {
+	old := c.lru[base+way]
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.lru[base+w] < old {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// MissRate returns the fraction of accesses that missed.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.Accesses, c.Misses = 0, 0
+}

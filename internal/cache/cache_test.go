@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(L1Config())
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x1004) {
+		t.Error("same-line access missed")
+	}
+}
+
+func TestLineGranularity(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 1, LineBytes: 64})
+	c.Access(0x0)
+	if !c.Access(0x3F) {
+		t.Error("last byte of line missed")
+	}
+	if c.Access(0x40) {
+		t.Error("next line hit without access")
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, Ways: 1, LineBytes: 64} // 64 sets
+	c := New(cfg)
+	a := uint32(0x0)
+	b := uint32(4096) // same set, different tag
+	c.Access(a)
+	c.Access(b)
+	if c.Access(a) {
+		t.Error("conflicting line survived in direct-mapped cache")
+	}
+}
+
+func TestTwoWayLRU(t *testing.T) {
+	cfg := Config{SizeBytes: 8192, Ways: 2, LineBytes: 64} // 64 sets
+	c := New(cfg)
+	// Set index = (addr>>6) & 63: three addresses mapping to set 0.
+	a, b, d := uint32(0), uint32(64*64), uint32(2*64*64)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is MRU
+	c.Access(d) // evicts b (LRU)
+	if !c.Access(a) {
+		t.Error("MRU line evicted")
+	}
+	if c.Access(b) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := New(L1Config()) // 64 KB
+	// Touch 32 KB twice; second pass must be all hits.
+	for addr := uint32(0); addr < 32<<10; addr += 64 {
+		c.Access(addr)
+	}
+	missesAfterWarm := c.Misses
+	for addr := uint32(0); addr < 32<<10; addr += 64 {
+		if !c.Access(addr) {
+			t.Fatalf("capacity miss at %#x with half-size working set", addr)
+		}
+	}
+	if c.Misses != missesAfterWarm {
+		t.Error("unexpected misses on resident working set")
+	}
+}
+
+func TestWorkingSetExceedsCapacityMisses(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 1, LineBytes: 64})
+	// Stream 64 KB repeatedly: every access should miss (thrashing).
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint32(0); addr < 64<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	if rate := c.MissRate(); rate < 0.99 {
+		t.Errorf("streaming miss rate = %.3f, want ~1", rate)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(L1Config())
+	c.Access(0x123)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("stats not reset")
+	}
+	if c.Access(0x123) {
+		t.Error("contents not reset")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(Config{SizeBytes: 100, Ways: 3, LineBytes: 64})
+}
+
+func TestHitAfterFillProperty(t *testing.T) {
+	c := New(L2Config())
+	f := func(addr uint32) bool {
+		c.Access(addr)
+		return c.Access(addr) // immediately re-accessing must hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRateBounds(t *testing.T) {
+	c := New(L1Config())
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		r := c.MissRate()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package calltree implements the paper's call trees (Section 3.1): an
+// extension of the calling context tree of Ammons et al. with loop nodes
+// and optional call-site differentiation. Trees are built from the marker
+// stream of a program walk, annotated with dynamic instance and
+// instruction counts, and analyzed to find the long-running nodes that
+// become reconfiguration candidates.
+package calltree
+
+import "fmt"
+
+// Scheme is one of the paper's six context definitions. Loops and Sites
+// control tree construction (which nodes exist); Path controls whether
+// production runs track calling history at run time. The L+F and F
+// schemes use the L+F+P and F+P trees for phase-one identification but
+// set Path=false, which eliminates all path-tracking instrumentation.
+type Scheme struct {
+	Name  string
+	Loops bool // L: loops are tree nodes
+	Sites bool // C: children distinguished by call site
+	Path  bool // P: production runs track the calling context
+}
+
+// The six schemes evaluated in the paper, most to least elaborate.
+var (
+	LFCP = Scheme{Name: "L+F+C+P", Loops: true, Sites: true, Path: true}
+	LFP  = Scheme{Name: "L+F+P", Loops: true, Path: true}
+	FCP  = Scheme{Name: "F+C+P", Sites: true, Path: true}
+	FP   = Scheme{Name: "F+P", Path: true}
+	LF   = Scheme{Name: "L+F", Loops: true}
+	F    = Scheme{Name: "F"}
+)
+
+// Schemes returns all six schemes in the paper's order.
+func Schemes() []Scheme { return []Scheme{LFCP, LFP, FCP, FP, LF, F} }
+
+// NodeKind distinguishes subroutine from loop nodes.
+type NodeKind uint8
+
+const (
+	// SubNode is a subroutine in context.
+	SubNode NodeKind = iota
+	// LoopNode is a loop (control-flow SCC) in context.
+	LoopNode
+)
+
+func (k NodeKind) String() string {
+	if k == SubNode {
+		return "sub"
+	}
+	return "loop"
+}
+
+// LongRunningCutoff is the paper's threshold: a node is a reconfiguration
+// candidate when its average dynamic instance, excluding instructions
+// executed in long-running children, exceeds 10,000 instructions.
+const LongRunningCutoff = 10_000
+
+// Node is one call-tree node: a subroutine or loop reached over a
+// specific calling path.
+type Node struct {
+	Kind NodeKind
+	// ID is the static subroutine or loop ID.
+	ID int32
+	// Site is the static call site through which the node was entered,
+	// or -1 when sites are not tracked (or for loops and the root).
+	Site int32
+
+	Parent   *Node
+	Children []*Node
+
+	// Instances is the number of dynamic instances folded into the node.
+	Instances int64
+	// SelfInstrs counts instructions executed directly in the node.
+	SelfInstrs int64
+	// TotalInstrs counts instructions in the node and all descendants
+	// (filled by Finalize).
+	TotalInstrs int64
+	// ExclusiveInstrs is TotalInstrs minus instructions executed in
+	// long-running descendants (filled by Finalize).
+	ExclusiveInstrs int64
+	// LongRunning marks reconfiguration candidates (filled by Finalize).
+	LongRunning bool
+
+	// Label is the static node label used by run-time path tracking;
+	// label 0 is reserved for "unknown path". Assigned by Finalize.
+	Label int32
+}
+
+// key compares tree-child identity.
+func (n *Node) key() [3]int32 { return [3]int32{int32(n.Kind), n.ID, n.Site} }
+
+// AvgExclusive is the node's average exclusive instructions per instance.
+func (n *Node) AvgExclusive() float64 {
+	if n.Instances == 0 {
+		return 0
+	}
+	return float64(n.ExclusiveInstrs) / float64(n.Instances)
+}
+
+// Path returns a human-readable path from the root.
+func (n *Node) Path() string {
+	if n.Parent == nil {
+		return "root"
+	}
+	s := fmt.Sprintf("%s%d", n.Kind, n.ID)
+	if n.Site >= 0 {
+		s += fmt.Sprintf("@%d", n.Site)
+	}
+	return n.Parent.Path() + "/" + s
+}
+
+// Tree is a complete call tree for one (program, input, scheme) triple.
+type Tree struct {
+	Scheme Scheme
+	Root   *Node
+	// Nodes lists every node except the synthetic root, in creation
+	// order (which is also label order: Nodes[i].Label == i+1).
+	Nodes []*Node
+}
+
+// NewTree returns an empty tree for a scheme.
+func NewTree(s Scheme) *Tree {
+	return &Tree{Scheme: s, Root: &Node{Site: -1, ID: -1}}
+}
+
+// Child finds or creates the child of parent with the given identity.
+func (t *Tree) Child(parent *Node, kind NodeKind, id, site int32) *Node {
+	k := [3]int32{int32(kind), id, site}
+	for _, c := range parent.Children {
+		if c.key() == k {
+			return c
+		}
+	}
+	c := &Node{Kind: kind, ID: id, Site: site, Parent: parent}
+	parent.Children = append(parent.Children, c)
+	t.Nodes = append(t.Nodes, c)
+	return c
+}
+
+// Finalize computes inclusive/exclusive instruction counts, marks
+// long-running nodes leaf-up, and assigns static labels.
+func (t *Tree) Finalize() {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.TotalInstrs = n.SelfInstrs
+		n.ExclusiveInstrs = n.SelfInstrs
+		for _, c := range n.Children {
+			walk(c)
+			n.TotalInstrs += c.TotalInstrs
+			if !c.LongRunning {
+				n.ExclusiveInstrs += c.ExclusiveInstrs
+			}
+		}
+		if n.Parent != nil && n.Instances > 0 &&
+			float64(n.ExclusiveInstrs)/float64(n.Instances) > LongRunningCutoff {
+			n.LongRunning = true
+		}
+	}
+	walk(t.Root)
+	for i, n := range t.Nodes {
+		n.Label = int32(i + 1)
+	}
+}
+
+// LongRunning returns the reconfiguration candidates.
+func (t *Tree) LongRunning() []*Node {
+	var out []*Node
+	for _, n := range t.Nodes {
+		if n.LongRunning {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NumNodes returns the number of nodes excluding the synthetic root.
+func (t *Tree) NumNodes() int { return len(t.Nodes) }
+
+// NumLongRunning returns the number of reconfiguration candidates.
+func (t *Tree) NumLongRunning() int { return len(t.LongRunning()) }
+
+// TrackedNodes returns the nodes that must carry instrumentation in the
+// edited binary: every node that is long-running or has a long-running
+// descendant (Figure 3's nodes A through G).
+func (t *Tree) TrackedNodes() []*Node {
+	needed := make(map[*Node]bool)
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		any := n.LongRunning
+		for _, c := range n.Children {
+			if walk(c) {
+				any = true
+			}
+		}
+		if any && n.Parent != nil {
+			needed[n] = true
+		}
+		return any
+	}
+	walk(t.Root)
+	out := make([]*Node, 0, len(needed))
+	for _, n := range t.Nodes {
+		if needed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Compare counts the nodes of t that also appear, with identical
+// ancestry, in other, following Table 3's methodology. It returns the
+// number of common nodes overall and the number of common nodes that are
+// long-running in both trees.
+func (t *Tree) Compare(other *Tree) (commonTotal, commonLong int) {
+	var walk func(a, b *Node)
+	walk = func(a, b *Node) {
+		for _, ca := range a.Children {
+			for _, cb := range b.Children {
+				if ca.key() == cb.key() {
+					commonTotal++
+					if ca.LongRunning && cb.LongRunning {
+						commonLong++
+					}
+					walk(ca, cb)
+					break
+				}
+			}
+		}
+	}
+	walk(t.Root, other.Root)
+	return
+}
+
+// Subroutines returns the distinct subroutine IDs that correspond to at
+// least one tree node (the paper's N_S, used to size the label lookup
+// table).
+func (t *Tree) Subroutines() []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, n := range t.Nodes {
+		if n.Kind == SubNode && !seen[n.ID] {
+			seen[n.ID] = true
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// LookupTableBytes estimates the size of the run-time tables for
+// path-tracking schemes: an N_S x N_N node-label table plus an N_N-entry
+// frequency table, with 2-byte label entries and 8-byte frequency rows
+// (four 2-byte domain frequencies).
+func (t *Tree) LookupTableBytes() int {
+	ns := len(t.Subroutines())
+	nn := len(t.Nodes) + 1 // label 0
+	return ns*nn*2 + nn*8
+}

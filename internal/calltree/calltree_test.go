@@ -1,0 +1,238 @@
+package calltree
+
+import "testing"
+
+// build constructs a small tree by hand:
+//
+//	root -> main -> initm@site0 -> L1 -> L2
+//	             -> initm@site1 -> L1 -> L2
+//
+// mirroring Figure 2 of the paper.
+func figure2Tree(s Scheme) *Tree {
+	t := NewTree(s)
+	main := t.Child(t.Root, SubNode, 0, -1)
+	main.Instances = 1
+	site0, site1 := int32(0), int32(1)
+	if !s.Sites {
+		site0, site1 = -1, -1
+	}
+	for _, site := range []int32{site0, site1} {
+		initm := t.Child(main, SubNode, 1, site)
+		initm.Instances++
+		if s.Loops {
+			l1 := t.Child(initm, LoopNode, 0, -1)
+			l1.Instances += 10
+			l2 := t.Child(l1, LoopNode, 1, -1)
+			l2.Instances += 100
+			l2.SelfInstrs += 20000
+		} else {
+			initm.SelfInstrs += 20000
+		}
+	}
+	t.Finalize()
+	return t
+}
+
+func TestFigure2TreeShapes(t *testing.T) {
+	// L+F+C+P: main + 2 initm contexts + 2 L1 + 2 L2 = 7 nodes.
+	if n := figure2Tree(LFCP).NumNodes(); n != 7 {
+		t.Errorf("L+F+C+P nodes = %d, want 7", n)
+	}
+	// L+F+P (no sites): the two initm calls merge: main + initm + L1 + L2 = 4.
+	if n := figure2Tree(LFP).NumNodes(); n != 4 {
+		t.Errorf("L+F+P nodes = %d, want 4", n)
+	}
+	// F+C+P (no loops): main + 2 initm = 3.
+	if n := figure2Tree(FCP).NumNodes(); n != 3 {
+		t.Errorf("F+C+P nodes = %d, want 3", n)
+	}
+	// F+P (the CCT): main + initm = 2.
+	if n := figure2Tree(FP).NumNodes(); n != 2 {
+		t.Errorf("F+P nodes = %d, want 2", n)
+	}
+}
+
+func TestLongRunningCutoff(t *testing.T) {
+	tr := NewTree(LFCP)
+	n := tr.Child(tr.Root, SubNode, 0, -1)
+	n.Instances = 2
+	n.SelfInstrs = 20_001 // avg 10000.5 > cutoff
+	tr.Finalize()
+	if !n.LongRunning {
+		t.Error("node just above cutoff not long-running")
+	}
+
+	tr2 := NewTree(LFCP)
+	m := tr2.Child(tr2.Root, SubNode, 0, -1)
+	m.Instances = 2
+	m.SelfInstrs = 20_000 // avg exactly 10000: not > cutoff
+	tr2.Finalize()
+	if m.LongRunning {
+		t.Error("node at cutoff must not be long-running (strict >)")
+	}
+}
+
+func TestExclusiveExcludesLongRunningChildren(t *testing.T) {
+	// Parent with 5k own instructions and a long-running child: parent's
+	// exclusive average is 5k, so the parent is not long-running.
+	tr := NewTree(LFCP)
+	parent := tr.Child(tr.Root, SubNode, 0, -1)
+	parent.Instances = 1
+	parent.SelfInstrs = 5000
+	child := tr.Child(parent, SubNode, 1, -1)
+	child.Instances = 1
+	child.SelfInstrs = 50_000
+	tr.Finalize()
+	if !child.LongRunning {
+		t.Error("child should be long-running")
+	}
+	if parent.LongRunning {
+		t.Error("parent counts its long-running child's instructions")
+	}
+	if parent.ExclusiveInstrs != 5000 {
+		t.Errorf("parent exclusive = %d, want 5000", parent.ExclusiveInstrs)
+	}
+	if parent.TotalInstrs != 55_000 {
+		t.Errorf("parent total = %d, want 55000", parent.TotalInstrs)
+	}
+}
+
+func TestShortChildrenRollUp(t *testing.T) {
+	// Plain children contribute to the parent's exclusive count.
+	tr := NewTree(LFCP)
+	parent := tr.Child(tr.Root, SubNode, 0, -1)
+	parent.Instances = 1
+	parent.SelfInstrs = 6000
+	for i := int32(1); i <= 3; i++ {
+		c := tr.Child(parent, SubNode, i, -1)
+		c.Instances = 1
+		c.SelfInstrs = 2000
+	}
+	tr.Finalize()
+	if parent.ExclusiveInstrs != 12_000 {
+		t.Errorf("parent exclusive = %d, want 12000", parent.ExclusiveInstrs)
+	}
+	if !parent.LongRunning {
+		t.Error("parent with rolled-up short children should be long-running")
+	}
+}
+
+func TestTrackedNodesFigure3(t *testing.T) {
+	// Figure 3: ancestors of long-running nodes are tracked even when
+	// not long-running themselves; nodes that cannot reach a
+	// long-running node are not instrumented.
+	tr := NewTree(LFCP)
+	a := tr.Child(tr.Root, SubNode, 0, -1) // ancestor, short
+	a.Instances, a.SelfInstrs = 1, 100
+	b := tr.Child(a, SubNode, 1, -1) // long-running leaf
+	b.Instances, b.SelfInstrs = 1, 50_000
+	c := tr.Child(tr.Root, SubNode, 2, -1) // unrelated short leaf
+	c.Instances, c.SelfInstrs = 1, 100
+	tr.Finalize()
+	tracked := tr.TrackedNodes()
+	has := func(n *Node) bool {
+		for _, x := range tracked {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(a) || !has(b) {
+		t.Error("long-running node or its ancestor missing from tracked set")
+	}
+	if has(c) {
+		t.Error("node with no long-running descendants is tracked")
+	}
+}
+
+func TestCompareIdenticalTrees(t *testing.T) {
+	a, b := figure2Tree(LFCP), figure2Tree(LFCP)
+	total, long := a.Compare(b)
+	if total != a.NumNodes() {
+		t.Errorf("common total = %d, want %d", total, a.NumNodes())
+	}
+	if long != a.NumLongRunning() {
+		t.Errorf("common long = %d, want %d", long, a.NumLongRunning())
+	}
+}
+
+func TestCompareRequiresSameAncestry(t *testing.T) {
+	a := NewTree(LFCP)
+	x := a.Child(a.Root, SubNode, 0, -1)
+	a.Child(x, SubNode, 5, -1)
+	a.Finalize()
+
+	b := NewTree(LFCP)
+	y := b.Child(b.Root, SubNode, 1, -1) // different parent path
+	b.Child(y, SubNode, 5, -1)
+	b.Finalize()
+
+	total, _ := a.Compare(b)
+	if total != 0 {
+		t.Errorf("nodes with different ancestry matched: %d", total)
+	}
+}
+
+func TestLabelsAssigned(t *testing.T) {
+	tr := figure2Tree(LFCP)
+	seen := map[int32]bool{}
+	for _, n := range tr.Nodes {
+		if n.Label == 0 {
+			t.Error("label 0 assigned to a real node (reserved for unknown path)")
+		}
+		if seen[n.Label] {
+			t.Errorf("duplicate label %d", n.Label)
+		}
+		seen[n.Label] = true
+	}
+}
+
+func TestSubroutinesAndTableSize(t *testing.T) {
+	tr := figure2Tree(LFCP)
+	subs := tr.Subroutines()
+	if len(subs) != 2 { // main, initm
+		t.Errorf("distinct subroutines = %d, want 2", len(subs))
+	}
+	want := 2*(7+1)*2 + (7+1)*8
+	if got := tr.LookupTableBytes(); got != want {
+		t.Errorf("table bytes = %d, want %d", got, want)
+	}
+}
+
+func TestSchemesList(t *testing.T) {
+	ss := Schemes()
+	if len(ss) != 6 {
+		t.Fatalf("want 6 schemes, got %d", len(ss))
+	}
+	if !ss[0].Path || ss[4].Path || ss[5].Path {
+		t.Error("path flags wrong: L+F and F must not track paths")
+	}
+	names := map[string]bool{}
+	for _, s := range ss {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"L+F+C+P", "L+F+P", "F+C+P", "F+P", "L+F", "F"} {
+		if !names[want] {
+			t.Errorf("missing scheme %s", want)
+		}
+	}
+}
+
+func TestNodePath(t *testing.T) {
+	tr := figure2Tree(LFCP)
+	var l2 *Node
+	for _, n := range tr.Nodes {
+		if n.Kind == LoopNode && n.ID == 1 {
+			l2 = n
+			break
+		}
+	}
+	if l2 == nil {
+		t.Fatal("L2 node not found")
+	}
+	want := "root/sub0/sub1@0/loop0/loop1"
+	if got := l2.Path(); got != want {
+		t.Errorf("path = %q, want %q", got, want)
+	}
+}

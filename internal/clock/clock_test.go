@@ -1,0 +1,252 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+)
+
+func TestNextEdgeFixed(t *testing.T) {
+	s := New(1000) // 1000 ps period
+	cases := []struct{ in, want int64 }{
+		{0, 1000}, {1, 1000}, {999, 1000}, {1000, 2000}, {1500, 2000},
+	}
+	for _, c := range cases {
+		if got := s.NextEdge(c.in); got != c.want {
+			t.Errorf("NextEdge(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNextEdgeWithPhase(t *testing.T) {
+	s := NewWithPhase(1000, 300)
+	if got := s.NextEdge(0); got != 300 {
+		t.Errorf("first edge = %d, want 300", got)
+	}
+	if got := s.NextEdge(300); got != 1300 {
+		t.Errorf("edge after 300 = %d, want 1300", got)
+	}
+}
+
+func TestAdvanceFixed(t *testing.T) {
+	s := New(500) // 2000 ps period
+	if got := s.Advance(0, 3); got != 6000 {
+		t.Errorf("Advance(0,3) = %d, want 6000", got)
+	}
+	if got := s.Advance(100, 1); got != 2000 {
+		t.Errorf("Advance(100,1) = %d, want 2000", got)
+	}
+	if got := s.Advance(0, 0); got != 0 {
+		t.Errorf("Advance(0,0) = %d, want 0", got)
+	}
+}
+
+func TestAdvanceEqualsIteratedNextEdge(t *testing.T) {
+	s := New(1000)
+	s.SetTarget(5_000, 250)
+	s.SetTarget(60_000_000, 775)
+	f := func(start uint32, n uint8) bool {
+		t0 := int64(start) % 80_000_000
+		k := int64(n)%60 + 1
+		e := s.NextEdge(t0)
+		for i := int64(1); i < k; i++ {
+			e = s.NextEdge(e)
+		}
+		return s.Advance(t0, k) == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetTargetRampsGradually(t *testing.T) {
+	s := New(1000)
+	s.SetTarget(0, 900)
+	// Immediately after the request the frequency is unchanged.
+	if f := s.FreqAt(1); f != 1000 {
+		t.Errorf("freq right after request = %d, want 1000", f)
+	}
+	if got := s.TargetMHz(); got != 900 {
+		t.Errorf("target = %d, want 900", got)
+	}
+	// After the full ramp duration the frequency has arrived.
+	after := dvfs.RampDurationPs(1000, 900) + 10
+	if f := s.FreqAt(after); f != 900 {
+		t.Errorf("freq after ramp = %d, want 900", f)
+	}
+	// Midway it is strictly between.
+	mid := s.FreqAt(after / 2)
+	if mid <= 900 || mid >= 1000 {
+		t.Errorf("mid-ramp freq = %d, want in (900,1000)", mid)
+	}
+}
+
+func TestSetTargetPreemptsRamp(t *testing.T) {
+	s := New(1000)
+	s.SetTarget(0, 250)
+	// Preempt halfway and go back up.
+	half := dvfs.RampDurationPs(1000, 250) / 2
+	fAtHalf := s.FreqAt(half)
+	s.SetTarget(half, 1000)
+	if got := s.TargetMHz(); got != 1000 {
+		t.Fatalf("target after preempt = %d", got)
+	}
+	// Frequency should still pass through intermediate values upward.
+	later := s.FreqAt(half + dvfs.RampDurationPs(fAtHalf, 1000) + 10)
+	if later != 1000 {
+		t.Errorf("freq after re-ramp = %d, want 1000", later)
+	}
+}
+
+func TestMonotonicEdges(t *testing.T) {
+	s := New(1000)
+	s.SetTarget(10_000, 250)
+	s.SetTarget(80_000_000, 1000)
+	prev := int64(-1)
+	tt := int64(0)
+	for i := 0; i < 10_000; i++ {
+		e := s.NextEdge(tt)
+		if e <= tt {
+			t.Fatalf("edge %d not after query %d", e, tt)
+		}
+		if e <= prev {
+			t.Fatalf("edges not strictly increasing: %d after %d", e, prev)
+		}
+		prev = e
+		tt = e
+	}
+}
+
+func TestCyclesIn(t *testing.T) {
+	s := New(1000)
+	if got := s.CyclesIn(0, 10_000); got != 10 {
+		t.Errorf("CyclesIn(0,10000) = %v, want 10", got)
+	}
+	if got := s.CyclesIn(10, 10); got != 0 {
+		t.Errorf("CyclesIn empty = %v, want 0", got)
+	}
+}
+
+func TestCyclesInAcrossSegments(t *testing.T) {
+	s := New(1000)
+	s.SetImmediate(10_000, 500)
+	// 10 cycles at 1 GHz, then 5 cycles at 500 MHz over the next 10 ns.
+	if got := s.CyclesIn(0, 20_000); got != 15 {
+		t.Errorf("CyclesIn = %v, want 15", got)
+	}
+}
+
+func TestSetImmediate(t *testing.T) {
+	s := New(1000)
+	s.SetImmediate(5_000, 250)
+	if f := s.FreqAt(5_001); f != 250 {
+		t.Errorf("freq after SetImmediate = %d, want 250", f)
+	}
+	if f := s.FreqAt(4_999); f != 1000 {
+		t.Errorf("freq before SetImmediate = %d, want 1000", f)
+	}
+}
+
+func TestFreqQueriesOutOfOrder(t *testing.T) {
+	// The segment cache must tolerate non-monotonic queries.
+	s := New(1000)
+	s.SetImmediate(10_000, 500)
+	s.SetImmediate(20_000, 250)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		tt := rng.Int63n(30_000)
+		want := 1000
+		switch {
+		case tt >= 20_000:
+			want = 250
+		case tt >= 10_000:
+			want = 500
+		}
+		if got := s.FreqAt(tt); got != want {
+			t.Fatalf("FreqAt(%d) = %d, want %d", tt, got, want)
+		}
+	}
+}
+
+func TestSyncDisabled(t *testing.T) {
+	cfg := DefaultSyncConfig()
+	cfg.Disabled = true
+	sy := NewSynchronizer(cfg, 1)
+	a, b := New(1000), New(500)
+	if got := sy.Cross(1234, a, b); got != 1234 {
+		t.Errorf("disabled Cross = %d, want passthrough", got)
+	}
+	if sy.Crossings != 0 {
+		t.Errorf("disabled synchronizer counted crossings")
+	}
+}
+
+func TestSyncSameDomainFree(t *testing.T) {
+	sy := NewSynchronizer(DefaultSyncConfig(), 1)
+	a := New(1000)
+	if got := sy.Cross(777, a, a); got != 777 {
+		t.Errorf("same-domain Cross = %d, want 777", got)
+	}
+}
+
+func TestSyncWaitsForConsumerEdge(t *testing.T) {
+	sy := NewSynchronizer(SyncConfig{WindowPs: 0, WindowFrac: 0, JitterPs: 0}, 1)
+	prod, cons := New(1000), NewWithPhase(1000, 500)
+	got := sy.Cross(1000, prod, cons)
+	if got != 1500 {
+		t.Errorf("Cross = %d, want next consumer edge 1500", got)
+	}
+}
+
+func TestSyncPenaltyInsideWindow(t *testing.T) {
+	// Consumer edge 50 ps after the data: inside a 300 ps window, the
+	// value must wait a full extra consumer cycle.
+	sy := NewSynchronizer(SyncConfig{WindowPs: 300, WindowFrac: 0.3, JitterPs: 0}, 1)
+	prod, cons := New(1000), NewWithPhase(1000, 50)
+	got := sy.Cross(1000, prod, cons)
+	if got != 2050 {
+		t.Errorf("Cross = %d, want 2050 (edge 1050 skipped)", got)
+	}
+	if sy.Penalties != 1 {
+		t.Errorf("penalties = %d, want 1", sy.Penalties)
+	}
+}
+
+func TestSyncPenaltyRateUnrelatedClocks(t *testing.T) {
+	// With a 300 ps window and a 1000 ps consumer period, uniformly
+	// distributed arrivals should pay the penalty about 30% of the time.
+	sy := NewSynchronizer(DefaultSyncConfig(), 7)
+	prod := New(775)
+	cons := NewWithPhase(1000, 333)
+	tt := int64(0)
+	for i := 0; i < 20_000; i++ {
+		tt = prod.NextEdge(tt)
+		sy.Cross(tt, prod, cons)
+	}
+	rate := sy.PenaltyRate()
+	if rate < 0.15 || rate > 0.45 {
+		t.Errorf("penalty rate = %.3f, want around 0.3", rate)
+	}
+}
+
+func TestSyncDeterministic(t *testing.T) {
+	run := func() []int64 {
+		sy := NewSynchronizer(DefaultSyncConfig(), 99)
+		prod, cons := New(900), NewWithPhase(1000, 123)
+		var out []int64
+		tt := int64(0)
+		for i := 0; i < 100; i++ {
+			tt = prod.NextEdge(tt)
+			out = append(out, sy.Cross(tt, prod, cons))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("synchronizer not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package clock
+
+import "math/rand"
+
+// SyncConfig parameterizes the inter-domain synchronization circuit.
+type SyncConfig struct {
+	// WindowPs is the synchronization window: when the destination clock
+	// edge falls within this distance of the data's arrival, the consumer
+	// must wait one additional cycle (paper Table 1: 300 ps, which is 30%
+	// of the 1 GHz period).
+	WindowPs int64
+	// WindowFrac bounds the window to this fraction of the faster clock's
+	// period, per Sjogren and Myers; the effective window is
+	// min(WindowPs, WindowFrac * fasterPeriod).
+	WindowFrac float64
+	// JitterPs is the standard deviation of per-edge clock jitter
+	// (paper Table 1: 110 ps, normally distributed).
+	JitterPs float64
+	// Disabled turns synchronization penalties off entirely, modeling a
+	// globally synchronous processor (used for the MCD baseline-penalty
+	// experiment).
+	Disabled bool
+}
+
+// DefaultSyncConfig returns the paper's synchronization parameters.
+func DefaultSyncConfig() SyncConfig {
+	return SyncConfig{WindowPs: 300, WindowFrac: 0.3, JitterPs: 110}
+}
+
+// Synchronizer applies the synchronization circuit model to values
+// crossing between clock domains. It is deterministic for a given seed.
+type Synchronizer struct {
+	cfg SyncConfig
+	rng *rand.Rand
+
+	// Crossings counts domain-boundary transfers; Penalties counts those
+	// that paid the extra consumer cycle.
+	Crossings int64
+	Penalties int64
+}
+
+// NewSynchronizer returns a synchronizer with the given configuration and
+// deterministic seed.
+func NewSynchronizer(cfg SyncConfig, seed int64) *Synchronizer {
+	return &Synchronizer{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Cross returns the time at which a value produced at time t in the
+// producer domain becomes usable in the consumer domain: the first
+// consumer clock edge after t, plus one extra consumer cycle whenever the
+// edge distance (after jitter) falls inside the synchronization window.
+// When the synchronizer is disabled, or producer and consumer share a
+// schedule, the value is usable at t with no realignment penalty beyond
+// the consumer's own edge.
+func (s *Synchronizer) Cross(t int64, prod, cons *Schedule) int64 {
+	if prod == cons {
+		return t
+	}
+	if s.cfg.Disabled {
+		return t
+	}
+	s.Crossings++
+	edge := cons.NextEdge(t)
+	gap := edge - t
+	window := s.cfg.WindowPs
+	fasterPeriod := prod.PeriodAt(t)
+	if p := cons.PeriodAt(t); p < fasterPeriod {
+		fasterPeriod = p
+	}
+	if w := int64(s.cfg.WindowFrac * float64(fasterPeriod)); w < window {
+		window = w
+	}
+	// Jitter shifts both edges; the net effect on the gap is the
+	// difference of two independent normal draws.
+	jitter := int64((s.rng.NormFloat64() - s.rng.NormFloat64()) * s.cfg.JitterPs / 2)
+	if gap+jitter < window {
+		s.Penalties++
+		return cons.NextEdge(edge)
+	}
+	return edge
+}
+
+// PenaltyRate returns the fraction of crossings that paid the extra cycle.
+func (s *Synchronizer) PenaltyRate() float64 {
+	if s.Crossings == 0 {
+		return 0
+	}
+	return float64(s.Penalties) / float64(s.Crossings)
+}

@@ -1,0 +1,168 @@
+// Package control implements the run-time DVFS control policies the
+// paper compares:
+//
+//   - Baseline: every domain at full speed (the MCD baseline all results
+//     are normalized to).
+//   - AttackDecay: the hardware on-line algorithm of Semeraro et al.
+//     (MICRO 2002), driven by per-domain issue-queue utilization over
+//     fixed instruction intervals.
+//
+// The off-line oracle and the profile-driven schemes are not run-time
+// controllers: they are built by the training pipeline in internal/core
+// and enter the stream as reconfiguration instructions via internal/edit.
+// The global-DVS comparator is a separate single-clock run configured by
+// the experiment driver.
+package control
+
+import (
+	"repro/internal/arch"
+	"repro/internal/dvfs"
+	"repro/internal/sim"
+)
+
+// AttackDecayConfig tunes the on-line controller.
+type AttackDecayConfig struct {
+	// IntervalInstrs is the evaluation interval (the paper's hardware
+	// evaluates every 10,000 cycles; at IPC near 1 this is equivalent).
+	IntervalInstrs int64
+	// AttackStep is the multiplicative frequency change applied when
+	// utilization moves across a threshold.
+	AttackStep float64
+	// DecayStep is the slow multiplicative decay applied when
+	// utilization is stable, constantly probing for energy savings.
+	DecayStep float64
+	// HighUtil and LowUtil bound the per-domain utilization dead zone.
+	HighUtil float64
+	LowUtil  float64
+	// Aggressiveness scales the dead zone downward, trading slowdown
+	// for savings; the Figure 10/11 sweeps vary it.
+	Aggressiveness float64
+	// PerfGuard is the tolerated fractional throughput drop relative to
+	// the best observed interval rate before the controller attacks all
+	// domains back up (the on-line algorithm's performance bound).
+	PerfGuard float64
+}
+
+// DefaultAttackDecay returns the calibrated on-line controller settings.
+func DefaultAttackDecay() AttackDecayConfig {
+	return AttackDecayConfig{
+		IntervalInstrs: 10_000,
+		AttackStep:     0.10,
+		DecayStep:      0.015,
+		HighUtil:       0.25,
+		LowUtil:        0.10,
+		Aggressiveness: 1.0,
+		PerfGuard:      0, // disabled: the paper's controller has no global bound
+	}
+}
+
+// AttackDecay is the on-line hardware controller. It watches per-domain
+// issue-queue utilization; a significant rise triggers an immediate
+// frequency attack upward, a significant fall an attack downward, and a
+// stable signal lets the frequency decay slowly until performance
+// feedback pushes back.
+type AttackDecay struct {
+	cfg     AttackDecayConfig
+	bestIPS float64
+}
+
+// NewAttackDecay returns the controller.
+func NewAttackDecay(cfg AttackDecayConfig) *AttackDecay {
+	if cfg.Aggressiveness <= 0 {
+		cfg.Aggressiveness = 1
+	}
+	return &AttackDecay{cfg: cfg}
+}
+
+// Attach installs the controller on a machine with its interval.
+func (a *AttackDecay) Attach(m *sim.Machine) {
+	m.SetController(a, a.cfg.IntervalInstrs)
+}
+
+// OnInterval implements sim.Controller.
+func (a *AttackDecay) OnInterval(m *sim.Machine, now int64, s sim.IntervalStats) {
+	if s.Instructions == 0 || s.ElapsedPs == 0 {
+		return
+	}
+	// Performance guard: if throughput fell too far below the best
+	// observed rate, attack every scaled domain upward and skip decay.
+	ips := float64(s.Instructions) / float64(s.ElapsedPs)
+	if ips > a.bestIPS {
+		a.bestIPS = ips
+	} else {
+		// Let the reference decay slowly so phase changes re-baseline.
+		a.bestIPS *= 0.999
+	}
+	guard := a.cfg.PerfGuard * a.cfg.Aggressiveness
+	if a.cfg.PerfGuard > 0 && a.bestIPS > 0 && ips < a.bestIPS*(1-guard) {
+		for _, d := range arch.ScalableDomains() {
+			if d == arch.FrontEnd {
+				continue
+			}
+			cur := m.Clock(d).TargetMHz()
+			m.SetDomainTarget(d, now, dvfs.Quantize(int(float64(cur)*(1+2*a.cfg.AttackStep))))
+		}
+		return
+	}
+	cfg := m.Config()
+	units := [arch.NumScalable]float64{
+		arch.Integer: float64(cfg.IntALUs + cfg.IntMuls),
+		arch.FP:      float64(cfg.FPALUs + cfg.FPMuls),
+		arch.Memory:  float64(cfg.LSPorts),
+	}
+	// Higher aggressiveness tolerates higher utilization before attacking
+	// upward and probes downward faster, trading performance for energy.
+	high := a.cfg.HighUtil * a.cfg.Aggressiveness
+	low := a.cfg.LowUtil * a.cfg.Aggressiveness
+	decay := a.cfg.DecayStep * a.cfg.Aggressiveness
+	if high > 0.95 {
+		high = 0.95
+	}
+	if low > high*0.8 {
+		low = high * 0.8
+	}
+	for _, d := range arch.ScalableDomains() {
+		var util float64
+		if d == arch.FrontEnd {
+			// The front end has no issue queue; its utilization is the
+			// delivered fetch bandwidth against the decode width.
+			period := float64(m.Clock(d).PeriodAt(now))
+			util = float64(s.Instructions) * period / (float64(s.ElapsedPs) * float64(cfg.DecodeWidth))
+		} else {
+			// Utilization: functional-unit service time over interval
+			// capacity. Slowing a domain lengthens its service times, so
+			// the signal self-corrects when the domain becomes critical.
+			util = float64(s.BusyPs[d]) / (units[d] * float64(s.ElapsedPs))
+		}
+		cur := m.Clock(d).TargetMHz()
+		next := float64(cur)
+		mid := (low + high) / 2
+		switch {
+		case util > high:
+			// Attack upward, harder than downward: recovering from a dip
+			// costs wall-clock time through the DVFS ramp.
+			next = float64(cur) * (1 + 2*a.cfg.AttackStep)
+		case util < low:
+			next = float64(cur) * (1 - a.cfg.AttackStep)
+		case util < mid:
+			// Probe downward slowly.
+			next = float64(cur) * (1 - decay)
+		default:
+			// Hold: near-critical utilization, do not probe.
+		}
+		m.SetDomainTarget(d, now, dvfs.Quantize(int(next)))
+	}
+}
+
+// GlobalDVSMHz returns the single-clock frequency that matches the
+// off-line algorithm's run time (Figure 7's "global" comparator): if the
+// baseline takes baseTimePs at full speed and the target run time is
+// targetTimePs, the whole chip runs at FMax * base/target, quantized up
+// so the run-time constraint is met.
+func GlobalDVSMHz(baseTimePs, targetTimePs int64) int {
+	if targetTimePs <= baseTimePs {
+		return dvfs.FMaxMHz
+	}
+	f := float64(dvfs.FMaxMHz) * float64(baseTimePs) / float64(targetTimePs)
+	return dvfs.QuantizeUp(int(f))
+}

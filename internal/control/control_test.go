@@ -1,0 +1,114 @@
+package control
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dvfs"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+func run(mix *isa.Mix, n int64, attach func(*sim.Machine)) sim.Result {
+	m := sim.New(sim.DefaultConfig())
+	if attach != nil {
+		attach(m)
+	}
+	b := isa.NewBuilder("ctltest")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(mix, int(n)))
+	p := b.Finish(main)
+	p.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: n})
+	return m.Finalize()
+}
+
+func TestAttackDecayIdlesUnusedDomains(t *testing.T) {
+	ad := NewAttackDecay(DefaultAttackDecay())
+	r := run(isa.IntHeavy, 300_000, ad.Attach)
+	// IntHeavy has no FP work at all: FP must decay far below full speed.
+	if r.AvgMHz[arch.FP] > 700 {
+		t.Errorf("FP avg MHz = %.0f, want decayed", r.AvgMHz[arch.FP])
+	}
+	// The busy integer domain must stay near full speed.
+	if r.AvgMHz[arch.Integer] < 700 {
+		t.Errorf("integer avg MHz = %.0f, want near full", r.AvgMHz[arch.Integer])
+	}
+}
+
+func TestAttackDecaySavesEnergyModestSlowdown(t *testing.T) {
+	base := run(isa.IntHeavy, 300_000, nil)
+	ad := NewAttackDecay(DefaultAttackDecay())
+	r := run(isa.IntHeavy, 300_000, ad.Attach)
+	slow := float64(r.TimePs)/float64(base.TimePs) - 1
+	save := 1 - r.EnergyPJ/base.EnergyPJ
+	if save <= 0 {
+		t.Errorf("no energy saved: %.3f", save)
+	}
+	if slow > 0.35 {
+		t.Errorf("slowdown %.1f%% out of control", slow*100)
+	}
+}
+
+func TestAggressivenessTradesEnergyForTime(t *testing.T) {
+	mild := DefaultAttackDecay()
+	mild.Aggressiveness = 0.5
+	hot := DefaultAttackDecay()
+	hot.Aggressiveness = 2.5
+	rMild := run(isa.Balanced, 300_000, NewAttackDecay(mild).Attach)
+	rHot := run(isa.Balanced, 300_000, NewAttackDecay(hot).Attach)
+	if rHot.EnergyPJ >= rMild.EnergyPJ {
+		t.Errorf("aggressive controller saved less energy: %.0f vs %.0f",
+			rHot.EnergyPJ, rMild.EnergyPJ)
+	}
+}
+
+func TestPerfGuardBoundsSlowdown(t *testing.T) {
+	base := run(isa.MemBound, 200_000, nil)
+	guarded := DefaultAttackDecay()
+	guarded.PerfGuard = 0.05
+	r := run(isa.MemBound, 200_000, NewAttackDecay(guarded).Attach)
+	free := DefaultAttackDecay()
+	rFree := run(isa.MemBound, 200_000, NewAttackDecay(free).Attach)
+	slowG := float64(r.TimePs) / float64(base.TimePs)
+	slowF := float64(rFree.TimePs) / float64(base.TimePs)
+	if slowG > slowF+0.02 {
+		t.Errorf("guard increased slowdown: %.3f vs %.3f", slowG, slowF)
+	}
+}
+
+func TestGlobalDVSMHz(t *testing.T) {
+	cases := []struct {
+		base, target int64
+		want         int
+	}{
+		{100, 100, dvfs.FMaxMHz},
+		{100, 50, dvfs.FMaxMHz}, // target faster than base: full speed
+		{95, 100, 950},
+		{50, 100, 500},
+		{100, 1000, dvfs.QuantizeUp(100)},
+	}
+	for _, c := range cases {
+		if got := GlobalDVSMHz(c.base, c.target); got != c.want {
+			t.Errorf("GlobalDVSMHz(%d,%d) = %d, want %d", c.base, c.target, got, c.want)
+		}
+	}
+}
+
+func TestGlobalDVSQuantizesUp(t *testing.T) {
+	// 96.2% of full speed must round UP on the ladder so the runtime
+	// constraint is met.
+	got := GlobalDVSMHz(962, 1000)
+	if got != 975 {
+		t.Errorf("got %d, want 975", got)
+	}
+}
+
+func TestControllerDeterministic(t *testing.T) {
+	ad1 := NewAttackDecay(DefaultAttackDecay())
+	a := run(isa.Balanced, 150_000, ad1.Attach)
+	ad2 := NewAttackDecay(DefaultAttackDecay())
+	b := run(isa.Balanced, 150_000, ad2.Attach)
+	if a.TimePs != b.TimePs || a.EnergyPJ != b.EnergyPJ {
+		t.Error("controller runs are not deterministic")
+	}
+}

@@ -1,0 +1,175 @@
+// Package dvfs models the dynamic voltage and frequency scaling behaviour
+// of one MCD clock domain, following the Intel XScale-style model used in
+// the paper (Table 1): a 250 MHz – 1 GHz frequency range, a 0.65 V – 1.20 V
+// voltage range, and a frequency change speed of 73.3 ns/MHz. A domain
+// continues executing while its frequency ramps toward the target; the
+// full-range traversal takes 55 microseconds.
+package dvfs
+
+import "fmt"
+
+// Operating range constants (paper Table 1).
+const (
+	// FMinMHz and FMaxMHz bound the frequency of every scalable domain.
+	FMinMHz = 250
+	FMaxMHz = 1000
+	// StepMHz is the granularity of the frequency ladder. The ladder has
+	// 31 operating points: 250, 275, ..., 1000 MHz.
+	StepMHz = 25
+	// VMin and VMax bound the supply voltage; voltage tracks frequency
+	// linearly across the range.
+	VMin = 0.65
+	VMax = 1.20
+	// RampPsPerMHz is the frequency change speed: 73.3 ns per MHz,
+	// expressed in picoseconds. Traversing the full 750 MHz range takes
+	// 750 * 73300 ps = 54.975 us, matching the paper's 55 us figure.
+	RampPsPerMHz = 73300
+)
+
+// NumSteps is the number of operating points on the ladder.
+const NumSteps = (FMaxMHz-FMinMHz)/StepMHz + 1
+
+// Point is one operating point: a frequency and its matched voltage.
+type Point struct {
+	MHz   int
+	Volts float64
+}
+
+// String formats the point as "800MHz@1.05V".
+func (p Point) String() string { return fmt.Sprintf("%dMHz@%.3fV", p.MHz, p.Volts) }
+
+// PeriodPs returns the clock period of the point in picoseconds.
+func (p Point) PeriodPs() int64 { return PeriodPs(p.MHz) }
+
+// PeriodPs returns the period, in picoseconds, of a clock at mhz.
+func PeriodPs(mhz int) int64 {
+	if mhz <= 0 {
+		panic("dvfs: non-positive frequency")
+	}
+	return int64(1e6) / int64(mhz)
+}
+
+// VoltageFor returns the supply voltage matched to the given frequency:
+// linear interpolation between (FMinMHz, VMin) and (FMaxMHz, VMax), clamped
+// at the range ends.
+func VoltageFor(mhz int) float64 {
+	switch {
+	case mhz <= FMinMHz:
+		return VMin
+	case mhz >= FMaxMHz:
+		return VMax
+	}
+	frac := float64(mhz-FMinMHz) / float64(FMaxMHz-FMinMHz)
+	return VMin + frac*(VMax-VMin)
+}
+
+// PointFor returns the operating point for a frequency.
+func PointFor(mhz int) Point { return Point{MHz: mhz, Volts: VoltageFor(mhz)} }
+
+// Clamp restricts mhz to the legal operating range.
+func Clamp(mhz int) int {
+	if mhz < FMinMHz {
+		return FMinMHz
+	}
+	if mhz > FMaxMHz {
+		return FMaxMHz
+	}
+	return mhz
+}
+
+// Quantize snaps mhz to the nearest ladder step within the legal range.
+func Quantize(mhz int) int {
+	mhz = Clamp(mhz)
+	down := (mhz - FMinMHz) / StepMHz * StepMHz
+	rem := mhz - FMinMHz - down
+	if rem*2 >= StepMHz {
+		down += StepMHz
+	}
+	return FMinMHz + down
+}
+
+// QuantizeDown snaps mhz down to the ladder step at or below it. Control
+// algorithms that must not exceed a computed frequency bound use this.
+func QuantizeDown(mhz int) int {
+	mhz = Clamp(mhz)
+	return FMinMHz + (mhz-FMinMHz)/StepMHz*StepMHz
+}
+
+// QuantizeUp snaps mhz up to the ladder step at or above it.
+func QuantizeUp(mhz int) int {
+	mhz = Clamp(mhz)
+	up := (mhz - FMinMHz + StepMHz - 1) / StepMHz * StepMHz
+	return FMinMHz + up
+}
+
+// StepIndex returns the ladder index (0 = FMinMHz) of a quantized
+// frequency. It panics if mhz is not on the ladder.
+func StepIndex(mhz int) int {
+	if (mhz-FMinMHz)%StepMHz != 0 || mhz < FMinMHz || mhz > FMaxMHz {
+		panic(fmt.Sprintf("dvfs: %d MHz is not a ladder point", mhz))
+	}
+	return (mhz - FMinMHz) / StepMHz
+}
+
+// StepMHzAt returns the frequency of ladder index i.
+func StepMHzAt(i int) int {
+	if i < 0 || i >= NumSteps {
+		panic(fmt.Sprintf("dvfs: ladder index %d out of range", i))
+	}
+	return FMinMHz + i*StepMHz
+}
+
+// Ladder returns all operating points from FMinMHz to FMaxMHz inclusive.
+func Ladder() []Point {
+	pts := make([]Point, 0, NumSteps)
+	for f := FMinMHz; f <= FMaxMHz; f += StepMHz {
+		pts = append(pts, PointFor(f))
+	}
+	return pts
+}
+
+// Change is one step of a frequency ramp: at time At (picoseconds) the
+// domain's effective frequency becomes MHz.
+type Change struct {
+	At  int64
+	MHz int
+}
+
+// PlanRamp returns the sequence of effective-frequency changes for a ramp
+// from fromMHz to toMHz beginning at start. The ramp is modeled as one
+// ladder notch at a time, each notch taking StepMHz*RampPsPerMHz
+// picoseconds, so frequency moves (piecewise) linearly at 73.3 ns/MHz while
+// the processor continues to execute. Both endpoints must be ladder points.
+// The returned slice is empty when fromMHz == toMHz.
+func PlanRamp(fromMHz, toMHz int, start int64) []Change {
+	StepIndex(fromMHz) // validate
+	StepIndex(toMHz)
+	if fromMHz == toMHz {
+		return nil
+	}
+	dir := StepMHz
+	if toMHz < fromMHz {
+		dir = -StepMHz
+	}
+	n := (toMHz - fromMHz) / dir
+	changes := make([]Change, 0, n)
+	t := start
+	for f := fromMHz + dir; ; f += dir {
+		t += int64(StepMHz) * RampPsPerMHz
+		changes = append(changes, Change{At: t, MHz: f})
+		if f == toMHz {
+			break
+		}
+	}
+	return changes
+}
+
+// RampDurationPs returns the total time to traverse from one frequency to
+// another at the modeled ramp speed.
+func RampDurationPs(fromMHz, toMHz int) int64 {
+	d := toMHz - fromMHz
+	if d < 0 {
+		d = -d
+	}
+	return int64(d) * RampPsPerMHz
+}

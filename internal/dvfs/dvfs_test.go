@@ -1,0 +1,168 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVoltageEndpoints(t *testing.T) {
+	if v := VoltageFor(FMinMHz); v != VMin {
+		t.Errorf("VoltageFor(min) = %v, want %v", v, VMin)
+	}
+	if v := VoltageFor(FMaxMHz); v != VMax {
+		t.Errorf("VoltageFor(max) = %v, want %v", v, VMax)
+	}
+	if v := VoltageFor(100); v != VMin {
+		t.Errorf("VoltageFor below range = %v, want clamp to %v", v, VMin)
+	}
+	if v := VoltageFor(2000); v != VMax {
+		t.Errorf("VoltageFor above range = %v, want clamp to %v", v, VMax)
+	}
+}
+
+func TestVoltageMonotonic(t *testing.T) {
+	prev := 0.0
+	for f := FMinMHz; f <= FMaxMHz; f += StepMHz {
+		v := VoltageFor(f)
+		if v < prev {
+			t.Fatalf("voltage not monotonic at %d MHz: %v < %v", f, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestVoltageMidpoint(t *testing.T) {
+	mid := (FMinMHz + FMaxMHz) / 2
+	want := (VMin + VMax) / 2
+	if v := VoltageFor(mid); math.Abs(v-want) > 1e-9 {
+		t.Errorf("VoltageFor(%d) = %v, want %v", mid, v, want)
+	}
+}
+
+func TestPeriodPs(t *testing.T) {
+	cases := map[int]int64{1000: 1000, 500: 2000, 250: 4000}
+	for mhz, want := range cases {
+		if got := PeriodPs(mhz); got != want {
+			t.Errorf("PeriodPs(%d) = %d, want %d", mhz, got, want)
+		}
+	}
+}
+
+func TestPeriodPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PeriodPs(0) did not panic")
+		}
+	}()
+	PeriodPs(0)
+}
+
+func TestLadder(t *testing.T) {
+	pts := Ladder()
+	if len(pts) != NumSteps {
+		t.Fatalf("ladder has %d points, want %d", len(pts), NumSteps)
+	}
+	if pts[0].MHz != FMinMHz || pts[len(pts)-1].MHz != FMaxMHz {
+		t.Errorf("ladder endpoints = %v .. %v", pts[0], pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MHz-pts[i-1].MHz != StepMHz {
+			t.Errorf("ladder step %d -> %d", pts[i-1].MHz, pts[i].MHz)
+		}
+	}
+}
+
+func TestQuantizeProperties(t *testing.T) {
+	f := func(mhz int) bool {
+		q := Quantize(mhz)
+		if q < FMinMHz || q > FMaxMHz || (q-FMinMHz)%StepMHz != 0 {
+			return false
+		}
+		// Down <= Quantize-ish relationships on the ladder.
+		d, u := QuantizeDown(mhz), QuantizeUp(mhz)
+		if d > u {
+			return false
+		}
+		c := Clamp(mhz)
+		return d <= c && c <= u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeRounding(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{250, 250}, {262, 250}, {263, 275}, {1000, 1000}, {999, 1000},
+		{0, 250}, {9999, 1000}, {512, 500}, {513, 525},
+	}
+	for _, c := range cases {
+		if got := Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStepIndexRoundTrip(t *testing.T) {
+	for i := 0; i < NumSteps; i++ {
+		if got := StepIndex(StepMHzAt(i)); got != i {
+			t.Errorf("StepIndex(StepMHzAt(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestStepIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepIndex(260) did not panic")
+		}
+	}()
+	StepIndex(260)
+}
+
+func TestPlanRampUp(t *testing.T) {
+	changes := PlanRamp(250, 325, 1000)
+	if len(changes) != 3 {
+		t.Fatalf("ramp 250->325 has %d steps, want 3", len(changes))
+	}
+	wantStep := int64(StepMHz) * RampPsPerMHz
+	for i, ch := range changes {
+		wantAt := 1000 + int64(i+1)*wantStep
+		wantMHz := 250 + (i+1)*StepMHz
+		if ch.At != wantAt || ch.MHz != wantMHz {
+			t.Errorf("step %d = %+v, want {%d %d}", i, ch, wantAt, wantMHz)
+		}
+	}
+}
+
+func TestPlanRampDown(t *testing.T) {
+	changes := PlanRamp(1000, 950, 0)
+	if len(changes) != 2 || changes[1].MHz != 950 {
+		t.Fatalf("ramp down wrong: %v", changes)
+	}
+}
+
+func TestPlanRampNoop(t *testing.T) {
+	if got := PlanRamp(500, 500, 0); len(got) != 0 {
+		t.Errorf("no-op ramp produced %v", got)
+	}
+}
+
+func TestFullRangeRampDuration(t *testing.T) {
+	// Paper: traversing the entire voltage range requires 55 us.
+	d := RampDurationPs(FMinMHz, FMaxMHz)
+	if d != 54_975_000 {
+		t.Errorf("full-range ramp = %d ps, want 54975000 (about 55 us)", d)
+	}
+}
+
+func TestRampDurationSymmetric(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		return RampDurationPs(x, y) == RampDurationPs(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package edit implements phase four of the paper's pipeline: application
+// editing (Section 3.4). Given a training call tree and the per-node
+// frequencies chosen by slowdown thresholding, it builds an edit Plan —
+// the set of instrumentation and reconfiguration points with their
+// run-time costs and lookup tables — and an Editor that rewrites a
+// program's dynamic stream, injecting path-tracking (Track) and
+// reconfiguration (Reconfig) instructions exactly where the binary
+// rewriter would have placed them: subroutine prologues and epilogues,
+// loop headers and footers, and call sites.
+package edit
+
+import (
+	"repro/internal/arch"
+	"repro/internal/calltree"
+	"repro/internal/dvfs"
+)
+
+// Instrumentation costs in cycles, from the paper's hand-instrumented
+// microbenchmark measurements (Section 3.4).
+const (
+	// TableLookupCost is a path-tracking point that accesses the 2-D
+	// node-label table (subroutine prologues in path schemes).
+	TableLookupCost = 9
+	// ReconfigCost is a reconfiguration point that reads the frequency
+	// table and writes the reconfiguration register.
+	ReconfigCost = 17
+	// CheapCost is an instrumentation point that only adds a static
+	// offset or restores a saved label (loop headers/footers, call
+	// sites, epilogues).
+	CheapCost = 1
+	// StaticReconfigCost is a reconfiguration point in the L+F and F
+	// schemes: the frequency value is a static constant, the write
+	// schedules into empty issue slots, and measured overhead is
+	// virtually zero (Figure 12).
+	StaticReconfigCost = 1
+)
+
+// Freqs is a per-scalable-domain frequency assignment in MHz.
+type Freqs [arch.NumScalable]uint16
+
+// FullSpeed returns the assignment with every domain at maximum.
+func FullSpeed() Freqs {
+	var f Freqs
+	for i := range f {
+		f[i] = uint16(dvfs.FMaxMHz)
+	}
+	return f
+}
+
+// StaticKey identifies a static subroutine or loop.
+type StaticKey struct {
+	Kind calltree.NodeKind
+	ID   int32
+}
+
+// Plan is the edited binary's metadata: which static points carry
+// instrumentation, and the frequency settings per tree node (path
+// schemes) or per static subroutine/loop (non-path schemes).
+type Plan struct {
+	Scheme calltree.Scheme
+	Tree   *calltree.Tree
+
+	// NodeFreqs maps long-running tree nodes to their chosen
+	// frequencies (path schemes).
+	NodeFreqs map[*calltree.Node]Freqs
+	// StaticFreqs maps static reconfiguration points to frequencies
+	// (non-path schemes; histograms of nodes sharing a static key were
+	// merged before thresholding, which is what loses per-context
+	// precision for benchmarks like epic encode).
+	StaticFreqs map[StaticKey]Freqs
+
+	// Instrumented static points.
+	TrackedSubs   map[int32]bool // prologue/epilogue instrumentation
+	TrackedLoops  map[int32]bool // header/footer instrumentation
+	TrackedSites  map[int32]bool // call-site instrumentation (C schemes)
+	ReconfigSubs  map[int32]bool // static subs that are reconfig points
+	ReconfigLoops map[int32]bool
+}
+
+// BuildPlan constructs the edit plan from a finalized training tree and
+// the per-node frequency choices.
+func BuildPlan(tree *calltree.Tree, nodeFreqs map[*calltree.Node]Freqs, scheme calltree.Scheme) *Plan {
+	p := &Plan{
+		Scheme:        scheme,
+		Tree:          tree,
+		NodeFreqs:     nodeFreqs,
+		StaticFreqs:   make(map[StaticKey]Freqs),
+		TrackedSubs:   make(map[int32]bool),
+		TrackedLoops:  make(map[int32]bool),
+		TrackedSites:  make(map[int32]bool),
+		ReconfigSubs:  make(map[int32]bool),
+		ReconfigLoops: make(map[int32]bool),
+	}
+	for n := range nodeFreqs {
+		key := StaticKey{Kind: n.Kind, ID: n.ID}
+		if n.Kind == calltree.SubNode {
+			p.ReconfigSubs[n.ID] = true
+		} else {
+			p.ReconfigLoops[n.ID] = true
+		}
+		// Non-path schemes collapse tree nodes onto static points; when
+		// several nodes share a static key the caller is expected to
+		// have merged their histograms already, so any entry wins (they
+		// are identical). We keep the first.
+		if _, ok := p.StaticFreqs[key]; !ok {
+			p.StaticFreqs[key] = nodeFreqs[n]
+		}
+	}
+	if scheme.Path {
+		for _, n := range tree.TrackedNodes() {
+			if n.Kind == calltree.SubNode {
+				p.TrackedSubs[n.ID] = true
+			} else {
+				p.TrackedLoops[n.ID] = true
+			}
+		}
+		if scheme.Sites {
+			// Instrument call sites inside tracked routines: sites whose
+			// corresponding tree children are tracked or long-running.
+			tracked := make(map[*calltree.Node]bool)
+			for _, n := range tree.TrackedNodes() {
+				tracked[n] = true
+			}
+			for _, n := range tree.Nodes {
+				if n.Site >= 0 && (tracked[n] || n.LongRunning) {
+					p.TrackedSites[n.Site] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// MergeStaticFreqs overrides the static frequency table (used by the
+// non-path pipeline after merging histograms across contexts).
+func (p *Plan) MergeStaticFreqs(m map[StaticKey]Freqs) {
+	p.StaticFreqs = m
+	p.ReconfigSubs = make(map[int32]bool)
+	p.ReconfigLoops = make(map[int32]bool)
+	for k := range m {
+		if k.Kind == calltree.SubNode {
+			p.ReconfigSubs[k.ID] = true
+		} else {
+			p.ReconfigLoops[k.ID] = true
+		}
+	}
+}
+
+// StaticPoints returns the number of static reconfiguration points and
+// the total number of static instrumented points (Table 4 "Static").
+// Reconfiguration points are a subset of instrumentation points.
+func (p *Plan) StaticPoints() (reconfig, instrumented int) {
+	reconfig = len(p.ReconfigSubs) + len(p.ReconfigLoops)
+	if !p.Scheme.Path {
+		return reconfig, reconfig
+	}
+	instrumented = len(p.TrackedSubs) + len(p.TrackedLoops) + len(p.TrackedSites)
+	// Static reconfig points not already tracked (possible when a
+	// reconfig sub is a leaf outside the tracked set — it is always
+	// tracked by construction, so this is defensive).
+	if instrumented < reconfig {
+		instrumented = reconfig
+	}
+	return reconfig, instrumented
+}
+
+// LookupTableBytes returns the run-time table footprint for path schemes
+// (Section 4.4): zero for non-path schemes.
+func (p *Plan) LookupTableBytes() int {
+	if !p.Scheme.Path {
+		return (len(p.StaticFreqs)) * 8
+	}
+	return p.Tree.LookupTableBytes()
+}

@@ -1,0 +1,320 @@
+package edit
+
+import (
+	"testing"
+
+	"repro/internal/calltree"
+	"repro/internal/isa"
+)
+
+// testTree builds a finalized tree: root -> main -> {leafA (LR, sub 1),
+// loop 0 (LR), leafB (short, sub 2)}.
+func testTree(scheme calltree.Scheme) (*calltree.Tree, *calltree.Node, *calltree.Node) {
+	tr := calltree.NewTree(scheme)
+	main := tr.Child(tr.Root, calltree.SubNode, 0, -1)
+	main.Instances, main.SelfInstrs = 1, 20_000
+	leafA := tr.Child(main, calltree.SubNode, 1, siteOrMinus(scheme, 0))
+	leafA.Instances, leafA.SelfInstrs = 2, 30_000
+	var loop *calltree.Node
+	if scheme.Loops {
+		loop = tr.Child(main, calltree.LoopNode, 0, -1)
+		loop.Instances, loop.SelfInstrs = 1, 15_000
+	}
+	leafB := tr.Child(main, calltree.SubNode, 2, siteOrMinus(scheme, 1))
+	leafB.Instances, leafB.SelfInstrs = 1, 100
+	tr.Finalize()
+	return tr, leafA, loop
+}
+
+func siteOrMinus(s calltree.Scheme, site int32) int32 {
+	if s.Sites {
+		return site
+	}
+	return -1
+}
+
+func freqs(fe, in, fp, me int) Freqs {
+	return Freqs{uint16(fe), uint16(in), uint16(fp), uint16(me)}
+}
+
+func TestBuildPlanStaticPoints(t *testing.T) {
+	tr, leafA, loop := testTree(calltree.LFCP)
+	nf := map[*calltree.Node]Freqs{leafA: freqs(500, 500, 250, 500)}
+	if loop != nil {
+		nf[loop] = freqs(750, 750, 250, 750)
+	}
+	// main is long-running too; find it.
+	mainNode := tr.Root.Children[0]
+	nf[mainNode] = freqs(1000, 1000, 250, 1000)
+	p := BuildPlan(tr, nf, calltree.LFCP)
+	rc, in := p.StaticPoints()
+	if rc != 3 { // main, leafA, loop
+		t.Errorf("static reconfig points = %d, want 3", rc)
+	}
+	if in < rc {
+		t.Errorf("instrumented %d < reconfig %d", in, rc)
+	}
+	if !p.TrackedSubs[0] || !p.TrackedSubs[1] {
+		t.Error("main/leafA not instrumented")
+	}
+	if p.TrackedSubs[2] {
+		t.Error("short leafB with no long-running descendants instrumented")
+	}
+}
+
+func TestNonPathPlanHasOnlyReconfigPoints(t *testing.T) {
+	tr, leafA, _ := testTree(calltree.LF)
+	nf := map[*calltree.Node]Freqs{leafA: freqs(500, 500, 250, 500)}
+	p := BuildPlan(tr, nf, calltree.LF)
+	rc, in := p.StaticPoints()
+	if rc != in {
+		t.Errorf("non-path scheme: instrumented %d != reconfig %d", in, rc)
+	}
+	if len(p.TrackedSubs) != 0 {
+		t.Error("non-path scheme has tracked subs")
+	}
+}
+
+// sink records what the editor feeds downstream.
+type sink struct {
+	classes []isa.Class
+	freqs   []Freqs
+	markers int
+}
+
+func (s *sink) Instr(ins *isa.Instr) bool {
+	s.classes = append(s.classes, ins.Class)
+	if ins.Class == isa.Reconfig {
+		s.freqs = append(s.freqs, ins.Freqs)
+	}
+	return true
+}
+func (s *sink) Marker(isa.Marker) bool { s.markers++; return true }
+
+// runEditor plays a marker/instruction script through an editor.
+type scriptItem struct {
+	marker *isa.Marker
+	n      int // instructions
+}
+
+func play(ed *Editor, script []scriptItem) {
+	for _, it := range script {
+		if it.marker != nil {
+			ed.Marker(*it.marker)
+			continue
+		}
+		for i := 0; i < it.n; i++ {
+			ins := isa.Instr{Class: isa.IntALU}
+			ed.Instr(&ins)
+		}
+	}
+}
+
+func mk(kind isa.MarkerKind, id int32) *isa.Marker { return &isa.Marker{Kind: kind, ID: id} }
+func mkSite(site int32) *isa.Marker                { return &isa.Marker{Kind: isa.CallSite, Site: site} }
+
+func TestEditorReconfiguresOnKnownPath(t *testing.T) {
+	tr, leafA, _ := testTree(calltree.LFCP)
+	mainNode := tr.Root.Children[0]
+	nf := map[*calltree.Node]Freqs{
+		mainNode: freqs(1000, 1000, 250, 1000),
+		leafA:    freqs(500, 500, 250, 500),
+	}
+	p := BuildPlan(tr, nf, calltree.LFCP)
+	var out sink
+	ed := NewEditor(p, &out)
+	play(ed, []scriptItem{
+		{marker: mk(isa.SubEnter, 0)},
+		{marker: mkSite(0)},
+		{marker: mk(isa.SubEnter, 1)},
+		{n: 5},
+		{marker: mk(isa.SubExit, 1)},
+		{marker: mk(isa.SubExit, 0)},
+	})
+	// Expected reconfigs: enter main, enter leafA, exit leafA (restore
+	// main), exit main (restore initial full speed).
+	if len(out.freqs) != 4 {
+		t.Fatalf("reconfigs = %d, want 4 (%v)", len(out.freqs), out.freqs)
+	}
+	if out.freqs[1] != nf[leafA] {
+		t.Errorf("leafA reconfig = %v", out.freqs[1])
+	}
+	if out.freqs[2] != nf[mainNode] {
+		t.Errorf("restore after leafA = %v, want main's %v", out.freqs[2], nf[mainNode])
+	}
+	if out.freqs[3] != FullSpeed() {
+		t.Errorf("final restore = %v, want full speed", out.freqs[3])
+	}
+	if ed.DynReconfig != 4 {
+		t.Errorf("DynReconfig = %d", ed.DynReconfig)
+	}
+	if ed.DynInstr <= ed.DynReconfig {
+		t.Error("no tracking instructions counted")
+	}
+}
+
+func TestEditorUnknownPathNoReconfig(t *testing.T) {
+	// Path schemes: entering a subroutine over a path absent from the
+	// training tree yields label 0 and no reconfiguration (mpeg2 decode
+	// behaviour).
+	tr, leafA, _ := testTree(calltree.FCP)
+	mainNode := tr.Root.Children[0]
+	nf := map[*calltree.Node]Freqs{leafA: freqs(500, 500, 250, 500)}
+	p := BuildPlan(tr, nf, calltree.FCP)
+	var out sink
+	ed := NewEditor(p, &out)
+	play(ed, []scriptItem{
+		{marker: mk(isa.SubEnter, 0)},
+		{marker: mkSite(9)}, // unseen call site
+		{marker: mk(isa.SubEnter, 1)},
+		{n: 5},
+		{marker: mk(isa.SubExit, 1)},
+		{marker: mk(isa.SubExit, 0)},
+	})
+	if len(out.freqs) != 0 {
+		t.Errorf("reconfigured on unknown path: %v", out.freqs)
+	}
+	_ = mainNode
+}
+
+func TestStaticSchemeReconfiguresOnUnseenPath(t *testing.T) {
+	// L+F keys on the static subroutine ID, so it reconfigures even when
+	// the calling path was never seen in training.
+	tr, leafA, _ := testTree(calltree.LF)
+	nf := map[*calltree.Node]Freqs{leafA: freqs(500, 500, 250, 500)}
+	p := BuildPlan(tr, nf, calltree.LF)
+	var out sink
+	ed := NewEditor(p, &out)
+	play(ed, []scriptItem{
+		{marker: mk(isa.SubEnter, 7)}, // some unrelated routine
+		{marker: mk(isa.SubEnter, 1)}, // the long-running sub, new path
+		{n: 5},
+		{marker: mk(isa.SubExit, 1)},
+		{marker: mk(isa.SubExit, 7)},
+	})
+	if len(out.freqs) != 2 { // enter + restore
+		t.Fatalf("reconfigs = %d, want 2", len(out.freqs))
+	}
+	if out.freqs[0] != nf[leafA] {
+		t.Errorf("reconfig freqs = %v", out.freqs[0])
+	}
+}
+
+func TestOracleEditorNoOverhead(t *testing.T) {
+	tr, leafA, _ := testTree(calltree.LFCP)
+	nf := map[*calltree.Node]Freqs{leafA: freqs(500, 500, 250, 500)}
+	p := BuildPlan(tr, nf, calltree.LFCP)
+	var out sink
+	ed := NewOracleEditor(p, &out)
+	play(ed, []scriptItem{
+		{marker: mk(isa.SubEnter, 0)},
+		{marker: mkSite(0)},
+		{marker: mk(isa.SubEnter, 1)},
+		{n: 5},
+		{marker: mk(isa.SubExit, 1)},
+		{marker: mk(isa.SubExit, 0)},
+	})
+	if ed.OverheadCycles != 0 {
+		t.Errorf("oracle charged %d overhead cycles", ed.OverheadCycles)
+	}
+	for _, c := range out.classes {
+		if c == isa.Track {
+			t.Fatal("oracle emitted tracking instructions")
+		}
+	}
+	if len(out.freqs) != 2 {
+		t.Errorf("oracle reconfigs = %d, want 2", len(out.freqs))
+	}
+}
+
+func TestEditorLoopReconfig(t *testing.T) {
+	tr, _, loop := testTree(calltree.LFCP)
+	if loop == nil {
+		t.Fatal("tree has no loop")
+	}
+	nf := map[*calltree.Node]Freqs{loop: freqs(750, 750, 250, 750)}
+	p := BuildPlan(tr, nf, calltree.LFCP)
+	var out sink
+	ed := NewEditor(p, &out)
+	play(ed, []scriptItem{
+		{marker: mk(isa.SubEnter, 0)},
+		{marker: mk(isa.LoopEnter, 0)},
+		{n: 10},
+		{marker: mk(isa.LoopExit, 0)},
+		{marker: mk(isa.SubExit, 0)},
+	})
+	if len(out.freqs) != 2 {
+		t.Fatalf("loop reconfigs = %d, want 2 (enter+restore)", len(out.freqs))
+	}
+	if out.freqs[0] != nf[loop] {
+		t.Errorf("loop freqs = %v", out.freqs[0])
+	}
+}
+
+func TestEditorForwardsProgramUnchanged(t *testing.T) {
+	tr, leafA, _ := testTree(calltree.LF)
+	p := BuildPlan(tr, map[*calltree.Node]Freqs{leafA: freqs(500, 500, 500, 500)}, calltree.LF)
+	var out sink
+	ed := NewEditor(p, &out)
+	play(ed, []scriptItem{
+		{marker: mk(isa.SubEnter, 0)},
+		{n: 100},
+		{marker: mk(isa.SubExit, 0)},
+	})
+	var program int
+	for _, c := range out.classes {
+		if c == isa.IntALU {
+			program++
+		}
+	}
+	if program != 100 {
+		t.Errorf("program instructions forwarded = %d, want 100", program)
+	}
+	if out.markers != 2 {
+		t.Errorf("markers forwarded = %d, want 2", out.markers)
+	}
+}
+
+func TestRecursionFoldsAtRuntime(t *testing.T) {
+	// Recursive re-entry must not change the label or reconfigure again.
+	tr := calltree.NewTree(calltree.FP)
+	main := tr.Child(tr.Root, calltree.SubNode, 0, -1)
+	main.Instances, main.SelfInstrs = 1, 50_000
+	tr.Finalize()
+	nf := map[*calltree.Node]Freqs{main: freqs(500, 500, 500, 500)}
+	p := BuildPlan(tr, nf, calltree.FP)
+	var out sink
+	ed := NewEditor(p, &out)
+	play(ed, []scriptItem{
+		{marker: mk(isa.SubEnter, 0)},
+		{marker: mk(isa.SubEnter, 0)}, // recursive call
+		{n: 3},
+		{marker: mk(isa.SubExit, 0)},
+		{marker: mk(isa.SubExit, 0)},
+	})
+	if len(out.freqs) != 2 {
+		t.Errorf("recursion caused %d reconfigs, want 2", len(out.freqs))
+	}
+}
+
+func TestLookupTableBytes(t *testing.T) {
+	tr, leafA, _ := testTree(calltree.LFCP)
+	p := BuildPlan(tr, map[*calltree.Node]Freqs{leafA: freqs(500, 500, 500, 500)}, calltree.LFCP)
+	if p.LookupTableBytes() <= 0 {
+		t.Error("path scheme table bytes must be positive")
+	}
+	tr2, leafA2, _ := testTree(calltree.F)
+	p2 := BuildPlan(tr2, map[*calltree.Node]Freqs{leafA2: freqs(500, 500, 500, 500)}, calltree.F)
+	if p2.LookupTableBytes() >= p.LookupTableBytes() {
+		t.Error("non-path scheme should need far smaller tables")
+	}
+}
+
+func TestFullSpeed(t *testing.T) {
+	f := FullSpeed()
+	for _, v := range f {
+		if v != 1000 {
+			t.Errorf("FullSpeed = %v", f)
+		}
+	}
+}

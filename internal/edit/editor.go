@@ -1,0 +1,273 @@
+package edit
+
+import (
+	"repro/internal/calltree"
+	"repro/internal/isa"
+)
+
+// Editor applies a Plan to a dynamic stream: it forwards the program's
+// own instructions and markers to the inner consumer while injecting
+// Track and Reconfig instructions at instrumented points, maintaining the
+// run-time path-tracking state (current node label) exactly as the
+// edited binary would. It implements isa.Consumer.
+type Editor struct {
+	plan  *Plan
+	inner isa.Consumer
+
+	// Path-tracking runtime state: the current tree node, or nil when
+	// the label is 0 ("unknown path", taken during training-unseen
+	// paths). The stack records entries for instrumented subs/loops.
+	cur         *calltree.Node
+	stack       []pathFrame
+	pendingSite int32
+
+	// Frequency save/restore stack for reconfiguration points.
+	freqStack []Freqs
+	curFreqs  Freqs
+
+	// Dynamic execution counts (Table 4 "Dynamic").
+	DynReconfig int64
+	DynInstr    int64 // all instrumentation executions, including reconfig
+	// OverheadCycles accumulates the nominal cycle cost of injected code.
+	OverheadCycles int64
+
+	stopped bool
+	oracle  bool
+	scratch isa.Instr
+}
+
+// pathFrame records one instrumented entry for epilogue restoration.
+type pathFrame struct {
+	node       *calltree.Node // node before entry (restored on exit)
+	kind       calltree.NodeKind
+	id         int32
+	reconfiged bool
+	folded     bool
+}
+
+// NewEditor wraps inner with the edited binary's instrumentation.
+func NewEditor(plan *Plan, inner isa.Consumer) *Editor {
+	return &Editor{
+		plan:        plan,
+		inner:       inner,
+		cur:         plan.Tree.Root,
+		pendingSite: -1,
+		curFreqs:    FullSpeed(),
+	}
+}
+
+// Instr forwards a program instruction unchanged.
+func (e *Editor) Instr(ins *isa.Instr) bool {
+	if e.stopped {
+		return false
+	}
+	if !e.inner.Instr(ins) {
+		e.stopped = true
+	}
+	return !e.stopped
+}
+
+// emitTrack injects one instrumentation instruction with the given cost.
+// Oracle editors skip tracking instructions entirely.
+func (e *Editor) emitTrack(cost int) {
+	if e.stopped || e.oracle {
+		return
+	}
+	e.DynInstr++
+	e.OverheadCycles += int64(cost)
+	e.scratch = isa.Instr{Class: isa.Track, PC: 0x40000000, Src1: uint16(cost)}
+	if !e.inner.Instr(&e.scratch) {
+		e.stopped = true
+	}
+}
+
+// emitReconfig injects one reconfiguration instruction targeting f.
+func (e *Editor) emitReconfig(f Freqs, cost int) {
+	if e.stopped {
+		return
+	}
+	if e.oracle {
+		cost = 0
+	}
+	e.DynReconfig++
+	e.DynInstr++
+	e.OverheadCycles += int64(cost)
+	e.curFreqs = f
+	e.scratch = isa.Instr{Class: isa.Reconfig, PC: 0x40000100, Src2: uint16(cost), Freqs: f}
+	if !e.inner.Instr(&e.scratch) {
+		e.stopped = true
+	}
+}
+
+func (e *Editor) reconfigCost() int {
+	if e.plan.Scheme.Path {
+		return ReconfigCost
+	}
+	return StaticReconfigCost
+}
+
+// Marker interprets structure markers, injecting instrumentation and
+// maintaining runtime state, then forwards the marker.
+func (e *Editor) Marker(m isa.Marker) bool {
+	if e.stopped {
+		return false
+	}
+	if e.plan.Scheme.Path {
+		e.pathMarker(m)
+	} else {
+		e.staticMarker(m)
+	}
+	if !e.inner.Marker(m) {
+		e.stopped = true
+	}
+	return !e.stopped
+}
+
+// onPathStack reports whether a frame for (kind, id) is already open
+// (recursion folding at run time: the label table maps the recursive
+// entry back to the same node, so the label does not change).
+func (e *Editor) onPathStack(kind calltree.NodeKind, id int32) bool {
+	for i := len(e.stack) - 1; i >= 0; i-- {
+		if e.stack[i].kind == kind && e.stack[i].id == id && !e.stack[i].folded {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Editor) pathMarker(m isa.Marker) {
+	p := e.plan
+	switch m.Kind {
+	case isa.CallSite:
+		if p.Scheme.Sites && p.TrackedSites[m.Site] {
+			e.pendingSite = m.Site
+			e.emitTrack(CheapCost) // add site offset to the label register
+		} else {
+			e.pendingSite = -1
+		}
+	case isa.SubEnter:
+		if !p.TrackedSubs[m.ID] {
+			e.pendingSite = -1
+			return
+		}
+		site := int32(-1)
+		if p.Scheme.Sites {
+			site = e.pendingSite
+		}
+		e.pendingSite = -1
+		e.enterPath(calltree.SubNode, m.ID, site, TableLookupCost)
+	case isa.SubExit:
+		if !p.TrackedSubs[m.ID] {
+			return
+		}
+		e.exitPath(calltree.SubNode, m.ID)
+	case isa.LoopEnter:
+		if !p.Scheme.Loops || !p.TrackedLoops[m.ID] {
+			return
+		}
+		e.enterPath(calltree.LoopNode, m.ID, -1, CheapCost)
+	case isa.LoopExit:
+		if !p.Scheme.Loops || !p.TrackedLoops[m.ID] {
+			return
+		}
+		e.exitPath(calltree.LoopNode, m.ID)
+	}
+}
+
+func (e *Editor) enterPath(kind calltree.NodeKind, id, site int32, trackCost int) {
+	if e.onPathStack(kind, id) {
+		// Recursive re-entry folds into the existing node: the prologue
+		// lookup still runs but the label is unchanged.
+		e.emitTrack(trackCost)
+		e.stack = append(e.stack, pathFrame{node: e.cur, kind: kind, id: id, folded: true})
+		return
+	}
+	e.emitTrack(trackCost)
+	prev := e.cur
+	var next *calltree.Node
+	if e.cur != nil {
+		for _, c := range e.cur.Children {
+			if c.Kind == kind && c.ID == id && c.Site == site {
+				next = c
+				break
+			}
+		}
+	}
+	e.cur = next // nil = label 0, unknown path
+	frame := pathFrame{node: prev, kind: kind, id: id}
+	if next != nil {
+		if f, ok := e.plan.NodeFreqs[next]; ok {
+			e.freqStack = append(e.freqStack, e.curFreqs)
+			e.emitReconfig(f, e.reconfigCost())
+			frame.reconfiged = true
+		}
+	}
+	e.stack = append(e.stack, frame)
+}
+
+func (e *Editor) exitPath(kind calltree.NodeKind, id int32) {
+	// Pop the matching frame (it is the top one in well-nested streams).
+	if len(e.stack) == 0 {
+		return
+	}
+	frame := e.stack[len(e.stack)-1]
+	e.stack = e.stack[:len(e.stack)-1]
+	if frame.folded {
+		e.emitTrack(CheapCost)
+		return
+	}
+	e.cur = frame.node
+	e.emitTrack(CheapCost) // epilogue restores the previous label
+	if frame.reconfiged {
+		saved := e.freqStack[len(e.freqStack)-1]
+		e.freqStack = e.freqStack[:len(e.freqStack)-1]
+		e.emitReconfig(saved, e.reconfigCost())
+	}
+}
+
+// staticMarker implements the L+F and F schemes: every instrumented
+// point is a reconfiguration point with statically known frequencies;
+// there is no path tracking and no lookup table.
+func (e *Editor) staticMarker(m isa.Marker) {
+	p := e.plan
+	switch m.Kind {
+	case isa.SubEnter:
+		if p.ReconfigSubs[m.ID] {
+			e.enterStatic(StaticKey{Kind: calltree.SubNode, ID: m.ID})
+		}
+	case isa.SubExit:
+		if p.ReconfigSubs[m.ID] {
+			e.exitStatic()
+		}
+	case isa.LoopEnter:
+		if p.Scheme.Loops && p.ReconfigLoops[m.ID] {
+			e.enterStatic(StaticKey{Kind: calltree.LoopNode, ID: m.ID})
+		}
+	case isa.LoopExit:
+		if p.Scheme.Loops && p.ReconfigLoops[m.ID] {
+			e.exitStatic()
+		}
+	}
+}
+
+func (e *Editor) enterStatic(k StaticKey) {
+	f, ok := e.plan.StaticFreqs[k]
+	if !ok {
+		return
+	}
+	e.freqStack = append(e.freqStack, e.curFreqs)
+	e.stack = append(e.stack, pathFrame{kind: k.Kind, id: k.ID, reconfiged: true})
+	e.emitReconfig(f, StaticReconfigCost)
+}
+
+func (e *Editor) exitStatic() {
+	if len(e.freqStack) == 0 {
+		return
+	}
+	saved := e.freqStack[len(e.freqStack)-1]
+	e.freqStack = e.freqStack[:len(e.freqStack)-1]
+	if len(e.stack) > 0 {
+		e.stack = e.stack[:len(e.stack)-1]
+	}
+	e.emitReconfig(saved, StaticReconfigCost)
+}

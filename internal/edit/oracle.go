@@ -1,0 +1,14 @@
+package edit
+
+import "repro/internal/isa"
+
+// NewOracleEditor returns an editor that applies the plan's
+// reconfigurations with zero instrumentation cost and no path-tracking
+// instructions, modeling the off-line algorithm's free, perfectly timed
+// reconfigurations (the oracle knows the calling context without
+// run-time bookkeeping).
+func NewOracleEditor(plan *Plan, inner isa.Consumer) *Editor {
+	e := NewEditor(plan, inner)
+	e.oracle = true
+	return e
+}

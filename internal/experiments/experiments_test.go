@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/calltree"
+	"repro/internal/core"
+)
+
+// quickRunner restricts the suite to a small diverse subset so the tests
+// stay fast.
+func quickRunner() *Runner {
+	r := NewRunner(core.DefaultConfig())
+	r.Names = []string{"adpcm_decode", "mcf", "swim"}
+	return r
+}
+
+func TestHeadlineDataShape(t *testing.T) {
+	r := quickRunner()
+	rows := r.HeadlineData()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Offline.EnergySavings <= 0 {
+			t.Errorf("%s: off-line saved nothing", row.Bench)
+		}
+		if row.LF.EnergySavings <= 0 {
+			t.Errorf("%s: L+F saved nothing", row.Bench)
+		}
+		if row.Offline.Slowdown < -1 {
+			t.Errorf("%s: off-line speedup implausible", row.Bench)
+		}
+	}
+}
+
+func TestFigureRenderings(t *testing.T) {
+	r := quickRunner()
+	for name, fig := range map[string]func() string{
+		"fig4": r.Figure4, "fig5": r.Figure5, "fig6": r.Figure6,
+	} {
+		out := fig()
+		if !strings.Contains(out, "mcf") || !strings.Contains(out, "off-line") {
+			t.Errorf("%s output missing expected content:\n%s", name, out)
+		}
+	}
+	// Figure 7 is a min/avg/max summary without benchmark rows.
+	out := r.Figure7()
+	for _, want := range []string{"global", "on-line", "off-line", "L+F", "energy-delay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResultsCached(t *testing.T) {
+	r := quickRunner()
+	a := r.For("mcf")
+	b := r.For("mcf")
+	if a != b {
+		t.Error("benchmark results not cached")
+	}
+	s1 := r.Scheme("mcf", calltree.LF)
+	s2 := r.Scheme("mcf", calltree.LF)
+	if s1 != s2 {
+		t.Error("scheme runs not cached")
+	}
+}
+
+func TestGlobalMatchesOfflineRuntime(t *testing.T) {
+	r := quickRunner()
+	for _, name := range r.SuiteNames() {
+		br := r.For(name)
+		// The global-DVS run must finish no later than ~5% beyond the
+		// off-line runtime it was matched to (ladder quantization and
+		// microarchitectural effects allow small deviation).
+		ratio := float64(br.Global.TimePs) / float64(br.Offline.TimePs)
+		if ratio > 1.08 {
+			t.Errorf("%s: global run %.2fx the off-line runtime", name, ratio)
+		}
+	}
+}
+
+func TestTable3AgainstPaper(t *testing.T) {
+	r := NewRunner(core.DefaultConfig())
+	r.Names = []string{"adpcm_decode", "mpeg2_decode", "vpr"}
+	rows := r.Table3Data()
+	want := map[string][6]int{
+		"adpcm_decode": {2, 4, 2, 4, 2, 4},
+		"mpeg2_decode": {11, 15, 14, 19, 8, 12},
+		"vpr":          {67, 92, 84, 119, 7, 12},
+	}
+	for _, row := range rows {
+		w := want[row.Bench]
+		got := [6]int{row.TrainLong, row.TrainTotal, row.RefLong, row.RefTotal, row.CommonLong, row.CommonTot}
+		if got != w {
+			t.Errorf("%s: %v, want %v", row.Bench, got, w)
+		}
+	}
+}
+
+func TestTable4Renders(t *testing.T) {
+	r := quickRunner()
+	out := r.Table4()
+	if !strings.Contains(out, "Static") || !strings.Contains(out, "%") {
+		t.Errorf("table 4 output:\n%s", out)
+	}
+}
+
+func TestBaselinePenaltyBand(t *testing.T) {
+	r := quickRunner()
+	out := r.BaselinePenalty()
+	if !strings.Contains(out, "average") {
+		t.Errorf("baseline penalty output:\n%s", out)
+	}
+}
+
+func TestFigure12SchemeOrdering(t *testing.T) {
+	r := NewRunner(core.DefaultConfig())
+	r.Names = []string{"adpcm_decode", "mcf"}
+	out := r.Figure12()
+	if !strings.Contains(out, "L+F+C+P") || !strings.Contains(out, "normalized") {
+		t.Errorf("figure 12 output:\n%s", out)
+	}
+	// L+F and F rows must show overhead (norm) far below 1.
+	for _, name := range []string{"adpcm_decode", "mcf"} {
+		lfcp := r.Scheme(name, calltree.LFCP)
+		lf := r.Scheme(name, calltree.LF)
+		if lf.St.OverheadCycles >= lfcp.St.OverheadCycles {
+			t.Errorf("%s: L+F overhead (%d cycles) not below L+F+C+P (%d)",
+				name, lf.St.OverheadCycles, lfcp.St.OverheadCycles)
+		}
+	}
+}
+
+func TestSweepShortensWithSmallDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	r := quickRunner()
+	off, lf, on := r.Sweep()
+	if len(off) != len(DeltaSweep) || len(lf) != len(DeltaSweep) || len(on) != len(AggressivenessSweep) {
+		t.Fatal("sweep lengths wrong")
+	}
+	// Off-line savings must grow along the sweep (more slowdown budget).
+	if off[len(off)-1].Savings <= off[0].Savings {
+		t.Errorf("off-line sweep savings not increasing: %.1f .. %.1f",
+			off[0].Savings, off[len(off)-1].Savings)
+	}
+	// Rendered figures parse.
+	if !strings.Contains(Figure10(off, lf, on), "off-line:") {
+		t.Error("figure 10 missing series")
+	}
+	if !strings.Contains(Figure11(off, lf, on), "L+F:") {
+		t.Error("figure 11 missing series")
+	}
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// PolicyRow holds one benchmark's metrics under the three headline
+// policies (Figures 4, 5 and 6 share this data).
+type PolicyRow struct {
+	Bench   string
+	Offline stats.Delta
+	Online  stats.Delta
+	LF      stats.Delta
+}
+
+// HeadlineData computes the Figure 4/5/6 data: per-benchmark deltas of
+// the off-line, on-line and L+F policies relative to the MCD baseline.
+func (r *Runner) HeadlineData() []PolicyRow {
+	r.Warm()
+	var rows []PolicyRow
+	for _, name := range r.SuiteNames() {
+		br := r.For(name)
+		lf := r.Scheme(name, calltree.LF)
+		rows = append(rows, PolicyRow{
+			Bench:   name,
+			Offline: stats.Vs(br.Offline, br.Base),
+			Online:  stats.Vs(br.Online, br.Base),
+			LF:      stats.Vs(lf.Res, br.Base),
+		})
+	}
+	return rows
+}
+
+// figure456 renders one of the three headline figures given a metric
+// selector.
+func (r *Runner) figure456(title string, sel func(stats.Delta) float64) string {
+	rows := r.HeadlineData()
+	t := stats.NewTable("benchmark", "off-line", "on-line", "L+F")
+	var off, on, lf []float64
+	for _, row := range rows {
+		t.Row(row.Bench, sel(row.Offline), sel(row.Online), sel(row.LF))
+		off = append(off, sel(row.Offline))
+		on = append(on, sel(row.Online))
+		lf = append(lf, sel(row.LF))
+	}
+	t.Row("AVERAGE", stats.Summarize(off).Avg, stats.Summarize(on).Avg, stats.Summarize(lf).Avg)
+	return title + "\n" + t.String()
+}
+
+// Figure4 renders performance degradation per benchmark.
+func (r *Runner) Figure4() string {
+	return r.figure456("Figure 4: performance degradation (%) vs MCD baseline",
+		func(d stats.Delta) float64 { return d.Slowdown })
+}
+
+// Figure5 renders energy savings per benchmark.
+func (r *Runner) Figure5() string {
+	return r.figure456("Figure 5: energy savings (%) vs MCD baseline",
+		func(d stats.Delta) float64 { return d.EnergySavings })
+}
+
+// Figure6 renders energy-delay improvement per benchmark.
+func (r *Runner) Figure6() string {
+	return r.figure456("Figure 6: energy-delay improvement (%) vs MCD baseline",
+		func(d stats.Delta) float64 { return d.EDImprovement })
+}
+
+// Figure7 renders the min/max/average summary including the global-DVS
+// comparator.
+func (r *Runner) Figure7() string {
+	r.Warm()
+	metrics := []struct {
+		name string
+		sel  func(stats.Delta) float64
+	}{
+		{"performance degradation (%)", func(d stats.Delta) float64 { return d.Slowdown }},
+		{"energy savings (%)", func(d stats.Delta) float64 { return d.EnergySavings }},
+		{"energy-delay improvement (%)", func(d stats.Delta) float64 { return d.EDImprovement }},
+	}
+	var b strings.Builder
+	b.WriteString("Figure 7: min / avg / max across the suite\n")
+	for _, m := range metrics {
+		t := stats.NewTable("policy", "min", "avg", "max")
+		cols := map[string][]float64{}
+		order := []string{"global", "on-line", "off-line", "L+F"}
+		for _, name := range r.SuiteNames() {
+			br := r.For(name)
+			lf := r.Scheme(name, calltree.LF)
+			cols["global"] = append(cols["global"], m.sel(stats.Vs(br.Global, br.Base)))
+			cols["on-line"] = append(cols["on-line"], m.sel(stats.Vs(br.Online, br.Base)))
+			cols["off-line"] = append(cols["off-line"], m.sel(stats.Vs(br.Offline, br.Base)))
+			cols["L+F"] = append(cols["L+F"], m.sel(stats.Vs(lf.Res, br.Base)))
+		}
+		for _, p := range order {
+			s := stats.Summarize(cols[p])
+			t.Row(p, s.Min, s.Avg, s.Max)
+		}
+		b.WriteString(m.name + "\n" + t.String())
+	}
+	return b.String()
+}
+
+// SensitivityBenchmarks are the applications the paper highlights as
+// showing context-scheme variation (Section 4.2, Figures 8 and 9).
+var SensitivityBenchmarks = []string{
+	"adpcm_decode", "adpcm_encode", "epic_encode", "gsm_decode",
+	"mpeg2_decode", "applu", "art",
+}
+
+// figure89 renders a sensitivity figure for a metric.
+func (r *Runner) figure89(title string, names []string, sel func(stats.Delta) float64) string {
+	r.WarmSchemes(names)
+	schemes := calltree.Schemes()
+	header := append([]string{"benchmark"}, schemeNames(schemes)...)
+	t := stats.NewTable(header...)
+	for _, name := range names {
+		br := r.For(name)
+		cells := []interface{}{name}
+		for _, s := range schemes {
+			sr := r.Scheme(name, s)
+			cells = append(cells, sel(stats.Vs(sr.Res, br.Base)))
+		}
+		t.Row(cells...)
+	}
+	return title + "\n" + t.String()
+}
+
+func schemeNames(ss []calltree.Scheme) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// sensitivityNames returns the Section 4.2 benchmarks restricted to the
+// runner's suite (so subset runners stay fast).
+func (r *Runner) sensitivityNames() []string {
+	in := make(map[string]bool)
+	for _, n := range r.SuiteNames() {
+		in[n] = true
+	}
+	var out []string
+	for _, n := range SensitivityBenchmarks {
+		if in[n] {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = r.SuiteNames()
+	}
+	return out
+}
+
+// Figure8 renders performance degradation across context schemes.
+func (r *Runner) Figure8() string {
+	return r.figure89("Figure 8: performance degradation (%) by context scheme",
+		r.sensitivityNames(), func(d stats.Delta) float64 { return d.Slowdown })
+}
+
+// Figure9 renders energy savings across context schemes.
+func (r *Runner) Figure9() string {
+	return r.figure89("Figure 9: energy savings (%) by context scheme",
+		r.sensitivityNames(), func(d stats.Delta) float64 { return d.EnergySavings })
+}
+
+// SweepPoint is one point of the Figure 10/11 curves.
+type SweepPoint struct {
+	Param    float64 // delta (off-line, L+F) or aggressiveness (on-line)
+	Slowdown float64 // measured average slowdown, %
+	Savings  float64
+	ED       float64
+}
+
+// DeltaSweep and AggressivenessSweep parameterize Figures 10 and 11.
+var (
+	DeltaSweep          = []float64{0.5, 1, 2, 3, 5, 8}
+	AggressivenessSweep = []float64{0.5, 0.8, 1.2, 1.8, 2.6}
+)
+
+// Sweep computes the Figure 10/11 curves: measured suite-average energy
+// savings and energy-delay improvement versus measured slowdown, for the
+// off-line and L+F policies (sweeping the slowdown threshold delta) and
+// the on-line policy (sweeping controller aggressiveness).
+func (r *Runner) Sweep() (offline, lf, online []SweepPoint) {
+	r.Warm()
+	names := r.SuiteNames()
+	for _, delta := range DeltaSweep {
+		var offD, lfD []stats.Delta
+		for _, name := range names {
+			br := r.For(name)
+			b := br.Bench
+			// Off-line: replan the oracle profile at this delta.
+			plan := core.Replan(br.OfflineProf, delta)
+			res, _ := core.RunEdited(r.Cfg, b.Prog, b.Ref, b.RefWindow, plan, true)
+			offD = append(offD, stats.Vs(res, br.Base))
+			// L+F: replan the training profile.
+			sr := r.Scheme(name, calltree.LF)
+			lplan := core.Replan(sr.Prof, delta)
+			lres, _ := core.RunEdited(r.Cfg, b.Prog, b.Ref, b.RefWindow, lplan, false)
+			lfD = append(lfD, stats.Vs(lres, br.Base))
+		}
+		offline = append(offline, sweepPoint(delta, offD))
+		lf = append(lf, sweepPoint(delta, lfD))
+	}
+	for _, ag := range AggressivenessSweep {
+		cfg := r.Cfg
+		cfg.Online.Aggressiveness = ag
+		var ds []stats.Delta
+		for _, name := range names {
+			br := r.For(name)
+			b := br.Bench
+			res := core.RunOnline(cfg, b.Prog, b.Ref, b.RefWindow)
+			ds = append(ds, stats.Vs(res, br.Base))
+		}
+		online = append(online, sweepPoint(ag, ds))
+	}
+	return offline, lf, online
+}
+
+func sweepPoint(param float64, ds []stats.Delta) SweepPoint {
+	var slow, save, ed []float64
+	for _, d := range ds {
+		slow = append(slow, d.Slowdown)
+		save = append(save, d.EnergySavings)
+		ed = append(ed, d.EDImprovement)
+	}
+	return SweepPoint{
+		Param:    param,
+		Slowdown: stats.Summarize(slow).Avg,
+		Savings:  stats.Summarize(save).Avg,
+		ED:       stats.Summarize(ed).Avg,
+	}
+}
+
+// Figure10 renders energy savings versus measured slowdown.
+func Figure10(offline, lf, online []SweepPoint) string {
+	return renderSweep("Figure 10: energy savings (%) vs slowdown (%)", offline, lf, online,
+		func(p SweepPoint) float64 { return p.Savings })
+}
+
+// Figure11 renders energy-delay improvement versus measured slowdown.
+func Figure11(offline, lf, online []SweepPoint) string {
+	return renderSweep("Figure 11: energy-delay improvement (%) vs slowdown (%)", offline, lf, online,
+		func(p SweepPoint) float64 { return p.ED })
+}
+
+func renderSweep(title string, offline, lf, online []SweepPoint, sel func(SweepPoint) float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	series := []struct {
+		name string
+		pts  []SweepPoint
+	}{{"on-line", online}, {"off-line", offline}, {"L+F", lf}}
+	for _, s := range series {
+		pts := append([]SweepPoint(nil), s.pts...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Slowdown < pts[j].Slowdown })
+		b.WriteString(s.name + ":")
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  (%.1f%%, %.1f%%)", p.Slowdown, sel(p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure12 compares static instrumentation footprint and measured
+// run-time overhead across context schemes, averaged over the suite and
+// normalized to L+F+C+P.
+func (r *Runner) Figure12() string {
+	names := r.SuiteNames()
+	r.WarmSchemes(names)
+	schemes := calltree.Schemes()
+	type agg struct{ reconfig, instr, ovh float64 }
+	sums := make(map[string]*agg)
+	for _, s := range schemes {
+		sums[s.Name] = &agg{}
+	}
+	for _, name := range names {
+		for _, s := range schemes {
+			sr := r.Scheme(name, s)
+			rc, in := sr.Prof.Plan.StaticPoints()
+			a := sums[s.Name]
+			a.reconfig += float64(rc)
+			a.instr += float64(in)
+			a.ovh += sr.St.OverheadPct
+		}
+	}
+	ref := sums[calltree.LFCP.Name]
+	t := stats.NewTable("scheme", "static reconfig (norm)", "static instr (norm)", "overhead (norm)", "overhead (%)")
+	n := float64(len(names))
+	for _, s := range schemes {
+		a := sums[s.Name]
+		normO := 0.0
+		if ref.ovh > 0 {
+			normO = a.ovh / ref.ovh
+		}
+		t.Row(s.Name, a.reconfig/ref.reconfig, a.instr/ref.instr, normO, a.ovh/n)
+	}
+	return "Figure 12: static points and run-time overhead, normalized to L+F+C+P\n" + t.String()
+}

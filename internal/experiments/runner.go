@@ -1,0 +1,179 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) on the synthetic benchmark suite: the headline
+// per-benchmark comparisons (Figures 4-6), the min/max/average summary
+// with the global-DVS comparator (Figure 7), the calling-context
+// sensitivity study (Figures 8-9), the slowdown-threshold sweeps
+// (Figures 10-11), the instrumentation-cost comparison (Figure 12 and
+// Table 4), the call-tree statistics (Table 3), and the MCD baseline
+// penalty discussed in the text.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/calltree"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SchemeRun is one profile-driven configuration evaluated on the
+// reference input.
+type SchemeRun struct {
+	Prof *core.Profile
+	Res  sim.Result
+	St   core.EditStats
+}
+
+// BenchResults caches every policy's result for one benchmark.
+type BenchResults struct {
+	Bench       *workload.Benchmark
+	Base        sim.Result // MCD baseline, reference input
+	SingleClock sim.Result // globally synchronous full-speed comparator
+	Offline     sim.Result
+	OfflineProf *core.Profile
+	Online      sim.Result
+	Global      sim.Result
+	GlobalMHz   int
+
+	mu      sync.Mutex
+	schemes map[string]*SchemeRun
+}
+
+// Runner lazily computes and caches benchmark results. Methods are safe
+// for concurrent use.
+type Runner struct {
+	Cfg core.Config
+	// Parallel bounds concurrent benchmark evaluations; 0 means
+	// GOMAXPROCS.
+	Parallel int
+	// Names restricts the suite (nil = all 19 benchmarks).
+	Names []string
+
+	mu    sync.Mutex
+	cache map[string]*BenchResults
+}
+
+// NewRunner returns a runner over the full suite with the given
+// configuration.
+func NewRunner(cfg core.Config) *Runner {
+	return &Runner{Cfg: cfg, cache: make(map[string]*BenchResults)}
+}
+
+// SuiteNames returns the benchmark names the runner operates over.
+func (r *Runner) SuiteNames() []string {
+	if r.Names != nil {
+		return r.Names
+	}
+	return workload.Names()
+}
+
+// For returns (computing if needed) the core policy results for one
+// benchmark: baseline, single-clock, off-line, on-line and global DVS.
+func (r *Runner) For(name string) *BenchResults {
+	r.mu.Lock()
+	br, ok := r.cache[name]
+	if !ok {
+		br = &BenchResults{Bench: workload.ByName(name), schemes: make(map[string]*SchemeRun)}
+		if br.Bench == nil {
+			r.mu.Unlock()
+			panic("experiments: unknown benchmark " + name)
+		}
+		r.cache[name] = br
+	}
+	r.mu.Unlock()
+
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.Base.Instructions == 0 {
+		b := br.Bench
+		cfg := r.Cfg
+		br.Base = core.RunBaseline(cfg, b.Prog, b.Ref, b.RefWindow)
+		br.SingleClock = core.RunSingleClock(cfg, b.Prog, b.Ref, b.RefWindow, cfg.Sim.BaseMHz)
+		br.Offline, br.OfflineProf = core.RunOffline(cfg, b.Prog, b.Ref, b.RefWindow)
+		br.Online = core.RunOnline(cfg, b.Prog, b.Ref, b.RefWindow)
+		br.GlobalMHz = control.GlobalDVSMHz(br.SingleClock.TimePs, br.Offline.TimePs)
+		br.Global = core.RunSingleClock(cfg, b.Prog, b.Ref, b.RefWindow, br.GlobalMHz)
+	}
+	return br
+}
+
+// Scheme returns (computing if needed) the profile-driven run for one
+// context scheme on one benchmark: train on the training input, edit,
+// run on the reference input.
+func (r *Runner) Scheme(name string, scheme calltree.Scheme) *SchemeRun {
+	br := r.For(name)
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if sr, ok := br.schemes[scheme.Name]; ok {
+		return sr
+	}
+	b := br.Bench
+	prof := core.Train(r.Cfg, b.Prog, b.Train, b.TrainWindow, scheme)
+	res, st := core.RunEdited(r.Cfg, b.Prog, b.Ref, b.RefWindow, prof.Plan, false)
+	sr := &SchemeRun{Prof: prof, Res: res, St: st}
+	br.schemes[scheme.Name] = sr
+	return sr
+}
+
+// Warm computes the core results (and the L+F scheme) for every suite
+// benchmark in parallel.
+func (r *Runner) Warm() {
+	names := r.SuiteNames()
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	ch := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range ch {
+				r.Scheme(n, calltree.LF)
+			}
+		}()
+	}
+	for _, n := range names {
+		ch <- n
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// WarmSchemes computes every context scheme for the given benchmarks in
+// parallel (Figures 8, 9 and 12).
+func (r *Runner) WarmSchemes(names []string) {
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		name   string
+		scheme calltree.Scheme
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				r.Scheme(j.name, j.scheme)
+			}
+		}()
+	}
+	for _, n := range names {
+		for _, s := range calltree.Schemes() {
+			ch <- job{n, s}
+		}
+	}
+	close(ch)
+	wg.Wait()
+}

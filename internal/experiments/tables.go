@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/calltree"
+	"repro/internal/profiler"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table1 renders the simulated processor configuration.
+func (r *Runner) Table1() string {
+	c := r.Cfg.Sim
+	t := stats.NewTable("parameter", "value")
+	t.Row("Decode / Issue / Retire Width", fmt.Sprintf("%d / %d / %d", c.DecodeWidth, c.IssueWidth, c.RetireWidth))
+	t.Row("L1 Caches", "64KB 2-way, 2-cycle")
+	t.Row("L2 Unified Cache", "1MB direct mapped, 12-cycle")
+	t.Row("Main Memory", fmt.Sprintf("%d ns, external full-speed domain", c.MemLatPs/1000))
+	t.Row("Integer ALUs", fmt.Sprintf("%d + %d mult/div", c.IntALUs, c.IntMuls))
+	t.Row("Floating-Point ALUs", fmt.Sprintf("%d + %d mult/div/sqrt", c.FPALUs, c.FPMuls))
+	t.Row("Issue Queue Size", fmt.Sprintf("%d int, %d fp, %d ld/st", c.IQInt, c.IQFP, c.IQLS))
+	t.Row("Reorder Buffer Size", c.ROBSize)
+	t.Row("Branch Mispredict Penalty", c.MispredictPenalty)
+	t.Row("Domain Frequency Range", "250 MHz - 1.0 GHz")
+	t.Row("Domain Voltage Range", "0.65 V - 1.20 V")
+	t.Row("Frequency Change Speed", "73.3 ns/MHz")
+	t.Row("Domain Clock Jitter", fmt.Sprintf("±%.0f ps, normally distributed", c.Sync.JitterPs))
+	t.Row("Inter-domain Sync Window", fmt.Sprintf("%d ps", c.Sync.WindowPs))
+	return "Table 1: SimpleScalar-equivalent configuration\n" + t.String()
+}
+
+// Table2 renders the instruction windows: the paper's windows alongside
+// this reproduction's (scaled) windows.
+func (r *Runner) Table2() string {
+	t := stats.NewTable("benchmark", "paper windows", "train window", "ref window")
+	for _, name := range r.SuiteNames() {
+		b := workload.ByName(name)
+		t.Row(name, b.Spec.PaperWindows, b.TrainWindow, b.RefWindow)
+	}
+	return "Table 2: instruction windows (this reproduction simulates scaled-down windows)\n" + t.String()
+}
+
+// Table3Row holds the call-tree statistics of one benchmark.
+type Table3Row struct {
+	Bench                 string
+	TrainLong, TrainTotal int
+	RefLong, RefTotal     int
+	CommonLong, CommonTot int
+	CovLong, CovTotal     float64
+}
+
+// Table3Data computes the call-tree statistics under L+F+C+P for both
+// input sets.
+func (r *Runner) Table3Data() []Table3Row {
+	var rows []Table3Row
+	for _, name := range r.SuiteNames() {
+		b := workload.ByName(name)
+		trainTree := profiler.Profile(b.Prog, b.Train, b.TrainWindow+1, calltree.LFCP)
+		refTree := profiler.Profile(b.Prog, b.Ref, b.RefWindow+1, calltree.LFCP)
+		commonTotal, commonLong := trainTree.Compare(refTree)
+		row := Table3Row{
+			Bench:      name,
+			TrainLong:  trainTree.NumLongRunning(),
+			TrainTotal: trainTree.NumNodes(),
+			RefLong:    refTree.NumLongRunning(),
+			RefTotal:   refTree.NumNodes(),
+			CommonLong: commonLong,
+			CommonTot:  commonTotal,
+		}
+		if row.RefLong > 0 {
+			row.CovLong = float64(row.CommonLong) / float64(row.RefLong)
+		}
+		if row.RefTotal > 0 {
+			row.CovTotal = float64(row.CommonTot) / float64(row.RefTotal)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3 renders the call-tree statistics.
+func (r *Runner) Table3() string {
+	t := stats.NewTable("benchmark", "TRAIN", "REF", "Common", "Coverage")
+	for _, row := range r.Table3Data() {
+		t.Row(row.Bench,
+			fmt.Sprintf("%d %d", row.TrainLong, row.TrainTotal),
+			fmt.Sprintf("%d %d", row.RefLong, row.RefTotal),
+			fmt.Sprintf("%d %d", row.CommonLong, row.CommonTot),
+			fmt.Sprintf("%.2f %.2f", row.CovLong, row.CovTotal))
+	}
+	return "Table 3: reconfiguration nodes and call-tree nodes (L+F+C+P)\n" + t.String()
+}
+
+// Table4 renders the static and dynamic instrumentation points and the
+// measured run-time overhead under L+F+C+P.
+func (r *Runner) Table4() string {
+	names := r.SuiteNames()
+	t := stats.NewTable("benchmark", "Static", "Dynamic", "Overhead")
+	for _, name := range names {
+		sr := r.Scheme(name, calltree.LFCP)
+		rc, in := sr.Prof.Plan.StaticPoints()
+		t.Row(name,
+			fmt.Sprintf("%d %d", rc, in),
+			fmt.Sprintf("%d %d", sr.St.DynReconfig, sr.St.DynInstr),
+			fmt.Sprintf("%.2f%%", sr.St.OverheadPct))
+	}
+	return "Table 4: static and dynamic reconfiguration/instrumentation points (L+F+C+P)\n" + t.String()
+}
+
+// BaselinePenalty reports the inherent cost of the MCD design relative
+// to an equivalent globally synchronous processor (Section 4.1: about
+// 1.3% performance, 0.8% energy).
+func (r *Runner) BaselinePenalty() string {
+	r.Warm()
+	var perf, energy []float64
+	t := stats.NewTable("benchmark", "perf penalty (%)", "energy penalty (%)")
+	for _, name := range r.SuiteNames() {
+		br := r.For(name)
+		d := stats.Vs(br.Base, br.SingleClock)
+		perf = append(perf, d.Slowdown)
+		energy = append(energy, -d.EnergySavings)
+		t.Row(name, d.Slowdown, -d.EnergySavings)
+	}
+	p, e := stats.Summarize(perf), stats.Summarize(energy)
+	var b strings.Builder
+	b.WriteString("MCD baseline penalty vs globally synchronous processor\n")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "average %.2f%% (max %.2f%%) performance, %.2f%% (max %.2f%%) energy\n",
+		p.Avg, p.Max, e.Avg, e.Max)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+// Package isa defines the synthetic instruction set and program
+// representation that stands in for the paper's Alpha binaries. A Program
+// is a tree of subroutines, loops, call sites and basic blocks; walking it
+// with an input set produces a deterministic dynamic stream of
+// instructions interleaved with structure markers (subroutine entry/exit,
+// loop entry/exit, call sites). The profiler consumes the markers to build
+// call trees exactly where ATOM would have instrumented a real binary; the
+// cycle-level simulator consumes the instructions.
+package isa
+
+import "fmt"
+
+// Class is the execution class of a synthetic instruction.
+type Class uint8
+
+const (
+	// IntALU is a single-cycle integer operation.
+	IntALU Class = iota
+	// IntMul is a multi-cycle integer multiply/divide.
+	IntMul
+	// FPALU is a pipelined floating-point add/compare.
+	FPALU
+	// FPMul is a multi-cycle FP multiply/divide/sqrt.
+	FPMul
+	// Load reads memory through the L1 D-cache hierarchy.
+	Load
+	// Store writes memory through the L1 D-cache hierarchy.
+	Store
+	// Branch is a conditional branch resolved in the integer domain.
+	Branch
+
+	// Track is an injected path-tracking instrumentation instruction
+	// (phase 4); it performs the 2-D node-label table lookup.
+	Track
+	// Reconfig is an injected reconfiguration instruction: it reads the
+	// frequency table and writes the MCD hardware reconfiguration
+	// register, retargeting all four domain frequencies.
+	Reconfig
+
+	// NumClasses counts all classes; NumMixClasses counts only the
+	// classes that appear in workload mix profiles (everything before
+	// Track).
+	NumClasses    = 9
+	NumMixClasses = 7
+)
+
+var classNames = [NumClasses]string{
+	"intalu", "intmul", "fpalu", "fpmul", "load", "store", "branch", "track", "reconfig",
+}
+
+// String returns the lower-case mnemonic of the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Instr is one dynamic instruction.
+type Instr struct {
+	Class Class
+	// PC is the (synthetic) program counter, used by the branch
+	// predictor and BTB.
+	PC uint32
+	// Src1 and Src2 are register data-dependency distances: this
+	// instruction consumes the result of the instruction Src1 (resp.
+	// Src2) positions earlier in the dynamic stream. Zero means no
+	// dependency.
+	Src1, Src2 uint16
+	// Addr is the effective address for loads and stores.
+	Addr uint32
+	// Taken is the actual outcome for branches.
+	Taken bool
+	// Freqs is the per-domain frequency target, in MHz, carried by a
+	// Reconfig instruction (front-end, integer, fp, memory).
+	Freqs [4]uint16
+}
+
+// MarkerKind distinguishes structure markers in the dynamic stream.
+type MarkerKind uint8
+
+const (
+	// SubEnter and SubExit bracket a subroutine's dynamic execution.
+	SubEnter MarkerKind = iota
+	SubExit
+	// LoopEnter and LoopExit bracket one complete execution of a loop
+	// (all iterations); loops are the strongly connected components of
+	// the control-flow graph, as in the paper.
+	LoopEnter
+	LoopExit
+	// CallSite is emitted immediately before the SubEnter of a callee
+	// and identifies the static call site within the caller.
+	CallSite
+)
+
+var markerNames = [...]string{"subenter", "subexit", "loopenter", "loopexit", "callsite"}
+
+// String returns the marker kind name.
+func (k MarkerKind) String() string {
+	if int(k) < len(markerNames) {
+		return markerNames[k]
+	}
+	return fmt.Sprintf("marker(%d)", uint8(k))
+}
+
+// Marker is one structure marker in the dynamic stream.
+type Marker struct {
+	Kind MarkerKind
+	// ID is the static subroutine ID (SubEnter/SubExit) or loop ID
+	// (LoopEnter/LoopExit); unused for CallSite.
+	ID int32
+	// Site is the static call-site ID (CallSite markers only).
+	Site int32
+}
+
+// Consumer receives the dynamic stream produced by walking a program.
+// Each method returns false to stop the walk early (e.g. when an
+// instruction window is exhausted).
+type Consumer interface {
+	Instr(ins *Instr) bool
+	Marker(m Marker) bool
+}
+
+// CountingConsumer wraps a Consumer with a dynamic instruction budget;
+// marker items are always forwarded and do not count against the budget.
+type CountingConsumer struct {
+	Inner  Consumer
+	Budget int64
+	Seen   int64
+}
+
+// Instr forwards the instruction and decrements the budget.
+func (c *CountingConsumer) Instr(ins *Instr) bool {
+	if c.Seen >= c.Budget {
+		return false
+	}
+	c.Seen++
+	if !c.Inner.Instr(ins) {
+		return false
+	}
+	return c.Seen < c.Budget
+}
+
+// Marker forwards the marker.
+func (c *CountingConsumer) Marker(m Marker) bool { return c.Inner.Marker(m) }

@@ -1,0 +1,287 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// collect drains a walk into slices for inspection.
+type collect struct {
+	instrs  []Instr
+	markers []Marker
+}
+
+func (c *collect) Instr(ins *Instr) bool {
+	c.instrs = append(c.instrs, *ins)
+	return true
+}
+func (c *collect) Marker(m Marker) bool {
+	c.markers = append(c.markers, m)
+	return true
+}
+
+func simpleProgram() *Program {
+	b := NewBuilder("test")
+	main := b.Subroutine("main")
+	leaf := b.Subroutine("leaf")
+	b.SetBody(leaf, b.Block(IntHeavy, 100))
+	loop := b.Loop(FixedTrips(3), b.Block(Balanced, 50))
+	call := b.Call(leaf)
+	b.SetBody(main, b.Block(IntHeavy, 10), loop, call, call)
+	return b.Finish(main)
+}
+
+func TestWalkDeterministic(t *testing.T) {
+	p := simpleProgram()
+	in := Input{Name: "ref", Seed: 5}
+	var a, b collect
+	p.Walk(in, &a)
+	p.Walk(in, &b)
+	if len(a.instrs) != len(b.instrs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.instrs), len(b.instrs))
+	}
+	for i := range a.instrs {
+		if a.instrs[i] != b.instrs[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, a.instrs[i], b.instrs[i])
+		}
+	}
+}
+
+func TestWalkSeedsDiffer(t *testing.T) {
+	p := simpleProgram()
+	var a, b collect
+	p.Walk(Input{Name: "ref", Seed: 1}, &a)
+	p.Walk(Input{Name: "ref", Seed: 2}, &b)
+	same := true
+	for i := range a.instrs {
+		if i >= len(b.instrs) || a.instrs[i] != b.instrs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestMarkersWellNested(t *testing.T) {
+	p := simpleProgram()
+	var c collect
+	p.Walk(Input{Name: "train"}, &c)
+	depth := 0
+	for _, m := range c.markers {
+		switch m.Kind {
+		case SubEnter, LoopEnter:
+			depth++
+		case SubExit, LoopExit:
+			depth--
+			if depth < 0 {
+				t.Fatal("markers not well nested")
+			}
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced markers: final depth %d", depth)
+	}
+}
+
+func TestCallSitePrecedesEnter(t *testing.T) {
+	p := simpleProgram()
+	var c collect
+	p.Walk(Input{Name: "train"}, &c)
+	for i, m := range c.markers {
+		if m.Kind == CallSite {
+			if i+1 >= len(c.markers) || c.markers[i+1].Kind != SubEnter {
+				t.Fatal("CallSite marker not followed by SubEnter")
+			}
+		}
+	}
+}
+
+func TestInstructionCounts(t *testing.T) {
+	p := simpleProgram()
+	var c collect
+	p.Walk(Input{Name: "train"}, &c)
+	// main block 10 + loop 3*(50+1 backedge) + 2 calls * 100 = 363
+	want := 10 + 3*51 + 200
+	if len(c.instrs) != want {
+		t.Errorf("stream length = %d, want %d", len(c.instrs), want)
+	}
+}
+
+func TestCountingConsumerBudget(t *testing.T) {
+	p := simpleProgram()
+	var c collect
+	cc := &CountingConsumer{Inner: &c, Budget: 42}
+	p.Walk(Input{Name: "train"}, cc)
+	if len(c.instrs) != 42 {
+		t.Errorf("budget consumer passed %d instructions, want 42", len(c.instrs))
+	}
+	if cc.Seen != 42 {
+		t.Errorf("Seen = %d", cc.Seen)
+	}
+}
+
+func TestScaledTrips(t *testing.T) {
+	f := ScaledTrips(10)
+	if got := f(Input{Scale: 2}); got != 20 {
+		t.Errorf("ScaledTrips(10) at scale 2 = %d", got)
+	}
+	if got := f(Input{Scale: 0.01}); got != 1 {
+		t.Errorf("ScaledTrips floor = %d, want 1", got)
+	}
+}
+
+func TestBlockNBy(t *testing.T) {
+	b := NewBuilder("nby")
+	main := b.Subroutine("main")
+	blk := b.BlockBy(IntHeavy, 100, func(in Input) int {
+		if in.Name == "train" {
+			return 10
+		}
+		return 30
+	})
+	b.SetBody(main, blk)
+	p := b.Finish(main)
+	var c1, c2 collect
+	p.Walk(Input{Name: "train"}, &c1)
+	p.Walk(Input{Name: "ref"}, &c2)
+	if len(c1.instrs) != 10 || len(c2.instrs) != 30 {
+		t.Errorf("NBy sizes = %d/%d, want 10/30", len(c1.instrs), len(c2.instrs))
+	}
+}
+
+func TestTripsBySeqVariation(t *testing.T) {
+	b := NewBuilder("seq")
+	main := b.Subroutine("main")
+	inner := b.Loop(nil, b.Block(FPHeavy, 5))
+	inner.TripsBySeq = func(_ Input, seq int) int { return seq + 1 }
+	sub := b.Subroutine("f")
+	b.SetBody(sub, inner)
+	b.SetBody(main, b.Call(sub), b.Call(sub), b.Call(sub))
+	p := b.Finish(main)
+	var c collect
+	p.Walk(Input{Name: "train"}, &c)
+	// Trips 1,2,3 -> instructions 1*6 + 2*6 + 3*6 = 36 (5 body + 1 backedge per trip).
+	if len(c.instrs) != 36 {
+		t.Errorf("stream length = %d, want 36", len(c.instrs))
+	}
+}
+
+func TestGatedCallSkipsPaths(t *testing.T) {
+	b := NewBuilder("gated")
+	main := b.Subroutine("main")
+	leaf := b.Subroutine("refonly")
+	b.SetBody(leaf, b.Block(IntHeavy, 7))
+	b.SetBody(main, b.CallWhen(leaf, func(in Input) bool { return in.Name == "ref" }))
+	p := b.Finish(main)
+	var c1, c2 collect
+	p.Walk(Input{Name: "train"}, &c1)
+	p.Walk(Input{Name: "ref"}, &c2)
+	if len(c1.instrs) != 0 {
+		t.Errorf("train walk executed gated call: %d instrs", len(c1.instrs))
+	}
+	if len(c2.instrs) != 7 {
+		t.Errorf("ref walk = %d instrs, want 7", len(c2.instrs))
+	}
+}
+
+func TestZeroTripLoopEmitsNoMarkers(t *testing.T) {
+	b := NewBuilder("zl")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Loop(FixedTrips(0), b.Block(IntHeavy, 5)))
+	p := b.Finish(main)
+	var c collect
+	p.Walk(Input{Name: "train"}, &c)
+	for _, m := range c.markers {
+		if m.Kind == LoopEnter || m.Kind == LoopExit {
+			t.Fatal("zero-trip loop emitted loop markers")
+		}
+	}
+}
+
+func TestMixFractionsRealized(t *testing.T) {
+	b := NewBuilder("mix")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(FPHeavy, 50_000))
+	p := b.Finish(main)
+	var c collect
+	p.Walk(Input{Name: "train"}, &c)
+	counts := map[Class]int{}
+	for _, ins := range c.instrs {
+		counts[ins.Class]++
+	}
+	total := float64(len(c.instrs))
+	for cls := Class(0); cls < NumMixClasses; cls++ {
+		got := float64(counts[cls]) / total
+		want := FPHeavy.Frac[cls]
+		if want > 0 && (got < want*0.85 || got > want*1.15) {
+			t.Errorf("class %v fraction = %.3f, want about %.3f", cls, got, want)
+		}
+	}
+}
+
+func TestDepDistancesPositiveAndBounded(t *testing.T) {
+	p := simpleProgram()
+	var c collect
+	p.Walk(Input{Name: "ref"}, &c)
+	for i, ins := range c.instrs {
+		if ins.Src1 > 60001 || ins.Src2 > 60001 {
+			t.Fatalf("instruction %d has out-of-range dependency %d/%d", i, ins.Src1, ins.Src2)
+		}
+	}
+}
+
+func TestMixNormalizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty mix did not panic")
+		}
+	}()
+	m := &Mix{Name: "empty"}
+	m.normalize()
+}
+
+func TestMixClone(t *testing.T) {
+	c := IntHeavy.Clone("variant", func(m *Mix) { m.TakenProb = 0.9 })
+	if c.TakenProb != 0.9 || IntHeavy.TakenProb == 0.9 {
+		t.Error("Clone mutated the original or dropped the override")
+	}
+	if c.Name != "variant" {
+		t.Errorf("clone name = %q", c.Name)
+	}
+}
+
+func TestPcIsRandomStable(t *testing.T) {
+	f := func(pc uint32) bool {
+		return pcIsRandom(pc, 0.2) == pcIsRandom(pc, 0.2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// frac 0 -> never, frac 1 -> always.
+	for pc := uint32(0); pc < 4096; pc += 4 {
+		if pcIsRandom(pc, 0) {
+			t.Fatal("pcIsRandom(_, 0) returned true")
+		}
+		if !pcIsRandom(pc, 1) {
+			t.Fatal("pcIsRandom(_, 1) returned false")
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if IntALU.String() != "intalu" || Reconfig.String() != "reconfig" {
+		t.Error("class names wrong")
+	}
+	if SubEnter.String() != "subenter" || CallSite.String() != "callsite" {
+		t.Error("marker names wrong")
+	}
+}
+
+func TestStaticStructureCounts(t *testing.T) {
+	p := simpleProgram()
+	if p.NumSubs() != 2 || p.NumLoops() != 1 || p.NumSites() != 1 {
+		t.Errorf("static counts = %d subs %d loops %d sites", p.NumSubs(), p.NumLoops(), p.NumSites())
+	}
+}

@@ -1,0 +1,148 @@
+package isa
+
+import "fmt"
+
+// Mix describes the statistical character of a basic block: instruction
+// class fractions, dependency structure, memory behaviour and branch
+// behaviour. Blocks with different mixes load the four MCD domains
+// differently, which is what gives the DVFS control algorithms slack to
+// exploit.
+type Mix struct {
+	Name string
+	// Frac holds the class fractions over the NumMixClasses workload
+	// classes; they must sum to (approximately) 1.
+	Frac [NumMixClasses]float64
+	// DepMean is the mean register dependency distance; small values mean
+	// long serial chains (low ILP), large values mean high ILP.
+	DepMean float64
+	// LoadDepFrac is the fraction of instructions whose first source is
+	// forced to the most recent load (pointer-chasing behaviour).
+	LoadDepFrac float64
+	// Footprint is the memory footprint touched by the block's loads and
+	// stores, in bytes; footprints larger than a cache level produce
+	// misses at that level.
+	Footprint uint32
+	// Stride is the access stride in bytes.
+	Stride uint32
+	// TakenProb is the probability that a branch is taken.
+	TakenProb float64
+	// RandomFrac is the fraction of branches whose outcome is
+	// data-dependent (hard to predict); the remainder follow a fixed
+	// repeating pattern the predictor learns quickly.
+	RandomFrac float64
+
+	cum [NumMixClasses]float64
+	ok  bool
+}
+
+// normalize builds the cumulative distribution used during generation.
+func (m *Mix) normalize() {
+	total := 0.0
+	for _, f := range m.Frac {
+		if f < 0 {
+			panic(fmt.Sprintf("isa: mix %q has negative fraction", m.Name))
+		}
+		total += f
+	}
+	if total <= 0 {
+		panic(fmt.Sprintf("isa: mix %q has no classes", m.Name))
+	}
+	acc := 0.0
+	for i, f := range m.Frac {
+		acc += f / total
+		m.cum[i] = acc
+	}
+	m.cum[NumMixClasses-1] = 1.0
+	if m.DepMean <= 0 {
+		m.DepMean = 8
+	}
+	if m.Stride == 0 {
+		m.Stride = 8
+	}
+	if m.Footprint == 0 {
+		m.Footprint = 16 << 10
+	}
+	m.ok = true
+}
+
+// pick returns the class for uniform draw u in [0,1).
+func (m *Mix) pick(u float64) Class {
+	for i, c := range m.cum {
+		if u < c {
+			return Class(i)
+		}
+	}
+	return Class(NumMixClasses - 1)
+}
+
+// Standard mixes. These are the archetypes the 19 benchmark stand-ins are
+// assembled from; each loads the domains differently:
+//
+//   - IntHeavy: integer domain saturated; FP idle, memory light.
+//   - FPHeavy: FP domain saturated; integer modest, memory light.
+//   - MemBound: long-latency misses dominate; front-end/int/fp have slack.
+//   - Branchy: control-dominated integer code, front-end pressure.
+//   - Balanced: everything moderately busy.
+//   - Stream: high-bandwidth sequential memory with FP compute.
+var (
+	IntHeavy = &Mix{
+		Name:    "intheavy",
+		Frac:    [NumMixClasses]float64{IntALU: 0.62, IntMul: 0.06, Load: 0.16, Store: 0.06, Branch: 0.10},
+		DepMean: 10, TakenProb: 0.45, RandomFrac: 0.06,
+		Footprint: 12 << 10, Stride: 8,
+	}
+	FPHeavy = &Mix{
+		Name:    "fpheavy",
+		Frac:    [NumMixClasses]float64{IntALU: 0.16, FPALU: 0.38, FPMul: 0.18, Load: 0.18, Store: 0.06, Branch: 0.04},
+		DepMean: 6, TakenProb: 0.85, RandomFrac: 0.02,
+		Footprint: 24 << 10, Stride: 8,
+	}
+	MemBound = &Mix{
+		Name:    "membound",
+		Frac:    [NumMixClasses]float64{IntALU: 0.30, Load: 0.38, Store: 0.12, Branch: 0.20},
+		DepMean: 4, LoadDepFrac: 0.35, TakenProb: 0.50, RandomFrac: 0.15,
+		Footprint: 8 << 20, Stride: 64,
+	}
+	Branchy = &Mix{
+		Name:    "branchy",
+		Frac:    [NumMixClasses]float64{IntALU: 0.50, IntMul: 0.02, Load: 0.20, Store: 0.08, Branch: 0.20},
+		DepMean: 5, TakenProb: 0.40, RandomFrac: 0.22,
+		Footprint: 48 << 10, Stride: 16,
+	}
+	Balanced = &Mix{
+		Name:    "balanced",
+		Frac:    [NumMixClasses]float64{IntALU: 0.36, IntMul: 0.03, FPALU: 0.12, FPMul: 0.05, Load: 0.24, Store: 0.10, Branch: 0.10},
+		DepMean: 8, TakenProb: 0.55, RandomFrac: 0.08,
+		Footprint: 96 << 10, Stride: 8,
+	}
+	Stream = &Mix{
+		Name:    "stream",
+		Frac:    [NumMixClasses]float64{IntALU: 0.18, FPALU: 0.28, FPMul: 0.10, Load: 0.28, Store: 0.12, Branch: 0.04},
+		DepMean: 14, TakenProb: 0.92, RandomFrac: 0.01,
+		Footprint: 4 << 20, Stride: 8,
+	}
+)
+
+// StandardMixes returns the named archetype mixes.
+func StandardMixes() []*Mix {
+	return []*Mix{IntHeavy, FPHeavy, MemBound, Branchy, Balanced, Stream}
+}
+
+func init() {
+	for _, m := range StandardMixes() {
+		m.normalize()
+	}
+}
+
+// Clone returns a copy of the mix with the given overrides applied by f.
+// It is used by workloads that need a variant of an archetype.
+func (m *Mix) Clone(name string, f func(*Mix)) *Mix {
+	c := *m
+	c.Name = name
+	c.ok = false
+	if f != nil {
+		f(&c)
+	}
+	c.normalize()
+	return &c
+}

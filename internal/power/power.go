@@ -1,0 +1,217 @@
+// Package power implements a Wattch-style activity-based energy model for
+// the MCD processor. Each primitive event (a cache access, an ALU
+// operation, a rename, ...) charges a base energy scaled by the square of
+// the supply voltage of its domain at the time of the event; each domain
+// additionally pays clock-tree energy per cycle (with conditional
+// clocking) and leakage over time. Energies are reported in picojoules on
+// an arbitrary but internally consistent scale calibrated so the relative
+// per-domain power of the simulated Alpha 21264-like core matches the
+// Wattch breakdown used in the paper.
+package power
+
+import (
+	"repro/internal/arch"
+	"repro/internal/clock"
+	"repro/internal/dvfs"
+)
+
+// EventKind classifies primitive events for energy accounting.
+type EventKind uint8
+
+const (
+	// FetchOp covers I-cache read and branch predictor access per
+	// instruction fetched (front-end domain).
+	FetchOp EventKind = iota
+	// RenameOp covers decode, rename, ROB and issue-queue write per
+	// instruction dispatched (front-end domain).
+	RenameOp
+	// CommitOp covers retirement bookkeeping (front-end domain).
+	CommitOp
+	// IntOp covers integer issue, register file access and ALU execution.
+	IntOp
+	// IntMulOp covers the integer multiply/divide unit.
+	IntMulOp
+	// FPOp covers floating-point issue, register access and FP ALU.
+	FPOp
+	// FPMulOp covers the FP multiply/divide/sqrt unit.
+	FPMulOp
+	// LSQOp covers load/store queue insertion and address generation
+	// (memory domain).
+	LSQOp
+	// DCacheOp covers one L1 D-cache access (memory domain).
+	DCacheOp
+	// L2Op covers one unified L2 access (memory domain).
+	L2Op
+	// MemOp covers one main-memory access (external domain, not scaled).
+	MemOp
+	// OverheadOp covers one injected instrumentation instruction
+	// (front-end domain); small because such instructions are simple
+	// integer operations.
+	OverheadOp
+
+	numEventKinds
+)
+
+var eventDomain = [numEventKinds]arch.Domain{
+	FetchOp:    arch.FrontEnd,
+	RenameOp:   arch.FrontEnd,
+	CommitOp:   arch.FrontEnd,
+	IntOp:      arch.Integer,
+	IntMulOp:   arch.Integer,
+	FPOp:       arch.FP,
+	FPMulOp:    arch.FP,
+	LSQOp:      arch.Memory,
+	DCacheOp:   arch.Memory,
+	L2Op:       arch.Memory,
+	MemOp:      arch.External,
+	OverheadOp: arch.FrontEnd,
+}
+
+// Domain returns the clock domain an event kind belongs to.
+func (k EventKind) Domain() arch.Domain { return eventDomain[k] }
+
+// Model holds the base (full-voltage) energy parameters.
+type Model struct {
+	// EventPJ is the energy of one event of each kind at VMax, in pJ.
+	EventPJ [numEventKinds]float64
+	// ClockPJPerCycle is per-domain clock-tree energy per cycle at VMax.
+	ClockPJPerCycle [arch.NumDomains]float64
+	// ClockGateFloor is the fraction of clock energy that cannot be gated
+	// away when the domain is idle (conditional clocking floor).
+	ClockGateFloor float64
+	// LeakWatts is per-domain leakage power at VMax, in pJ/ps (= W).
+	LeakWatts [arch.NumDomains]float64
+}
+
+// DefaultModel returns the calibrated energy model. Relative magnitudes
+// follow the Wattch 0.35um-class breakdown scaled to the Table 1 core:
+// caches and clock dominate, FP units are the most expensive per
+// operation, the external memory interface costs the most per access.
+func DefaultModel() *Model {
+	m := &Model{
+		ClockGateFloor: 0.35,
+	}
+	m.EventPJ = [numEventKinds]float64{
+		FetchOp:    220,
+		RenameOp:   180,
+		CommitOp:   60,
+		IntOp:      240,
+		IntMulOp:   420,
+		FPOp:       460,
+		FPMulOp:    680,
+		LSQOp:      150,
+		DCacheOp:   480,
+		L2Op:       950,
+		MemOp:      2100,
+		OverheadOp: 110,
+	}
+	m.ClockPJPerCycle = [arch.NumDomains]float64{
+		arch.FrontEnd: 140,
+		arch.Integer:  135,
+		arch.FP:       115,
+		arch.Memory:   150,
+		arch.External: 0, // charged per access instead
+	}
+	m.LeakWatts = [arch.NumDomains]float64{
+		arch.FrontEnd: 0.000045, // pJ/ps == W
+		arch.Integer:  0.000035,
+		arch.FP:       0.000030,
+		arch.Memory:   0.000050,
+		arch.External: 0,
+	}
+	return m
+}
+
+// vScale returns the dynamic-energy voltage scaling factor (V/VMax)^2.
+func vScale(volts float64) float64 {
+	r := volts / dvfs.VMax
+	return r * r
+}
+
+// EventEnergy returns the energy, in pJ, of one event at the given supply
+// voltage.
+func (m *Model) EventEnergy(k EventKind, volts float64) float64 {
+	return m.EventPJ[k] * vScale(volts)
+}
+
+// Book accumulates energy for one simulation run.
+type Book struct {
+	model *Model
+	// DynamicPJ is per-domain accumulated event energy.
+	DynamicPJ [arch.NumDomains]float64
+	// ClockPJ and LeakPJ are filled in by Finalize.
+	ClockPJ [arch.NumDomains]float64
+	LeakPJ  [arch.NumDomains]float64
+	// Events counts events per domain (used for utilization).
+	Events [arch.NumDomains]int64
+}
+
+// NewBook returns an empty energy book using model m.
+func NewBook(m *Model) *Book { return &Book{model: m} }
+
+// Model returns the book's energy model.
+func (b *Book) Model() *Model { return b.model }
+
+// Charge records one event at the given voltage.
+func (b *Book) Charge(k EventKind, volts float64) {
+	d := eventDomain[k]
+	b.DynamicPJ[d] += b.model.EventEnergy(k, volts)
+	b.Events[d]++
+}
+
+// ChargeN records n identical events at the given voltage.
+func (b *Book) ChargeN(k EventKind, volts float64, n int64) {
+	d := eventDomain[k]
+	b.DynamicPJ[d] += b.model.EventEnergy(k, volts) * float64(n)
+	b.Events[d] += n
+}
+
+// Finalize integrates clock-tree and leakage energy for one domain over
+// [0, end) using the domain's frequency schedule. util is the domain's
+// average activity (events per cycle, clamped to [0,1]) used for the
+// conditional-clocking factor.
+func (b *Book) Finalize(d arch.Domain, sched *clock.Schedule, end int64, util float64) {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	gate := b.model.ClockGateFloor + (1-b.model.ClockGateFloor)*util
+	segs := sched.Segments()
+	for i, seg := range segs {
+		lo := seg.Start
+		if lo < 0 {
+			lo = 0
+		}
+		hi := end
+		if i+1 < len(segs) && segs[i+1].Start < hi {
+			hi = segs[i+1].Start
+		}
+		if hi <= lo {
+			continue
+		}
+		dur := float64(hi - lo)
+		cycles := dur / float64(seg.PeriodPs)
+		v := dvfs.VoltageFor(seg.MHz)
+		b.ClockPJ[d] += cycles * b.model.ClockPJPerCycle[d] * vScale(v) * gate
+		b.LeakPJ[d] += dur * b.model.LeakWatts[d] * (v / dvfs.VMax)
+		if i+1 >= len(segs) || segs[i+1].Start >= end {
+			break
+		}
+	}
+}
+
+// DomainTotalPJ returns the total energy charged to one domain.
+func (b *Book) DomainTotalPJ(d arch.Domain) float64 {
+	return b.DynamicPJ[d] + b.ClockPJ[d] + b.LeakPJ[d]
+}
+
+// TotalPJ returns the total energy across all domains.
+func (b *Book) TotalPJ() float64 {
+	t := 0.0
+	for d := 0; d < arch.NumDomains; d++ {
+		t += b.DomainTotalPJ(arch.Domain(d))
+	}
+	return t
+}

@@ -1,0 +1,166 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/clock"
+	"repro/internal/dvfs"
+)
+
+func TestEventDomains(t *testing.T) {
+	cases := map[EventKind]arch.Domain{
+		FetchOp:    arch.FrontEnd,
+		RenameOp:   arch.FrontEnd,
+		CommitOp:   arch.FrontEnd,
+		IntOp:      arch.Integer,
+		IntMulOp:   arch.Integer,
+		FPOp:       arch.FP,
+		FPMulOp:    arch.FP,
+		LSQOp:      arch.Memory,
+		DCacheOp:   arch.Memory,
+		L2Op:       arch.Memory,
+		MemOp:      arch.External,
+		OverheadOp: arch.FrontEnd,
+	}
+	for k, want := range cases {
+		if got := k.Domain(); got != want {
+			t.Errorf("%v domain = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestEventEnergyVoltageSquared(t *testing.T) {
+	m := DefaultModel()
+	full := m.EventEnergy(IntOp, dvfs.VMax)
+	half := m.EventEnergy(IntOp, dvfs.VMax/2)
+	if math.Abs(half-full/4) > 1e-9 {
+		t.Errorf("half-voltage energy = %v, want quarter of %v", half, full)
+	}
+}
+
+func TestEventEnergyMonotonicInVoltage(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b uint16) bool {
+		va := dvfs.VMin + float64(a%550)/1000
+		vb := dvfs.VMin + float64(b%550)/1000
+		if va > vb {
+			va, vb = vb, va
+		}
+		return m.EventEnergy(DCacheOp, va) <= m.EventEnergy(DCacheOp, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	b := NewBook(DefaultModel())
+	b.Charge(IntOp, dvfs.VMax)
+	b.Charge(IntOp, dvfs.VMax)
+	b.ChargeN(IntOp, dvfs.VMax, 3)
+	if b.Events[arch.Integer] != 5 {
+		t.Errorf("events = %d, want 5", b.Events[arch.Integer])
+	}
+	want := 5 * b.Model().EventPJ[IntOp]
+	if math.Abs(b.DynamicPJ[arch.Integer]-want) > 1e-9 {
+		t.Errorf("dynamic = %v, want %v", b.DynamicPJ[arch.Integer], want)
+	}
+}
+
+func TestFinalizeClockEnergyScalesWithFrequency(t *testing.T) {
+	m := DefaultModel()
+	end := int64(1_000_000)
+
+	fast := NewBook(m)
+	fast.Finalize(arch.Integer, clock.New(1000), end, 1)
+	slow := NewBook(m)
+	slow.Finalize(arch.Integer, clock.New(250), end, 1)
+
+	// At quarter frequency and matched (lower) voltage the clock energy
+	// must be far below a quarter of the full-speed clock energy.
+	if slow.ClockPJ[arch.Integer] >= fast.ClockPJ[arch.Integer]/4 {
+		t.Errorf("slow clock energy %v not < fast/4 (%v)",
+			slow.ClockPJ[arch.Integer], fast.ClockPJ[arch.Integer]/4)
+	}
+	if slow.ClockPJ[arch.Integer] <= 0 {
+		t.Error("slow clock energy is zero")
+	}
+}
+
+func TestFinalizeConditionalClocking(t *testing.T) {
+	m := DefaultModel()
+	end := int64(1_000_000)
+	busy := NewBook(m)
+	busy.Finalize(arch.FP, clock.New(1000), end, 1)
+	idle := NewBook(m)
+	idle.Finalize(arch.FP, clock.New(1000), end, 0)
+	ratio := idle.ClockPJ[arch.FP] / busy.ClockPJ[arch.FP]
+	if math.Abs(ratio-m.ClockGateFloor) > 1e-9 {
+		t.Errorf("idle/busy clock ratio = %v, want gate floor %v", ratio, m.ClockGateFloor)
+	}
+}
+
+func TestFinalizeUtilClamped(t *testing.T) {
+	m := DefaultModel()
+	end := int64(100_000)
+	a := NewBook(m)
+	a.Finalize(arch.Memory, clock.New(1000), end, 5) // clamps to 1
+	b := NewBook(m)
+	b.Finalize(arch.Memory, clock.New(1000), end, 1)
+	if a.ClockPJ[arch.Memory] != b.ClockPJ[arch.Memory] {
+		t.Errorf("util clamp failed: %v vs %v", a.ClockPJ[arch.Memory], b.ClockPJ[arch.Memory])
+	}
+}
+
+func TestLeakageScalesWithTimeAndVoltage(t *testing.T) {
+	m := DefaultModel()
+	short := NewBook(m)
+	short.Finalize(arch.FrontEnd, clock.New(1000), 1_000_000, 0)
+	long := NewBook(m)
+	long.Finalize(arch.FrontEnd, clock.New(1000), 2_000_000, 0)
+	if math.Abs(long.LeakPJ[arch.FrontEnd]-2*short.LeakPJ[arch.FrontEnd]) > 1e-6 {
+		t.Errorf("leakage not linear in time: %v vs 2x %v",
+			long.LeakPJ[arch.FrontEnd], short.LeakPJ[arch.FrontEnd])
+	}
+	lowV := NewBook(m)
+	lowV.Finalize(arch.FrontEnd, clock.New(250), 1_000_000, 0)
+	if lowV.LeakPJ[arch.FrontEnd] >= short.LeakPJ[arch.FrontEnd] {
+		t.Error("leakage did not fall at lower voltage")
+	}
+}
+
+func TestTotalsSumDomains(t *testing.T) {
+	b := NewBook(DefaultModel())
+	b.Charge(IntOp, dvfs.VMax)
+	b.Charge(FPOp, dvfs.VMax)
+	b.Charge(MemOp, dvfs.VMax)
+	sum := 0.0
+	for d := 0; d < arch.NumDomains; d++ {
+		sum += b.DomainTotalPJ(arch.Domain(d))
+	}
+	if math.Abs(sum-b.TotalPJ()) > 1e-9 {
+		t.Errorf("TotalPJ %v != sum of domains %v", b.TotalPJ(), sum)
+	}
+}
+
+func TestFinalizeHonorsSegments(t *testing.T) {
+	// A schedule that drops to 250 MHz halfway must consume less clock
+	// energy than one that stays at 1 GHz.
+	m := DefaultModel()
+	end := int64(2_000_000)
+	s := clock.New(1000)
+	s.SetImmediate(1_000_000, 250)
+	mixed := NewBook(m)
+	mixed.Finalize(arch.Integer, s, end, 1)
+	full := NewBook(m)
+	full.Finalize(arch.Integer, clock.New(1000), end, 1)
+	if mixed.ClockPJ[arch.Integer] >= full.ClockPJ[arch.Integer] {
+		t.Errorf("mixed %v >= full %v", mixed.ClockPJ[arch.Integer], full.ClockPJ[arch.Integer])
+	}
+	if mixed.ClockPJ[arch.Integer] <= full.ClockPJ[arch.Integer]/2*0.9 {
+		t.Errorf("mixed %v implausibly low vs full %v", mixed.ClockPJ[arch.Integer], full.ClockPJ[arch.Integer])
+	}
+}

@@ -1,0 +1,164 @@
+// Package profiler implements phase one of the paper's pipeline:
+// ATOM-style profiling of an application binary. It consumes a program's
+// dynamic marker stream and builds the call tree for a chosen context
+// scheme, counting dynamic instances and instructions per node. Multiple
+// tree shapes can be built from one pass, matching the paper's single
+// instrumented profiling run.
+package profiler
+
+import (
+	"repro/internal/calltree"
+	"repro/internal/isa"
+)
+
+// Profiler builds one call tree from a dynamic stream. It implements
+// isa.Consumer and never stops the walk itself; wrap it in an
+// isa.CountingConsumer to bound the instruction window.
+type Profiler struct {
+	tree        *calltree.Tree
+	stack       []*calltree.Node
+	pendingSite int32
+}
+
+// New returns a profiler for the given context scheme.
+func New(s calltree.Scheme) *Profiler {
+	p := &Profiler{tree: calltree.NewTree(s), pendingSite: -1}
+	p.stack = append(p.stack, p.tree.Root)
+	return p
+}
+
+func (p *Profiler) top() *calltree.Node { return p.stack[len(p.stack)-1] }
+
+// Instr attributes one instruction to the current tree node.
+func (p *Profiler) Instr(*isa.Instr) bool {
+	p.top().SelfInstrs++
+	return true
+}
+
+// onStack reports whether a node with the given kind and static ID is
+// already on the walk stack (recursion folding, paper Section 3.1).
+func (p *Profiler) onStack(kind calltree.NodeKind, id int32) *calltree.Node {
+	for i := len(p.stack) - 1; i >= 1; i-- {
+		n := p.stack[i]
+		if n.Kind == kind && n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Marker maintains the walk stack and tree.
+func (p *Profiler) Marker(m isa.Marker) bool {
+	scheme := p.tree.Scheme
+	switch m.Kind {
+	case isa.CallSite:
+		if scheme.Sites {
+			p.pendingSite = m.Site
+		}
+	case isa.SubEnter:
+		site := int32(-1)
+		if scheme.Sites {
+			site = p.pendingSite
+		}
+		p.pendingSite = -1
+		if n := p.onStack(calltree.SubNode, m.ID); n != nil {
+			// Recursive call: fold into the existing node.
+			p.stack = append(p.stack, n)
+			return true
+		}
+		n := p.tree.Child(p.top(), calltree.SubNode, m.ID, site)
+		n.Instances++
+		p.stack = append(p.stack, n)
+	case isa.SubExit:
+		p.pop()
+	case isa.LoopEnter:
+		if !scheme.Loops {
+			return true
+		}
+		if n := p.onStack(calltree.LoopNode, m.ID); n != nil {
+			p.stack = append(p.stack, n)
+			return true
+		}
+		n := p.tree.Child(p.top(), calltree.LoopNode, m.ID, -1)
+		n.Instances++
+		p.stack = append(p.stack, n)
+	case isa.LoopExit:
+		if !scheme.Loops {
+			return true
+		}
+		p.pop()
+	}
+	return true
+}
+
+func (p *Profiler) pop() {
+	if len(p.stack) > 1 {
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+}
+
+// Finish finalizes and returns the tree (instance statistics, exclusive
+// counts, long-running marking, labels).
+func (p *Profiler) Finish() *calltree.Tree {
+	p.tree.Finalize()
+	return p.tree
+}
+
+// Tee fans a dynamic stream out to several consumers; the walk stops
+// when any consumer asks to stop.
+type Tee struct{ Consumers []isa.Consumer }
+
+// Instr forwards to every consumer.
+func (t *Tee) Instr(ins *isa.Instr) bool {
+	ok := true
+	for _, c := range t.Consumers {
+		if !c.Instr(ins) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Marker forwards to every consumer.
+func (t *Tee) Marker(m isa.Marker) bool {
+	ok := true
+	for _, c := range t.Consumers {
+		if !c.Marker(m) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Profile runs phase one for one (program, input, scheme) triple over an
+// instruction window and returns the finalized call tree.
+func Profile(p *isa.Program, in isa.Input, window int64, s calltree.Scheme) *calltree.Tree {
+	prof := New(s)
+	cc := &isa.CountingConsumer{Inner: prof, Budget: window}
+	p.Walk(in, cc)
+	return prof.Finish()
+}
+
+// ProfileAll runs phase one once and builds the call trees for every
+// distinct tree shape needed by the six schemes (the paper instruments
+// the binary so all four trees can be constructed from one run). The
+// result maps scheme name to tree; L+F shares the L+F+P tree shape and F
+// shares F+P, but each gets its own tree value so runtime editing can
+// differ.
+func ProfileAll(p *isa.Program, in isa.Input, window int64) map[string]*calltree.Tree {
+	schemes := calltree.Schemes()
+	profs := make([]*Profiler, len(schemes))
+	cs := make([]isa.Consumer, len(schemes))
+	for i, s := range schemes {
+		profs[i] = New(s)
+		cs[i] = profs[i]
+	}
+	tee := &Tee{Consumers: cs}
+	cc := &isa.CountingConsumer{Inner: tee, Budget: window}
+	p.Walk(in, cc)
+	out := make(map[string]*calltree.Tree, len(schemes))
+	for i, s := range schemes {
+		out[s.Name] = profs[i].Finish()
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package profiler
+
+import (
+	"testing"
+
+	"repro/internal/calltree"
+	"repro/internal/isa"
+)
+
+// figure2Program builds the paper's Figure 2 example: main calls initm
+// from two sites; initm contains nested loops L1 and L2 calling a leaf.
+func figure2Program() *isa.Program {
+	b := isa.NewBuilder("fig2")
+	main := b.Subroutine("main")
+	initm := b.Subroutine("initm")
+	drand := b.Subroutine("drand48")
+	b.SetBody(drand, b.Block(isa.IntHeavy, 30))
+	l2 := b.Loop(isa.FixedTrips(10), b.Call(drand))
+	l1 := b.Loop(isa.FixedTrips(10), l2)
+	b.SetBody(initm, l1)
+	b.SetBody(main, b.Call(initm), b.Call(initm))
+	return b.Finish(main)
+}
+
+func profileScheme(p *isa.Program, s calltree.Scheme) *calltree.Tree {
+	return Profile(p, isa.Input{Name: "train"}, 1<<40, s)
+}
+
+func TestFigure2FullTree(t *testing.T) {
+	tree := profileScheme(figure2Program(), calltree.LFCP)
+	// main + 2x(initm, L1, L2, drand48) = 9 nodes.
+	if got := tree.NumNodes(); got != 9 {
+		t.Errorf("L+F+C+P nodes = %d, want 9", got)
+	}
+}
+
+func TestFigure2NoSites(t *testing.T) {
+	tree := profileScheme(figure2Program(), calltree.LFP)
+	// Calls merge: main, initm, L1, L2, drand48 = 5.
+	if got := tree.NumNodes(); got != 5 {
+		t.Errorf("L+F+P nodes = %d, want 5", got)
+	}
+	// initm has two dynamic instances folded into one node.
+	for _, n := range tree.Nodes {
+		if n.Kind == calltree.SubNode && n.ID == 1 && n.Instances != 2 {
+			t.Errorf("initm instances = %d, want 2", n.Instances)
+		}
+	}
+}
+
+func TestFigure2NoLoops(t *testing.T) {
+	tree := profileScheme(figure2Program(), calltree.FCP)
+	// main + 2x(initm, drand48) = 5 (loops invisible).
+	if got := tree.NumNodes(); got != 5 {
+		t.Errorf("F+C+P nodes = %d, want 5", got)
+	}
+}
+
+func TestFigure2CCT(t *testing.T) {
+	tree := profileScheme(figure2Program(), calltree.FP)
+	// main, initm, drand48 = 3 (the CCT of Ammons et al.).
+	if got := tree.NumNodes(); got != 3 {
+		t.Errorf("F+P nodes = %d, want 3", got)
+	}
+}
+
+func TestDrandCalledFromLoopOneNode(t *testing.T) {
+	// drand48 is called 100 times per initm call but has one node per
+	// context (the call tree superimposes instances).
+	tree := profileScheme(figure2Program(), calltree.LFCP)
+	var count int
+	for _, n := range tree.Nodes {
+		if n.Kind == calltree.SubNode && n.ID == 2 {
+			count++
+			if n.Instances != 100 {
+				t.Errorf("drand48 instances = %d, want 100", n.Instances)
+			}
+		}
+	}
+	if count != 2 { // one per initm context
+		t.Errorf("drand48 nodes = %d, want 2", count)
+	}
+}
+
+func TestInstructionAttribution(t *testing.T) {
+	tree := profileScheme(figure2Program(), calltree.LFCP)
+	// All instructions are in drand48 bodies plus loop back-edges.
+	// Per initm call: L1 10 trips x (L2: 10 x (30 + 0) + 10 backedges... )
+	// Verify the root total matches a counting walk.
+	var total int64
+	for _, n := range tree.Root.Children {
+		total += n.TotalInstrs
+	}
+	cc := &countConsumer{}
+	figure2Program().Walk(isa.Input{Name: "train"}, cc)
+	if total != cc.n {
+		t.Errorf("tree total %d != stream total %d", total, cc.n)
+	}
+}
+
+type countConsumer struct{ n int64 }
+
+func (c *countConsumer) Instr(*isa.Instr) bool  { c.n++; return true }
+func (c *countConsumer) Marker(isa.Marker) bool { return true }
+
+func recursiveProgram() *isa.Program {
+	b := isa.NewBuilder("rec")
+	main := b.Subroutine("main")
+	rec := b.Subroutine("rec")
+	// Depth-limited recursion via input parameter is not expressible in
+	// the IR directly; emulate recursion folding with mutual nesting:
+	// rec calls itself through a single call site guarded by trips.
+	inner := b.Call(rec)
+	_ = inner
+	b.SetBody(rec, b.Block(isa.IntHeavy, 10))
+	b.SetBody(main, b.Call(rec), b.Call(rec))
+	return b.Finish(main)
+}
+
+func TestRepeatedCallSameSiteFolds(t *testing.T) {
+	b := isa.NewBuilder("fold")
+	main := b.Subroutine("main")
+	leaf := b.Subroutine("leaf")
+	b.SetBody(leaf, b.Block(isa.IntHeavy, 10))
+	call := b.Call(leaf)
+	// The same call site executed twice folds into one node with two
+	// instances.
+	b.SetBody(main, call, call)
+	p := b.Finish(main)
+	tree := profileScheme(p, calltree.LFCP)
+	if tree.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want 2", tree.NumNodes())
+	}
+	leafNode := tree.Root.Children[0].Children[0]
+	if leafNode.Instances != 2 {
+		t.Errorf("instances = %d, want 2", leafNode.Instances)
+	}
+	_ = recursiveProgram() // structure smoke
+}
+
+func TestWindowTruncatesTree(t *testing.T) {
+	p := figure2Program()
+	full := Profile(p, isa.Input{Name: "train"}, 1<<40, calltree.LFCP)
+	tiny := Profile(p, isa.Input{Name: "train"}, 50, calltree.LFCP)
+	if tiny.NumNodes() >= full.NumNodes() {
+		t.Errorf("tiny window tree (%d nodes) not smaller than full (%d)",
+			tiny.NumNodes(), full.NumNodes())
+	}
+}
+
+func TestProfileAllConsistent(t *testing.T) {
+	p := figure2Program()
+	trees := ProfileAll(p, isa.Input{Name: "train"}, 1<<40)
+	if len(trees) != 6 {
+		t.Fatalf("ProfileAll returned %d trees", len(trees))
+	}
+	// L+F shares the L+F+P tree shape; F shares F+P.
+	if trees["L+F"].NumNodes() != trees["L+F+P"].NumNodes() {
+		t.Error("L+F tree shape differs from L+F+P")
+	}
+	if trees["F"].NumNodes() != trees["F+P"].NumNodes() {
+		t.Error("F tree shape differs from F+P")
+	}
+	// Separate runs agree with the one-pass tee.
+	for _, s := range calltree.Schemes() {
+		solo := profileScheme(p, s)
+		if solo.NumNodes() != trees[s.Name].NumNodes() {
+			t.Errorf("%s: tee tree %d nodes, solo %d", s.Name, trees[s.Name].NumNodes(), solo.NumNodes())
+		}
+	}
+}
+
+func TestTeeStopsWhenAnyStops(t *testing.T) {
+	p := figure2Program()
+	cc := &countConsumer{}
+	limited := &isa.CountingConsumer{Inner: &countConsumer{}, Budget: 10}
+	tee := &Tee{Consumers: []isa.Consumer{cc, limited}}
+	p.Walk(isa.Input{Name: "train"}, tee)
+	if cc.n > 11 {
+		t.Errorf("tee kept feeding after a consumer stopped: %d", cc.n)
+	}
+}

@@ -1,0 +1,266 @@
+// Package shaker implements phase two of the paper's pipeline: the
+// "shaker" slack-distribution algorithm of Semeraro et al. (HPCA 2002).
+// Working on a dependence DAG of primitive events, it repeatedly sweeps
+// backward and forward with a descending power threshold, stretching
+// high-power events that have slack on all outgoing (resp. incoming)
+// edges — as if each event could run at its own lower frequency — and
+// shifting remaining slack across the event so later passes can consume
+// it. The output is a per-domain histogram of event time versus the
+// frequency each event was scaled to.
+package shaker
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/dvfs"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the shaker.
+type Config struct {
+	// MaxStretch bounds per-event scaling; the paper stops at one
+	// quarter of the original frequency.
+	MaxStretch float64
+	// ThresholdDecay multiplies the power threshold after each
+	// backward+forward pass pair ("reduces its power threshold by a
+	// small amount").
+	ThresholdDecay float64
+	// InitialThresholdFrac sets the starting threshold slightly below
+	// the most power-intensive events in the graph.
+	InitialThresholdFrac float64
+	// MaxPasses bounds the number of pass pairs.
+	MaxPasses int
+	// PowerFactor is the initial per-domain event power factor,
+	// reflecting the relative power consumption of each clock domain.
+	PowerFactor [arch.NumScalable]float64
+}
+
+// DefaultConfig returns the calibrated shaker parameters.
+func DefaultConfig() Config {
+	return Config{
+		MaxStretch:           4.0,
+		ThresholdDecay:       0.9,
+		InitialThresholdFrac: 0.95,
+		MaxPasses:            48,
+		PowerFactor: [arch.NumScalable]float64{
+			arch.FrontEnd: 0.30,
+			arch.Integer:  0.24,
+			arch.FP:       0.20,
+			arch.Memory:   0.26,
+		},
+	}
+}
+
+// Hist is a histogram over the DVFS frequency ladder: Bins[i] accumulates
+// full-speed event duration (picoseconds) for events whose shaken ideal
+// frequency is ladder step i.
+type Hist struct {
+	Bins [dvfs.NumSteps]float64
+}
+
+// Add merges another histogram into h.
+func (h *Hist) Add(o *Hist) {
+	for i := range h.Bins {
+		h.Bins[i] += o.Bins[i]
+	}
+}
+
+// Total returns the summed weight.
+func (h *Hist) Total() float64 {
+	t := 0.0
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// DomainHists holds one histogram per scalable domain.
+type DomainHists [arch.NumScalable]Hist
+
+// Add merges another set of histograms.
+func (d *DomainHists) Add(o *DomainHists) {
+	for i := range d {
+		d[i].Add(&o[i])
+	}
+}
+
+// event is the shaker's mutable view of a trace event.
+type event struct {
+	start, end int64
+	dur0       int64
+	weight     float64
+	pf0, pf    float64
+	scale      float64
+	dom        arch.Domain
+	out, in    []int32
+}
+
+// Run applies the shaker to one segment and returns its per-domain
+// histograms.
+func Run(seg *trace.Segment, cfg Config) DomainHists {
+	n := len(seg.Events)
+	var hists DomainHists
+	if n == 0 {
+		return hists
+	}
+	evs := make([]event, n)
+	var srcStart, sinkEnd int64
+	srcStart = seg.Events[0].Start
+	for i := range seg.Events {
+		te := &seg.Events[i]
+		pf := 0.0
+		if te.Domain < arch.NumScalable {
+			pf = cfg.PowerFactor[te.Domain]
+		}
+		w := te.Weight
+		if w == 0 {
+			w = float64(te.End - te.Start)
+		}
+		evs[i] = event{
+			start: te.Start, end: te.End,
+			dur0:   te.End - te.Start,
+			weight: w,
+			pf0:    pf, pf: pf,
+			scale: 1,
+			dom:   te.Domain,
+			out:   te.Out,
+		}
+		if te.Start < srcStart {
+			srcStart = te.Start
+		}
+		if te.End > sinkEnd {
+			sinkEnd = te.End
+		}
+	}
+	for i := range evs {
+		for _, s := range evs[i].out {
+			evs[s].in = append(evs[s].in, int32(i))
+		}
+	}
+
+	// Index orders for the sweeps.
+	byEnd := make([]int32, n)
+	byStart := make([]int32, n)
+	for i := range byEnd {
+		byEnd[i] = int32(i)
+		byStart[i] = int32(i)
+	}
+	sort.Slice(byEnd, func(a, b int) bool { return evs[byEnd[a]].end > evs[byEnd[b]].end })
+	sort.Slice(byStart, func(a, b int) bool { return evs[byStart[a]].start < evs[byStart[b]].start })
+
+	maxPF, minPF := 0.0, 1e9
+	for _, p := range cfg.PowerFactor {
+		if p > maxPF {
+			maxPF = p
+		}
+		if p < minPF {
+			minPF = p
+		}
+	}
+	threshold := maxPF * cfg.InitialThresholdFrac
+	idle := 0
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		stretched := false
+		// Backward pass: consume outgoing slack, push the rest to
+		// incoming edges by moving events later.
+		for _, i := range byEnd {
+			e := &evs[i]
+			slack := sinkEnd - e.end
+			for _, s := range e.out {
+				if d := evs[s].start - e.end; d < slack {
+					slack = d
+				}
+			}
+			if slack <= 0 {
+				continue
+			}
+			if e.pf > threshold && e.scale < cfg.MaxStretch && e.dur0 > 0 {
+				if grew := stretch(e, slack, threshold, cfg.MaxStretch, false); grew > 0 {
+					slack -= grew
+					stretched = true
+				}
+			}
+			if slack > 0 {
+				e.start += slack
+				e.end += slack
+			}
+		}
+		// Forward pass: consume incoming slack, push the rest to
+		// outgoing edges by moving events earlier.
+		for _, i := range byStart {
+			e := &evs[i]
+			slack := e.start - srcStart
+			for _, p := range e.in {
+				if d := e.start - evs[p].end; d < slack {
+					slack = d
+				}
+			}
+			if slack <= 0 {
+				continue
+			}
+			if e.pf > threshold && e.scale < cfg.MaxStretch && e.dur0 > 0 {
+				if grew := stretch(e, slack, threshold, cfg.MaxStretch, true); grew > 0 {
+					slack -= grew
+					stretched = true
+				}
+			}
+			if slack > 0 {
+				e.start -= slack
+				e.end -= slack
+			}
+		}
+		threshold *= cfg.ThresholdDecay
+		if stretched {
+			idle = 0
+		} else {
+			idle++
+			if threshold < minPF*0.25 && idle >= 2 {
+				break
+			}
+		}
+	}
+
+	// Summarize: each event contributes its full-speed duration to the
+	// bin of the frequency it was scaled to (rounded down to the ladder
+	// so chosen frequencies never overestimate savings).
+	for i := range evs {
+		e := &evs[i]
+		if e.dur0 <= 0 || e.dom >= arch.NumScalable {
+			continue
+		}
+		ideal := float64(dvfs.FMaxMHz) / e.scale
+		bin := dvfs.StepIndex(dvfs.QuantizeDown(int(ideal)))
+		hists[e.dom].Bins[bin] += e.weight
+	}
+	return hists
+}
+
+// stretch grows event e into the available slack, limited by the maximum
+// stretch and by the scale at which its power factor falls to the
+// threshold. When backward is false the end moves later; when true the
+// start moves earlier. It returns the consumed slack.
+func stretch(e *event, slack int64, threshold, maxStretch float64, forward bool) int64 {
+	dur := e.end - e.start
+	limit := maxStretch
+	if byThresh := e.pf0 / threshold; byThresh < limit {
+		limit = byThresh
+	}
+	maxDur := int64(float64(e.dur0) * limit)
+	want := dur + slack
+	if want > maxDur {
+		want = maxDur
+	}
+	if want <= dur {
+		return 0
+	}
+	grew := want - dur
+	if forward {
+		e.start -= grew
+	} else {
+		e.end += grew
+	}
+	e.scale = float64(want) / float64(e.dur0)
+	e.pf = e.pf0 / e.scale
+	return grew
+}

@@ -1,0 +1,196 @@
+package shaker
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dvfs"
+	"repro/internal/trace"
+)
+
+// chainSegment builds a serial chain of n integer events with the given
+// gap (slack) between consecutive events.
+func chainSegment(n int, durPs, gapPs int64) *trace.Segment {
+	seg := &trace.Segment{}
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		e := trace.Event{Domain: arch.Integer, Start: t, End: t + durPs}
+		if i+1 < n {
+			e.Out = []int32{int32(i + 1)}
+		}
+		seg.Events = append(seg.Events, e)
+		t += durPs + gapPs
+	}
+	return seg
+}
+
+func binFor(scale float64) int {
+	return dvfs.StepIndex(dvfs.QuantizeDown(int(float64(dvfs.FMaxMHz) / scale)))
+}
+
+func TestTightChainNotStretched(t *testing.T) {
+	seg := chainSegment(50, 1000, 0)
+	h := Run(seg, DefaultConfig())
+	full := binFor(1)
+	hist := h[arch.Integer]
+	if hist.Bins[full] != hist.Total() {
+		t.Errorf("zero-slack chain was stretched: %v", hist.Bins)
+	}
+	if hist.Total() == 0 {
+		t.Error("no weight recorded")
+	}
+}
+
+func TestSlackChainStretched(t *testing.T) {
+	// Every event has 3x its duration in slack: the shaker should scale
+	// events toward 4x (quarter frequency).
+	seg := chainSegment(50, 1000, 3000)
+	h := Run(seg, DefaultConfig())
+	hist := h[arch.Integer]
+	full := binFor(1)
+	if hist.Bins[full] > hist.Total()*0.2 {
+		t.Errorf("mostly-slack chain kept %v of %v at full speed", hist.Bins[full], hist.Total())
+	}
+	// Weight should appear in low-frequency bins.
+	low := 0.0
+	for i := 0; i <= dvfs.StepIndex(500); i++ {
+		low += hist.Bins[i]
+	}
+	if low < hist.Total()*0.5 {
+		t.Errorf("only %v of %v scaled below 500 MHz", low, hist.Total())
+	}
+}
+
+func TestMaxStretchBound(t *testing.T) {
+	// Huge slack: no event may scale below fmax/MaxStretch.
+	seg := chainSegment(10, 1000, 100_000)
+	cfg := DefaultConfig()
+	h := Run(seg, cfg)
+	minBin := dvfs.StepIndex(dvfs.QuantizeDown(int(float64(dvfs.FMaxMHz) / cfg.MaxStretch)))
+	hist := h[arch.Integer]
+	for i := 0; i < minBin; i++ {
+		if hist.Bins[i] != 0 {
+			t.Errorf("bin %d (%d MHz) below quarter frequency has weight %v",
+				i, dvfs.StepMHzAt(i), hist.Bins[i])
+		}
+	}
+}
+
+func TestPowerThresholdOrdering(t *testing.T) {
+	// Two parallel chains in different domains with equal slack: the
+	// higher-power domain (front end) should be stretched at least as
+	// much as the lower-power one when slack is shared through a sink.
+	seg := &trace.Segment{}
+	// FE event and FP event feeding a common sink with slack.
+	seg.Events = []trace.Event{
+		{Domain: arch.FrontEnd, Start: 0, End: 1000, Out: []int32{2}},
+		{Domain: arch.FP, Start: 0, End: 1000, Out: []int32{2}},
+		{Domain: arch.Integer, Start: 8000, End: 9000},
+	}
+	h := Run(seg, DefaultConfig())
+	feBins, fpBins := h[arch.FrontEnd], h[arch.FP]
+	if feBins.Total() == 0 || fpBins.Total() == 0 {
+		t.Fatal("missing histogram weight")
+	}
+	feFull := feBins.Bins[binFor(1)]
+	if feFull != 0 {
+		t.Error("high-power front-end event with slack was not stretched")
+	}
+}
+
+func TestDisconnectedDomainsIndependent(t *testing.T) {
+	// An idle-ish FP event with huge slack and a tight INT chain: FP
+	// scales down, INT stays up.
+	seg := chainSegment(20, 1000, 0)
+	seg.Events = append(seg.Events, trace.Event{Domain: arch.FP, Start: 0, End: 500})
+	h := Run(seg, DefaultConfig())
+	intHist, fpHist := h[arch.Integer], h[arch.FP]
+	if intHist.Bins[binFor(1)] != intHist.Total() {
+		t.Error("tight INT chain disturbed by unrelated FP event")
+	}
+	if fpHist.Bins[binFor(1)] == fpHist.Total() {
+		t.Error("slack FP event not stretched")
+	}
+}
+
+func TestEmptySegment(t *testing.T) {
+	h := Run(&trace.Segment{}, DefaultConfig())
+	for d := range h {
+		if h[d].Total() != 0 {
+			t.Error("empty segment produced weight")
+		}
+	}
+}
+
+func TestZeroDurationEventsIgnored(t *testing.T) {
+	seg := &trace.Segment{Events: []trace.Event{
+		{Domain: arch.Integer, Start: 100, End: 100},
+		{Domain: arch.Integer, Start: 100, End: 1100},
+	}}
+	h := Run(seg, DefaultConfig())
+	if h[arch.Integer].Total() != 1000 {
+		t.Errorf("weight = %v, want 1000 (zero-duration event ignored)", h[arch.Integer].Total())
+	}
+}
+
+func TestWeightOverridesDuration(t *testing.T) {
+	seg := &trace.Segment{Events: []trace.Event{
+		{Domain: arch.Integer, Start: 0, End: 1000, Weight: 250},
+	}}
+	h := Run(seg, DefaultConfig())
+	if h[arch.Integer].Total() != 250 {
+		t.Errorf("weight = %v, want explicit 250", h[arch.Integer].Total())
+	}
+}
+
+func TestHistAdd(t *testing.T) {
+	var a, b Hist
+	a.Bins[0] = 1
+	b.Bins[0] = 2
+	b.Bins[5] = 3
+	a.Add(&b)
+	if a.Bins[0] != 3 || a.Bins[5] != 3 {
+		t.Errorf("Add wrong: %v", a.Bins[:6])
+	}
+	if a.Total() != 6 {
+		t.Errorf("Total = %v", a.Total())
+	}
+}
+
+func TestDomainHistsAdd(t *testing.T) {
+	var a, b DomainHists
+	a[arch.FP].Bins[3] = 1
+	b[arch.FP].Bins[3] = 2
+	b[arch.Memory].Bins[0] = 5
+	a.Add(&b)
+	if a[arch.FP].Bins[3] != 3 || a[arch.Memory].Bins[0] != 5 {
+		t.Error("DomainHists.Add wrong")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() *trace.Segment { return chainSegment(100, 1000, 1500) }
+	a := Run(mk(), DefaultConfig())
+	b := Run(mk(), DefaultConfig())
+	for d := range a {
+		for i := range a[d].Bins {
+			if a[d].Bins[i] != b[d].Bins[i] {
+				t.Fatalf("shaker not deterministic at domain %d bin %d", d, i)
+			}
+		}
+	}
+}
+
+func TestWeightConservation(t *testing.T) {
+	// Shaking redistributes events across bins but conserves total
+	// weight per domain.
+	seg := chainSegment(200, 1000, 700)
+	total := 0.0
+	for _, e := range seg.Events {
+		total += float64(e.End - e.Start)
+	}
+	h := Run(seg, DefaultConfig())
+	if got := h[arch.Integer].Total(); got != total {
+		t.Errorf("weight not conserved: %v vs %v", got, total)
+	}
+}

@@ -1,0 +1,92 @@
+// Package sim implements the cycle-level Multiple Clock Domain processor
+// simulator: an out-of-order, Alpha 21264-class core (paper Table 1)
+// partitioned into four independently clocked on-chip domains plus
+// full-speed external memory. Instruction timing is computed with a
+// timestamp-propagation model that honours fetch/dispatch/retire widths,
+// ROB and issue-queue capacities, functional-unit contention, cache and
+// memory latencies, branch misprediction, inter-domain synchronization
+// (with jitter), per-domain DVFS ramps, and injected instrumentation
+// instructions. Energy is accounted with the Wattch-style model in
+// internal/power.
+package sim
+
+import (
+	"repro/internal/clock"
+)
+
+// Config holds the microarchitectural parameters (defaults follow paper
+// Table 1).
+type Config struct {
+	// Widths.
+	DecodeWidth int // fetch/decode width per front-end cycle
+	IssueWidth  int // nominal total issue width (informational; per-domain FU counts bind)
+	RetireWidth int // retire width per front-end cycle
+
+	// Window structures.
+	ROBSize int
+	IQInt   int // integer issue queue entries
+	IQFP    int // floating-point issue queue entries
+	IQLS    int // load/store queue entries
+
+	// Functional units.
+	IntALUs int
+	IntMuls int
+	FPALUs  int
+	FPMuls  int
+	LSPorts int
+
+	// Latencies (cycles in the owning domain unless noted).
+	IntALULat  int
+	IntMulLat  int
+	FPALULat   int
+	FPMulLat   int
+	L1Lat      int   // L1 D-cache hit, memory domain cycles
+	L2Lat      int   // L2 hit (beyond L1), memory domain cycles
+	MemLatPs   int64 // main memory, picoseconds (external domain is unscaled)
+	FrontDepth int   // fetch-to-dispatch depth, front-end cycles
+
+	// Branch handling.
+	MispredictPenalty int // front-end cycles from resolution to redirect
+
+	// Clocking.
+	BaseMHz int // nominal frequency of every domain
+	Sync    clock.SyncConfig
+
+	// Seed drives synchronization jitter randomization.
+	Seed int64
+}
+
+// DefaultConfig returns the Table 1 configuration.
+func DefaultConfig() Config {
+	return Config{
+		DecodeWidth:       4,
+		IssueWidth:        6,
+		RetireWidth:       11,
+		ROBSize:           80,
+		IQInt:             20,
+		IQFP:              15,
+		IQLS:              64,
+		IntALUs:           4,
+		IntMuls:           1,
+		FPALUs:            2,
+		FPMuls:            1,
+		LSPorts:           2,
+		IntALULat:         1,
+		IntMulLat:         7,
+		FPALULat:          4,
+		FPMulLat:          12,
+		L1Lat:             2,
+		L2Lat:             12,
+		MemLatPs:          80_000, // 80 ns
+		FrontDepth:        3,
+		MispredictPenalty: 7,
+		BaseMHz:           1000,
+		Sync:              clock.DefaultSyncConfig(),
+		Seed:              1,
+	}
+}
+
+// depRingSize is the completion-time ring capacity; it must exceed the
+// largest register dependency distance the ISA can express and be a
+// power of two.
+const depRingSize = 1 << 16

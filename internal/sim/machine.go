@@ -1,0 +1,576 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/dvfs"
+	"repro/internal/isa"
+	"repro/internal/power"
+)
+
+// Times records the pipeline timestamps of one instruction, in
+// picoseconds. Tracers receive these to build dependence DAGs.
+type Times struct {
+	Fetch    int64
+	Dispatch int64
+	Ready    int64
+	Issue    int64
+	Complete int64
+	Commit   int64
+	// Dom is the execution domain of the instruction.
+	Dom arch.Domain
+	// MemLevel is 0 (L1 hit), 1 (L2 hit) or 2 (main memory) for loads.
+	MemLevel uint8
+	// Mispredict marks a mispredicted branch (fetch redirects after it).
+	Mispredict bool
+}
+
+// Tracer observes every simulated instruction with its resolved timing.
+type Tracer interface {
+	Trace(seq int64, ins *isa.Instr, t *Times)
+}
+
+// MarkerSink observes structure markers as the machine consumes them; the
+// current simulation time (last fetch time) is provided.
+type MarkerSink interface {
+	MachineMarker(m isa.Marker, now int64)
+}
+
+// Controller is a hardware control policy invoked at fixed instruction
+// intervals (the on-line attack/decay algorithm plugs in here).
+type Controller interface {
+	OnInterval(m *Machine, now int64, s IntervalStats)
+}
+
+// IntervalStats summarizes domain activity since the previous controller
+// callback.
+type IntervalStats struct {
+	// Instructions in the interval.
+	Instructions int64
+	// Issued counts instructions issued per scalable domain.
+	Issued [arch.NumScalable]int64
+	// QueueSum accumulates issue-queue occupancy samples (one per
+	// dispatched instruction) per execution domain.
+	QueueSum [arch.NumScalable]int64
+	// BusyPs accumulates per-domain functional-unit service time: the
+	// on-chip latency of each instruction executed in the domain
+	// (excluding external memory time). Utilization = BusyPs /
+	// (units * ElapsedPs).
+	BusyPs [arch.NumScalable]int64
+	// ElapsedPs is wall-clock simulation time covered by the interval.
+	ElapsedPs int64
+}
+
+// Machine is one simulated MCD processor executing one dynamic stream.
+// It implements isa.Consumer; feed it a program walk, then call Finalize.
+type Machine struct {
+	cfg   Config
+	clk   [arch.NumDomains]*clock.Schedule
+	sync  *clock.Synchronizer
+	bp    *bpred.Predictor
+	il1   *cache.Cache
+	dl1   *cache.Cache
+	l2    *cache.Cache
+	book  *power.Book
+	trace Tracer
+	msink MarkerSink
+
+	ctrl         Controller
+	ctrlInterval int64
+	ctrlLastSeq  int64
+	ctrlLastTime int64
+	ctrlStats    IntervalStats
+
+	// Completion-time ring for register dependencies.
+	complRing [depRingSize]int64
+	domRing   [depRingSize]uint8
+
+	// ROB commit-time ring.
+	rob []int64
+
+	// Issue queues: outstanding issue times per execution domain.
+	iq    [arch.NumScalable][]int64
+	iqCap [arch.NumScalable]int
+
+	// Functional units: next-free time per unit.
+	intALU []int64
+	intMul []int64
+	fpALU  []int64
+	fpMul  []int64
+	lsPort []int64
+
+	// Fetch state.
+	fetchEdge  int64
+	fetchCount int
+	fetchLine  uint32
+
+	// Dispatch state.
+	dispEdge  int64
+	dispCount int
+
+	// Commit state.
+	commitEdge  int64
+	commitCount int
+
+	seq        int64 // dynamic instruction count
+	lastCommit int64
+
+	// Statistics.
+	Mispredicts int64
+	times       Times // scratch
+}
+
+// New builds a machine with every domain at cfg.BaseMHz.
+func New(cfg Config) *Machine {
+	m := &Machine{
+		cfg:  cfg,
+		sync: clock.NewSynchronizer(cfg.Sync, cfg.Seed),
+		bp:   bpred.New(bpred.DefaultConfig()),
+		il1:  cache.New(cache.L1Config()),
+		dl1:  cache.New(cache.L1Config()),
+		l2:   cache.New(cache.L2Config()),
+		book: power.NewBook(power.DefaultModel()),
+		rob:  make([]int64, cfg.ROBSize),
+	}
+	// Each domain's PLL has an unrelated phase; seed them deterministically.
+	// The external domain keeps phase zero. A globally synchronous
+	// configuration (Sync.Disabled) aligns all phases.
+	phaseRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
+	period := int64(1e6) / int64(cfg.BaseMHz)
+	for d := 0; d < arch.NumDomains; d++ {
+		phase := int64(0)
+		if !cfg.Sync.Disabled && arch.Domain(d).Scalable() {
+			phase = phaseRng.Int63n(period)
+		}
+		m.clk[d] = clock.NewWithPhase(cfg.BaseMHz, phase)
+	}
+	m.iqCap = [arch.NumScalable]int{
+		arch.FrontEnd: 1 << 30, // front end has no issue queue
+		arch.Integer:  cfg.IQInt,
+		arch.FP:       cfg.IQFP,
+		arch.Memory:   cfg.IQLS,
+	}
+	m.intALU = make([]int64, cfg.IntALUs)
+	m.intMul = make([]int64, cfg.IntMuls)
+	m.fpALU = make([]int64, cfg.FPALUs)
+	m.fpMul = make([]int64, cfg.FPMuls)
+	m.lsPort = make([]int64, cfg.LSPorts)
+	return m
+}
+
+// Clock returns the schedule of one domain (controllers use this).
+func (m *Machine) Clock(d arch.Domain) *clock.Schedule { return m.clk[d] }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Book returns the machine's energy book.
+func (m *Machine) Book() *power.Book { return m.book }
+
+// Bpred returns the branch predictor (for statistics).
+func (m *Machine) Bpred() *bpred.Predictor { return m.bp }
+
+// Caches returns the L1I, L1D and L2 caches (for statistics).
+func (m *Machine) Caches() (il1, dl1, l2 *cache.Cache) { return m.il1, m.dl1, m.l2 }
+
+// Sync returns the synchronizer (for statistics).
+func (m *Machine) Sync() *clock.Synchronizer { return m.sync }
+
+// Seq returns the number of instructions consumed so far.
+func (m *Machine) Seq() int64 { return m.seq }
+
+// Now returns the current simulation time (the last commit time).
+func (m *Machine) Now() int64 { return m.lastCommit }
+
+// SetTracer installs a per-instruction timing observer.
+func (m *Machine) SetTracer(t Tracer) { m.trace = t }
+
+// SetMarkerSink installs a structure-marker observer.
+func (m *Machine) SetMarkerSink(s MarkerSink) { m.msink = s }
+
+// SetController installs a hardware control policy called every
+// intervalInstrs instructions.
+func (m *Machine) SetController(c Controller, intervalInstrs int64) {
+	m.ctrl = c
+	m.ctrlInterval = intervalInstrs
+}
+
+// SetDomainTarget requests a DVFS ramp of domain d toward mhz beginning
+// at time now. External memory cannot be scaled.
+func (m *Machine) SetDomainTarget(d arch.Domain, now int64, mhz int) {
+	if !d.Scalable() {
+		return
+	}
+	m.clk[d].SetTarget(now, mhz)
+}
+
+// SetAllImmediate pins every domain to mhz instantly (baseline and global
+// DVS modeling).
+func (m *Machine) SetAllImmediate(now int64, mhz int) {
+	for d := 0; d < arch.NumDomains; d++ {
+		if arch.Domain(d).Scalable() {
+			m.clk[d].SetImmediate(now, mhz)
+		}
+	}
+}
+
+// Marker implements isa.Consumer.
+func (m *Machine) Marker(mk isa.Marker) bool {
+	if m.msink != nil {
+		m.msink.MachineMarker(mk, m.fetchEdge)
+	}
+	return true
+}
+
+// execDomain returns the domain that executes a class.
+func execDomain(c isa.Class) arch.Domain {
+	switch c {
+	case isa.FPALU, isa.FPMul:
+		return arch.FP
+	case isa.Load, isa.Store:
+		return arch.Memory
+	default:
+		return arch.Integer
+	}
+}
+
+// Instr implements isa.Consumer: it simulates one instruction.
+func (m *Machine) Instr(ins *isa.Instr) bool {
+	cfg := &m.cfg
+	fe := m.clk[arch.FrontEnd]
+	t := &m.times
+	*t = Times{}
+
+	// --- Fetch ---
+	if m.fetchEdge == 0 {
+		m.fetchEdge = fe.NextEdge(0)
+	}
+	if m.fetchCount >= cfg.DecodeWidth {
+		m.fetchEdge = fe.NextEdge(m.fetchEdge)
+		m.fetchCount = 0
+	}
+	if line := ins.PC >> 6; line != m.fetchLine {
+		m.fetchLine = line
+		if !m.il1.Access(ins.PC) {
+			m.fetchEdge = m.missPath(m.fetchEdge, arch.FrontEnd)
+		}
+	}
+	t.Fetch = m.fetchEdge
+	m.fetchCount++
+	m.book.Charge(power.FetchOp, fe.VoltsAt(t.Fetch))
+
+	// --- Dispatch (rename, ROB and IQ allocation) ---
+	disp := fe.Advance(t.Fetch, int64(cfg.FrontDepth))
+	// ROB capacity: wait for the instruction ROBSize back to commit.
+	if m.seq >= int64(cfg.ROBSize) {
+		if old := m.rob[m.seq%int64(cfg.ROBSize)]; old > disp {
+			disp = old
+		}
+	}
+	// Dispatch width.
+	if disp > m.dispEdge {
+		m.dispEdge = fe.NextEdge(disp - 1)
+		m.dispCount = 0
+	} else if m.dispCount >= cfg.DecodeWidth {
+		m.dispEdge = fe.NextEdge(m.dispEdge)
+		m.dispCount = 0
+		disp = m.dispEdge
+	}
+	if m.dispEdge > disp {
+		disp = m.dispEdge
+	}
+	m.dispCount++
+
+	dom := execDomain(ins.Class)
+	// Issue-queue capacity in the execution domain.
+	disp = m.iqAdmit(dom, disp)
+	t.Dispatch = disp
+	t.Dom = dom
+	m.book.Charge(power.RenameOp, fe.VoltsAt(disp))
+
+	// --- Ready: operand availability ---
+	ready := m.sync.Cross(disp, fe, m.clk[dom])
+	for _, src := range [2]uint16{ins.Src1, ins.Src2} {
+		if src == 0 || int64(src) > m.seq {
+			continue
+		}
+		idx := (m.seq - int64(src)) & (depRingSize - 1)
+		prodT := m.complRing[idx]
+		prodD := arch.Domain(m.domRing[idx])
+		av := m.sync.Cross(prodT, m.clk[prodD], m.clk[dom])
+		if av > ready {
+			ready = av
+		}
+	}
+	t.Ready = ready
+
+	// --- Issue and execute ---
+	var complete int64
+	dclk := m.clk[dom]
+	switch ins.Class {
+	case isa.IntALU:
+		issue := m.fuIssue(m.intALU, dclk, ready, 1)
+		complete = dclk.Advance(issue, int64(cfg.IntALULat))
+		t.Issue = issue
+		m.book.Charge(power.IntOp, dclk.VoltsAt(issue))
+	case isa.IntMul:
+		issue := m.fuIssue(m.intMul, dclk, ready, int64(cfg.IntMulLat))
+		complete = dclk.Advance(issue, int64(cfg.IntMulLat))
+		t.Issue = issue
+		m.book.Charge(power.IntMulOp, dclk.VoltsAt(issue))
+	case isa.FPALU:
+		issue := m.fuIssue(m.fpALU, dclk, ready, 1)
+		complete = dclk.Advance(issue, int64(cfg.FPALULat))
+		t.Issue = issue
+		m.book.Charge(power.FPOp, dclk.VoltsAt(issue))
+	case isa.FPMul:
+		issue := m.fuIssue(m.fpMul, dclk, ready, int64(cfg.FPMulLat))
+		complete = dclk.Advance(issue, int64(cfg.FPMulLat))
+		t.Issue = issue
+		m.book.Charge(power.FPMulOp, dclk.VoltsAt(issue))
+	case isa.Load:
+		issue := m.fuIssue(m.lsPort, dclk, ready, 1)
+		t.Issue = issue
+		m.book.Charge(power.LSQOp, dclk.VoltsAt(issue))
+		m.book.Charge(power.DCacheOp, dclk.VoltsAt(issue))
+		if m.dl1.Access(ins.Addr) {
+			complete = dclk.Advance(issue, int64(cfg.L1Lat))
+		} else if m.l2.Access(ins.Addr) {
+			t.MemLevel = 1
+			m.book.Charge(power.L2Op, dclk.VoltsAt(issue))
+			complete = dclk.Advance(issue, int64(cfg.L1Lat+cfg.L2Lat))
+		} else {
+			t.MemLevel = 2
+			m.book.Charge(power.L2Op, dclk.VoltsAt(issue))
+			m.book.Charge(power.MemOp, dvfs.VMax)
+			after := dclk.Advance(issue, int64(cfg.L1Lat+cfg.L2Lat)) + cfg.MemLatPs
+			complete = dclk.NextEdge(after)
+		}
+	case isa.Store:
+		issue := m.fuIssue(m.lsPort, dclk, ready, 1)
+		t.Issue = issue
+		m.book.Charge(power.LSQOp, dclk.VoltsAt(issue))
+		m.book.Charge(power.DCacheOp, dclk.VoltsAt(issue))
+		// Stores retire from the store queue off the critical path; the
+		// cache fill happens in the background.
+		m.dl1.Access(ins.Addr)
+		complete = dclk.Advance(issue, 1)
+	case isa.Branch:
+		issue := m.fuIssue(m.intALU, dclk, ready, 1)
+		complete = dclk.Advance(issue, int64(cfg.IntALULat))
+		t.Issue = issue
+		m.book.Charge(power.IntOp, dclk.VoltsAt(issue))
+		if m.bp.Lookup(ins.PC, ins.Taken) {
+			m.Mispredicts++
+			t.Mispredict = true
+			redirect := m.sync.Cross(complete, dclk, fe)
+			m.fetchEdge = fe.Advance(redirect, int64(cfg.MispredictPenalty))
+			m.fetchCount = 0
+		}
+	case isa.Track, isa.Reconfig:
+		// Injected instrumentation: an integer-side operation whose
+		// latency is the measured worst-case overhead for its kind.
+		lat := int64(instrCost(ins))
+		if lat < 1 {
+			lat = 1
+		}
+		issue := m.fuIssue(m.intALU, dclk, ready, 1)
+		complete = dclk.Advance(issue, lat)
+		t.Issue = issue
+		m.book.Charge(power.OverheadOp, dclk.VoltsAt(issue))
+		if ins.Class == isa.Reconfig {
+			m.applyReconfig(ins, issue)
+		}
+	}
+	t.Complete = complete
+
+	// --- Commit (in order) ---
+	cm := m.sync.Cross(complete, dclk, fe)
+	edge := fe.NextEdge(cm - 1)
+	if edge < m.commitEdge {
+		edge = m.commitEdge
+	}
+	if edge == m.commitEdge {
+		if m.commitCount >= cfg.RetireWidth {
+			edge = fe.NextEdge(edge)
+			m.commitCount = 0
+		}
+	} else {
+		m.commitCount = 0
+	}
+	m.commitEdge = edge
+	m.commitCount++
+	t.Commit = edge
+	m.lastCommit = edge
+	m.book.Charge(power.CommitOp, fe.VoltsAt(edge))
+
+	// Record results for dependents and the ROB.
+	idx := m.seq & (depRingSize - 1)
+	m.complRing[idx] = complete
+	m.domRing[idx] = uint8(dom)
+	m.rob[m.seq%int64(cfg.ROBSize)] = edge
+
+	if m.trace != nil {
+		m.trace.Trace(m.seq, ins, t)
+	}
+
+	// Controller interval bookkeeping.
+	if m.ctrl != nil {
+		m.ctrlStats.Issued[dom]++
+		m.ctrlStats.QueueSum[dom] += int64(len(m.iq[dom]))
+		m.ctrlStats.BusyPs[dom] += m.serviceTime(ins, t)
+		if m.seq-m.ctrlLastSeq >= m.ctrlInterval {
+			s := m.ctrlStats
+			s.Instructions = m.seq - m.ctrlLastSeq
+			s.ElapsedPs = m.lastCommit - m.ctrlLastTime
+			m.ctrl.OnInterval(m, m.lastCommit, s)
+			m.ctrlStats = IntervalStats{}
+			m.ctrlLastSeq = m.seq
+			m.ctrlLastTime = m.lastCommit
+		}
+	}
+
+	m.seq++
+	return true
+}
+
+// serviceTime returns the on-chip service time of an instruction in its
+// execution domain: execution latency excluding main-memory time. The
+// hardware controller's utilization counters are built from this.
+func (m *Machine) serviceTime(ins *isa.Instr, t *Times) int64 {
+	period := m.clk[t.Dom].PeriodAt(t.Issue)
+	var cycles int64
+	switch ins.Class {
+	case isa.IntALU, isa.Branch, isa.Track, isa.Reconfig:
+		cycles = int64(m.cfg.IntALULat)
+	case isa.IntMul:
+		cycles = int64(m.cfg.IntMulLat)
+	case isa.FPALU:
+		cycles = int64(m.cfg.FPALULat)
+	case isa.FPMul:
+		cycles = int64(m.cfg.FPMulLat)
+	case isa.Load:
+		cycles = int64(m.cfg.L1Lat)
+		if t.MemLevel >= 1 {
+			cycles += int64(m.cfg.L2Lat)
+		}
+	case isa.Store:
+		cycles = 1
+	}
+	return cycles * period
+}
+
+// instrCost returns the per-instrumentation-instruction cycle cost
+// carried in the instruction's Freqs[0] slot for Track instructions and
+// Freqs-independent fixed costs for Reconfig. The edit package sets these.
+func instrCost(ins *isa.Instr) int {
+	if ins.Class == isa.Track {
+		return int(ins.Src1) // edit package stores the cost here
+	}
+	return int(ins.Src2)
+}
+
+// applyReconfig writes the MCD reconfiguration register: each scalable
+// domain begins ramping toward its target frequency. The write itself
+// incurs no idle time (paper Section 2).
+func (m *Machine) applyReconfig(ins *isa.Instr, now int64) {
+	for i, d := range arch.ScalableDomains() {
+		mhz := int(ins.Freqs[i])
+		if mhz == 0 {
+			continue
+		}
+		m.clk[d].SetTarget(now, dvfs.Quantize(mhz))
+	}
+}
+
+// iqAdmit delays t until the execution domain's issue queue has a free
+// entry, then records the (not yet known) entry; the caller fills in the
+// issue time via fuIssue which replaces the sentinel.
+func (m *Machine) iqAdmit(dom arch.Domain, t int64) int64 {
+	capQ := m.iqCap[dom]
+	q := m.iq[dom]
+	// Prune entries that have issued by time t.
+	q = pruneQueue(q, t)
+	for len(q) >= capQ {
+		// Wait until the earliest outstanding entry issues.
+		earliest := q[0]
+		for _, e := range q {
+			if e < earliest {
+				earliest = e
+			}
+		}
+		if earliest > t {
+			t = earliest
+		}
+		q = pruneQueue(q, t)
+	}
+	m.iq[dom] = q
+	return t
+}
+
+// pruneQueue removes entries with issue time <= t.
+func pruneQueue(q []int64, t int64) []int64 {
+	n := 0
+	for _, e := range q {
+		if e > t {
+			q[n] = e
+			n++
+		}
+	}
+	return q[:n]
+}
+
+// fuIssue selects the earliest-available unit, aligns issue to the
+// execution domain clock, reserves the unit for occ cycles and records
+// the issue-queue departure.
+func (m *Machine) fuIssue(units []int64, dclk *clock.Schedule, ready int64, occ int64) int64 {
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	start := ready
+	if units[best] > start {
+		start = units[best]
+	}
+	issue := dclk.NextEdge(start - 1)
+	units[best] = dclk.Advance(issue, occ)
+	// Record IQ residency: the entry leaves the queue at issue.
+	dom := m.domForClock(dclk)
+	if m.iqCap[dom] < 1<<30 {
+		m.iq[dom] = append(m.iq[dom], issue)
+	}
+	return issue
+}
+
+func (m *Machine) domForClock(c *clock.Schedule) arch.Domain {
+	for d := 0; d < arch.NumDomains; d++ {
+		if m.clk[d] == c {
+			return arch.Domain(d)
+		}
+	}
+	return arch.Integer
+}
+
+// missPath models an instruction-fetch miss: the request crosses to the
+// memory domain, probes the L2 (and main memory on an L2 miss), and the
+// line returns to the requesting domain.
+func (m *Machine) missPath(from int64, req arch.Domain) int64 {
+	mem := m.clk[arch.Memory]
+	t := m.sync.Cross(from, m.clk[req], mem)
+	t = mem.NextEdge(t - 1)
+	m.book.Charge(power.L2Op, mem.VoltsAt(t))
+	if m.l2.Access(m.fetchLine << 6) {
+		t = mem.Advance(t, int64(m.cfg.L2Lat))
+	} else {
+		m.book.Charge(power.MemOp, dvfs.VMax)
+		t = mem.Advance(t, int64(m.cfg.L2Lat)) + m.cfg.MemLatPs
+	}
+	back := m.sync.Cross(t, mem, m.clk[req])
+	return m.clk[req].NextEdge(back)
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Result summarizes one completed simulation run.
+type Result struct {
+	// Instructions is the number of dynamic instructions simulated,
+	// including injected instrumentation instructions.
+	Instructions int64
+	// TimePs is the total execution time (commit time of the last
+	// instruction).
+	TimePs int64
+	// EnergyPJ is the total energy across all domains.
+	EnergyPJ float64
+	// DomainPJ is the per-domain energy breakdown.
+	DomainPJ [arch.NumDomains]float64
+	// AvgMHz is the time-weighted average frequency of each scalable
+	// domain.
+	AvgMHz [arch.NumScalable]float64
+
+	// Microarchitectural statistics.
+	SyncCrossings  int64
+	SyncPenalties  int64
+	Mispredicts    int64
+	MispredictRate float64
+	IL1MissRate    float64
+	DL1MissRate    float64
+	L2MissRate     float64
+}
+
+// EnergyDelay returns the energy-delay product in pJ*ps.
+func (r Result) EnergyDelay() float64 { return r.EnergyPJ * float64(r.TimePs) }
+
+// IPCAt returns instructions per nominal cycle at mhz (informational).
+func (r Result) IPCAt(mhz int) float64 {
+	if r.TimePs == 0 {
+		return 0
+	}
+	cycles := float64(r.TimePs) / (1e6 / float64(mhz))
+	return float64(r.Instructions) / cycles
+}
+
+// String formats the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("insts=%d time=%.3fus energy=%.3fuJ ed=%.4g",
+		r.Instructions, float64(r.TimePs)/1e6, r.EnergyPJ/1e6, r.EnergyDelay())
+}
+
+// Finalize closes the run: it integrates clock-tree and leakage energy
+// for every domain over the run's duration and returns the result. The
+// machine must not be used afterwards.
+func (m *Machine) Finalize() Result {
+	end := m.lastCommit
+	if end == 0 {
+		end = 1
+	}
+	var res Result
+	res.Instructions = m.seq
+	res.TimePs = end
+	for d := 0; d < arch.NumDomains; d++ {
+		dom := arch.Domain(d)
+		cycles := m.clk[d].CyclesIn(0, end)
+		util := 0.0
+		if cycles > 0 {
+			util = float64(m.book.Events[d]) / cycles
+		}
+		m.book.Finalize(dom, m.clk[d], end, util)
+		res.DomainPJ[d] = m.book.DomainTotalPJ(dom)
+		res.EnergyPJ += res.DomainPJ[d]
+	}
+	for i, d := range arch.ScalableDomains() {
+		segs := m.clk[d].Segments()
+		var weighted float64
+		for j, seg := range segs {
+			lo := seg.Start
+			if lo < 0 {
+				lo = 0
+			}
+			hi := end
+			if j+1 < len(segs) && segs[j+1].Start < hi {
+				hi = segs[j+1].Start
+			}
+			if hi > lo {
+				weighted += float64(seg.MHz) * float64(hi-lo)
+			}
+			if j+1 >= len(segs) || segs[j+1].Start >= end {
+				break
+			}
+		}
+		res.AvgMHz[i] = weighted / float64(end)
+	}
+	res.SyncCrossings = m.sync.Crossings
+	res.SyncPenalties = m.sync.Penalties
+	res.Mispredicts = m.Mispredicts
+	res.MispredictRate = m.bp.MispredictRate()
+	res.IL1MissRate = m.il1.MissRate()
+	res.DL1MissRate = m.dl1.MissRate()
+	res.L2MissRate = m.l2.MissRate()
+	return res
+}

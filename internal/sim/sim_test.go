@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// feed runs n instructions of a one-block program through a machine.
+func feed(m *Machine, mix *isa.Mix, n int64) Result {
+	b := isa.NewBuilder("simtest")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(mix, int(n)))
+	p := b.Finish(main)
+	p.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: n})
+	return m.Finalize()
+}
+
+func TestBaselineRunsToCompletion(t *testing.T) {
+	m := New(DefaultConfig())
+	r := feed(m, isa.Balanced, 20_000)
+	if r.Instructions != 20_000 {
+		t.Fatalf("instructions = %d", r.Instructions)
+	}
+	if r.TimePs <= 0 || r.EnergyPJ <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+}
+
+func TestIPCReasonable(t *testing.T) {
+	m := New(DefaultConfig())
+	r := feed(m, isa.IntHeavy, 50_000)
+	ipc := r.IPCAt(1000)
+	if ipc < 0.3 || ipc > 4 {
+		t.Errorf("int-heavy IPC = %.2f, want a plausible value in [0.3, 4]", ipc)
+	}
+}
+
+func TestMemBoundSlowerThanIntHeavy(t *testing.T) {
+	mi := New(DefaultConfig())
+	ri := feed(mi, isa.IntHeavy, 30_000)
+	mm := New(DefaultConfig())
+	rm := feed(mm, isa.MemBound, 30_000)
+	if rm.TimePs <= ri.TimePs {
+		t.Errorf("memory-bound (%d ps) not slower than int-heavy (%d ps)", rm.TimePs, ri.TimePs)
+	}
+	if rm.L2MissRate == 0 {
+		t.Error("memory-bound mix produced no L2 misses")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := feed(New(DefaultConfig()), isa.Balanced, 10_000)
+	b := feed(New(DefaultConfig()), isa.Balanced, 10_000)
+	if a.TimePs != b.TimePs || a.EnergyPJ != b.EnergyPJ {
+		t.Errorf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestSlowerDomainSlowsExecution(t *testing.T) {
+	base := feed(New(DefaultConfig()), isa.IntHeavy, 30_000)
+	m := New(DefaultConfig())
+	m.Clock(arch.Integer).SetImmediate(0, 250)
+	slow := feed(m, isa.IntHeavy, 30_000)
+	if slow.TimePs <= base.TimePs {
+		t.Error("quarter-speed integer domain did not slow an int-heavy run")
+	}
+	if slow.AvgMHz[arch.Integer] > 260 {
+		t.Errorf("integer avg MHz = %v, want ~250", slow.AvgMHz[arch.Integer])
+	}
+}
+
+func TestIdleDomainScalingIsCheap(t *testing.T) {
+	base := feed(New(DefaultConfig()), isa.IntHeavy, 30_000)
+	m := New(DefaultConfig())
+	m.Clock(arch.FP).SetImmediate(0, 250)
+	slow := feed(m, isa.IntHeavy, 30_000)
+	// IntHeavy has no FP work: slowing FP must not hurt performance
+	// (beyond 1%) and must save energy.
+	if float64(slow.TimePs) > float64(base.TimePs)*1.01 {
+		t.Errorf("slowing idle FP cost %.2f%%",
+			(float64(slow.TimePs)/float64(base.TimePs)-1)*100)
+	}
+	if slow.EnergyPJ >= base.EnergyPJ {
+		t.Error("slowing idle FP did not save energy")
+	}
+}
+
+func TestVoltageScalingSavesEnergyQuadratically(t *testing.T) {
+	m := New(DefaultConfig())
+	m.SetAllImmediate(0, 500)
+	half := feed(m, isa.Balanced, 20_000)
+	full := feed(New(DefaultConfig()), isa.Balanced, 20_000)
+	// At half frequency (V = 0.925 of 1.2): dynamic energy per op scales
+	// by (0.925/1.2)^2 = 0.59; clock energy also falls. Expect >25%
+	// total energy saving despite leakage over longer time.
+	saving := 1 - half.EnergyPJ/full.EnergyPJ
+	if saving < 0.20 {
+		t.Errorf("half-speed energy saving = %.2f, want > 0.20", saving)
+	}
+	if half.TimePs <= full.TimePs {
+		t.Error("half speed was not slower")
+	}
+}
+
+func TestSyncPenaltiesAccrue(t *testing.T) {
+	m := New(DefaultConfig())
+	r := feed(m, isa.Balanced, 20_000)
+	if r.SyncCrossings == 0 {
+		t.Fatal("no synchronization crossings recorded")
+	}
+	if r.SyncPenalties == 0 {
+		t.Error("no synchronization penalties with jittered unrelated clocks")
+	}
+	rate := float64(r.SyncPenalties) / float64(r.SyncCrossings)
+	if rate > 0.6 {
+		t.Errorf("sync penalty rate %.2f implausibly high", rate)
+	}
+}
+
+func TestGloballySynchronousNoPenalties(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sync.Disabled = true
+	m := New(cfg)
+	r := feed(m, isa.Balanced, 20_000)
+	if r.SyncPenalties != 0 {
+		t.Errorf("disabled sync recorded %d penalties", r.SyncPenalties)
+	}
+}
+
+func TestMCDBaselinePenaltySmall(t *testing.T) {
+	// The MCD design costs a small amount vs the globally synchronous
+	// core (paper: ~1.3% average, max 3.6%).
+	mcd := feed(New(DefaultConfig()), isa.Balanced, 40_000)
+	cfg := DefaultConfig()
+	cfg.Sync.Disabled = true
+	syncR := feed(New(cfg), isa.Balanced, 40_000)
+	pen := float64(mcd.TimePs)/float64(syncR.TimePs) - 1
+	if pen < 0 {
+		t.Errorf("MCD baseline faster than synchronous: %.3f", pen)
+	}
+	if pen > 0.08 {
+		t.Errorf("MCD baseline penalty %.1f%%, want a few percent", pen*100)
+	}
+}
+
+func TestReconfigInstructionRampsDomain(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	b := isa.NewBuilder("reconf")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(isa.IntHeavy, 150_000))
+	p := b.Finish(main)
+
+	// Feed a reconfiguration instruction by hand, then the block. The
+	// full-range ramp takes 55 us, so the run must be long enough for
+	// the frequency to settle (150k instructions is roughly 130 us).
+	ins := isa.Instr{Class: isa.Reconfig, PC: 0x40, Freqs: [4]uint16{1000, 1000, 250, 1000}}
+	m.Instr(&ins)
+	p.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: 160_000})
+	r := m.Finalize()
+	if got := r.AvgMHz[arch.FP]; got > 600 {
+		t.Errorf("FP avg MHz = %.0f, want ramped down toward 250", got)
+	}
+	if got := r.AvgMHz[arch.Integer]; got < 990 {
+		t.Errorf("integer avg MHz = %.0f, want unchanged", got)
+	}
+}
+
+func TestTrackInstructionCharged(t *testing.T) {
+	m := New(DefaultConfig())
+	ins := isa.Instr{Class: isa.Track, PC: 0x40, Src1: 9}
+	m.Instr(&ins)
+	if m.Seq() != 1 {
+		t.Error("track instruction not consumed")
+	}
+	if m.Book().Events[arch.FrontEnd] == 0 {
+		t.Error("no front-end energy charged for injected instruction")
+	}
+}
+
+func TestMispredictsDetected(t *testing.T) {
+	m := New(DefaultConfig())
+	r := feed(m, isa.Branchy, 40_000)
+	if r.Mispredicts == 0 {
+		t.Error("branchy mix produced no mispredicts")
+	}
+	if r.MispredictRate > 0.5 {
+		t.Errorf("mispredict rate %.2f implausible", r.MispredictRate)
+	}
+}
+
+func TestControllerIntervalStats(t *testing.T) {
+	m := New(DefaultConfig())
+	var calls int
+	var lastStats IntervalStats
+	m.SetController(controllerFunc(func(_ *Machine, _ int64, s IntervalStats) {
+		calls++
+		lastStats = s
+	}), 5000)
+	feed(m, isa.Balanced, 20_000)
+	if calls < 3 {
+		t.Fatalf("controller called %d times, want >= 3", calls)
+	}
+	if lastStats.Instructions == 0 || lastStats.ElapsedPs == 0 {
+		t.Errorf("empty interval stats: %+v", lastStats)
+	}
+	var busy int64
+	for _, v := range lastStats.BusyPs {
+		busy += v
+	}
+	if busy == 0 {
+		t.Error("no busy time recorded")
+	}
+}
+
+type controllerFunc func(*Machine, int64, IntervalStats)
+
+func (f controllerFunc) OnInterval(m *Machine, now int64, s IntervalStats) { f(m, now, s) }
+
+func TestCommitTimesMonotonic(t *testing.T) {
+	m := New(DefaultConfig())
+	var prev int64
+	m.SetTracer(tracerFunc(func(seq int64, ins *isa.Instr, tm *Times) {
+		if tm.Commit < prev {
+			t.Fatalf("commit time went backward at %d: %d < %d", seq, tm.Commit, prev)
+		}
+		prev = tm.Commit
+		if tm.Issue < tm.Dispatch || tm.Complete < tm.Issue || tm.Commit < tm.Complete {
+			t.Fatalf("pipeline order violated at %d: %+v", seq, tm)
+		}
+	}))
+	feed(m, isa.Balanced, 20_000)
+}
+
+type tracerFunc func(int64, *isa.Instr, *Times)
+
+func (f tracerFunc) Trace(seq int64, ins *isa.Instr, t *Times) { f(seq, ins, t) }
+
+func TestEnergyDelayConsistency(t *testing.T) {
+	r := feed(New(DefaultConfig()), isa.Balanced, 5000)
+	if r.EnergyDelay() != r.EnergyPJ*float64(r.TimePs) {
+		t.Error("EnergyDelay mismatch")
+	}
+}
+
+func TestDomainEnergyBreakdownSums(t *testing.T) {
+	r := feed(New(DefaultConfig()), isa.Balanced, 10_000)
+	var sum float64
+	for _, v := range r.DomainPJ {
+		sum += v
+	}
+	if diff := sum - r.EnergyPJ; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("domain energies sum %v != total %v", sum, r.EnergyPJ)
+	}
+}

@@ -1,0 +1,137 @@
+// Package stats computes and formats the paper's reported metrics:
+// per-benchmark performance degradation, energy savings and energy-delay
+// improvement relative to the MCD baseline, and min/max/average summaries
+// across the suite (Figure 7).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Delta holds the three headline metrics, in percent, of one run relative
+// to a baseline run: positive Slowdown means the run was slower; positive
+// EnergySavings and EDImprovement mean the run was better.
+type Delta struct {
+	Slowdown      float64
+	EnergySavings float64
+	EDImprovement float64
+}
+
+// Vs computes the metrics of r relative to base.
+func Vs(r, base sim.Result) Delta {
+	var d Delta
+	if base.TimePs > 0 {
+		d.Slowdown = (float64(r.TimePs)/float64(base.TimePs) - 1) * 100
+	}
+	if base.EnergyPJ > 0 {
+		d.EnergySavings = (1 - r.EnergyPJ/base.EnergyPJ) * 100
+	}
+	if be := base.EnergyDelay(); be > 0 {
+		d.EDImprovement = (1 - r.EnergyDelay()/be) * 100
+	}
+	return d
+}
+
+// String formats the delta compactly.
+func (d Delta) String() string {
+	return fmt.Sprintf("slow=%+.1f%% save=%+.1f%% ed=%+.1f%%",
+		d.Slowdown, d.EnergySavings, d.EDImprovement)
+}
+
+// Summary is a min/max/average triple over a set of values.
+type Summary struct {
+	Min, Max, Avg float64
+	N             int
+}
+
+// Summarize reduces values to a summary; an empty slice yields zeros.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), N: len(values)}
+	sum := 0.0
+	for _, v := range values {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Avg = sum / float64(len(values))
+	return s
+}
+
+// String formats the summary as "min/avg/max".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.1f / %.1f / %.1f", s.Min, s.Avg, s.Max)
+}
+
+// Table is a simple fixed-width text table builder for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v, floats with two
+// decimals.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

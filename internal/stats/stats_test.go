@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func res(timePs int64, energy float64) sim.Result {
+	return sim.Result{TimePs: timePs, EnergyPJ: energy}
+}
+
+func TestVsIdentity(t *testing.T) {
+	base := res(1000, 500)
+	d := Vs(base, base)
+	if d.Slowdown != 0 || d.EnergySavings != 0 || d.EDImprovement != 0 {
+		t.Errorf("self-comparison nonzero: %+v", d)
+	}
+}
+
+func TestVsDirections(t *testing.T) {
+	base := res(1000, 500)
+	d := Vs(res(1100, 400), base)
+	if math.Abs(d.Slowdown-10) > 1e-9 {
+		t.Errorf("slowdown = %v, want 10", d.Slowdown)
+	}
+	if math.Abs(d.EnergySavings-20) > 1e-9 {
+		t.Errorf("savings = %v, want 20", d.EnergySavings)
+	}
+	// ED: (400*1100)/(500*1000) = 0.88 -> 12% improvement.
+	if math.Abs(d.EDImprovement-12) > 1e-9 {
+		t.Errorf("ed = %v, want 12", d.EDImprovement)
+	}
+}
+
+func TestVsZeroBaseSafe(t *testing.T) {
+	d := Vs(res(100, 100), res(0, 0))
+	if d.Slowdown != 0 || d.EnergySavings != 0 || d.EDImprovement != 0 {
+		t.Errorf("zero base produced %+v", d)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, -1, 7, 1})
+	if s.Min != -1 || s.Max != 7 || s.Avg != 2.5 || s.N != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Min != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestSummarizeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			// Bound inputs so the sum cannot overflow.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				return true
+			}
+		}
+		if len(vals) > 0 {
+			// Normalize magnitudes to avoid overflow in the average.
+			for i := range vals {
+				vals[i] = math.Mod(vals[i], 1e12)
+			}
+		}
+		s := Summarize(vals)
+		if len(vals) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Avg+1e-9 && s.Avg <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("beta-long-name", 22)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.50") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: every line at least as wide as the widest cell.
+	if len(lines[0]) == 0 || lines[1][0] != '-' {
+		t.Error("missing header rule")
+	}
+}
+
+func TestDeltaString(t *testing.T) {
+	d := Delta{Slowdown: 5.25, EnergySavings: 20.5, EDImprovement: 16.33}
+	s := d.String()
+	if !strings.Contains(s, "+5.2") || !strings.Contains(s, "+20.5") {
+		t.Errorf("delta string = %q", s)
+	}
+}

@@ -1,0 +1,77 @@
+// Package threshold implements phase three of the paper's pipeline:
+// slowdown thresholding (Section 3.3). Domains cannot scale individual
+// events, so for each long-running call-tree node and each domain it
+// picks the minimum ladder frequency such that the extra time of all
+// events whose shaken ideal frequency is higher than the chosen one stays
+// within a slowdown bound of the node's total ideal event time.
+package threshold
+
+import (
+	"repro/internal/arch"
+	"repro/internal/dvfs"
+	"repro/internal/shaker"
+)
+
+// Choose returns, per scalable domain, the minimum frequency (MHz) that
+// keeps the estimated slowdown within deltaPct percent. Domains with no
+// recorded events idle at the minimum frequency.
+func Choose(h *shaker.DomainHists, deltaPct float64) [arch.NumScalable]int {
+	var out [arch.NumScalable]int
+	for d := 0; d < arch.NumScalable; d++ {
+		out[d] = chooseDomain(&h[d], deltaPct)
+	}
+	return out
+}
+
+func chooseDomain(h *shaker.Hist, deltaPct float64) int {
+	// Total ideal time: every bin's weight is full-speed duration; an
+	// event ideally at ladder frequency f takes weight * FMax/f.
+	ideal := 0.0
+	for i, w := range h.Bins {
+		if w > 0 {
+			ideal += w * float64(dvfs.FMaxMHz) / float64(dvfs.StepMHzAt(i))
+		}
+	}
+	if ideal == 0 {
+		return dvfs.FMinMHz
+	}
+	budget := ideal * deltaPct / 100
+	for i := 0; i < dvfs.NumSteps; i++ {
+		f := float64(dvfs.StepMHzAt(i))
+		extra := 0.0
+		for j := i + 1; j < dvfs.NumSteps; j++ {
+			w := h.Bins[j]
+			if w == 0 {
+				continue
+			}
+			fj := float64(dvfs.StepMHzAt(j))
+			extra += w * float64(dvfs.FMaxMHz) * (1/f - 1/fj)
+		}
+		if extra <= budget {
+			return dvfs.StepMHzAt(i)
+		}
+	}
+	return dvfs.FMaxMHz
+}
+
+// EstimatedSlowdown returns the estimated fractional slowdown of running
+// the domain at mhz, relative to the shaken ideal times.
+func EstimatedSlowdown(h *shaker.Hist, mhz int) float64 {
+	ideal := 0.0
+	extra := 0.0
+	f := float64(mhz)
+	for i, w := range h.Bins {
+		if w == 0 {
+			continue
+		}
+		fi := float64(dvfs.StepMHzAt(i))
+		ideal += w * float64(dvfs.FMaxMHz) / fi
+		if fi > f {
+			extra += w * float64(dvfs.FMaxMHz) * (1/f - 1/fi)
+		}
+	}
+	if ideal == 0 {
+		return 0
+	}
+	return extra / ideal
+}

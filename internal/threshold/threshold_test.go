@@ -1,0 +1,124 @@
+package threshold
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/dvfs"
+	"repro/internal/shaker"
+)
+
+func histAt(mhz int, weight float64) *shaker.Hist {
+	var h shaker.Hist
+	h.Bins[dvfs.StepIndex(mhz)] = weight
+	return &h
+}
+
+func TestEmptyDomainIdlesAtMinimum(t *testing.T) {
+	var h shaker.DomainHists
+	f := Choose(&h, 5)
+	for d, mhz := range f {
+		if mhz != dvfs.FMinMHz {
+			t.Errorf("idle domain %d chose %d MHz, want %d", d, mhz, dvfs.FMinMHz)
+		}
+	}
+}
+
+func TestAllWeightAtOneBin(t *testing.T) {
+	// All events ideal at 500 MHz: the chosen frequency is 500 (zero
+	// extra time, any delta).
+	var h shaker.DomainHists
+	h[arch.Integer] = *histAt(500, 1000)
+	f := Choose(&h, 1)
+	if f[arch.Integer] != 500 {
+		t.Errorf("chose %d, want 500", f[arch.Integer])
+	}
+}
+
+func TestFullSpeedWeightForcesFullSpeed(t *testing.T) {
+	var h shaker.DomainHists
+	h[arch.FP] = *histAt(1000, 1000)
+	f := Choose(&h, 0) // no slowdown budget at all
+	if f[arch.FP] != 1000 {
+		t.Errorf("chose %d, want 1000", f[arch.FP])
+	}
+}
+
+func TestBudgetAllowsLower(t *testing.T) {
+	// 10% of weight at full speed, the rest at 250 MHz: a modest delta
+	// lets the domain run well below full speed.
+	var h shaker.DomainHists
+	hist := &h[arch.Memory]
+	hist.Bins[dvfs.StepIndex(1000)] = 100
+	hist.Bins[dvfs.StepIndex(250)] = 900
+	f3 := Choose(&h, 3)[arch.Memory]
+	f20 := Choose(&h, 20)[arch.Memory]
+	if f3 <= 250 || f3 >= 1000 {
+		t.Errorf("delta=3 chose %d, want intermediate", f3)
+	}
+	if f20 > f3 {
+		t.Errorf("larger delta chose higher frequency: %d > %d", f20, f3)
+	}
+}
+
+func TestMonotonicInDelta(t *testing.T) {
+	var h shaker.DomainHists
+	hist := &h[arch.Integer]
+	hist.Bins[dvfs.StepIndex(1000)] = 300
+	hist.Bins[dvfs.StepIndex(700)] = 300
+	hist.Bins[dvfs.StepIndex(400)] = 400
+	prev := dvfs.FMaxMHz + 1
+	for _, delta := range []float64{0, 0.5, 1, 2, 4, 8, 16, 32} {
+		f := Choose(&h, delta)[arch.Integer]
+		if f > prev {
+			t.Fatalf("frequency not monotone in delta: %d after %d", f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestChosenFrequencySatisfiesBudget(t *testing.T) {
+	f := func(w1, w2, w3 uint16, deltaQ uint8) bool {
+		var h shaker.DomainHists
+		hist := &h[arch.Integer]
+		hist.Bins[dvfs.StepIndex(1000)] = float64(w1)
+		hist.Bins[dvfs.StepIndex(625)] = float64(w2)
+		hist.Bins[dvfs.StepIndex(300)] = float64(w3)
+		delta := float64(deltaQ%150) / 10
+		mhz := Choose(&h, delta)[arch.Integer]
+		// The estimate at the chosen frequency must be within budget.
+		return EstimatedSlowdown(hist, mhz) <= delta/100+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimatedSlowdown(t *testing.T) {
+	h := histAt(1000, 1000)
+	if got := EstimatedSlowdown(h, 1000); got != 0 {
+		t.Errorf("no slowdown at ideal frequency, got %v", got)
+	}
+	// Running 1000-ideal work at 500: each event takes twice as long.
+	if got := EstimatedSlowdown(h, 500); got < 0.99 || got > 1.01 {
+		t.Errorf("slowdown at half speed = %v, want 1.0", got)
+	}
+	var empty shaker.Hist
+	if got := EstimatedSlowdown(&empty, 250); got != 0 {
+		t.Errorf("empty histogram slowdown = %v", got)
+	}
+}
+
+func TestPerDomainIndependence(t *testing.T) {
+	var h shaker.DomainHists
+	h[arch.FrontEnd] = *histAt(1000, 500)
+	h[arch.FP] = *histAt(250, 500)
+	f := Choose(&h, 1)
+	if f[arch.FrontEnd] != 1000 {
+		t.Errorf("front end chose %d, want 1000", f[arch.FrontEnd])
+	}
+	if f[arch.FP] != 250 {
+		t.Errorf("fp chose %d, want 250", f[arch.FP])
+	}
+}

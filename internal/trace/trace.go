@@ -1,0 +1,408 @@
+// Package trace collects dependence DAGs of primitive events during a
+// full-speed simulation run (phase two input, paper Section 3.2). A
+// primitive event is temporally contiguous work performed within a single
+// hardware unit on behalf of a single instruction; the collector records
+// three events per instruction (front-end fetch/dispatch, execution in
+// its domain, front-end commit) together with program-order, data,
+// and control dependence edges, segmented by long-running call-tree node.
+package trace
+
+import (
+	"repro/internal/arch"
+	"repro/internal/calltree"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Event is one primitive event in a dependence DAG.
+type Event struct {
+	Domain arch.Domain
+	Start  int64 // ps, full-speed run
+	End    int64
+	// Weight is the event's serial-equivalent work in picoseconds: its
+	// duration divided by the width of the hardware resource it occupies
+	// (a 4-wide fetch stage does 1/4 cycle of serial work per
+	// instruction). Histogram budgets are computed over weights so a
+	// node's summed event time approximates its wall-clock time.
+	Weight float64
+	// Out lists successor event indices within the same segment.
+	Out []int32
+}
+
+// Segment is a dependence DAG covering a contiguous stretch of one
+// call-tree node's exclusive execution.
+type Segment struct {
+	Node   *calltree.Node
+	Events []Event
+}
+
+// Duration returns the wall-clock span of the segment.
+func (s *Segment) Duration() int64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	lo, hi := s.Events[0].Start, s.Events[0].End
+	for _, e := range s.Events {
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+	}
+	return hi - lo
+}
+
+// Collector implements sim.Tracer and sim.MarkerSink. It walks the
+// finalized training call tree in lockstep with the simulation, opening a
+// segment whenever execution enters a long-running node (up to
+// MaxInstances instances per node) and closing it on exit or when a
+// long-running child takes over (the child's execution is excluded from
+// the parent's DAG, mirroring the exclusive-instruction accounting).
+type Collector struct {
+	// MaxInstances bounds captured instances per node.
+	MaxInstances int
+	// MaxEvents bounds events per segment; longer instances are split.
+	MaxEvents int
+	// OnSegment receives each completed segment.
+	OnSegment func(*Segment)
+
+	tree        *calltree.Tree
+	stack       []*calltree.Node
+	pendingSite int32
+	seen        map[*calltree.Node]int
+
+	// capture state
+	capStack []*capture
+
+	// recent execution events for data dependencies: ring indexed by
+	// global sequence number.
+	ring [ringSize]ref
+}
+
+const ringSize = 1 << 16
+
+// basePeriodPs is the full-speed clock period; training runs execute at
+// the base frequency, so front-end stage events last one base cycle.
+const basePeriodPs = 1000
+
+// fetchWidth and retireWidth mirror the Table 1 machine widths for the
+// front-end program-order chains.
+const (
+	fetchWidth  = 4
+	retireWidth = 11
+	robSize     = 80
+)
+
+type ref struct {
+	seg *Segment
+	idx int32
+}
+
+type capture struct {
+	seg  *Segment
+	node *calltree.Node
+	// fetchQ and commitQ hold recent front-end event indices for
+	// width-limited program-order chains (fetch width 4, retire width 11).
+	fetchQ  []int32
+	commitQ []int32
+	// robQ holds the last ROBSize commit-event indices: an instruction
+	// cannot dispatch until the instruction ROBSize back has retired.
+	robQ []int32
+	// redirect is the execution-event index of a pending mispredicted
+	// branch; the next fetch depends on it.
+	redirect int32
+	// redirectFrom is the completion time of the pending mispredicted
+	// branch, the start of the refill event.
+	redirectFrom int64
+	// lastExec holds recent execution-event indices per domain, used to
+	// wire issue-bandwidth edges: an event cannot start before the event
+	// K issues earlier in the same domain finished, where K is the
+	// domain's functional-unit count.
+	lastExec [arch.NumScalable][]int32
+}
+
+// NewCollector builds a collector against a finalized training tree.
+func NewCollector(tree *calltree.Tree, maxInstances, maxEvents int, onSegment func(*Segment)) *Collector {
+	c := &Collector{
+		MaxInstances: maxInstances,
+		MaxEvents:    maxEvents,
+		OnSegment:    onSegment,
+		tree:         tree,
+		seen:         make(map[*calltree.Node]int),
+		pendingSite:  -1,
+	}
+	c.stack = append(c.stack, tree.Root)
+	return c
+}
+
+func (c *Collector) top() *calltree.Node { return c.stack[len(c.stack)-1] }
+
+func (c *Collector) onStack(kind calltree.NodeKind, id int32) *calltree.Node {
+	for i := len(c.stack) - 1; i >= 1; i-- {
+		n := c.stack[i]
+		if n.Kind == kind && n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// findChild locates the existing tree child (phase one built the tree
+// from the same walk, so it is always present unless the window differs).
+func (c *Collector) findChild(kind calltree.NodeKind, id, site int32) *calltree.Node {
+	parent := c.top()
+	for _, ch := range parent.Children {
+		if ch.Kind == kind && ch.ID == id && ch.Site == site {
+			return ch
+		}
+	}
+	return nil
+}
+
+// MachineMarker implements sim.MarkerSink.
+func (c *Collector) MachineMarker(m isa.Marker, now int64) {
+	scheme := c.tree.Scheme
+	switch m.Kind {
+	case isa.CallSite:
+		if scheme.Sites {
+			c.pendingSite = m.Site
+		}
+	case isa.SubEnter:
+		site := int32(-1)
+		if scheme.Sites {
+			site = c.pendingSite
+		}
+		c.pendingSite = -1
+		if n := c.onStack(calltree.SubNode, m.ID); n != nil {
+			c.stack = append(c.stack, n)
+			return
+		}
+		c.enter(calltree.SubNode, m.ID, site)
+	case isa.SubExit:
+		c.exit()
+	case isa.LoopEnter:
+		if !scheme.Loops {
+			return
+		}
+		if n := c.onStack(calltree.LoopNode, m.ID); n != nil {
+			c.stack = append(c.stack, n)
+			return
+		}
+		c.enter(calltree.LoopNode, m.ID, -1)
+	case isa.LoopExit:
+		if !scheme.Loops {
+			return
+		}
+		c.exit()
+	}
+}
+
+func (c *Collector) enter(kind calltree.NodeKind, id, site int32) {
+	n := c.findChild(kind, id, site)
+	if n == nil {
+		// Node outside the profiled window; track position anyway.
+		n = &calltree.Node{Kind: kind, ID: id, Site: site, Parent: c.top()}
+	}
+	c.stack = append(c.stack, n)
+	if n.LongRunning && c.seen[n] < c.MaxInstances {
+		c.seen[n]++
+		c.capStack = append(c.capStack, &capture{
+			seg:      &Segment{Node: n},
+			node:     n,
+			redirect: -1,
+		})
+	}
+}
+
+func (c *Collector) exit() {
+	if len(c.stack) <= 1 {
+		return
+	}
+	leaving := c.top()
+	c.stack = c.stack[:len(c.stack)-1]
+	if len(c.capStack) > 0 {
+		capt := c.capStack[len(c.capStack)-1]
+		if capt.node == leaving {
+			c.capStack = c.capStack[:len(c.capStack)-1]
+			c.flush(capt)
+		}
+	}
+}
+
+// bandwidthOf returns the per-cycle issue bandwidth (functional units)
+// of a domain, used for structural-hazard edges.
+func bandwidthOf(d arch.Domain) int {
+	switch d {
+	case arch.Integer:
+		return 5 // 4 ALUs + 1 mul/div
+	case arch.FP:
+		return 3 // 2 ALUs + 1 mul/div/sqrt
+	case arch.Memory:
+		return 2 // load/store ports
+	default:
+		return 4 // front-end width
+	}
+}
+
+func (c *Collector) flush(capt *capture) {
+	if len(capt.seg.Events) > 0 && c.OnSegment != nil {
+		c.OnSegment(capt.seg)
+	}
+}
+
+// active returns the innermost open capture whose node is the innermost
+// long-running node currently executing exclusively, or nil.
+func (c *Collector) active() *capture {
+	if len(c.capStack) == 0 {
+		return nil
+	}
+	capt := c.capStack[len(c.capStack)-1]
+	// Exclusive accounting: if a long-running node deeper than the
+	// capture's node is on the stack without its own capture (instance
+	// budget exhausted), skip collection there too.
+	for i := len(c.stack) - 1; i >= 1; i-- {
+		n := c.stack[i]
+		if n == capt.node {
+			return capt
+		}
+		if n.LongRunning {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Trace implements sim.Tracer: it appends up to three events for the
+// instruction and wires dependence edges.
+func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
+	capt := c.active()
+	if capt == nil {
+		c.ring[seq&(ringSize-1)] = ref{}
+		return
+	}
+	seg := capt.seg
+	if len(seg.Events) >= c.MaxEvents {
+		// Split: close this segment and continue in a fresh one.
+		c.flush(capt)
+		capt.seg = &Segment{Node: capt.node}
+		capt.fetchQ, capt.commitQ, capt.robQ = nil, nil, nil
+		capt.redirect = -1
+		capt.lastExec = [arch.NumScalable][]int32{}
+		seg = capt.seg
+	}
+	base := int32(len(seg.Events))
+	fetchIdx, execIdx, commitIdx := base, base+1, base+2
+	// Front-end events model the one-cycle fetch and retire stage slots;
+	// the full fetch-to-dispatch span overlaps across instructions and
+	// would otherwise show false negative slack.
+	seg.Events = append(seg.Events,
+		Event{Domain: arch.FrontEnd, Start: t.Fetch, End: t.Fetch + basePeriodPs,
+			Weight: basePeriodPs / fetchWidth},
+		Event{Domain: t.Dom, Start: t.Issue, End: t.Complete,
+			Weight: float64(t.Complete-t.Issue) / float64(bandwidthOf(t.Dom))},
+		Event{Domain: arch.FrontEnd, Start: t.Commit, End: t.Commit + basePeriodPs,
+			Weight: basePeriodPs / retireWidth},
+	)
+	ev := seg.Events
+	// Pipeline edges.
+	ev[fetchIdx].Out = append(ev[fetchIdx].Out, execIdx)
+	ev[execIdx].Out = append(ev[execIdx].Out, commitIdx)
+	// Width-limited program order within the front end: the fetch slot
+	// four instructions back and the retire slot eleven back bound this
+	// instruction's front-end events.
+	if q := capt.fetchQ; len(q) >= fetchWidth {
+		ev[q[len(q)-fetchWidth]].Out = append(ev[q[len(q)-fetchWidth]].Out, fetchIdx)
+		capt.fetchQ = append(q[1:], fetchIdx)
+	} else {
+		capt.fetchQ = append(q, fetchIdx)
+	}
+	if q := capt.commitQ; len(q) >= retireWidth {
+		ev[q[len(q)-retireWidth]].Out = append(ev[q[len(q)-retireWidth]].Out, commitIdx)
+		capt.commitQ = append(q[1:], commitIdx)
+	} else {
+		capt.commitQ = append(q, commitIdx)
+	}
+	// Control dependence: fetch after a mispredicted branch waits through
+	// the redirect/refill, which is front-end work whose duration scales
+	// with the front-end clock. Modeling it as an FE event (rather than a
+	// gap) keeps the shaker from reading the stall as stretchable slack
+	// and charges the refill cycles to the FE histogram.
+	if capt.redirect >= 0 {
+		rIdx := int32(len(seg.Events))
+		seg.Events = append(seg.Events, Event{
+			Domain: arch.FrontEnd,
+			Start:  capt.redirectFrom,
+			End:    t.Fetch,
+			// Refill work is serial: full weight.
+			Weight: float64(t.Fetch - capt.redirectFrom),
+		})
+		ev = seg.Events
+		ev[capt.redirect].Out = append(ev[capt.redirect].Out, rIdx)
+		ev[rIdx].Out = append(ev[rIdx].Out, fetchIdx)
+		capt.redirect = -1
+	}
+	if t.Mispredict {
+		capt.redirect = execIdx
+		capt.redirectFrom = t.Complete
+	}
+	// ROB backpressure: dispatch of this instruction requires the commit
+	// of the instruction ROBSize earlier. The edge matters only when the
+	// window was actually full (the commit happened at or after this
+	// fetch); otherwise the ROB had room and imposes no constraint.
+	if q := capt.robQ; len(q) >= robSize {
+		prev := q[len(q)-robSize]
+		if ev[prev].Start <= ev[fetchIdx].Start {
+			ev[prev].Out = append(ev[prev].Out, fetchIdx)
+		}
+		capt.robQ = append(q[1:], commitIdx)
+	} else {
+		capt.robQ = append(q, commitIdx)
+	}
+	// Issue-bandwidth edge: with K units in the domain, the K-th previous
+	// execution event bounds this one (structural hazard). Without these
+	// edges the shaker sees far more slack than the machine has. The edge
+	// is added only when the constraint was (nearly) binding in the
+	// observed schedule; a long-idle unit is genuine headroom.
+	if t.Dom < arch.NumScalable {
+		q := capt.lastExec[t.Dom]
+		k := bandwidthOf(t.Dom)
+		if len(q) >= k {
+			prev := q[len(q)-k]
+			// Keep the edge only when it points forward in time; an
+			// out-of-order overlap carries no constraint.
+			if ev[prev].Start <= ev[execIdx].Start {
+				ev[prev].Out = append(ev[prev].Out, execIdx)
+			}
+			q = q[1:]
+		}
+		capt.lastExec[t.Dom] = append(q, execIdx)
+	}
+	// Data dependencies to producers inside the same segment.
+	for _, src := range [2]uint16{ins.Src1, ins.Src2} {
+		if src == 0 || int64(src) > seq {
+			continue
+		}
+		r := c.ring[(seq-int64(src))&(ringSize-1)]
+		if r.seg == seg && r.idx >= 0 {
+			seg.Events[r.idx].Out = append(seg.Events[r.idx].Out, execIdx)
+		}
+	}
+	c.ring[seq&(ringSize-1)] = ref{seg: seg, idx: execIdx}
+
+	// Control dependence: a mispredicted branch gates later fetch; the
+	// in-order fetch chain plus this edge approximates it.
+	if ins.Class == isa.Branch && ins.Taken {
+		// Taken branches steer fetch; edge from execute to next fetch is
+		// added lazily via the fetch chain (fetch already serialized).
+		_ = execIdx
+	}
+}
+
+// Close flushes any open captures at end of simulation.
+func (c *Collector) Close() {
+	for i := len(c.capStack) - 1; i >= 0; i-- {
+		c.flush(c.capStack[i])
+	}
+	c.capStack = nil
+}

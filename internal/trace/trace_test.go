@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/calltree"
+	"repro/internal/isa"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+)
+
+// buildLRProgram returns a program with one long-running subroutine
+// called several times.
+func buildLRProgram(calls int) *isa.Program {
+	b := isa.NewBuilder("tracetest")
+	main := b.Subroutine("main")
+	leaf := b.Subroutine("leaf")
+	b.SetBody(leaf, b.Block(isa.Balanced, 15_000))
+	call := b.Call(leaf)
+	body := []isa.Node{b.Block(isa.IntHeavy, 12_000)}
+	for i := 0; i < calls; i++ {
+		body = append(body, call)
+	}
+	b.SetBody(main, body...)
+	return b.Finish(main)
+}
+
+func collectSegments(p *isa.Program, maxInstances, maxEvents int) []*Segment {
+	tree := profiler.Profile(p, isa.Input{Name: "train"}, 1<<40, calltree.LFCP)
+	var segs []*Segment
+	c := NewCollector(tree, maxInstances, maxEvents, func(s *Segment) { segs = append(segs, s) })
+	m := sim.New(sim.DefaultConfig())
+	m.SetTracer(c)
+	m.SetMarkerSink(c)
+	p.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: 1 << 40})
+	c.Close()
+	return segs
+}
+
+func TestSegmentsPerNodeInstanceBound(t *testing.T) {
+	p := buildLRProgram(5)
+	segs := collectSegments(p, 2, 1_000_000)
+	perNode := map[*calltree.Node]int{}
+	for _, s := range segs {
+		perNode[s.Node]++
+	}
+	for n, k := range perNode {
+		if k > 2 {
+			t.Errorf("node %s captured %d instances, max 2", n.Path(), k)
+		}
+	}
+	if len(perNode) < 2 { // main + leaf
+		t.Errorf("captured %d distinct nodes, want >= 2", len(perNode))
+	}
+}
+
+func TestEventsWellFormed(t *testing.T) {
+	p := buildLRProgram(2)
+	segs := collectSegments(p, 1, 1_000_000)
+	if len(segs) == 0 {
+		t.Fatal("no segments collected")
+	}
+	for _, s := range segs {
+		for i, e := range s.Events {
+			if e.End < e.Start {
+				t.Fatalf("event %d has negative duration", i)
+			}
+			if e.Domain >= arch.NumDomains {
+				t.Fatalf("event %d has bad domain %d", i, e.Domain)
+			}
+			for _, o := range e.Out {
+				if int(o) >= len(s.Events) || o < 0 {
+					t.Fatalf("event %d has out-of-range edge %d", i, o)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgesAreForwardInProgramOrder(t *testing.T) {
+	// Edges may have negative slack (overlap) but must always point to
+	// an event that starts no earlier than the source's start.
+	p := buildLRProgram(2)
+	segs := collectSegments(p, 1, 1_000_000)
+	for _, s := range segs {
+		for i, e := range s.Events {
+			for _, o := range e.Out {
+				if s.Events[o].Start < e.Start {
+					t.Fatalf("edge %d->%d goes backward in time", i, o)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxEventsSplitsSegments(t *testing.T) {
+	p := buildLRProgram(1)
+	small := collectSegments(p, 1, 5000)
+	var over int
+	for _, s := range small {
+		// One Trace call appends at most four events after the cap check.
+		if len(s.Events) > 5000+4 {
+			over++
+		}
+	}
+	if over > 0 {
+		t.Errorf("%d segments exceed the event cap", over)
+	}
+	if len(small) < 2 {
+		t.Errorf("expected split segments, got %d", len(small))
+	}
+}
+
+func TestExclusiveCapture(t *testing.T) {
+	// The parent's segments must not include the long-running child's
+	// instructions: total parent events should reflect only main's own
+	// block.
+	p := buildLRProgram(3)
+	segs := collectSegments(p, 100, 1_000_000)
+	var mainEvents, leafEvents int
+	for _, s := range segs {
+		if s.Node.Kind == calltree.SubNode && s.Node.ID == 0 {
+			mainEvents += len(s.Events)
+		} else {
+			leafEvents += len(s.Events)
+		}
+	}
+	// main block = 12000 instructions (~3 events each); leaf = 3 calls x
+	// 15000. If the parent captured child work, mainEvents would be ~4x
+	// larger.
+	if mainEvents > 12_000*4 {
+		t.Errorf("main captured %d events, leaked child work", mainEvents)
+	}
+	if leafEvents < 15_000*2 {
+		t.Errorf("leaf captured %d events, too few", leafEvents)
+	}
+}
+
+func TestWeightsAssigned(t *testing.T) {
+	p := buildLRProgram(1)
+	segs := collectSegments(p, 1, 1_000_000)
+	for _, s := range segs {
+		for i, e := range s.Events {
+			if e.End > e.Start && e.Weight <= 0 {
+				t.Fatalf("event %d has duration but zero weight", i)
+			}
+		}
+	}
+}
+
+func TestSegmentDuration(t *testing.T) {
+	s := &Segment{Events: []Event{
+		{Start: 100, End: 200},
+		{Start: 150, End: 400},
+	}}
+	if d := s.Duration(); d != 300 {
+		t.Errorf("duration = %d, want 300", d)
+	}
+	if (&Segment{}).Duration() != 0 {
+		t.Error("empty segment duration != 0")
+	}
+}

@@ -1,0 +1,99 @@
+// Package workload defines the 19 benchmark stand-ins (12 MediaBench
+// codecs + 7 SPEC CPU2000 programs, paper Table 2) as synthetic programs
+// over the internal/isa IR. Each stand-in is calibrated so its
+// L+F+C+P call trees reproduce the paper's Table 3 exactly: total and
+// long-running node counts under the training and reference inputs, and
+// the common-node/coverage structure (including mpeg2 decode's
+// training-unseen paths, swim's reference-only long-running loops, and
+// vpr's near-disjoint trees). Static instrumentation footprints track
+// Table 4; dynamic execution counts scale with the (downscaled)
+// simulation windows. Instruction mixes follow each benchmark's
+// character so the four MCD domains are loaded the way the paper's
+// discussion describes.
+package workload
+
+import "repro/internal/isa"
+
+// TreeSpec is the Table 3 calibration target, decomposed into node
+// categories. "Common" nodes appear (with identical ancestry) in both
+// the training and reference trees; the others appear in only one.
+// main is always a common, long-running-in-both node and is included in
+// CommonBothLR.
+type TreeSpec struct {
+	// CommonBothLR nodes are long-running under both inputs.
+	CommonBothLR int
+	// CommonTrainLR nodes are common but long-running only when run on
+	// the training input (they shrink below the cutoff on reference).
+	CommonTrainLR int
+	// CommonRefLR nodes are common but long-running only on reference
+	// (swim's loops that "run for more iterations", Section 4.4).
+	CommonRefLR int
+	// CommonPlain nodes never qualify as long-running.
+	CommonPlain int
+	// TrainOnly nodes execute only under the training input;
+	// TrainOnlyLR of them are long-running there.
+	TrainOnly, TrainOnlyLR int
+	// RefOnly nodes execute only under the reference input (mpeg2
+	// decode's paths that "do not arise during training").
+	RefOnly, RefOnlyLR int
+}
+
+// CommonTotal returns the number of common nodes.
+func (t TreeSpec) CommonTotal() int {
+	return t.CommonBothLR + t.CommonTrainLR + t.CommonRefLR + t.CommonPlain
+}
+
+// TrainTotal and TrainLong return the expected training-tree counts.
+func (t TreeSpec) TrainTotal() int { return t.CommonTotal() + t.TrainOnly }
+func (t TreeSpec) TrainLong() int  { return t.CommonBothLR + t.CommonTrainLR + t.TrainOnlyLR }
+
+// RefTotal and RefLong return the expected reference-tree counts.
+func (t TreeSpec) RefTotal() int { return t.CommonTotal() + t.RefOnly }
+func (t TreeSpec) RefLong() int  { return t.CommonBothLR + t.CommonRefLR + t.RefOnlyLR }
+
+// CommonLong returns the expected count of nodes long-running in both.
+func (t TreeSpec) CommonLong() int { return t.CommonBothLR }
+
+// Spec fully describes one benchmark stand-in.
+type Spec struct {
+	Name string
+	Tree TreeSpec
+
+	// Mixes is the instruction-mix palette cycled across nodes,
+	// reflecting the benchmark's character.
+	Mixes []*isa.Mix
+
+	// ReuseFrac is the fraction of leaf subroutine nodes realized by
+	// calling shared subroutines from distinct call sites, collapsing
+	// tree nodes onto fewer static points (Table 4's static columns are
+	// smaller than Table 3's node counts).
+	ReuseFrac float64
+	// LoopFrac is the fraction of common long-running leaves realized
+	// as loop nodes rather than subroutine calls.
+	LoopFrac float64
+	// Containers is the number of long-running container subroutines
+	// the common leaves are distributed under (tree depth).
+	Containers int
+	// LeafInstances is how many times each common leaf executes.
+	LeafInstances int
+	// LRInstrs is the per-instance instruction count of long-running
+	// nodes; PlainInstrs of plain nodes. The "off" size, used by nodes
+	// long-running under only one input, is LRInstrs/3 (safely under
+	// the 10k cutoff).
+	LRInstrs    int
+	PlainInstrs int
+
+	// RefOnlySharesPool makes reference-only leaves call the same
+	// shared subroutines as common leaves (mpeg2 decode: functions
+	// reachable over multiple paths, some unseen in training).
+	RefOnlySharesPool bool
+	// Special selects a hand-built structure: "epic_encode" (one
+	// subroutine called from six sites of its parent with per-call
+	// behaviour) or "art" (a core loop with seven sub-loops).
+	Special string
+
+	// PaperWindows is the Table 2 instruction-window description.
+	PaperWindows string
+	// TrainScale and RefScale feed isa.Input.Scale.
+	TrainScale, RefScale float64
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/calltree"
+	"repro/internal/profiler"
+)
+
+// TestTable3Calibration verifies that every benchmark's L+F+C+P call
+// trees reproduce paper Table 3 exactly: long-running and total node
+// counts under both inputs, and the common-node structure.
+func TestTable3Calibration(t *testing.T) {
+	// Paper Table 3: trainLong trainTotal refLong refTotal commonLong commonTotal.
+	want := map[string][6]int{
+		"adpcm_decode":    {2, 4, 2, 4, 2, 4},
+		"adpcm_encode":    {2, 4, 2, 4, 2, 4},
+		"epic_decode":     {18, 25, 18, 25, 18, 25},
+		"epic_encode":     {65, 91, 65, 91, 65, 91},
+		"g721_decode":     {1, 1, 1, 1, 1, 1},
+		"g721_encode":     {1, 1, 1, 1, 1, 1},
+		"gsm_decode":      {3, 5, 3, 5, 3, 5},
+		"gsm_encode":      {6, 9, 6, 9, 6, 9},
+		"jpeg_compress":   {11, 17, 11, 17, 11, 17},
+		"jpeg_decompress": {4, 6, 4, 6, 4, 6},
+		"mpeg2_decode":    {11, 15, 14, 19, 8, 12},
+		"mpeg2_encode":    {30, 40, 30, 40, 30, 40},
+		"gzip":            {78, 224, 70, 196, 65, 182},
+		"vpr":             {67, 92, 84, 119, 7, 12},
+		"mcf":             {26, 41, 26, 41, 26, 41},
+		"swim":            {16, 23, 25, 32, 16, 23},
+		"applu":           {61, 77, 68, 85, 60, 77},
+		"art":             {65, 98, 68, 100, 65, 98},
+		"equake":          {30, 35, 30, 35, 30, 35},
+	}
+	for _, b := range Suite() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			w, ok := want[b.Name()]
+			if !ok {
+				t.Fatalf("no Table 3 row for %s", b.Name())
+			}
+			trainTree := profiler.Profile(b.Prog, b.Train, b.TrainWindow+1, calltree.LFCP)
+			refTree := profiler.Profile(b.Prog, b.Ref, b.RefWindow+1, calltree.LFCP)
+			commonTotal, commonLong := trainTree.Compare(refTree)
+			got := [6]int{
+				trainTree.NumLongRunning(), trainTree.NumNodes(),
+				refTree.NumLongRunning(), refTree.NumNodes(),
+				commonLong, commonTotal,
+			}
+			if got != w {
+				t.Errorf("tree counts = %v, want %v (trainWindow=%d refWindow=%d)",
+					got, w, b.TrainWindow, b.RefWindow)
+			}
+		})
+	}
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/calltree"
+	"repro/internal/isa"
+	"repro/internal/profiler"
+)
+
+func TestSuiteHas19Benchmarks(t *testing.T) {
+	s := Suite()
+	if len(s) != 19 {
+		t.Fatalf("suite has %d benchmarks, want 19", len(s))
+	}
+	names := map[string]bool{}
+	for _, b := range s {
+		if names[b.Name()] {
+			t.Errorf("duplicate benchmark %s", b.Name())
+		}
+		names[b.Name()] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("gzip") == nil {
+		t.Error("gzip missing")
+	}
+	if ByName("nonexistent") != nil {
+		t.Error("unknown name returned a benchmark")
+	}
+	if len(Names()) != 19 {
+		t.Error("Names() wrong length")
+	}
+}
+
+func TestWindowsPositiveAndBounded(t *testing.T) {
+	for _, b := range Suite() {
+		if b.TrainWindow <= 0 || b.RefWindow <= 0 {
+			t.Errorf("%s: non-positive window", b.Name())
+		}
+		if b.TrainWindow > 6_000_000 || b.RefWindow > 6_000_000 {
+			t.Errorf("%s: window too large for the simulation budget (%d/%d)",
+				b.Name(), b.TrainWindow, b.RefWindow)
+		}
+	}
+}
+
+func TestInputsNamedCorrectly(t *testing.T) {
+	b := ByName("mcf")
+	in, w := b.Input("train")
+	if in.Name != "train" || w != b.TrainWindow {
+		t.Error("train input wrong")
+	}
+	in, w = b.Input("ref")
+	if in.Name != "ref" || w != b.RefWindow {
+		t.Error("ref input wrong")
+	}
+}
+
+func TestTreeSpecArithmetic(t *testing.T) {
+	// Spec-derived totals must match Table 3 expectations for every
+	// benchmark (the profiler test validates against actual trees; this
+	// validates the spec decomposition itself).
+	for _, s := range Specs() {
+		tr := s.Tree
+		if tr.TrainLong() > tr.TrainTotal() || tr.RefLong() > tr.RefTotal() {
+			t.Errorf("%s: more long-running than total nodes", s.Name)
+		}
+		if tr.CommonLong() > tr.TrainLong() || tr.CommonLong() > tr.RefLong() {
+			t.Errorf("%s: common long exceeds per-input long", s.Name)
+		}
+		if tr.CommonTotal() > tr.TrainTotal() || tr.CommonTotal() > tr.RefTotal() {
+			t.Errorf("%s: common total exceeds per-input total", s.Name)
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := Build(Specs()[0])
+	b := Build(Specs()[0])
+	if a.TrainWindow != b.TrainWindow || a.RefWindow != b.RefWindow {
+		t.Error("building the same spec twice gave different programs")
+	}
+}
+
+func TestEpicEncodeSpecial(t *testing.T) {
+	b := ByName("epic_encode")
+	// internal_filter must be a single static subroutine reachable from
+	// six call sites of build_level: under L+F+C+P six distinct contexts.
+	tree := profiler.Profile(b.Prog, b.Train, b.TrainWindow+1, calltree.LFCP)
+	bySub := map[int32]int{}
+	for _, n := range tree.Nodes {
+		if n.Kind == calltree.SubNode {
+			bySub[n.ID]++
+		}
+	}
+	max := 0
+	for _, k := range bySub {
+		if k > max {
+			max = k
+		}
+	}
+	if max < 6 {
+		t.Errorf("no subroutine with >= 6 contexts (internal_filter); max=%d", max)
+	}
+}
+
+func TestArtSpecial(t *testing.T) {
+	b := ByName("art")
+	tree := profiler.Profile(b.Prog, b.Ref, b.RefWindow+1, calltree.LFCP)
+	// art's core: a routine containing an outer loop with seven
+	// long-running sub-loops.
+	found := false
+	for _, n := range tree.Nodes {
+		if n.Kind != calltree.LoopNode || n.LongRunning {
+			continue
+		}
+		lrLoopKids := 0
+		for _, c := range n.Children {
+			if c.Kind == calltree.LoopNode && c.LongRunning {
+				lrLoopKids++
+			}
+		}
+		if lrLoopKids == 7 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("art core loop with seven long-running sub-loops not found")
+	}
+}
+
+func TestMpeg2UnseenPaths(t *testing.T) {
+	b := ByName("mpeg2_decode")
+	trainTree := profiler.Profile(b.Prog, b.Train, b.TrainWindow+1, calltree.LFCP)
+	refTree := profiler.Profile(b.Prog, b.Ref, b.RefWindow+1, calltree.LFCP)
+	if refTree.NumNodes() <= trainTree.NumNodes() {
+		t.Error("mpeg2 reference tree not larger than training tree")
+	}
+	_, commonLong := trainTree.Compare(refTree)
+	if commonLong >= trainTree.NumLongRunning() {
+		t.Error("all training long-running nodes common: no unseen-path effect")
+	}
+}
+
+func TestSwimRefOnlyLoops(t *testing.T) {
+	b := ByName("swim")
+	trainTree := profiler.Profile(b.Prog, b.Train, b.TrainWindow+1, calltree.LFCP)
+	refTree := profiler.Profile(b.Prog, b.Ref, b.RefWindow+1, calltree.LFCP)
+	common, _ := trainTree.Compare(refTree)
+	if common != trainTree.NumNodes() {
+		t.Errorf("swim: %d of %d training nodes common, want all (reference only adds nodes)",
+			common, trainTree.NumNodes())
+	}
+}
+
+func TestStaticCollapseViaReuse(t *testing.T) {
+	// gzip's 224 tree nodes collapse onto far fewer static subroutines.
+	b := ByName("gzip")
+	tree := profiler.Profile(b.Prog, b.Train, b.TrainWindow+1, calltree.LFCP)
+	subs := tree.Subroutines()
+	if len(subs) >= tree.NumNodes()/2 {
+		t.Errorf("gzip: %d static subs for %d nodes, want strong collapse",
+			len(subs), tree.NumNodes())
+	}
+}
+
+func TestMixesVaryAcrossSuite(t *testing.T) {
+	// Different benchmarks must exercise different mixes so the suite
+	// stresses all four domains.
+	seen := map[*isa.Mix]bool{}
+	for _, s := range Specs() {
+		for _, m := range s.Mixes {
+			seen[m] = true
+		}
+	}
+	if len(seen) < 5 {
+		t.Errorf("suite uses only %d distinct mixes", len(seen))
+	}
+}
