@@ -1,0 +1,36 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
+# the same steps in the same order as the workflow.
+
+GO ?= go
+
+.PHONY: all build fmt-check vet test race bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark smoke run: one iteration of a headline figure on the
+# small 5-benchmark subset plus the simulator throughput microbenchmark.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSimulatorThroughput)$$' -benchtime 1x .
+
+ci: fmt-check vet build race bench-smoke
+
+clean:
+	$(GO) clean ./...

@@ -24,6 +24,7 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
 	delta := flag.Float64("delta", 0, "slowdown threshold delta in percent (default: calibrated)")
 	parallel := flag.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
+	cache := flag.String("cache", "", "persistent sweep cache directory (optional)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -32,6 +33,7 @@ func main() {
 	}
 	r := experiments.NewRunner(cfg)
 	r.Parallel = *parallel
+	r.CacheDir = *cache
 	if *benches != "" {
 		r.Names = strings.Split(*benches, ",")
 	}

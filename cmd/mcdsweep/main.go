@@ -1,0 +1,157 @@
+// Command mcdsweep enumerates, shards, runs and merges experiment
+// sweeps over the paper's evaluation grid, backed by the
+// content-addressed persistent result cache in internal/sweep.
+//
+// Usage:
+//
+//	mcdsweep enum  -manifest m.json [-shards N -shard I]
+//	mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
+//	mcdsweep merge -manifest m.json -cache DIR [-o out.json]
+//
+// A manifest is a JSON grid (see internal/sweep.Manifest):
+//
+//	{
+//	  "name": "headline",
+//	  "benchmarks": ["adpcm_decode", "mcf"],
+//	  "policies": ["baseline", "offline", "scheme"],
+//	  "schemes": ["L+F"],
+//	  "deltas": [0.5, 1, 2]
+//	}
+//
+// run prints a JSON summary whose "executed" counter is zero when every
+// job was already cached, so re-running a completed manifest does no
+// simulation work. Shards partition jobs by stable key hash: run the
+// same manifest with -shards N -shard 0..N-1 (possibly on N machines
+// sharing the cache directory), then merge; the merged output is
+// byte-identical to an unsharded run's.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "enum", "run", "merge":
+	default:
+		usage()
+	}
+
+	fs := flag.NewFlagSet("mcdsweep "+cmd, flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "sweep manifest JSON file (required)")
+	cacheDir := fs.String("cache", "", "persistent result cache directory")
+	shards := fs.Int("shards", 1, "total number of shards")
+	shard := fs.Int("shard", 0, "this process's shard index, 0-based")
+	parallel := fs.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
+	out := fs.String("o", "", "merge output file (default stdout)")
+	fs.Parse(args)
+
+	if *manifestPath == "" {
+		fatal("missing -manifest")
+	}
+	if *shards < 1 || *shard < 0 || *shard >= *shards {
+		fatal(fmt.Sprintf("invalid shard selection %d/%d", *shard, *shards))
+	}
+	// Reject flags the subcommand ignores rather than silently dropping
+	// them: a shard-scoped merge, for example, is not a thing — merge
+	// always reassembles the full manifest from the cache.
+	switch cmd {
+	case "enum":
+		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel")
+	case "run":
+		rejectFlags(cmd, *out != "", "-o")
+	case "merge":
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel")
+	}
+	m, err := sweep.LoadManifest(*manifestPath)
+	if err != nil {
+		fatal(err.Error())
+	}
+	cfg := m.Config()
+	jobs, err := m.Jobs()
+	if err != nil {
+		fatal(err.Error())
+	}
+
+	switch cmd {
+	case "enum":
+		mine := sweep.Shard(cfg, jobs, *shards, *shard)
+		for _, j := range mine {
+			fmt.Printf("%s  %s\n", sweep.Key(cfg, j)[:12], j)
+		}
+		fmt.Fprintf(os.Stderr, "%d jobs (shard %d/%d of %d total)\n",
+			len(mine), *shard, *shards, len(jobs))
+
+	case "run":
+		if *cacheDir == "" {
+			fatal("run requires -cache")
+		}
+		eng := sweep.New(cfg)
+		eng.Workers = *parallel
+		eng.Cache = &sweep.Cache{Dir: *cacheDir}
+		mine := sweep.Shard(cfg, jobs, *shards, *shard)
+		_, sum, err := eng.Run(mine)
+		summary := struct {
+			Manifest string `json:"manifest"`
+			Shard    int    `json:"shard"`
+			Shards   int    `json:"shards"`
+			sweep.Summary
+		}{m.Name, *shard, *shards, sum}
+		enc := json.NewEncoder(os.Stdout)
+		enc.Encode(summary)
+		if err != nil {
+			fatal(err.Error())
+		}
+
+	case "merge":
+		if *cacheDir == "" {
+			fatal("merge requires -cache")
+		}
+		merged, err := sweep.Merge(cfg, jobs, &sweep.Cache{Dir: *cacheDir})
+		if err != nil {
+			fatal(err.Error())
+		}
+		b, err := json.MarshalIndent(merged, "", " ")
+		if err != nil {
+			fatal(err.Error())
+		}
+		b = append(b, '\n')
+		if *out == "" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fatal(err.Error())
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mcdsweep enum  -manifest m.json [-shards N -shard I]
+  mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
+  mcdsweep merge -manifest m.json -cache DIR [-o out.json]`)
+	os.Exit(2)
+}
+
+// rejectFlags takes (set, name) pairs and fails when a flag the
+// subcommand does not use was given.
+func rejectFlags(cmd string, pairs ...interface{}) {
+	for i := 0; i < len(pairs); i += 2 {
+		if pairs[i].(bool) {
+			fatal(fmt.Sprintf("%s does not take %s", cmd, pairs[i+1].(string)))
+		}
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "mcdsweep:", msg)
+	os.Exit(1)
+}

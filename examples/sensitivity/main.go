@@ -1,39 +1,66 @@
 // Sensitivity: sweep the slowdown threshold delta on a few benchmarks
-// (the data behind Figures 10 and 11). Training happens once per
-// benchmark; each delta point replans the frequencies from the cached
-// shaken histograms and reruns the production input.
+// (the data behind Figures 10 and 11), running the whole grid through
+// the sharded sweep engine. Training happens once per benchmark; each
+// delta point replans the frequencies from the memoized shaken
+// histograms and reruns the production input. With -cache set, results
+// persist across invocations and a second run does zero simulation
+// work.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/calltree"
 	"repro/internal/core"
 	"repro/internal/stats"
-	"repro/internal/workload"
+	"repro/internal/sweep"
 )
 
 func main() {
-	cfg := core.DefaultConfig()
+	cacheDir := flag.String("cache", "", "persistent sweep cache directory (optional)")
+	flag.Parse()
+
 	benches := []string{"gsm_decode", "mcf", "swim"}
 	deltas := []float64{0.5, 1, 2, 4, 8}
 
-	for _, name := range benches {
-		b := workload.ByName(name)
-		base := core.RunBaseline(cfg, b.Prog, b.Ref, b.RefWindow)
-		prof := core.Train(cfg, b.Prog, b.Train, b.TrainWindow, calltree.LF)
+	eng := sweep.New(core.DefaultConfig())
+	if *cacheDir != "" {
+		eng.Cache = &sweep.Cache{Dir: *cacheDir}
+	}
 
+	// One baseline job per benchmark, then the full (benchmark x delta)
+	// L+F grid; the engine fans the whole batch out over its worker pool.
+	var jobs []sweep.Job
+	for _, name := range benches {
+		jobs = append(jobs, sweep.Job{Bench: name, Policy: sweep.PolicyBaseline})
+		for _, d := range deltas {
+			jobs = append(jobs, sweep.Job{Bench: name, Policy: sweep.PolicyScheme,
+				Scheme: calltree.LF.Name, Delta: d})
+		}
+	}
+	outs, sum, err := eng.Run(jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
+	}
+
+	i := 0
+	for _, name := range benches {
+		base := outs[i].Res
+		i++
 		t := stats.NewTable("delta %", "slowdown %", "savings %", "ED improvement %")
 		for _, d := range deltas {
-			plan := core.Replan(prof, d)
-			res, _ := core.RunEdited(cfg, b.Prog, b.Ref, b.RefWindow, plan, false)
-			v := stats.Vs(res, base)
+			v := stats.Vs(outs[i].Res, base)
 			t.Row(d, v.Slowdown, v.EnergySavings, v.EDImprovement)
+			i++
 		}
 		fmt.Printf("%s: slowdown-threshold sweep (L+F)\n", name)
 		fmt.Print(t)
 		fmt.Println()
 	}
+	fmt.Printf("sweep summary: %s\n\n", sum)
 	fmt.Println("Expected shape (paper, Figures 10-11): savings and energy-delay")
 	fmt.Println("improvement grow roughly linearly with the tolerated slowdown for")
 	fmt.Println("profile-based reconfiguration across this range.")

@@ -6,8 +6,8 @@ import (
 	"strings"
 
 	"repro/internal/calltree"
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // PolicyRow holds one benchmark's metrics under the three headline
@@ -187,37 +187,45 @@ var (
 // Sweep computes the Figure 10/11 curves: measured suite-average energy
 // savings and energy-delay improvement versus measured slowdown, for the
 // off-line and L+F policies (sweeping the slowdown threshold delta) and
-// the on-line policy (sweeping controller aggressiveness).
+// the on-line policy (sweeping controller aggressiveness). Every point
+// is one sweep job, so the whole grid runs on the engine's worker pool
+// and lands in the persistent cache; replanning a trained profile at a
+// new delta reuses the memoized shaken histograms.
 func (r *Runner) Sweep() (offline, lf, online []SweepPoint) {
 	r.Warm()
 	names := r.SuiteNames()
+	var jobs []sweep.Job
+	for _, delta := range DeltaSweep {
+		for _, name := range names {
+			jobs = append(jobs,
+				sweep.Job{Bench: name, Policy: sweep.PolicyOffline, Delta: delta},
+				sweep.Job{Bench: name, Policy: sweep.PolicyScheme, Scheme: calltree.LF.Name, Delta: delta})
+		}
+	}
+	for _, ag := range AggressivenessSweep {
+		for _, name := range names {
+			jobs = append(jobs, sweep.Job{Bench: name, Policy: sweep.PolicyOnline, Aggressiveness: ag})
+		}
+	}
+	outs := r.run(jobs)
+
+	i := 0
 	for _, delta := range DeltaSweep {
 		var offD, lfD []stats.Delta
 		for _, name := range names {
-			br := r.For(name)
-			b := br.Bench
-			// Off-line: replan the oracle profile at this delta.
-			plan := core.Replan(br.OfflineProf, delta)
-			res, _ := core.RunEdited(r.Cfg, b.Prog, b.Ref, b.RefWindow, plan, true)
-			offD = append(offD, stats.Vs(res, br.Base))
-			// L+F: replan the training profile.
-			sr := r.Scheme(name, calltree.LF)
-			lplan := core.Replan(sr.Prof, delta)
-			lres, _ := core.RunEdited(r.Cfg, b.Prog, b.Ref, b.RefWindow, lplan, false)
-			lfD = append(lfD, stats.Vs(lres, br.Base))
+			base := r.For(name).Base
+			offD = append(offD, stats.Vs(outs[i].Res, base))
+			lfD = append(lfD, stats.Vs(outs[i+1].Res, base))
+			i += 2
 		}
 		offline = append(offline, sweepPoint(delta, offD))
 		lf = append(lf, sweepPoint(delta, lfD))
 	}
 	for _, ag := range AggressivenessSweep {
-		cfg := r.Cfg
-		cfg.Online.Aggressiveness = ag
 		var ds []stats.Delta
 		for _, name := range names {
-			br := r.For(name)
-			b := br.Bench
-			res := core.RunOnline(cfg, b.Prog, b.Ref, b.RefWindow)
-			ds = append(ds, stats.Vs(res, br.Base))
+			ds = append(ds, stats.Vs(outs[i].Res, r.For(name).Base))
+			i++
 		}
 		online = append(online, sweepPoint(ag, ds))
 	}
@@ -285,10 +293,9 @@ func (r *Runner) Figure12() string {
 	for _, name := range names {
 		for _, s := range schemes {
 			sr := r.Scheme(name, s)
-			rc, in := sr.Prof.Plan.StaticPoints()
 			a := sums[s.Name]
-			a.reconfig += float64(rc)
-			a.instr += float64(in)
+			a.reconfig += float64(sr.StaticReconfig)
+			a.instr += float64(sr.StaticInstr)
 			a.ovh += sr.St.OverheadPct
 		}
 	}

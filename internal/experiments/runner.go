@@ -6,25 +6,32 @@
 // (Figures 10-11), the instrumentation-cost comparison (Figure 12 and
 // Table 4), the call-tree statistics (Table 3), and the MCD baseline
 // penalty discussed in the text.
+//
+// All simulation work runs through the internal/sweep engine: results
+// are memoized in process and, when CacheDir is set, persisted to a
+// content-addressed on-disk cache so repeated report generations do
+// zero simulation work.
 package experiments
 
 import (
-	"runtime"
 	"sync"
 
 	"repro/internal/calltree"
-	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
 // SchemeRun is one profile-driven configuration evaluated on the
 // reference input.
 type SchemeRun struct {
-	Prof *core.Profile
-	Res  sim.Result
-	St   core.EditStats
+	Res sim.Result
+	St  core.EditStats
+	// StaticReconfig and StaticInstr count the edit plan's static
+	// reconfiguration and path-tracking points (Table 4, Figure 12).
+	StaticReconfig int
+	StaticInstr    int
 }
 
 // BenchResults caches every policy's result for one benchmark.
@@ -33,24 +40,29 @@ type BenchResults struct {
 	Base        sim.Result // MCD baseline, reference input
 	SingleClock sim.Result // globally synchronous full-speed comparator
 	Offline     sim.Result
-	OfflineProf *core.Profile
 	Online      sim.Result
 	Global      sim.Result
 	GlobalMHz   int
 
 	mu      sync.Mutex
+	filled  bool
 	schemes map[string]*SchemeRun
 }
 
-// Runner lazily computes and caches benchmark results. Methods are safe
-// for concurrent use.
+// Runner lazily computes and caches benchmark results on top of the
+// sweep engine. Methods are safe for concurrent use.
 type Runner struct {
 	Cfg core.Config
-	// Parallel bounds concurrent benchmark evaluations; 0 means
-	// GOMAXPROCS.
+	// Parallel bounds concurrent job executions; 0 means GOMAXPROCS.
 	Parallel int
 	// Names restricts the suite (nil = all 19 benchmarks).
 	Names []string
+	// CacheDir, when non-empty, persists simulation outcomes to a sweep
+	// cache shared across processes. Set it before the first query.
+	CacheDir string
+
+	engOnce sync.Once
+	eng     *sweep.Engine
 
 	mu    sync.Mutex
 	cache map[string]*BenchResults
@@ -62,12 +74,47 @@ func NewRunner(cfg core.Config) *Runner {
 	return &Runner{Cfg: cfg, cache: make(map[string]*BenchResults)}
 }
 
+// Engine returns the runner's sweep engine, creating it on first use.
+func (r *Runner) Engine() *sweep.Engine {
+	r.engOnce.Do(func() {
+		r.eng = sweep.New(r.Cfg)
+		r.eng.Workers = r.Parallel
+		if r.CacheDir != "" {
+			r.eng.Cache = &sweep.Cache{Dir: r.CacheDir}
+		}
+	})
+	return r.eng
+}
+
+// run resolves a batch of jobs, panicking on failure: runner queries are
+// report generators whose job specs are built internally, so an error
+// here is a programming mistake or an unusable cache directory.
+func (r *Runner) run(jobs []sweep.Job) []*sweep.Outcome {
+	outs, _, err := r.Engine().Run(jobs)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return outs
+}
+
 // SuiteNames returns the benchmark names the runner operates over.
 func (r *Runner) SuiteNames() []string {
 	if r.Names != nil {
 		return r.Names
 	}
 	return workload.Names()
+}
+
+// coreJobs are the five policy runs every benchmark needs, in the order
+// Runner.For unpacks them.
+func coreJobs(name string) []sweep.Job {
+	return []sweep.Job{
+		{Bench: name, Policy: sweep.PolicyBaseline},
+		{Bench: name, Policy: sweep.PolicySingleClock},
+		{Bench: name, Policy: sweep.PolicyOffline},
+		{Bench: name, Policy: sweep.PolicyOnline},
+		{Bench: name, Policy: sweep.PolicyGlobal},
+	}
 }
 
 // For returns (computing if needed) the core policy results for one
@@ -87,15 +134,15 @@ func (r *Runner) For(name string) *BenchResults {
 
 	br.mu.Lock()
 	defer br.mu.Unlock()
-	if br.Base.Instructions == 0 {
-		b := br.Bench
-		cfg := r.Cfg
-		br.Base = core.RunBaseline(cfg, b.Prog, b.Ref, b.RefWindow)
-		br.SingleClock = core.RunSingleClock(cfg, b.Prog, b.Ref, b.RefWindow, cfg.Sim.BaseMHz)
-		br.Offline, br.OfflineProf = core.RunOffline(cfg, b.Prog, b.Ref, b.RefWindow)
-		br.Online = core.RunOnline(cfg, b.Prog, b.Ref, b.RefWindow)
-		br.GlobalMHz = control.GlobalDVSMHz(br.SingleClock.TimePs, br.Offline.TimePs)
-		br.Global = core.RunSingleClock(cfg, b.Prog, b.Ref, b.RefWindow, br.GlobalMHz)
+	if !br.filled {
+		outs := r.run(coreJobs(name))
+		br.Base = outs[0].Res
+		br.SingleClock = outs[1].Res
+		br.Offline = outs[2].Res
+		br.Online = outs[3].Res
+		br.Global = outs[4].Res
+		br.GlobalMHz = outs[4].GlobalMHz
+		br.filled = true
 	}
 	return br
 }
@@ -110,70 +157,42 @@ func (r *Runner) Scheme(name string, scheme calltree.Scheme) *SchemeRun {
 	if sr, ok := br.schemes[scheme.Name]; ok {
 		return sr
 	}
-	b := br.Bench
-	prof := core.Train(r.Cfg, b.Prog, b.Train, b.TrainWindow, scheme)
-	res, st := core.RunEdited(r.Cfg, b.Prog, b.Ref, b.RefWindow, prof.Plan, false)
-	sr := &SchemeRun{Prof: prof, Res: res, St: st}
+	out := r.run([]sweep.Job{{Bench: name, Policy: sweep.PolicyScheme, Scheme: scheme.Name}})[0]
+	sr := &SchemeRun{Res: out.Res, St: out.Stats, StaticReconfig: out.StaticReconfig, StaticInstr: out.StaticInstr}
 	br.schemes[scheme.Name] = sr
 	return sr
 }
 
 // Warm computes the core results (and the L+F scheme) for every suite
-// benchmark in parallel.
+// benchmark on the engine's worker pool.
 func (r *Runner) Warm() {
-	names := r.SuiteNames()
-	workers := r.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	var jobs []sweep.Job
+	for _, n := range r.SuiteNames() {
+		jobs = append(jobs, coreJobs(n)...)
+		jobs = append(jobs, sweep.Job{Bench: n, Policy: sweep.PolicyScheme, Scheme: calltree.LF.Name})
 	}
-	if workers > len(names) {
-		workers = len(names)
+	r.run(jobs)
+	for _, n := range r.SuiteNames() {
+		r.For(n)
+		r.Scheme(n, calltree.LF)
 	}
-	ch := make(chan string)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for n := range ch {
-				r.Scheme(n, calltree.LF)
-			}
-		}()
-	}
-	for _, n := range names {
-		ch <- n
-	}
-	close(ch)
-	wg.Wait()
 }
 
-// WarmSchemes computes every context scheme for the given benchmarks in
-// parallel (Figures 8, 9 and 12).
+// WarmSchemes computes every context scheme (plus the core policies) for
+// the given benchmarks on the engine's worker pool (Figures 8, 9 and 12).
 func (r *Runner) WarmSchemes(names []string) {
-	workers := r.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type job struct {
-		name   string
-		scheme calltree.Scheme
-	}
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				r.Scheme(j.name, j.scheme)
-			}
-		}()
-	}
+	var jobs []sweep.Job
 	for _, n := range names {
+		jobs = append(jobs, coreJobs(n)...)
 		for _, s := range calltree.Schemes() {
-			ch <- job{n, s}
+			jobs = append(jobs, sweep.Job{Bench: n, Policy: sweep.PolicyScheme, Scheme: s.Name})
 		}
 	}
-	close(ch)
-	wg.Wait()
+	r.run(jobs)
+	for _, n := range names {
+		r.For(n)
+		for _, s := range calltree.Schemes() {
+			r.Scheme(n, s)
+		}
+	}
 }

@@ -100,9 +100,8 @@ func (r *Runner) Table4() string {
 	t := stats.NewTable("benchmark", "Static", "Dynamic", "Overhead")
 	for _, name := range names {
 		sr := r.Scheme(name, calltree.LFCP)
-		rc, in := sr.Prof.Plan.StaticPoints()
 		t.Row(name,
-			fmt.Sprintf("%d %d", rc, in),
+			fmt.Sprintf("%d %d", sr.StaticReconfig, sr.StaticInstr),
 			fmt.Sprintf("%d %d", sr.St.DynReconfig, sr.St.DynInstr),
 			fmt.Sprintf("%.2f%%", sr.St.OverheadPct))
 	}

@@ -1,0 +1,77 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a content-addressed on-disk result store. Every entry is one
+// JSON file named by its job key under a two-character fan-out
+// directory, written atomically (temp file + rename) so concurrent
+// shards can share one cache directory and interrupted sweeps never
+// leave half-written entries behind. Corrupt or mismatched entries are
+// treated as misses and silently overwritten by the next run.
+type Cache struct {
+	Dir string
+}
+
+// entry is the on-disk representation: the key is stored alongside the
+// job and outcome so entries are self-describing and key mismatches
+// (e.g. a file copied to the wrong name) are detectable.
+type entry struct {
+	Key     string   `json:"key"`
+	Job     Job      `json:"job"`
+	Outcome *Outcome `json:"outcome"`
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.Dir, key[:2], key+".json")
+}
+
+// Get loads the outcome stored under key. It returns ok=false for
+// missing, unreadable, corrupt, or key-mismatched entries — all of
+// which the engine handles as cache misses.
+func (c *Cache) Get(key string) (*Outcome, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, false
+	}
+	if e.Key != key || e.Outcome == nil {
+		return nil, false
+	}
+	return e.Outcome, true
+}
+
+// Put atomically persists an outcome under key.
+func (c *Cache) Put(key string, job Job, out *Outcome) error {
+	dir := filepath.Dir(c.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sweep cache: %w", err)
+	}
+	b, err := json.MarshalIndent(entry{Key: key, Job: job, Outcome: out}, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep cache: encode %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep cache: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if err := errors.Join(werr, cerr); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep cache: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep cache: %w", err)
+	}
+	return nil
+}

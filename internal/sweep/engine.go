@@ -1,0 +1,263 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Source reports where an outcome came from.
+type Source int
+
+const (
+	// SourceExecuted means the job was simulated by this call.
+	SourceExecuted Source = iota
+	// SourceDisk means the outcome was loaded from the persistent cache.
+	SourceDisk
+	// SourceMemory means the outcome was already memoized in process
+	// (including waiting on a concurrent duplicate execution).
+	SourceMemory
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceExecuted:
+		return "executed"
+	case SourceDisk:
+		return "disk"
+	default:
+		return "memory"
+	}
+}
+
+// Summary aggregates one batch's cache behavior. Executed and DiskHits
+// count engine-wide work performed while the batch ran — including
+// dependency jobs resolved inline (e.g. the global policy's off-line
+// run) — so Executed is exactly the number of simulations the batch
+// triggered and is zero iff the whole sweep was served from cache.
+// MemHits counts batch jobs answered by the in-process memo (including
+// joining an execution another job started), so the three counters can
+// sum to more than Jobs when dependencies span jobs.
+type Summary struct {
+	Jobs     int `json:"jobs"`
+	MemHits  int `json:"mem_hits"`
+	DiskHits int `json:"disk_hits"`
+	Executed int `json:"executed"`
+	Errors   int `json:"errors"`
+}
+
+// String renders the summary as one log-friendly line.
+func (s Summary) String() string {
+	return fmt.Sprintf("jobs=%d mem_hits=%d disk_hits=%d executed=%d errors=%d",
+		s.Jobs, s.MemHits, s.DiskHits, s.Executed, s.Errors)
+}
+
+// Engine executes sweep jobs against one configuration with in-process
+// memoization, optional persistent caching, and a bounded worker pool.
+// All methods are safe for concurrent use.
+type Engine struct {
+	// Cfg is the pipeline configuration every job runs under (job
+	// fields override individual knobs); it is part of every cache key.
+	Cfg core.Config
+	// Workers bounds Run's concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, persists outcomes across processes.
+	Cache *Cache
+	// ExecFn overrides the built-in policy executor (tests use this to
+	// count executions without running the simulator).
+	ExecFn func(Job) (*Outcome, error)
+
+	execOnce sync.Once
+	exec     *executor
+
+	// nExecuted and nDisk count resolutions engine-wide; Run reports
+	// them as before/after deltas so dependency jobs are attributed to
+	// the batch that triggered them, independent of which worker (or
+	// nested Do) got there first.
+	nExecuted atomic.Int64
+	nDisk     atomic.Int64
+	warnOnce  sync.Once
+
+	mu     sync.Mutex
+	flight map[string]*flight
+}
+
+// flight is a singleflight slot: the first caller of a key executes,
+// concurrent callers wait on done and share the outcome.
+type flight struct {
+	done chan struct{}
+	out  *Outcome
+	src  Source
+	err  error
+}
+
+// New returns an engine over cfg with no persistent cache.
+func New(cfg core.Config) *Engine {
+	return &Engine{Cfg: cfg, flight: make(map[string]*flight)}
+}
+
+// Do returns the outcome of one job, consulting the in-process memo,
+// then the persistent cache, then executing. Concurrent calls for the
+// same key share a single execution.
+func (e *Engine) Do(job Job) (*Outcome, Source, error) {
+	if err := job.Validate(); err != nil {
+		return nil, SourceMemory, err
+	}
+	key := Key(e.Cfg, job)
+
+	e.mu.Lock()
+	if e.flight == nil {
+		e.flight = make(map[string]*flight)
+	}
+	if f, ok := e.flight[key]; ok {
+		e.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, SourceMemory, f.err
+		}
+		return f.out, SourceMemory, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flight[key] = f
+	e.mu.Unlock()
+
+	f.out, f.src, f.err = e.resolve(key, job)
+	close(f.done)
+	if f.err != nil {
+		// Drop failed flights so a later call can retry (e.g. after a
+		// permission problem on the cache directory is fixed).
+		e.mu.Lock()
+		delete(e.flight, key)
+		e.mu.Unlock()
+		return nil, f.src, f.err
+	}
+	return f.out, f.src, nil
+}
+
+func (e *Engine) resolve(key string, job Job) (*Outcome, Source, error) {
+	if e.Cache != nil {
+		if out, ok := e.Cache.Get(key); ok {
+			e.nDisk.Add(1)
+			return out, SourceDisk, nil
+		}
+	}
+	out, err := e.execFn()(job)
+	if err != nil {
+		return nil, SourceExecuted, fmt.Errorf("sweep: %s: %w", job, err)
+	}
+	e.nExecuted.Add(1)
+	if e.Cache != nil {
+		if err := e.Cache.Put(key, job, out); err != nil {
+			// The simulation already succeeded; a persistence failure
+			// (full disk, lost permission) must not throw that work
+			// away. Keep the outcome memoized in process and warn once
+			// — a later merge will name any jobs that never landed.
+			e.warnOnce.Do(func() {
+				fmt.Fprintf(os.Stderr, "sweep: results not persisting: %v\n", err)
+			})
+		}
+	}
+	return out, SourceExecuted, nil
+}
+
+func (e *Engine) execFn() func(Job) (*Outcome, error) {
+	if e.ExecFn != nil {
+		return e.ExecFn
+	}
+	e.execOnce.Do(func() {
+		e.exec = newExecutor(e)
+	})
+	return e.exec.execute
+}
+
+// Run resolves a batch of jobs on a worker pool and returns their
+// outcomes in input order plus a summary of cache behavior. Individual
+// job failures leave a nil outcome at that index; the joined error
+// reports all of them.
+func (e *Engine) Run(jobs []Job) ([]*Outcome, Summary, error) {
+	outs := make([]*Outcome, len(jobs))
+	srcs := make([]Source, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	exec0, disk0 := e.nExecuted.Load(), e.nDisk.Load()
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				outs[i], srcs[i], errs[i] = e.Do(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	sum := Summary{
+		Jobs:     len(jobs),
+		Executed: int(e.nExecuted.Load() - exec0),
+		DiskHits: int(e.nDisk.Load() - disk0),
+	}
+	for i := range jobs {
+		switch {
+		case errs[i] != nil:
+			sum.Errors++
+		case srcs[i] == SourceMemory:
+			sum.MemHits++
+		}
+	}
+	return outs, sum, errors.Join(errs...)
+}
+
+// Merged pairs one job with its cached outcome for merge output.
+type Merged struct {
+	Key     string   `json:"key"`
+	Job     Job      `json:"job"`
+	Outcome *Outcome `json:"outcome"`
+}
+
+// Merge collects the outcomes of a full job set from the persistent
+// cache, independent of which shard (or process) computed each one, and
+// returns them sorted by key so the merged result of an N-way sharded
+// sweep is byte-identical to an unsharded run of the same manifest. Any
+// job missing from the cache is an error naming the missing work.
+func Merge(cfg core.Config, jobs []Job, c *Cache) ([]Merged, error) {
+	var out []Merged
+	var missing []error
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		key := Key(cfg, j)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		o, ok := c.Get(key)
+		if !ok {
+			missing = append(missing, fmt.Errorf("sweep: merge: %s (%s) not in cache", j, key[:12]))
+			continue
+		}
+		out = append(out, Merged{Key: key, Job: j, Outcome: o})
+	}
+	if len(missing) > 0 {
+		return nil, errors.Join(missing...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

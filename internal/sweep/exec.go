@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/calltree"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/edit"
+	"repro/internal/workload"
+)
+
+// executor runs jobs through the core pipeline. Training (phases one
+// and two) is delta-independent and by far the most expensive part of a
+// profile-driven job, so profiles are memoized per (benchmark, scheme,
+// input) with per-key singleflight: a threshold sweep trains once and
+// replans cheaply per delta point, even when the points run
+// concurrently. Persistent caching stays at the engine layer — only
+// final scalar outcomes hit the disk, never profiles.
+type executor struct {
+	eng *Engine
+
+	mu       sync.Mutex
+	profiles map[string]*profFlight
+}
+
+type profFlight struct {
+	done chan struct{}
+	prof *core.Profile
+}
+
+func newExecutor(e *Engine) *executor {
+	return &executor{eng: e, profiles: make(map[string]*profFlight)}
+}
+
+// profile trains (or returns the memoized) profile for one benchmark
+// and scheme. onRef trains on the reference input itself, which is how
+// the off-line oracle gets its perfect future knowledge.
+func (x *executor) profile(b *workload.Benchmark, scheme calltree.Scheme, onRef bool) *core.Profile {
+	key := b.Name() + "\x00" + scheme.Name
+	in, window := b.Train, b.TrainWindow
+	if onRef {
+		key += "\x00ref"
+		in, window = b.Ref, b.RefWindow
+	}
+	x.mu.Lock()
+	if f, ok := x.profiles[key]; ok {
+		x.mu.Unlock()
+		<-f.done
+		return f.prof
+	}
+	f := &profFlight{done: make(chan struct{})}
+	x.profiles[key] = f
+	x.mu.Unlock()
+
+	f.prof = core.Train(x.eng.Cfg, b.Prog, in, window, scheme)
+	close(f.done)
+	return f.prof
+}
+
+// plan returns the edit plan of a profile at the job's delta,
+// replanning from the memoized shaken histograms when the delta differs
+// from the configuration's.
+func (x *executor) plan(prof *core.Profile, delta float64) *edit.Plan {
+	if delta == 0 || delta == x.eng.Cfg.DeltaPct {
+		return prof.Plan
+	}
+	return core.Replan(prof, delta)
+}
+
+// execute runs one cache-missed job to completion.
+func (x *executor) execute(job Job) (*Outcome, error) {
+	b := workload.ByName(job.Bench)
+	if b == nil {
+		return nil, fmt.Errorf("unknown benchmark %q", job.Bench)
+	}
+	cfg := x.eng.Cfg
+	out := &Outcome{}
+	switch job.Policy {
+	case PolicyBaseline:
+		out.Res = core.RunBaseline(cfg, b.Prog, b.Ref, b.RefWindow)
+
+	case PolicySingleClock:
+		mhz := job.MHz
+		if mhz == 0 {
+			mhz = cfg.Sim.BaseMHz
+		}
+		out.Res = core.RunSingleClock(cfg, b.Prog, b.Ref, b.RefWindow, mhz)
+
+	case PolicyOffline:
+		prof := x.profile(b, calltree.LFCP, true)
+		out.Res, _ = core.RunEdited(cfg, b.Prog, b.Ref, b.RefWindow, x.plan(prof, job.Delta), true)
+
+	case PolicyOnline:
+		if job.Aggressiveness != 0 {
+			cfg.Online.Aggressiveness = job.Aggressiveness
+		}
+		out.Res = core.RunOnline(cfg, b.Prog, b.Ref, b.RefWindow)
+
+	case PolicyGlobal:
+		// Global DVS is matched to the off-line runtime; resolve both
+		// dependencies through the engine so they are cached and shared
+		// like any other job.
+		sc, _, err := x.eng.Do(Job{Bench: job.Bench, Policy: PolicySingleClock})
+		if err != nil {
+			return nil, err
+		}
+		off, _, err := x.eng.Do(Job{Bench: job.Bench, Policy: PolicyOffline})
+		if err != nil {
+			return nil, err
+		}
+		out.GlobalMHz = control.GlobalDVSMHz(sc.Res.TimePs, off.Res.TimePs)
+		out.Res = core.RunSingleClock(cfg, b.Prog, b.Ref, b.RefWindow, out.GlobalMHz)
+
+	case PolicyScheme:
+		scheme, ok := SchemeByName(job.Scheme)
+		if !ok {
+			return nil, fmt.Errorf("unknown context scheme %q", job.Scheme)
+		}
+		prof := x.profile(b, scheme, false)
+		plan := x.plan(prof, job.Delta)
+		out.Res, out.Stats = core.RunEdited(cfg, b.Prog, b.Ref, b.RefWindow, plan, false)
+		out.StaticReconfig, out.StaticInstr = plan.StaticPoints()
+
+	default:
+		return nil, fmt.Errorf("unknown policy %q", job.Policy)
+	}
+	return out, nil
+}

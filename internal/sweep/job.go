@@ -1,0 +1,229 @@
+// Package sweep implements a sharded experiment-sweep engine with a
+// content-addressed, persistent on-disk result cache. A sweep is a set
+// of Jobs, each naming one (benchmark, policy, context scheme,
+// parameters) simulation under one core.Config. Jobs are keyed by a
+// deterministic hash of their full specification, so identical work is
+// never simulated twice: results are memoized in process, persisted as
+// JSON cache entries, and survive across runs and across processes. A
+// sweep can be partitioned into shards by key for multi-process fan-out
+// and later merged back from the shared cache into one deterministic
+// result set.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The policies a Job can name. They mirror the paper's comparators
+// (Section 4): the MCD baseline, the globally synchronous single-clock
+// machine, the off-line oracle, the on-line attack/decay controller, the
+// matched global-DVS comparator, and the profile-driven edited binary
+// under one of the six context schemes.
+const (
+	PolicyBaseline    = "baseline"
+	PolicySingleClock = "single_clock"
+	PolicyOffline     = "offline"
+	PolicyOnline      = "online"
+	PolicyGlobal      = "global"
+	PolicyScheme      = "scheme"
+)
+
+// Policies lists every valid policy name in canonical order.
+func Policies() []string {
+	return []string{PolicyBaseline, PolicySingleClock, PolicyOffline,
+		PolicyOnline, PolicyGlobal, PolicyScheme}
+}
+
+// Job is one unit of sweep work. The zero value of each optional field
+// means "use the engine configuration's value", which keeps keys stable
+// for the common case.
+type Job struct {
+	// Bench is the benchmark name (workload.Names()).
+	Bench string `json:"bench"`
+	// Policy selects the comparator; see the Policy constants.
+	Policy string `json:"policy"`
+	// Scheme is the calling-context scheme name for PolicyScheme.
+	Scheme string `json:"scheme,omitempty"`
+	// Delta overrides the slowdown-threshold delta (percent) for the
+	// offline and scheme policies; 0 uses Config.DeltaPct.
+	Delta float64 `json:"delta,omitempty"`
+	// Aggressiveness overrides the on-line controller aggressiveness;
+	// 0 uses Config.Online.Aggressiveness.
+	Aggressiveness float64 `json:"aggressiveness,omitempty"`
+	// MHz overrides the single-clock frequency; 0 uses Config.Sim.BaseMHz.
+	MHz int `json:"mhz,omitempty"`
+}
+
+// String renders a compact human-readable job label.
+func (j Job) String() string {
+	s := j.Bench + "/" + j.Policy
+	if j.Scheme != "" {
+		s += "/" + j.Scheme
+	}
+	if j.Delta != 0 {
+		s += fmt.Sprintf("/delta=%g", j.Delta)
+	}
+	if j.Aggressiveness != 0 {
+		s += fmt.Sprintf("/aggr=%g", j.Aggressiveness)
+	}
+	if j.MHz != 0 {
+		s += fmt.Sprintf("/mhz=%d", j.MHz)
+	}
+	return s
+}
+
+// Validate checks that the job names a known benchmark, policy and (for
+// PolicyScheme) context scheme, and that its parameters are in range —
+// out-of-range values would otherwise produce garbage results that the
+// cache then serves forever under a perfectly valid key.
+func (j Job) Validate() error {
+	if workload.ByName(j.Bench) == nil {
+		return fmt.Errorf("sweep: unknown benchmark %q", j.Bench)
+	}
+	switch j.Policy {
+	case PolicyBaseline, PolicySingleClock, PolicyOffline, PolicyOnline, PolicyGlobal:
+	case PolicyScheme:
+		if _, ok := SchemeByName(j.Scheme); !ok {
+			return fmt.Errorf("sweep: unknown context scheme %q", j.Scheme)
+		}
+	default:
+		return fmt.Errorf("sweep: unknown policy %q", j.Policy)
+	}
+	if j.Delta < 0 || math.IsNaN(j.Delta) || math.IsInf(j.Delta, 0) {
+		return fmt.Errorf("sweep: %s: delta %v out of range", j, j.Delta)
+	}
+	if j.Aggressiveness < 0 || math.IsNaN(j.Aggressiveness) || math.IsInf(j.Aggressiveness, 0) {
+		return fmt.Errorf("sweep: %s: aggressiveness %v out of range", j, j.Aggressiveness)
+	}
+	if j.MHz < 0 {
+		return fmt.Errorf("sweep: %s: mhz %d out of range", j, j.MHz)
+	}
+	return nil
+}
+
+// canonical maps parameter values that the executor treats as defaults
+// onto the zero value, and clears parameters the policy ignores, so
+// semantically identical jobs share one cache key (e.g. an explicit
+// delta equal to cfg.DeltaPct keys the same as no delta at all).
+func (j Job) canonical(cfg core.Config) Job {
+	if j.Policy != PolicyScheme {
+		j.Scheme = ""
+	}
+	switch j.Policy {
+	case PolicyOffline, PolicyScheme:
+		if j.Delta == cfg.DeltaPct {
+			j.Delta = 0
+		}
+	default:
+		j.Delta = 0
+	}
+	if j.Policy != PolicyOnline {
+		j.Aggressiveness = 0
+	} else if j.Aggressiveness == cfg.Online.Aggressiveness {
+		j.Aggressiveness = 0
+	}
+	if j.Policy != PolicySingleClock {
+		j.MHz = 0
+	} else if j.MHz == cfg.Sim.BaseMHz {
+		j.MHz = 0
+	}
+	return j
+}
+
+// SchemeByName resolves one of the paper's six context schemes.
+func SchemeByName(name string) (calltree.Scheme, bool) {
+	for _, s := range calltree.Schemes() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return calltree.Scheme{}, false
+}
+
+// Outcome is the cacheable result of one job: the simulation result plus
+// the policy-specific byproducts the report generators need.
+type Outcome struct {
+	Res sim.Result `json:"result"`
+	// Stats holds the run-time instrumentation activity of edited runs
+	// (PolicyScheme); zero otherwise.
+	Stats core.EditStats `json:"edit_stats"`
+	// GlobalMHz is the matched frequency chosen by PolicyGlobal.
+	GlobalMHz int `json:"global_mhz,omitempty"`
+	// StaticReconfig and StaticInstr count the edit plan's static
+	// reconfiguration and path-tracking points (PolicyScheme).
+	StaticReconfig int `json:"static_reconfig,omitempty"`
+	StaticInstr    int `json:"static_instr,omitempty"`
+}
+
+// keySchema versions the key derivation; bump it when the hashed
+// payload's meaning changes so stale cache entries cannot be mistaken
+// for current ones.
+const keySchema = 1
+
+// Key returns the content-addressed cache key of a job under a
+// configuration: a hex SHA-256 of the canonical JSON encoding of
+// (schema, config, job). encoding/json serializes struct fields in
+// declaration order, so the encoding — and therefore the key — is
+// deterministic across runs and processes of the same build.
+func Key(cfg core.Config, job Job) string {
+	payload := struct {
+		Schema int         `json:"schema"`
+		Config core.Config `json:"config"`
+		Job    Job         `json:"job"`
+	}{keySchema, cfg, job.canonical(cfg)}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// core.Config and Job are plain data; this cannot fail.
+		panic("sweep: key encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// shardOf maps a key to a shard index in [0, shards).
+func shardOf(key string, shards int) int {
+	v, err := strconv.ParseUint(key[:16], 16, 64)
+	if err != nil {
+		panic("sweep: malformed key " + key)
+	}
+	return int(v % uint64(shards))
+}
+
+// shardKey returns the key a job is shard-assigned by. Global-DVS jobs
+// are placed by their off-line dependency's key: the dependency is the
+// most expensive job type, and resolving it inline from a shard that
+// doesn't own it would duplicate a concurrent sibling shard's training
+// work on a cold cache.
+func shardKey(cfg core.Config, j Job) string {
+	if j.Policy == PolicyGlobal {
+		return Key(cfg, Job{Bench: j.Bench, Policy: PolicyOffline})
+	}
+	return Key(cfg, j)
+}
+
+// Shard returns the subset of jobs owned by shard index out of shards
+// total, assigned by stable key hash: every job belongs to exactly one
+// shard, and the assignment depends only on (config, job), never on
+// slice order. shards <= 1 returns jobs unchanged.
+func Shard(cfg core.Config, jobs []Job, shards, index int) []Job {
+	if shards <= 1 {
+		return jobs
+	}
+	var out []Job
+	for _, j := range jobs {
+		if shardOf(shardKey(cfg, j), shards) == index {
+			out = append(out, j)
+		}
+	}
+	return out
+}
