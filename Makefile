@@ -1,9 +1,10 @@
-# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
-# the same steps in the same order as the workflow.
+# Local targets mirror .github/workflows/ci.yml: `make ci` runs the
+# same core steps in the same order as the workflow's checks job
+# (staticcheck runs only when the binary is installed; CI installs it).
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench-smoke ci clean
+.PHONY: all build fmt-check vet staticcheck test race bench-smoke perf perf-gate ci clean
 
 all: build
 
@@ -19,6 +20,13 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+staticcheck:
+	@if command -v staticcheck >/dev/null; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -27,10 +35,24 @@ race:
 
 # Short benchmark smoke run: one iteration of a headline figure on the
 # small 5-benchmark subset plus the simulator throughput microbenchmark.
+# Set MCD_SWEEP_CACHE to a directory to serve warm jobs from the sweep
+# result cache (CI does).
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFigure4|BenchmarkSimulatorThroughput)$$' -benchtime 1x .
 
-ci: fmt-check vet build race bench-smoke
+# Run every perf scenario and write a machine-readable report (see
+# DESIGN.md section 7). cmd/mcdperf builds with the committed PGO
+# profile automatically.
+perf:
+	$(GO) run ./cmd/mcdperf -out BENCH_local.json
+	@echo "wrote BENCH_local.json"
+
+# The CI perf gate: measure the bench-smoke scenario and fail on >15%
+# regression against the committed baseline.
+perf-gate:
+	$(GO) run ./cmd/mcdperf -scenarios bench-smoke -compare perf/baseline.json -threshold 0.15
+
+ci: fmt-check vet staticcheck build race bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/calltree"
@@ -42,6 +43,7 @@ func newRunner() *experiments.Runner {
 	if headlineRunner == nil {
 		headlineRunner = experiments.NewRunner(core.DefaultConfig())
 		headlineRunner.Names = benchSubset
+		headlineRunner.CacheDir = os.Getenv("MCD_SWEEP_CACHE")
 	}
 	return headlineRunner
 }
@@ -50,6 +52,7 @@ func newSchemeRunner() *experiments.Runner {
 	if schemeRunner == nil {
 		schemeRunner = experiments.NewRunner(core.DefaultConfig())
 		schemeRunner.Names = schemeSubset
+		schemeRunner.CacheDir = os.Getenv("MCD_SWEEP_CACHE")
 	}
 	return schemeRunner
 }

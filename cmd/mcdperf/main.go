@@ -1,0 +1,105 @@
+// Command mcdperf runs the repository's performance scenarios and emits
+// machine-readable benchmark reports (see DESIGN.md section 7).
+//
+// Usage:
+//
+//	mcdperf [-scenarios a,b] [-out BENCH.json] [-label PR2]
+//	mcdperf -compare perf/baseline.json [-threshold 0.15] [-scenarios a,b]
+//	mcdperf -list
+//
+// With -compare it measures the selected scenarios, diffs them against
+// the baseline report and exits nonzero when any scenario regresses more
+// than the threshold — the CI perf gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	scenarios := flag.String("scenarios", "", "comma-separated scenario subset (default: all)")
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout)")
+	label := flag.String("label", "", "free-form label recorded in the report (e.g. PR2)")
+	compare := flag.String("compare", "", "baseline report to compare against; exits 1 on regression")
+	threshold := flag.Float64("threshold", 0.15, "tolerated fractional slowdown vs the baseline")
+	allocsOnly := flag.Bool("allocs-only", false, "gate only on allocations/instruction (hardware-independent); wall ratios are still reported")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range perf.Scenarios() {
+			fmt.Printf("%-18s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+
+	var names []string
+	if *scenarios != "" {
+		for _, n := range strings.Split(*scenarios, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	rep, err := perf.RunAll(names, *label)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare != "" {
+		base, err := perf.Load(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		if len(names) > 0 {
+			// Gate only the scenarios that were measured: a subset run
+			// must not fail because the baseline also knows others.
+			var kept []perf.Result
+			for _, s := range base.Scenarios {
+				if rep.Find(s.Name) != nil {
+					kept = append(kept, s)
+				}
+			}
+			base.Scenarios = kept
+		}
+		deltas, err := perf.CompareOpts(base, rep, *threshold, !*allocsOnly)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(perf.FormatDeltas(deltas))
+		if reg := perf.Regressions(deltas); len(reg) > 0 {
+			// Persist the measurements before failing: the report is
+			// most needed on exactly the runs that regress.
+			if *out != "" {
+				if err := rep.WriteFile(*out); err != nil {
+					fmt.Fprintln(os.Stderr, "mcdperf:", err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "mcdperf: %d scenario(s) regressed beyond %.0f%%\n",
+				len(reg), *threshold*100)
+			os.Exit(1)
+		}
+	}
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+	} else if *compare == "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcdperf:", err)
+	os.Exit(1)
+}

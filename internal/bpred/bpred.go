@@ -38,8 +38,16 @@ type Predictor struct {
 	history []uint16
 	pattern []uint8
 	chooser []uint8 // 2-bit: >=2 favors PAg
-	btbTag  [][]uint32
-	btbLRU  []uint8
+	// btbTag is the flat sets*ways tag array: set s occupies
+	// btbTag[s*ways : (s+1)*ways]. One allocation instead of one per set.
+	btbTag []uint32
+	btbLRU []uint8
+
+	// Index masks, valid when the corresponding table size is a power of
+	// two (the Table 1 configuration); -1 selects the modulo path. The
+	// tables are indexed several times per branch, and a runtime integer
+	// division costs more than the prediction arithmetic it feeds.
+	biMask, l1Mask, l2Mask, chMask, btbMask int
 
 	// Statistics.
 	Lookups     int64
@@ -66,11 +74,30 @@ func New(cfg Config) *Predictor {
 	for i := range p.chooser {
 		p.chooser[i] = 2
 	}
-	p.btbTag = make([][]uint32, cfg.BTBSets)
-	for i := range p.btbTag {
-		p.btbTag[i] = make([]uint32, cfg.BTBWays)
-	}
+	p.btbTag = make([]uint32, cfg.BTBSets*cfg.BTBWays)
+	p.biMask = maskFor(cfg.BimodalSize)
+	p.l1Mask = maskFor(cfg.Level1Size)
+	p.l2Mask = maskFor(cfg.Level2Size)
+	p.chMask = maskFor(cfg.ChooserSize)
+	p.btbMask = maskFor(cfg.BTBSets)
 	return p
+}
+
+// maskFor returns n-1 when n is a power of two, else -1.
+func maskFor(n int) int {
+	if n > 0 && n&(n-1) == 0 {
+		return n - 1
+	}
+	return -1
+}
+
+// tblIndex reduces a non-negative key to [0, size), by mask when size
+// is a power of two.
+func tblIndex(key, size, mask int) int {
+	if mask >= 0 {
+		return key & mask
+	}
+	return key % size
 }
 
 func taken(counter uint8) bool { return counter >= 2 }
@@ -89,9 +116,9 @@ func bump(counter uint8, t bool) uint8 {
 }
 
 func (p *Predictor) pagIndex(pc uint32) (l1 int, l2 int) {
-	l1 = int(pc>>2) % p.cfg.Level1Size
+	l1 = tblIndex(int(pc>>2), p.cfg.Level1Size, p.l1Mask)
 	hist := int(p.history[l1]) & ((1 << p.cfg.HistoryBits) - 1)
-	l2 = hist % p.cfg.Level2Size
+	l2 = tblIndex(hist, p.cfg.Level2Size, p.l2Mask)
 	return
 }
 
@@ -102,9 +129,9 @@ func (p *Predictor) pagIndex(pc uint32) (l1 int, l2 int) {
 // redirect without a target.
 func (p *Predictor) Lookup(pc uint32, actualTaken bool) (mispredict bool) {
 	p.Lookups++
-	bi := int(pc>>2) % p.cfg.BimodalSize
+	bi := tblIndex(int(pc>>2), p.cfg.BimodalSize, p.biMask)
 	l1, l2 := p.pagIndex(pc)
-	ch := int(pc>>2) % p.cfg.ChooserSize
+	ch := tblIndex(int(pc>>2), p.cfg.ChooserSize, p.chMask)
 
 	bimodalPred := taken(p.bimodal[bi])
 	pagPred := taken(p.pattern[l2])
@@ -146,8 +173,9 @@ func (p *Predictor) Lookup(pc uint32, actualTaken bool) (mispredict bool) {
 }
 
 func (p *Predictor) btbProbe(pc uint32) bool {
-	set := int(pc>>2) % p.cfg.BTBSets
-	for w, tag := range p.btbTag[set] {
+	set := tblIndex(int(pc>>2), p.cfg.BTBSets, p.btbMask)
+	ways := p.btbTag[set*p.cfg.BTBWays : (set+1)*p.cfg.BTBWays]
+	for w, tag := range ways {
 		if tag == pc {
 			if p.cfg.BTBWays == 2 {
 				p.btbLRU[set] = uint8(w)
@@ -159,8 +187,8 @@ func (p *Predictor) btbProbe(pc uint32) bool {
 }
 
 func (p *Predictor) btbInsert(pc uint32) {
-	set := int(pc>>2) % p.cfg.BTBSets
-	ways := p.btbTag[set]
+	set := tblIndex(int(pc>>2), p.cfg.BTBSets, p.btbMask)
+	ways := p.btbTag[set*p.cfg.BTBWays : (set+1)*p.cfg.BTBWays]
 	for w, tag := range ways {
 		if tag == pc {
 			p.btbLRU[set] = uint8(w)

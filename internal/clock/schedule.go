@@ -27,6 +27,28 @@ type Segment struct {
 type Schedule struct {
 	segs []Segment
 	last int // cache of the most recently used segment index
+
+	// Edge cache for the final segment: once simulation time is inside
+	// the last (open-ended) segment, edge arithmetic reduces to strides
+	// of a constant period, so NextEdge and Advance avoid the segment
+	// search and usually the division too. The cache is valid only while
+	// tailPeriod > 0 and is dropped whenever the segment list changes.
+	tailStart  int64   // Start of the final segment
+	tailPeriod int64   // its period; 0 = cache invalid
+	tailEdge   int64   // the last edge NextEdge returned inside it
+	tailVolts  float64 // matched supply voltage of the final segment
+}
+
+// dropTailCache invalidates the final-segment edge cache; callers must
+// invoke it before any mutation of s.segs.
+func (s *Schedule) dropTailCache() { s.tailPeriod = 0 }
+
+// fillTailCache records an edge known to lie inside the final segment.
+func (s *Schedule) fillTailCache(seg Segment, edge int64) {
+	s.tailStart = seg.Start
+	s.tailPeriod = seg.PeriodPs
+	s.tailEdge = edge
+	s.tailVolts = dvfs.VoltageFor(seg.MHz)
 }
 
 // New returns a schedule running at mhz from time zero.
@@ -53,6 +75,9 @@ func NewFixed(mhz int) *Schedule { return New(mhz) }
 
 // segAt returns the index of the segment containing time t.
 func (s *Schedule) segAt(t int64) int {
+	if s.tailPeriod > 0 && t >= s.tailStart {
+		return len(s.segs) - 1
+	}
 	// Fast path: reuse the cached index; simulation time is mostly
 	// monotonic, so the cached segment or its successor usually matches.
 	i := s.last
@@ -77,7 +102,12 @@ func (s *Schedule) segAt(t int64) int {
 func (s *Schedule) FreqAt(t int64) int { return s.segs[s.segAt(t)].MHz }
 
 // VoltsAt returns the matched supply voltage at time t.
-func (s *Schedule) VoltsAt(t int64) float64 { return dvfs.VoltageFor(s.FreqAt(t)) }
+func (s *Schedule) VoltsAt(t int64) float64 {
+	if s.tailPeriod > 0 && t >= s.tailStart {
+		return s.tailVolts
+	}
+	return dvfs.VoltageFor(s.FreqAt(t))
+}
 
 // PeriodAt returns the clock period, in picoseconds, at time t.
 func (s *Schedule) PeriodAt(t int64) int64 { return s.segs[s.segAt(t)].PeriodPs }
@@ -87,6 +117,28 @@ func (s *Schedule) NextEdge(t int64) int64 {
 	if t < 0 {
 		t = 0
 	}
+	if p := s.tailPeriod; p > 0 && t >= s.tailStart {
+		// Inside the final segment: edges fall at tailStart + k*p, k >= 1.
+		e := s.tailEdge
+		if d := t - e; d >= 0 {
+			if d < p {
+				e += p
+			} else {
+				e += (d/p + 1) * p
+			}
+			s.tailEdge = e
+			return e
+		} else if e-t <= p {
+			return e
+		}
+		return s.tailStart + ((t-s.tailStart)/p+1)*p
+	}
+	return s.nextEdgeSlow(t)
+}
+
+// nextEdgeSlow walks the segment list; it feeds the tail cache whenever
+// the answer lies in the final segment.
+func (s *Schedule) nextEdgeSlow(t int64) int64 {
 	for i := s.segAt(t); ; i++ {
 		seg := s.segs[i]
 		k := (t-seg.Start)/seg.PeriodPs + 1
@@ -96,6 +148,9 @@ func (s *Schedule) NextEdge(t int64) int64 {
 			// start as the phase origin.
 			t = s.segs[i+1].Start - 1
 			continue
+		}
+		if i == len(s.segs)-1 {
+			s.fillTailCache(seg, e)
 		}
 		return e
 	}
@@ -110,6 +165,11 @@ func (s *Schedule) Advance(t int64, n int64) int64 {
 	}
 	e := s.NextEdge(t)
 	n--
+	if n > 0 && s.tailPeriod > 0 && e > s.tailStart {
+		// The first edge is already inside the final segment; the rest of
+		// the cycles stride at its constant period.
+		return e + n*s.tailPeriod
+	}
 	for n > 0 {
 		i := s.segAt(e)
 		seg := s.segs[i]
@@ -140,6 +200,7 @@ func (s *Schedule) Advance(t int64, n int64) int64 {
 func (s *Schedule) SetTarget(now int64, mhz int) {
 	mhz = dvfs.Quantize(mhz)
 	i := s.segAt(now)
+	s.dropTailCache()
 	cur := s.segs[i].MHz
 	// Discard scheduled future segments.
 	s.segs = s.segs[:i+1]
@@ -159,6 +220,7 @@ func (s *Schedule) SetTarget(now int64, mhz int) {
 func (s *Schedule) SetImmediate(now int64, mhz int) {
 	mhz = dvfs.Quantize(mhz)
 	i := s.segAt(now)
+	s.dropTailCache()
 	s.segs = s.segs[:i+1]
 	if s.last > i {
 		s.last = i

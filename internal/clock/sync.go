@@ -1,6 +1,6 @@
 package clock
 
-import "math/rand"
+import "repro/internal/xrand"
 
 // SyncConfig parameterizes the inter-domain synchronization circuit.
 type SyncConfig struct {
@@ -31,18 +31,24 @@ func DefaultSyncConfig() SyncConfig {
 // crossing between clock domains. It is deterministic for a given seed.
 type Synchronizer struct {
 	cfg SyncConfig
-	rng *rand.Rand
+	rng *xrand.Rand
 
 	// Crossings counts domain-boundary transfers; Penalties counts those
 	// that paid the extra consumer cycle.
 	Crossings int64
 	Penalties int64
+
+	// Window memo: the effective window depends only on the faster of
+	// the two periods, which is constant between DVFS steps while Cross
+	// runs a few times per instruction.
+	memoPeriod int64
+	memoWindow int64
 }
 
 // NewSynchronizer returns a synchronizer with the given configuration and
 // deterministic seed.
 func NewSynchronizer(cfg SyncConfig, seed int64) *Synchronizer {
-	return &Synchronizer{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	return &Synchronizer{cfg: cfg, rng: xrand.New(seed)}
 }
 
 // Cross returns the time at which a value produced at time t in the
@@ -62,13 +68,17 @@ func (s *Synchronizer) Cross(t int64, prod, cons *Schedule) int64 {
 	s.Crossings++
 	edge := cons.NextEdge(t)
 	gap := edge - t
-	window := s.cfg.WindowPs
 	fasterPeriod := prod.PeriodAt(t)
 	if p := cons.PeriodAt(t); p < fasterPeriod {
 		fasterPeriod = p
 	}
-	if w := int64(s.cfg.WindowFrac * float64(fasterPeriod)); w < window {
-		window = w
+	window := s.memoWindow
+	if fasterPeriod != s.memoPeriod {
+		window = s.cfg.WindowPs
+		if w := int64(s.cfg.WindowFrac * float64(fasterPeriod)); w < window {
+			window = w
+		}
+		s.memoPeriod, s.memoWindow = fasterPeriod, window
 	}
 	// Jitter shifts both edges; the net effect on the gap is the
 	// difference of two independent normal draws.

@@ -80,13 +80,21 @@ type Profile struct {
 // triple and returns the resulting profile. oracle disables
 // instrumentation cost accounting (used by the off-line comparator).
 func Train(cfg Config, prog *isa.Program, in isa.Input, window int64, scheme calltree.Scheme) *Profile {
+	return TrainFeed(cfg, prog.Feeder(in), window, scheme)
+}
+
+// TrainFeed is Train over any stream source; the sweep executor passes
+// recorded streams here so the two training walks (profiling, then DAG
+// collection) replay one recording instead of regenerating the stream.
+func TrainFeed(cfg Config, src isa.Feeder, window int64, scheme calltree.Scheme) *Profile {
 	// Phase 1: build the call tree.
-	tree := profiler.Profile(prog, in, window, scheme)
+	tree := profiler.ProfileFeed(src, window, scheme)
 
 	// Phase 2: full-speed simulated run with DAG collection + shaker.
 	hists := make(map[*calltree.Node]*shaker.DomainHists)
+	shk := shaker.NewRunner(cfg.Shaker)
 	collector := trace.NewCollector(tree, cfg.MaxInstances, cfg.MaxEvents, func(seg *trace.Segment) {
-		h := shaker.Run(seg, cfg.Shaker)
+		h := shk.Run(seg)
 		if prev, ok := hists[seg.Node]; ok {
 			prev.Add(&h)
 		} else {
@@ -94,10 +102,13 @@ func Train(cfg Config, prog *isa.Program, in isa.Input, window int64, scheme cal
 			hists[seg.Node] = &hc
 		}
 	})
+	// The shaker reduces each segment synchronously in the callback, so
+	// the collector can reuse one event arena for the whole run.
+	collector.RecycleSegments = true
 	m := sim.New(cfg.Sim)
 	m.SetTracer(collector)
 	m.SetMarkerSink(collector)
-	prog.Walk(in, &isa.CountingConsumer{Inner: m, Budget: window})
+	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
 	collector.Close()
 
 	prof := &Profile{Scheme: scheme, Tree: tree, Hists: hists}
@@ -169,8 +180,13 @@ type EditStats struct {
 // RunBaseline simulates the program on the MCD baseline: all domains at
 // full speed, synchronization penalties included.
 func RunBaseline(cfg Config, prog *isa.Program, in isa.Input, window int64) sim.Result {
+	return RunBaselineFeed(cfg, prog.Feeder(in), window)
+}
+
+// RunBaselineFeed is RunBaseline over any stream source.
+func RunBaselineFeed(cfg Config, src isa.Feeder, window int64) sim.Result {
 	m := sim.New(cfg.Sim)
-	prog.Walk(in, &isa.CountingConsumer{Inner: m, Budget: window})
+	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
 	return m.Finalize()
 }
 
@@ -179,11 +195,16 @@ func RunBaseline(cfg Config, prog *isa.Program, in isa.Input, window int64) sim.
 // MCD-penalty experiment (mhz = full speed) and the global-DVS
 // comparator (mhz matched to a target run time).
 func RunSingleClock(cfg Config, prog *isa.Program, in isa.Input, window int64, mhz int) sim.Result {
+	return RunSingleClockFeed(cfg, prog.Feeder(in), window, mhz)
+}
+
+// RunSingleClockFeed is RunSingleClock over any stream source.
+func RunSingleClockFeed(cfg Config, src isa.Feeder, window int64, mhz int) sim.Result {
 	scfg := cfg.Sim
 	scfg.BaseMHz = mhz
 	scfg.Sync.Disabled = true
 	m := sim.New(scfg)
-	prog.Walk(in, &isa.CountingConsumer{Inner: m, Budget: window})
+	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
 	return m.Finalize()
 }
 
@@ -191,6 +212,11 @@ func RunSingleClock(cfg Config, prog *isa.Program, in isa.Input, window int64, m
 // on the given input. oracle runs suppress instrumentation overhead,
 // modeling the off-line algorithm's free reconfigurations.
 func RunEdited(cfg Config, prog *isa.Program, in isa.Input, window int64, plan *edit.Plan, oracle bool) (sim.Result, EditStats) {
+	return RunEditedFeed(cfg, prog.Feeder(in), window, plan, oracle)
+}
+
+// RunEditedFeed is RunEdited over any stream source.
+func RunEditedFeed(cfg Config, src isa.Feeder, window int64, plan *edit.Plan, oracle bool) (sim.Result, EditStats) {
 	m := sim.New(cfg.Sim)
 	var ed *edit.Editor
 	if oracle {
@@ -198,7 +224,7 @@ func RunEdited(cfg Config, prog *isa.Program, in isa.Input, window int64, plan *
 	} else {
 		ed = edit.NewEditor(plan, m)
 	}
-	prog.Walk(in, &isa.CountingConsumer{Inner: ed, Budget: window})
+	src.Feed(&isa.CountingConsumer{Inner: ed, Budget: window})
 	res := m.Finalize()
 	st := EditStats{
 		DynReconfig:    ed.DynReconfig,
@@ -224,9 +250,14 @@ func RunOffline(cfg Config, prog *isa.Program, in isa.Input, window int64) (sim.
 
 // RunOnline simulates the hardware attack/decay controller.
 func RunOnline(cfg Config, prog *isa.Program, in isa.Input, window int64) sim.Result {
+	return RunOnlineFeed(cfg, prog.Feeder(in), window)
+}
+
+// RunOnlineFeed is RunOnline over any stream source.
+func RunOnlineFeed(cfg Config, src isa.Feeder, window int64) sim.Result {
 	m := sim.New(cfg.Sim)
 	control.NewAttackDecay(cfg.Online).Attach(m)
-	prog.Walk(in, &isa.CountingConsumer{Inner: m, Budget: window})
+	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
 	return m.Finalize()
 }
 

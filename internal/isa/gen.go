@@ -2,21 +2,24 @@ package isa
 
 import (
 	"hash/fnv"
-	"math/rand"
+
+	"repro/internal/xrand"
 )
 
 // walker generates the dynamic stream for one (program, input) pair.
 type walker struct {
 	in      Input
 	c       Consumer
-	rng     *rand.Rand
+	rng     *xrand.Rand
 	stopped bool
 
 	// sinceLoad is the dynamic distance to the most recent load, for
 	// pointer-chasing dependencies. Zero means "no load yet".
 	sinceLoad uint32
-	// brState holds per-branch-PC pattern counters.
-	brState map[uint32]uint32
+	// brState holds per-branch-PC pattern counters; an open-addressed
+	// table because the lookup runs for most branch instructions and a
+	// map's hashing dominates the pattern arithmetic it feeds.
+	brState pcTable
 	// memCtr holds per-block sequential access counters.
 	memCtr map[*Block]uint32
 	// loopSeq holds per-loop dynamic instance counters for TripsBySeq.
@@ -45,11 +48,11 @@ func (p *Program) Walk(in Input, c Consumer) {
 	w := &walker{
 		in:      in,
 		c:       c,
-		rng:     rand.New(rand.NewSource(seedFor(p.Name, in))),
-		brState: make(map[uint32]uint32),
+		rng:     xrand.New(seedFor(p.Name, in)),
 		memCtr:  make(map[*Block]uint32),
 		loopSeq: make(map[*Loop]int),
 	}
+	w.brState.init(1024)
 	w.subroutine(p.Main)
 }
 
@@ -135,14 +138,24 @@ func (w *walker) block(b *Block) {
 	rng := w.rng
 	ctr := w.memCtr[b]
 	n := b.Size(w.in)
+	// Hoist the mix parameters: the consumer call below is opaque to the
+	// compiler, so anything left behind a pointer is reloaded per
+	// instruction.
+	loadDepFrac := mix.LoadDepFrac
+	stride, fp := mix.Stride, mix.Footprint
+	if fp < stride {
+		fp = stride
+	}
+	memBase := b.basePC * 2654435761 // per-block region
+	basePC, span := b.basePC, b.span
 	for j := 0; j < n && !w.stopped; j++ {
 		class := mix.pick(rng.Float64())
-		pc := b.basePC + uint32(j)%b.span*4
+		pc := basePC + uint32(j)%span*4
 		ins := &w.ins
 		*ins = Instr{Class: class, PC: pc}
 
 		// Register dependencies.
-		if mix.LoadDepFrac > 0 && w.sinceLoad > 0 && rng.Float64() < mix.LoadDepFrac {
+		if loadDepFrac > 0 && w.sinceLoad > 0 && rng.Float64() < loadDepFrac {
 			ins.Src1 = uint16(w.sinceLoad)
 		} else if rng.Float64() < 0.85 {
 			ins.Src1 = w.depDist(mix)
@@ -153,13 +166,7 @@ func (w *walker) block(b *Block) {
 
 		switch class {
 		case Load, Store:
-			base := b.basePC * 2654435761 // per-block region
-			stride := mix.Stride
-			fp := mix.Footprint
-			if fp < stride {
-				fp = stride
-			}
-			ins.Addr = base + (ctr*stride)%fp
+			ins.Addr = memBase + (ctr*stride)%fp
 			ctr++
 		case Branch:
 			// Whether a branch is data-dependent (unpredictable) is a
@@ -201,12 +208,67 @@ func pcIsRandom(pc uint32, frac float64) bool {
 	return float64(h%1024) < frac*1024
 }
 
+// pcTable is an open-addressed PC-keyed counter table (PCs are never
+// zero, so zero keys mark empty slots). Capacity is a power of two.
+type pcTable struct {
+	keys []uint32
+	vals []uint32
+	n    int
+}
+
+func (t *pcTable) init(capacity int) {
+	t.keys = make([]uint32, capacity)
+	t.vals = make([]uint32, capacity)
+	t.n = 0
+}
+
+// postIncr returns the counter for pc and increments it.
+func (t *pcTable) postIncr(pc uint32) uint32 {
+	mask := uint32(len(t.keys) - 1)
+	i := (pc * 2654435761) & mask
+	for {
+		switch t.keys[i] {
+		case pc:
+			v := t.vals[i]
+			t.vals[i] = v + 1
+			return v
+		case 0:
+			if t.n >= len(t.keys)*3/4 {
+				t.grow()
+				return t.postIncr(pc)
+			}
+			t.keys[i] = pc
+			t.vals[i] = 1
+			t.n++
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *pcTable) grow() {
+	oldK, oldV := t.keys, t.vals
+	t.init(len(oldK) * 2)
+	mask := uint32(len(t.keys) - 1)
+	for j, k := range oldK {
+		if k == 0 {
+			continue
+		}
+		i := (k * 2654435761) & mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = k
+		t.vals[i] = oldV[j]
+		t.n++
+	}
+}
+
 // patternOutcome produces a deterministic repeating branch pattern with
 // the requested taken probability: a run of identical outcomes with one
 // exception per period. Two-level predictors learn these quickly.
 func (w *walker) patternOutcome(pc uint32, takenProb float64) bool {
-	ctr := w.brState[pc]
-	w.brState[pc] = ctr + 1
+	ctr := w.brState.postIncr(pc)
 	if takenProb >= 0.5 {
 		period := uint32(1.0/(1.0001-takenProb) + 0.5)
 		if period < 2 {

@@ -1,0 +1,150 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta is the comparison of one scenario between a baseline report and
+// a current report.
+type Delta struct {
+	Name string `json:"name"`
+	// BaseNsPerInstr and CurNsPerInstr are the compared wall metrics;
+	// Ratio is cur/base (1.0 = unchanged, >1 = slower).
+	BaseNsPerInstr float64 `json:"base_ns_per_instr"`
+	CurNsPerInstr  float64 `json:"cur_ns_per_instr"`
+	Ratio          float64 `json:"ratio"`
+	// AllocRatio compares allocations per instruction the same way; it is
+	// hardware-independent, so it catches allocation regressions even
+	// when the runner changed. Zero baseline allocations with nonzero
+	// current allocations always regress.
+	BaseAllocsPerInstr float64 `json:"base_allocs_per_instr"`
+	CurAllocsPerInstr  float64 `json:"cur_allocs_per_instr"`
+	AllocRatio         float64 `json:"alloc_ratio"`
+	Regressed          bool    `json:"regressed"`
+	Note               string  `json:"note,omitempty"`
+}
+
+// String renders one delta as a log line.
+func (d Delta) String() string {
+	status := "ok"
+	if d.Regressed {
+		status = "REGRESSED"
+	}
+	s := fmt.Sprintf("%-18s %-9s ns/instr %8.2f -> %8.2f (x%.3f)  allocs/instr %7.4f -> %7.4f",
+		d.Name, status, d.BaseNsPerInstr, d.CurNsPerInstr, d.Ratio,
+		d.BaseAllocsPerInstr, d.CurAllocsPerInstr)
+	if d.Note != "" {
+		s += "  [" + d.Note + "]"
+	}
+	return s
+}
+
+// allocFloor ignores alloc-ratio noise below this many allocations per
+// instruction: at such rates the scenario's fixed setup allocations
+// dominate and the ratio is meaningless.
+const allocFloor = 1e-4
+
+// Compare checks every scenario of the current report against the
+// baseline. threshold is the tolerated fractional slowdown (0.15 = 15%):
+// a scenario regresses when cur > base*(1+threshold) on ns/instr or
+// allocs/instr. Scenarios absent from the baseline are noted but never
+// regress (they are new); a scenario present in the baseline but missing
+// from the current report is an error — the gate cannot certify what it
+// did not measure. A baseline entry with a zero or negative ns/instr
+// carries no measurement and is skipped with a note.
+func Compare(baseline, current *Report, threshold float64) ([]Delta, error) {
+	return CompareOpts(baseline, current, threshold, true)
+}
+
+// CompareOpts is Compare with the wall-clock check made optional. With
+// wallClock false only the allocations-per-instruction comparison can
+// flag a regression; wall ratios are still reported. CI gates running
+// on heterogeneous shared runners use this mode: a committed wall-clock
+// baseline is only meaningful on the machine that produced it, while
+// allocation rates are hardware-independent.
+func CompareOpts(baseline, current *Report, threshold float64, wallClock bool) ([]Delta, error) {
+	if threshold < 0 {
+		return nil, fmt.Errorf("perf: negative threshold %v", threshold)
+	}
+	var deltas []Delta
+	for _, base := range baseline.Scenarios {
+		cur := current.Find(base.Name)
+		if cur == nil {
+			return nil, fmt.Errorf("perf: scenario %q in baseline but not measured", base.Name)
+		}
+		d := Delta{
+			Name:               base.Name,
+			BaseNsPerInstr:     base.NsPerInstr,
+			CurNsPerInstr:      cur.NsPerInstr,
+			BaseAllocsPerInstr: base.AllocsPerInstr,
+			CurAllocsPerInstr:  cur.AllocsPerInstr,
+		}
+		if base.NsPerInstr <= 0 {
+			d.Note = "baseline has no measurement; skipped"
+			deltas = append(deltas, d)
+			continue
+		}
+		d.Ratio = cur.NsPerInstr / base.NsPerInstr
+		if wallClock && d.Ratio > 1+threshold {
+			d.Regressed = true
+			d.Note = fmt.Sprintf("wall time over threshold (%.0f%%)", threshold*100)
+		}
+		switch {
+		case base.AllocsPerInstr > allocFloor:
+			d.AllocRatio = cur.AllocsPerInstr / base.AllocsPerInstr
+			if d.AllocRatio > 1+threshold {
+				d.Regressed = true
+				d.Note = appendNote(d.Note, fmt.Sprintf("allocations over threshold (%.0f%%)", threshold*100))
+			}
+		case cur.AllocsPerInstr > allocFloor:
+			d.AllocRatio = cur.AllocsPerInstr / allocFloor
+			d.Regressed = true
+			d.Note = appendNote(d.Note, "allocation-free scenario now allocates")
+		default:
+			d.AllocRatio = 1
+		}
+		deltas = append(deltas, d)
+	}
+	for _, cur := range current.Scenarios {
+		if baseline.Find(cur.Name) == nil {
+			deltas = append(deltas, Delta{
+				Name:              cur.Name,
+				CurNsPerInstr:     cur.NsPerInstr,
+				CurAllocsPerInstr: cur.AllocsPerInstr,
+				Ratio:             1,
+				AllocRatio:        1,
+				Note:              "new scenario (no baseline)",
+			})
+		}
+	}
+	return deltas, nil
+}
+
+// Regressions filters the deltas down to failures.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func appendNote(have, add string) string {
+	if have == "" {
+		return add
+	}
+	return have + "; " + add
+}
+
+// FormatDeltas renders a comparison as a multi-line report.
+func FormatDeltas(deltas []Delta) string {
+	var b strings.Builder
+	for _, d := range deltas {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

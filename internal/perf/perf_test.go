@@ -1,0 +1,228 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleReport(label string, scenarios ...Result) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Label:     label,
+		GoVersion: "go-test",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		CPUs:      1,
+		Scenarios: scenarios,
+	}
+}
+
+func res(name string, nsPerInstr, allocsPerInstr float64) Result {
+	return Result{
+		Name:           name,
+		WallNs:         int64(nsPerInstr * 1000),
+		Instructions:   1000,
+		NsPerInstr:     nsPerInstr,
+		InstrsPerSec:   1e9 / nsPerInstr,
+		AllocsPerInstr: allocsPerInstr,
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	want := sampleReport("PR2", res("a", 123.5, 0.25), res("b", 9.75, 0))
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "scenarios": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected schema error")
+	}
+}
+
+func TestCompareOK(t *testing.T) {
+	base := sampleReport("base", res("a", 100, 0.5))
+	cur := sampleReport("cur", res("a", 110, 0.5))
+	deltas, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || deltas[0].Regressed {
+		t.Fatalf("10%% slowdown under a 15%% threshold must pass: %+v", deltas)
+	}
+}
+
+func TestCompareThresholdBoundary(t *testing.T) {
+	base := sampleReport("base", res("a", 100, 0))
+	// Exactly at the threshold: not a regression (strictly greater fails).
+	cur := sampleReport("cur", res("a", 115, 0))
+	deltas, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0].Regressed {
+		t.Fatalf("cur == base*(1+threshold) must not regress: %+v", deltas[0])
+	}
+	// Just over: regression.
+	cur = sampleReport("cur", res("a", 115.2, 0))
+	deltas, err = Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deltas[0].Regressed {
+		t.Fatalf("cur just over the threshold must regress: %+v", deltas[0])
+	}
+}
+
+func TestCompareMissingScenarioInCurrent(t *testing.T) {
+	base := sampleReport("base", res("a", 100, 0), res("b", 100, 0))
+	cur := sampleReport("cur", res("a", 100, 0))
+	if _, err := Compare(base, cur, 0.15); err == nil {
+		t.Fatal("a baseline scenario missing from the current report must error")
+	}
+}
+
+func TestCompareNewScenario(t *testing.T) {
+	base := sampleReport("base", res("a", 100, 0))
+	cur := sampleReport("cur", res("a", 100, 0), res("new", 500, 1))
+	deltas, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("want 2 deltas, got %+v", deltas)
+	}
+	for _, d := range deltas {
+		if d.Regressed {
+			t.Fatalf("new scenario must not regress: %+v", d)
+		}
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := sampleReport("base", res("a", 0, 0))
+	cur := sampleReport("cur", res("a", 100, 0))
+	deltas, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0].Regressed {
+		t.Fatalf("zero baseline carries no measurement; must be skipped, got %+v", deltas[0])
+	}
+	if deltas[0].Note == "" {
+		t.Fatal("zero baseline skip must be noted")
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	// Wall time fine, allocations blown: must regress. Allocation ratios
+	// are hardware-independent, so this guards CI even across runners.
+	base := sampleReport("base", res("a", 100, 0.1))
+	cur := sampleReport("cur", res("a", 100, 0.2))
+	deltas, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deltas[0].Regressed {
+		t.Fatalf("2x allocations must regress: %+v", deltas[0])
+	}
+	// An allocation-free baseline that starts allocating regresses too.
+	base = sampleReport("base", res("a", 100, 0))
+	cur = sampleReport("cur", res("a", 100, 0.3))
+	deltas, err = Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deltas[0].Regressed {
+		t.Fatalf("allocation-free scenario now allocating must regress: %+v", deltas[0])
+	}
+}
+
+func TestCompareAllocsOnly(t *testing.T) {
+	// Wall-clock blowout, allocations unchanged: allocs-only mode (the
+	// CI gate on heterogeneous runners) must pass, full mode must fail.
+	base := sampleReport("base", res("a", 100, 0.1))
+	cur := sampleReport("cur", res("a", 300, 0.1))
+	deltas, err := CompareOpts(base, cur, 0.15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0].Regressed {
+		t.Fatalf("allocs-only mode must ignore wall-clock: %+v", deltas[0])
+	}
+	if deltas[0].Ratio != 3 {
+		t.Fatalf("wall ratio must still be reported: %+v", deltas[0])
+	}
+	full, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full[0].Regressed {
+		t.Fatalf("full mode must flag the wall-clock regression: %+v", full[0])
+	}
+	// Allocation regressions still fail in allocs-only mode.
+	cur = sampleReport("cur", res("a", 100, 0.5))
+	deltas, err = CompareOpts(base, cur, 0.15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deltas[0].Regressed {
+		t.Fatalf("allocs-only mode must flag allocation regressions: %+v", deltas[0])
+	}
+}
+
+func TestCompareNegativeThreshold(t *testing.T) {
+	base := sampleReport("base", res("a", 100, 0))
+	if _, err := Compare(base, base, -0.1); err == nil {
+		t.Fatal("negative threshold must error")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	for _, want := range []string{BenchSmoke, FullWindow, TrainPipeline, SweepThroughput, SimThroughput} {
+		if _, ok := ByName(want); !ok {
+			t.Fatalf("scenario %q not registered", want)
+		}
+	}
+	if _, err := Select([]string{"nope"}); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	scens, err := Select(nil)
+	if err != nil || len(scens) != len(Scenarios()) {
+		t.Fatalf("empty selection must mean all: %v %d", err, len(scens))
+	}
+}
+
+// TestSimThroughputScenario smoke-tests one real scenario end to end:
+// measured results must carry consistent derived metrics.
+func TestSimThroughputScenario(t *testing.T) {
+	s, ok := ByName(SimThroughput)
+	if !ok {
+		t.Fatal("missing scenario")
+	}
+	r, err := Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != 1_000_000 {
+		t.Fatalf("sim-throughput must cover 1M instructions, got %d", r.Instructions)
+	}
+	if r.NsPerInstr <= 0 || r.InstrsPerSec <= 0 {
+		t.Fatalf("derived metrics not computed: %+v", r)
+	}
+}

@@ -1,0 +1,168 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Scenario names. BenchSmoke covers the per-instruction simulator hot
+// path the sweep serves; the others isolate pipeline layers so a
+// regression report points at the layer that slowed down.
+const (
+	// BenchSmoke simulates the diverse five-benchmark subset under every
+	// untrained comparator policy (MCD baseline, single-clock, on-line
+	// attack/decay) via the sweep engine: the per-instruction
+	// timestamp-propagation loop over real workload streams, including
+	// controller-driven DVFS ramps. This is the CI perf gate.
+	BenchSmoke = "bench-smoke"
+	// FullWindow is a single full-reference-window MCD baseline
+	// simulation: the pure per-instruction simulator hot path with stream
+	// generation, no training.
+	FullWindow = "full-window"
+	// TrainPipeline runs the profile-driven policies (off-line oracle and
+	// the L+F scheme) end to end — profiling, DAG collection, shaking,
+	// thresholding, editing, production run — on two benchmarks.
+	TrainPipeline = "train-pipeline"
+	// SweepThroughput pushes a small manifest grid through the sweep
+	// engine with a cold persistent cache, measuring engine overhead,
+	// executor fan-out and cache writes together.
+	SweepThroughput = "sweep-throughput"
+	// SimThroughput is the steady-state Machine microbenchmark: a single
+	// hot block, no markers, no tracer — the allocation-free loop itself.
+	SimThroughput = "sim-throughput"
+)
+
+// smokeBenches is the bench-smoke subset, mirroring bench_test.go's
+// diverse five: integer codec, branchy compressor, memory-bound, FP
+// stream, and the training-mismatch case.
+var smokeBenches = []string{"adpcm_decode", "gzip", "mcf", "swim", "mpeg2_decode"}
+
+// trainBenches is the train-pipeline subset: an integer codec and a
+// branchy compressor exercise training, editing and replanning.
+var trainBenches = []string{"adpcm_decode", "gzip"}
+
+func init() {
+	Register(Scenario{
+		Name: SimThroughput,
+		Desc: "steady-state Machine loop, 1M synthetic instructions",
+		Run:  runSimThroughput,
+	})
+	Register(Scenario{
+		Name: FullWindow,
+		Desc: "full-window MCD baseline run (gzip reference input)",
+		Run:  runFullWindow,
+	})
+	Register(Scenario{
+		Name: BenchSmoke,
+		Desc: "untrained policies on " + fmt.Sprint(smokeBenches),
+		Run:  runBenchSmoke,
+	})
+	Register(Scenario{
+		Name: TrainPipeline,
+		Desc: "off-line + L+F training pipeline on " + fmt.Sprint(trainBenches),
+		Run:  runTrainPipeline,
+	})
+	Register(Scenario{
+		Name: SweepThroughput,
+		Desc: "manifest grid through the sweep engine with a cold disk cache",
+		Run:  runSweepThroughput,
+	})
+}
+
+func runSimThroughput() (int64, error) {
+	const budget = 1_000_000
+	b := isa.NewBuilder("perf-sim-throughput")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(isa.Balanced, budget))
+	prog := b.Finish(main)
+	m := sim.New(sim.DefaultConfig())
+	prog.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: budget})
+	res := m.Finalize()
+	return res.Instructions, nil
+}
+
+func runFullWindow() (int64, error) {
+	b := workload.ByName("gzip")
+	if b == nil {
+		return 0, fmt.Errorf("benchmark gzip not in suite")
+	}
+	res := core.RunBaseline(core.DefaultConfig(), b.Prog, b.Ref, b.RefWindow)
+	return res.Instructions, nil
+}
+
+func runBenchSmoke() (int64, error) {
+	eng := sweep.New(core.DefaultConfig())
+	var jobs []sweep.Job
+	for _, n := range smokeBenches {
+		jobs = append(jobs,
+			sweep.Job{Bench: n, Policy: sweep.PolicyBaseline},
+			sweep.Job{Bench: n, Policy: sweep.PolicySingleClock},
+			sweep.Job{Bench: n, Policy: sweep.PolicyOnline},
+		)
+	}
+	outs, _, err := eng.Run(jobs)
+	if err != nil {
+		return 0, err
+	}
+	var instrs int64
+	for _, o := range outs {
+		instrs += o.Res.Instructions
+	}
+	return instrs, nil
+}
+
+func runTrainPipeline() (int64, error) {
+	eng := sweep.New(core.DefaultConfig())
+	var jobs []sweep.Job
+	for _, n := range trainBenches {
+		jobs = append(jobs,
+			sweep.Job{Bench: n, Policy: sweep.PolicyOffline},
+			sweep.Job{Bench: n, Policy: sweep.PolicyScheme, Scheme: calltree.LF.Name},
+		)
+	}
+	outs, _, err := eng.Run(jobs)
+	if err != nil {
+		return 0, err
+	}
+	var instrs int64
+	for _, o := range outs {
+		instrs += o.Res.Instructions
+	}
+	return instrs, nil
+}
+
+func runSweepThroughput() (int64, error) {
+	dir, err := os.MkdirTemp("", "mcdperf-sweep-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	m := &sweep.Manifest{
+		Benchmarks: []string{"adpcm_decode"},
+		Policies:   []string{sweep.PolicyBaseline, sweep.PolicySingleClock, sweep.PolicyScheme},
+		Schemes:    []string{calltree.LF.Name, calltree.LFCP.Name},
+		Deltas:     []float64{1.0, 1.75, 2.5},
+	}
+	jobs, err := m.Jobs()
+	if err != nil {
+		return 0, err
+	}
+	eng := sweep.New(m.Config())
+	eng.Cache = &sweep.Cache{Dir: dir}
+	outs, _, err := eng.Run(jobs)
+	if err != nil {
+		return 0, err
+	}
+	var instrs int64
+	for _, o := range outs {
+		instrs += o.Res.Instructions
+	}
+	return instrs, nil
+}

@@ -144,6 +144,14 @@ type Book struct {
 	LeakPJ  [arch.NumDomains]float64
 	// Events counts events per domain (used for utilization).
 	Events [arch.NumDomains]int64
+
+	// vScale memo per domain: a domain's supply voltage changes only on
+	// DVFS steps, while Charge runs several times per instruction; the
+	// memo turns the common repeat case into one float compare. The
+	// cached scale is vScale(volts) exactly, so results are bit-identical
+	// to recomputing.
+	lastVolts [arch.NumDomains]float64
+	lastScale [arch.NumDomains]float64
 }
 
 // NewBook returns an empty energy book using model m.
@@ -155,7 +163,11 @@ func (b *Book) Model() *Model { return b.model }
 // Charge records one event at the given voltage.
 func (b *Book) Charge(k EventKind, volts float64) {
 	d := eventDomain[k]
-	b.DynamicPJ[d] += b.model.EventEnergy(k, volts)
+	if volts != b.lastVolts[d] || b.lastScale[d] == 0 {
+		b.lastVolts[d] = volts
+		b.lastScale[d] = vScale(volts)
+	}
+	b.DynamicPJ[d] += b.model.EventPJ[k] * b.lastScale[d]
 	b.Events[d]++
 }
 

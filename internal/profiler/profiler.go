@@ -133,9 +133,15 @@ func (t *Tee) Marker(m isa.Marker) bool {
 // Profile runs phase one for one (program, input, scheme) triple over an
 // instruction window and returns the finalized call tree.
 func Profile(p *isa.Program, in isa.Input, window int64, s calltree.Scheme) *calltree.Tree {
+	return ProfileFeed(p.Feeder(in), window, s)
+}
+
+// ProfileFeed is Profile over any stream source (a generating walk or a
+// recorded replay).
+func ProfileFeed(src isa.Feeder, window int64, s calltree.Scheme) *calltree.Tree {
 	prof := New(s)
 	cc := &isa.CountingConsumer{Inner: prof, Budget: window}
-	p.Walk(in, cc)
+	src.Feed(cc)
 	return prof.Finish()
 }
 

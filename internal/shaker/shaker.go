@@ -85,28 +85,101 @@ func (d *DomainHists) Add(o *DomainHists) {
 	}
 }
 
-// event is the shaker's mutable view of a trace event.
-type event struct {
+// Runner owns the shaker's scratch arrays so repeated invocations (one
+// per captured segment — a training run shakes hundreds) reuse one
+// arena instead of reallocating per segment. Events live in
+// structure-of-arrays form and edges in two CSR index tables: the sweep
+// loops are memory-bound, and the hot fields (start, end, pf) pack far
+// more densely this way than as an array of event structs. A Runner is
+// not safe for concurrent use; independent goroutines each take their
+// own.
+type Runner struct {
+	cfg Config
+
+	// Per-event sweep state. Every field a sweep visit touches lives in
+	// one cache-line-sized struct: the pass loops are memory-bound over
+	// multi-megabyte working sets, and one line per visit beats six
+	// parallel arrays.
+	hot []evhot
+
+	// Cold per-event state, only read when summarizing.
+	weight []float64
+	dom    []uint8
+
+	// Edges in CSR form; each event's list offsets live in its evhot.
+	// inOff is construction scratch for the counting pass.
+	outIdx, inIdx []int32
+	inOff         []int32
+
+	// Sweep orders.
+	byEnd, byStart []int32
+
+	// prefetchSink keeps sweep-loop prefetch loads observable so the
+	// compiler cannot discard them.
+	prefetchSink int64
+}
+
+// prefetchAhead is how many sweep positions ahead each iteration
+// pre-touches; ~8 covers the hot-line fetch latency without evicting
+// the lines the loop is about to use.
+const prefetchAhead = 8
+
+// evhot is the per-event sweep state, exactly one 64-byte cache line.
+// The CSR edge offsets ride in the same line so a sweep visit loads the
+// event once and goes straight to its edge lists.
+type evhot struct {
 	start, end int64
 	dur0       int64
-	weight     float64
 	pf0, pf    float64
 	scale      float64
-	dom        arch.Domain
-	out, in    []int32
+	outBase    int32 // offset of the out-edge list in Runner.outIdx
+	outDeg     int32
+	inBase     int32 // offset of the in-edge list in Runner.inIdx
+	inDeg      int32
+}
+
+// NewRunner returns a reusable shaker over one configuration.
+func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg} }
+
+// Run applies the shaker to one segment and returns its per-domain
+// histograms. It is a convenience wrapper allocating a fresh Runner;
+// loops over many segments should reuse one.
+func Run(seg *trace.Segment, cfg Config) DomainHists {
+	return NewRunner(cfg).Run(seg)
+}
+
+// grow returns s resized to n, reallocating only when capacity is short.
+func grow[T evhot | int64 | float64 | uint8 | int32](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// resize prepares the per-event arrays for n events.
+func (r *Runner) resize(n int) {
+	r.hot = grow(r.hot, n)
+	r.weight = grow(r.weight, n)
+	r.dom = grow(r.dom, n)
+	r.inOff = grow(r.inOff, n+1)
+	r.byEnd = grow(r.byEnd, n)
+	r.byStart = grow(r.byStart, n)
 }
 
 // Run applies the shaker to one segment and returns its per-domain
-// histograms.
-func Run(seg *trace.Segment, cfg Config) DomainHists {
+// histograms. The segment is read, never modified.
+func (r *Runner) Run(seg *trace.Segment) DomainHists {
+	cfg := r.cfg
 	n := len(seg.Events)
 	var hists DomainHists
 	if n == 0 {
 		return hists
 	}
-	evs := make([]event, n)
+	r.resize(n)
 	var srcStart, sinkEnd int64
 	srcStart = seg.Events[0].Start
+	edges := 0
+	hot := r.hot
 	for i := range seg.Events {
 		te := &seg.Events[i]
 		pf := 0.0
@@ -117,15 +190,15 @@ func Run(seg *trace.Segment, cfg Config) DomainHists {
 		if w == 0 {
 			w = float64(te.End - te.Start)
 		}
-		evs[i] = event{
+		hot[i] = evhot{
 			start: te.Start, end: te.End,
-			dur0:   te.End - te.Start,
-			weight: w,
-			pf0:    pf, pf: pf,
+			dur0: te.End - te.Start,
+			pf0:  pf, pf: pf,
 			scale: 1,
-			dom:   te.Domain,
-			out:   te.Out,
 		}
+		r.weight[i] = w
+		r.dom[i] = uint8(te.Domain)
+		edges += len(te.Out)
 		if te.Start < srcStart {
 			srcStart = te.Start
 		}
@@ -133,21 +206,51 @@ func Run(seg *trace.Segment, cfg Config) DomainHists {
 			sinkEnd = te.End
 		}
 	}
-	for i := range evs {
-		for _, s := range evs[i].out {
-			evs[s].in = append(evs[s].in, int32(i))
+	// Out-edges in CSR form, preserving per-event successor order.
+	r.outIdx = grow(r.outIdx, edges)
+	r.inIdx = grow(r.inIdx, edges)
+	pos := int32(0)
+	for i := range seg.Events {
+		hot[i].outBase = pos
+		hot[i].outDeg = int32(len(seg.Events[i].Out))
+		pos += int32(copy(r.outIdx[pos:], seg.Events[i].Out))
+	}
+	// Mirror into in-edges with a counting pass; filling in ascending
+	// producer order reproduces the append order of a per-event build.
+	inOff := r.inOff
+	for i := 0; i <= n; i++ {
+		inOff[i] = 0
+	}
+	for _, s := range r.outIdx[:edges] {
+		inOff[s+1]++
+	}
+	for i := 0; i < n; i++ {
+		inOff[i+1] += inOff[i]
+	}
+	for i := 0; i < n; i++ {
+		hot[i].inBase = inOff[i]
+		hot[i].inDeg = inOff[i+1] - inOff[i]
+	}
+	next := r.byStart[:n] // borrowed as scratch; initialized below before sorting
+	for i := range next {
+		next[i] = inOff[i]
+	}
+	for i := 0; i < n; i++ {
+		e := &hot[i]
+		for _, s := range r.outIdx[e.outBase : e.outBase+e.outDeg] {
+			r.inIdx[next[s]] = int32(i)
+			next[s]++
 		}
 	}
 
 	// Index orders for the sweeps.
-	byEnd := make([]int32, n)
-	byStart := make([]int32, n)
+	byEnd, byStart := r.byEnd[:n], r.byStart[:n]
 	for i := range byEnd {
 		byEnd[i] = int32(i)
 		byStart[i] = int32(i)
 	}
-	sort.Slice(byEnd, func(a, b int) bool { return evs[byEnd[a]].end > evs[byEnd[b]].end })
-	sort.Slice(byStart, func(a, b int) bool { return evs[byStart[a]].start < evs[byStart[b]].start })
+	sort.Slice(byEnd, func(a, b int) bool { return hot[byEnd[a]].end > hot[byEnd[b]].end })
+	sort.Slice(byStart, func(a, b int) bool { return hot[byStart[a]].start < hot[byStart[b]].start })
 
 	maxPF, minPF := 0.0, 1e9
 	for _, p := range cfg.PowerFactor {
@@ -160,55 +263,73 @@ func Run(seg *trace.Segment, cfg Config) DomainHists {
 	}
 	threshold := maxPF * cfg.InitialThresholdFrac
 	idle := 0
+	outIdx, inIdx := r.outIdx, r.inIdx
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
 		stretched := false
+		var movedBits int64
 		// Backward pass: consume outgoing slack, push the rest to
-		// incoming edges by moving events later.
-		for _, i := range byEnd {
-			e := &evs[i]
+		// incoming edges by moving events later. The shift at the bottom
+		// is branchless (a negative slack contributes zero), and each
+		// iteration pre-touches the event a few positions ahead in sweep
+		// order — the permuted walk defeats the hardware prefetcher, and
+		// these loops are latency-bound on the hot-line fetch.
+		for k := range byEnd {
+			if k+prefetchAhead < n {
+				r.prefetchSink += hot[byEnd[k+prefetchAhead]].start
+			}
+			e := &hot[byEnd[k]]
 			slack := sinkEnd - e.end
-			for _, s := range e.out {
-				if d := evs[s].start - e.end; d < slack {
+			for _, s := range outIdx[e.outBase : e.outBase+e.outDeg] {
+				if d := hot[s].start - e.end; d < slack {
 					slack = d
 				}
 			}
-			if slack <= 0 {
-				continue
-			}
-			if e.pf > threshold && e.scale < cfg.MaxStretch && e.dur0 > 0 {
+			// stretch is a no-op on nonpositive slack; the guard only
+			// short-circuits the common ineligible case.
+			if slack > 0 && e.pf > threshold && e.scale < cfg.MaxStretch && e.dur0 > 0 {
 				if grew := stretch(e, slack, threshold, cfg.MaxStretch, false); grew > 0 {
 					slack -= grew
 					stretched = true
 				}
 			}
-			if slack > 0 {
-				e.start += slack
-				e.end += slack
-			}
+			add := slack &^ (slack >> 63) // max(slack, 0)
+			e.start += add
+			e.end += add
+			movedBits |= add
 		}
 		// Forward pass: consume incoming slack, push the rest to
 		// outgoing edges by moving events earlier.
-		for _, i := range byStart {
-			e := &evs[i]
+		for k := range byStart {
+			if k+prefetchAhead < n {
+				r.prefetchSink += hot[byStart[k+prefetchAhead]].start
+			}
+			e := &hot[byStart[k]]
 			slack := e.start - srcStart
-			for _, p := range e.in {
-				if d := e.start - evs[p].end; d < slack {
+			for _, p := range inIdx[e.inBase : e.inBase+e.inDeg] {
+				if d := e.start - hot[p].end; d < slack {
 					slack = d
 				}
 			}
-			if slack <= 0 {
-				continue
-			}
-			if e.pf > threshold && e.scale < cfg.MaxStretch && e.dur0 > 0 {
+			if slack > 0 && e.pf > threshold && e.scale < cfg.MaxStretch && e.dur0 > 0 {
 				if grew := stretch(e, slack, threshold, cfg.MaxStretch, true); grew > 0 {
 					slack -= grew
 					stretched = true
 				}
 			}
-			if slack > 0 {
-				e.start -= slack
-				e.end -= slack
-			}
+			add := slack &^ (slack >> 63)
+			e.start -= add
+			e.end -= add
+			movedBits |= add
+		}
+		moved := movedBits != 0
+		if !stretched && !moved {
+			// Fixed point: every slack is zero or negative and no event
+			// stretched. Slack is independent of the power threshold, so
+			// the remaining passes — which only ever act on positive
+			// slack — cannot change anything; the descending threshold
+			// would merely decay to the exit condition. Summarizing now
+			// is exact, not an approximation.
+			break
 		}
 		threshold *= cfg.ThresholdDecay
 		if stretched {
@@ -224,23 +345,22 @@ func Run(seg *trace.Segment, cfg Config) DomainHists {
 	// Summarize: each event contributes its full-speed duration to the
 	// bin of the frequency it was scaled to (rounded down to the ladder
 	// so chosen frequencies never overestimate savings).
-	for i := range evs {
-		e := &evs[i]
-		if e.dur0 <= 0 || e.dom >= arch.NumScalable {
+	for i := 0; i < n; i++ {
+		if hot[i].dur0 <= 0 || arch.Domain(r.dom[i]) >= arch.NumScalable {
 			continue
 		}
-		ideal := float64(dvfs.FMaxMHz) / e.scale
+		ideal := float64(dvfs.FMaxMHz) / hot[i].scale
 		bin := dvfs.StepIndex(dvfs.QuantizeDown(int(ideal)))
-		hists[e.dom].Bins[bin] += e.weight
+		hists[r.dom[i]].Bins[bin] += r.weight[i]
 	}
 	return hists
 }
 
 // stretch grows event e into the available slack, limited by the maximum
 // stretch and by the scale at which its power factor falls to the
-// threshold. When backward is false the end moves later; when true the
+// threshold. When forward is false the end moves later; when true the
 // start moves earlier. It returns the consumed slack.
-func stretch(e *event, slack int64, threshold, maxStretch float64, forward bool) int64 {
+func stretch(e *evhot, slack int64, threshold, maxStretch float64, forward bool) int64 {
 	dur := e.end - e.start
 	limit := maxStretch
 	if byThresh := e.pf0 / threshold; byThresh < limit {

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// collect captures the first n instructions of a program walk.
+func collect(prog *isa.Program, in isa.Input, n int) []isa.Instr {
+	c := &collectConsumer{want: n}
+	prog.Walk(in, c)
+	return c.instrs
+}
+
+type collectConsumer struct {
+	instrs []isa.Instr
+	want   int
+}
+
+func (c *collectConsumer) Instr(ins *isa.Instr) bool {
+	c.instrs = append(c.instrs, *ins)
+	return len(c.instrs) < c.want
+}
+
+func (c *collectConsumer) Marker(isa.Marker) bool { return true }
+
+// TestSteadyStateAllocFree locks in the hot-path invariant: once the
+// machine's issue queues have grown to capacity, simulating an
+// instruction performs zero heap allocations. A regression here turns
+// every sweep into GC churn, so it is tier-1.
+func TestSteadyStateAllocFree(t *testing.T) {
+	b := isa.NewBuilder("allocfree")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(isa.Balanced, 100_000))
+	prog := b.Finish(main)
+	instrs := collect(prog, isa.Input{Name: "train"}, 80_000)
+
+	m := New(DefaultConfig())
+	// Warm up: grow the issue queues and ring state to steady state.
+	next := 0
+	for ; next < 50_000; next++ {
+		m.Instr(&instrs[next])
+	}
+	const batch = 2_000
+	got := testing.AllocsPerRun(5, func() {
+		for j := 0; j < batch; j++ {
+			m.Instr(&instrs[next])
+			next++
+		}
+	})
+	if got > 0 {
+		t.Fatalf("steady-state Machine loop allocates %.1f times per %d instructions; want 0", got, batch)
+	}
+}
+
+// TestSetTracerTypedNil verifies that detaching observers with a typed
+// nil restores the no-dispatch fast path instead of leaving a non-nil
+// interface wrapping a nil pointer (which would panic on first use).
+func TestSetTracerTypedNil(t *testing.T) {
+	m := New(DefaultConfig())
+	var tr *panicTracer // typed nil
+	var ms *panicSink   // typed nil
+	m.SetTracer(tr)
+	m.SetMarkerSink(ms)
+
+	b := isa.NewBuilder("typednil")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(isa.Balanced, 100))
+	prog := b.Finish(main)
+	// Would panic via the typed-nil interface if the fast path were not
+	// restored.
+	prog.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: 100})
+	if m.Seq() != 100 {
+		t.Fatalf("simulated %d instructions, want 100", m.Seq())
+	}
+
+	// Attach-then-detach with untyped nil behaves the same.
+	m2 := New(DefaultConfig())
+	m2.SetTracer(&countTracer{})
+	m2.SetTracer(nil)
+	m2.SetMarkerSink(&countSink{})
+	m2.SetMarkerSink(nil)
+	prog.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m2, Budget: 100})
+	if m2.Seq() != 100 {
+		t.Fatalf("simulated %d instructions after detach, want 100", m2.Seq())
+	}
+}
+
+type panicTracer struct{}
+
+func (*panicTracer) Trace(int64, *isa.Instr, *Times) { panic("typed-nil tracer invoked") }
+
+type panicSink struct{}
+
+func (*panicSink) MachineMarker(isa.Marker, int64) { panic("typed-nil sink invoked") }
+
+type countTracer struct{ n int64 }
+
+func (c *countTracer) Trace(int64, *isa.Instr, *Times) { c.n++ }
+
+type countSink struct{ n int64 }
+
+func (c *countSink) MachineMarker(isa.Marker, int64) { c.n++ }

@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"math/rand"
+	"reflect"
 
 	"repro/internal/arch"
 	"repro/internal/bpred"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/isa"
 	"repro/internal/power"
+	"repro/internal/xrand"
 )
 
 // Times records the pipeline timestamps of one instruction, in
@@ -89,8 +90,10 @@ type Machine struct {
 	complRing [depRingSize]int64
 	domRing   [depRingSize]uint8
 
-	// ROB commit-time ring.
-	rob []int64
+	// ROB commit-time ring; robIdx is seq mod len(rob) maintained as a
+	// rolling counter so the hot loop never divides.
+	rob    []int64
+	robIdx int
 
 	// Issue queues: outstanding issue times per execution domain.
 	iq    [arch.NumScalable][]int64
@@ -139,7 +142,7 @@ func New(cfg Config) *Machine {
 	// Each domain's PLL has an unrelated phase; seed them deterministically.
 	// The external domain keeps phase zero. A globally synchronous
 	// configuration (Sync.Disabled) aligns all phases.
-	phaseRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5deece66d))
+	phaseRng := xrand.New(cfg.Seed ^ 0x5deece66d)
 	period := int64(1e6) / int64(cfg.BaseMHz)
 	for d := 0; d < arch.NumDomains; d++ {
 		phase := int64(0)
@@ -186,11 +189,43 @@ func (m *Machine) Seq() int64 { return m.seq }
 // Now returns the current simulation time (the last commit time).
 func (m *Machine) Now() int64 { return m.lastCommit }
 
-// SetTracer installs a per-instruction timing observer.
-func (m *Machine) SetTracer(t Tracer) { m.trace = t }
+// SetTracer installs a per-instruction timing observer. Passing nil —
+// including a non-nil interface holding a nil pointer — detaches the
+// tracer and restores the no-dispatch fast path: the per-instruction
+// loop skips the interface call entirely when no sink is attached, so a
+// detached machine must never be left holding a typed nil that would
+// defeat the nil check (and then panic inside the callee).
+func (m *Machine) SetTracer(t Tracer) {
+	if isNilSink(t) {
+		m.trace = nil
+		return
+	}
+	m.trace = t
+}
 
-// SetMarkerSink installs a structure-marker observer.
-func (m *Machine) SetMarkerSink(s MarkerSink) { m.msink = s }
+// SetMarkerSink installs a structure-marker observer. nil (typed or
+// untyped) detaches it; see SetTracer.
+func (m *Machine) SetMarkerSink(s MarkerSink) {
+	if isNilSink(s) {
+		m.msink = nil
+		return
+	}
+	m.msink = s
+}
+
+// isNilSink reports whether an observer interface is nil or wraps a nil
+// pointer/map/func. Setters are cold, so reflection here is free.
+func isNilSink(v any) bool {
+	if v == nil {
+		return true
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Func, reflect.Chan, reflect.Slice, reflect.Interface:
+		return rv.IsNil()
+	}
+	return false
+}
 
 // SetController installs a hardware control policy called every
 // intervalInstrs instructions.
@@ -267,7 +302,7 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 	disp := fe.Advance(t.Fetch, int64(cfg.FrontDepth))
 	// ROB capacity: wait for the instruction ROBSize back to commit.
 	if m.seq >= int64(cfg.ROBSize) {
-		if old := m.rob[m.seq%int64(cfg.ROBSize)]; old > disp {
+		if old := m.rob[m.robIdx]; old > disp {
 			disp = old
 		}
 	}
@@ -313,27 +348,27 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 	dclk := m.clk[dom]
 	switch ins.Class {
 	case isa.IntALU:
-		issue := m.fuIssue(m.intALU, dclk, ready, 1)
+		issue := m.fuIssue(dom, m.intALU, dclk, ready, 1)
 		complete = dclk.Advance(issue, int64(cfg.IntALULat))
 		t.Issue = issue
 		m.book.Charge(power.IntOp, dclk.VoltsAt(issue))
 	case isa.IntMul:
-		issue := m.fuIssue(m.intMul, dclk, ready, int64(cfg.IntMulLat))
+		issue := m.fuIssue(dom, m.intMul, dclk, ready, int64(cfg.IntMulLat))
 		complete = dclk.Advance(issue, int64(cfg.IntMulLat))
 		t.Issue = issue
 		m.book.Charge(power.IntMulOp, dclk.VoltsAt(issue))
 	case isa.FPALU:
-		issue := m.fuIssue(m.fpALU, dclk, ready, 1)
+		issue := m.fuIssue(dom, m.fpALU, dclk, ready, 1)
 		complete = dclk.Advance(issue, int64(cfg.FPALULat))
 		t.Issue = issue
 		m.book.Charge(power.FPOp, dclk.VoltsAt(issue))
 	case isa.FPMul:
-		issue := m.fuIssue(m.fpMul, dclk, ready, int64(cfg.FPMulLat))
+		issue := m.fuIssue(dom, m.fpMul, dclk, ready, int64(cfg.FPMulLat))
 		complete = dclk.Advance(issue, int64(cfg.FPMulLat))
 		t.Issue = issue
 		m.book.Charge(power.FPMulOp, dclk.VoltsAt(issue))
 	case isa.Load:
-		issue := m.fuIssue(m.lsPort, dclk, ready, 1)
+		issue := m.fuIssue(dom, m.lsPort, dclk, ready, 1)
 		t.Issue = issue
 		m.book.Charge(power.LSQOp, dclk.VoltsAt(issue))
 		m.book.Charge(power.DCacheOp, dclk.VoltsAt(issue))
@@ -351,7 +386,7 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 			complete = dclk.NextEdge(after)
 		}
 	case isa.Store:
-		issue := m.fuIssue(m.lsPort, dclk, ready, 1)
+		issue := m.fuIssue(dom, m.lsPort, dclk, ready, 1)
 		t.Issue = issue
 		m.book.Charge(power.LSQOp, dclk.VoltsAt(issue))
 		m.book.Charge(power.DCacheOp, dclk.VoltsAt(issue))
@@ -360,7 +395,7 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 		m.dl1.Access(ins.Addr)
 		complete = dclk.Advance(issue, 1)
 	case isa.Branch:
-		issue := m.fuIssue(m.intALU, dclk, ready, 1)
+		issue := m.fuIssue(dom, m.intALU, dclk, ready, 1)
 		complete = dclk.Advance(issue, int64(cfg.IntALULat))
 		t.Issue = issue
 		m.book.Charge(power.IntOp, dclk.VoltsAt(issue))
@@ -378,7 +413,7 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 		if lat < 1 {
 			lat = 1
 		}
-		issue := m.fuIssue(m.intALU, dclk, ready, 1)
+		issue := m.fuIssue(dom, m.intALU, dclk, ready, 1)
 		complete = dclk.Advance(issue, lat)
 		t.Issue = issue
 		m.book.Charge(power.OverheadOp, dclk.VoltsAt(issue))
@@ -412,7 +447,10 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 	idx := m.seq & (depRingSize - 1)
 	m.complRing[idx] = complete
 	m.domRing[idx] = uint8(dom)
-	m.rob[m.seq%int64(cfg.ROBSize)] = edge
+	m.rob[m.robIdx] = edge
+	if m.robIdx++; m.robIdx == len(m.rob) {
+		m.robIdx = 0
+	}
 
 	if m.trace != nil {
 		m.trace.Trace(m.seq, ins, t)
@@ -489,24 +527,37 @@ func (m *Machine) applyReconfig(ins *isa.Instr, now int64) {
 
 // iqAdmit delays t until the execution domain's issue queue has a free
 // entry, then records the (not yet known) entry; the caller fills in the
-// issue time via fuIssue which replaces the sentinel.
+// issue time via fuIssue.
+//
+// Pruning of already-issued entries is lazy: the queue is only swept
+// when it looks full, because admission decisions cannot change while
+// live occupancy is below capacity. When a controller is attached the
+// sweep runs every instruction instead — the controller samples queue
+// occupancy after each dispatch, and stale entries would skew it. The
+// sweep is a branch-friendly sequential compaction; an earlier min-heap
+// variant benchmarked measurably slower on these tiny queues.
 func (m *Machine) iqAdmit(dom arch.Domain, t int64) int64 {
 	capQ := m.iqCap[dom]
 	q := m.iq[dom]
-	// Prune entries that have issued by time t.
-	q = pruneQueue(q, t)
-	for len(q) >= capQ {
-		// Wait until the earliest outstanding entry issues.
-		earliest := q[0]
-		for _, e := range q {
-			if e < earliest {
-				earliest = e
-			}
-		}
-		if earliest > t {
-			t = earliest
-		}
+	if m.ctrl != nil {
+		// Prune entries that have issued by time t.
 		q = pruneQueue(q, t)
+	}
+	if len(q) >= capQ {
+		q = pruneQueue(q, t)
+		for len(q) >= capQ {
+			// Wait until the earliest outstanding entry issues.
+			earliest := q[0]
+			for _, e := range q {
+				if e < earliest {
+					earliest = e
+				}
+			}
+			if earliest > t {
+				t = earliest
+			}
+			q = pruneQueue(q, t)
+		}
 	}
 	m.iq[dom] = q
 	return t
@@ -526,8 +577,8 @@ func pruneQueue(q []int64, t int64) []int64 {
 
 // fuIssue selects the earliest-available unit, aligns issue to the
 // execution domain clock, reserves the unit for occ cycles and records
-// the issue-queue departure.
-func (m *Machine) fuIssue(units []int64, dclk *clock.Schedule, ready int64, occ int64) int64 {
+// the issue-queue departure in dom's queue.
+func (m *Machine) fuIssue(dom arch.Domain, units []int64, dclk *clock.Schedule, ready int64, occ int64) int64 {
 	best := 0
 	for i := 1; i < len(units); i++ {
 		if units[i] < units[best] {
@@ -541,20 +592,10 @@ func (m *Machine) fuIssue(units []int64, dclk *clock.Schedule, ready int64, occ 
 	issue := dclk.NextEdge(start - 1)
 	units[best] = dclk.Advance(issue, occ)
 	// Record IQ residency: the entry leaves the queue at issue.
-	dom := m.domForClock(dclk)
 	if m.iqCap[dom] < 1<<30 {
 		m.iq[dom] = append(m.iq[dom], issue)
 	}
 	return issue
-}
-
-func (m *Machine) domForClock(c *clock.Schedule) arch.Domain {
-	for d := 0; d < arch.NumDomains; d++ {
-		if m.clk[d] == c {
-			return arch.Domain(d)
-		}
-	}
-	return arch.Integer
 }
 
 // missPath models an instruction-fetch miss: the request crosses to the

@@ -2,12 +2,14 @@ package sweep
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/calltree"
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/edit"
+	"repro/internal/isa"
 	"repro/internal/workload"
 )
 
@@ -18,11 +20,22 @@ import (
 // replans cheaply per delta point, even when the points run
 // concurrently. Persistent caching stays at the engine layer — only
 // final scalar outcomes hit the disk, never profiles.
+//
+// The executor also keeps a small LRU of recorded dynamic streams: a
+// policy grid simulates the same (benchmark, input) stream once per
+// policy, and regenerating it costs roughly a third of each run. The
+// cache is bounded (a recording is ~25 B/instruction), and a recorded
+// replay is item-for-item identical to a generating walk, so outcomes
+// — and therefore cache keys and report bytes — are unchanged.
 type executor struct {
 	eng *Engine
 
 	mu       sync.Mutex
 	profiles map[string]*profFlight
+
+	smu     sync.Mutex
+	streams map[string]*streamFlight
+	lru     []string // keys, least recent first
 }
 
 type profFlight struct {
@@ -30,8 +43,80 @@ type profFlight struct {
 	prof *core.Profile
 }
 
+type streamFlight struct {
+	done     chan struct{}
+	rec      *isa.Recording
+	recorded bool
+}
+
+// maxStreams bounds retained recordings. Workers process jobs
+// benchmark-major, so at most one stream per worker is typically live;
+// sizing by worker count (plus slack for the train/ref pairs training
+// jobs touch) keeps concurrent job grids from thrashing the cache into
+// repeated re-recordings. Recordings still in flight are never evicted
+// — eviction mid-recording would make concurrent jobs re-record the
+// same stream — so momentary occupancy can exceed the bound by the
+// number of in-flight recordings, which the worker pool already caps.
+func (x *executor) maxStreams() int {
+	w := x.eng.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w + 2
+}
+
 func newExecutor(e *Engine) *executor {
-	return &executor{eng: e, profiles: make(map[string]*profFlight)}
+	return &executor{
+		eng:      e,
+		profiles: make(map[string]*profFlight),
+		streams:  make(map[string]*streamFlight),
+	}
+}
+
+// feeder returns a replayable stream for one benchmark input, recording
+// it on first use. Concurrent requests for the same stream share one
+// recording.
+func (x *executor) feeder(b *workload.Benchmark, ref bool) isa.Feeder {
+	in, window := b.Train, b.TrainWindow
+	if ref {
+		in, window = b.Ref, b.RefWindow
+	}
+	key := b.Name() + "\x00" + in.Name
+	x.smu.Lock()
+	if f, ok := x.streams[key]; ok {
+		// Refresh LRU position.
+		for i, k := range x.lru {
+			if k == key {
+				x.lru = append(append(x.lru[:i:i], x.lru[i+1:]...), key)
+				break
+			}
+		}
+		x.smu.Unlock()
+		<-f.done
+		return f.rec
+	}
+	f := &streamFlight{done: make(chan struct{})}
+	x.streams[key] = f
+	x.lru = append(x.lru, key)
+	if limit := x.maxStreams(); len(x.lru) > limit {
+		// Evict the least recent completed recording; skip in-flight ones.
+		for i := 0; i < len(x.lru); i++ {
+			k := x.lru[i]
+			if e, ok := x.streams[k]; ok && e.recorded {
+				x.lru = append(x.lru[:i:i], x.lru[i+1:]...)
+				delete(x.streams, k)
+				break
+			}
+		}
+	}
+	x.smu.Unlock()
+
+	f.rec = isa.RecordSized(b.Prog, in, window)
+	x.smu.Lock()
+	f.recorded = true
+	x.smu.Unlock()
+	close(f.done)
+	return f.rec
 }
 
 // profile trains (or returns the memoized) profile for one benchmark
@@ -39,10 +124,10 @@ func newExecutor(e *Engine) *executor {
 // the off-line oracle gets its perfect future knowledge.
 func (x *executor) profile(b *workload.Benchmark, scheme calltree.Scheme, onRef bool) *core.Profile {
 	key := b.Name() + "\x00" + scheme.Name
-	in, window := b.Train, b.TrainWindow
+	window := b.TrainWindow
 	if onRef {
 		key += "\x00ref"
-		in, window = b.Ref, b.RefWindow
+		window = b.RefWindow
 	}
 	x.mu.Lock()
 	if f, ok := x.profiles[key]; ok {
@@ -54,7 +139,7 @@ func (x *executor) profile(b *workload.Benchmark, scheme calltree.Scheme, onRef 
 	x.profiles[key] = f
 	x.mu.Unlock()
 
-	f.prof = core.Train(x.eng.Cfg, b.Prog, in, window, scheme)
+	f.prof = core.TrainFeed(x.eng.Cfg, x.feeder(b, onRef), window, scheme)
 	close(f.done)
 	return f.prof
 }
@@ -79,24 +164,24 @@ func (x *executor) execute(job Job) (*Outcome, error) {
 	out := &Outcome{}
 	switch job.Policy {
 	case PolicyBaseline:
-		out.Res = core.RunBaseline(cfg, b.Prog, b.Ref, b.RefWindow)
+		out.Res = core.RunBaselineFeed(cfg, x.feeder(b, true), b.RefWindow)
 
 	case PolicySingleClock:
 		mhz := job.MHz
 		if mhz == 0 {
 			mhz = cfg.Sim.BaseMHz
 		}
-		out.Res = core.RunSingleClock(cfg, b.Prog, b.Ref, b.RefWindow, mhz)
+		out.Res = core.RunSingleClockFeed(cfg, x.feeder(b, true), b.RefWindow, mhz)
 
 	case PolicyOffline:
 		prof := x.profile(b, calltree.LFCP, true)
-		out.Res, _ = core.RunEdited(cfg, b.Prog, b.Ref, b.RefWindow, x.plan(prof, job.Delta), true)
+		out.Res, _ = core.RunEditedFeed(cfg, x.feeder(b, true), b.RefWindow, x.plan(prof, job.Delta), true)
 
 	case PolicyOnline:
 		if job.Aggressiveness != 0 {
 			cfg.Online.Aggressiveness = job.Aggressiveness
 		}
-		out.Res = core.RunOnline(cfg, b.Prog, b.Ref, b.RefWindow)
+		out.Res = core.RunOnlineFeed(cfg, x.feeder(b, true), b.RefWindow)
 
 	case PolicyGlobal:
 		// Global DVS is matched to the off-line runtime; resolve both
@@ -111,7 +196,7 @@ func (x *executor) execute(job Job) (*Outcome, error) {
 			return nil, err
 		}
 		out.GlobalMHz = control.GlobalDVSMHz(sc.Res.TimePs, off.Res.TimePs)
-		out.Res = core.RunSingleClock(cfg, b.Prog, b.Ref, b.RefWindow, out.GlobalMHz)
+		out.Res = core.RunSingleClockFeed(cfg, x.feeder(b, true), b.RefWindow, out.GlobalMHz)
 
 	case PolicyScheme:
 		scheme, ok := SchemeByName(job.Scheme)
@@ -120,7 +205,7 @@ func (x *executor) execute(job Job) (*Outcome, error) {
 		}
 		prof := x.profile(b, scheme, false)
 		plan := x.plan(prof, job.Delta)
-		out.Res, out.Stats = core.RunEdited(cfg, b.Prog, b.Ref, b.RefWindow, plan, false)
+		out.Res, out.Stats = core.RunEditedFeed(cfg, x.feeder(b, true), b.RefWindow, plan, false)
 		out.StaticReconfig, out.StaticInstr = plan.StaticPoints()
 
 	default:

@@ -66,6 +66,15 @@ type Collector struct {
 	MaxEvents int
 	// OnSegment receives each completed segment.
 	OnSegment func(*Segment)
+	// RecycleSegments, when set, narrows OnSegment's contract: the
+	// segment (and its event storage, including Out edge lists) is valid
+	// only for the duration of the callback, after which the collector
+	// reclaims the storage for the next segment. Pipelines that reduce
+	// each segment synchronously (the trainer runs the shaker inside the
+	// callback) enable this so steady-state DAG collection reuses one
+	// arena instead of allocating per segment. Segment structs themselves
+	// are never reused — dependence bookkeeping relies on their identity.
+	RecycleSegments bool
 
 	tree        *calltree.Tree
 	stack       []*calltree.Node
@@ -74,6 +83,9 @@ type Collector struct {
 
 	// capture state
 	capStack []*capture
+	freeCaps []*capture
+	// freeEvents holds recycled event storage (RecycleSegments).
+	freeEvents [][]Event
 
 	// recent execution events for data dependencies: ring indexed by
 	// global sequence number.
@@ -99,16 +111,54 @@ type ref struct {
 	idx int32
 }
 
+// evRing is a fixed-capacity FIFO of event indices. It replaces the
+// naive append(q[1:], v) shift queues of an earlier implementation —
+// those copied the whole queue (80 entries for the ROB) on every
+// instruction; the ring is per-instruction scratch that never moves.
+type evRing struct {
+	buf []int32
+	pos int // next write slot; when full, buf[pos] is the oldest entry
+	n   int
+}
+
+// init (re)sizes the ring to capacity and empties it, reusing the
+// backing array when it is already big enough.
+func (r *evRing) init(capacity int) {
+	if cap(r.buf) < capacity {
+		r.buf = make([]int32, capacity)
+	} else {
+		r.buf = r.buf[:capacity]
+	}
+	r.pos, r.n = 0, 0
+}
+
+// push appends v. When the ring was already full it evicts and returns
+// the oldest entry (the one exactly capacity pushes back).
+func (r *evRing) push(v int32) (old int32, wasFull bool) {
+	if r.n < len(r.buf) {
+		r.buf[r.pos] = v
+		r.n++
+	} else {
+		old, wasFull = r.buf[r.pos], true
+		r.buf[r.pos] = v
+	}
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+	}
+	return old, wasFull
+}
+
 type capture struct {
 	seg  *Segment
 	node *calltree.Node
 	// fetchQ and commitQ hold recent front-end event indices for
 	// width-limited program-order chains (fetch width 4, retire width 11).
-	fetchQ  []int32
-	commitQ []int32
+	fetchQ  evRing
+	commitQ evRing
 	// robQ holds the last ROBSize commit-event indices: an instruction
 	// cannot dispatch until the instruction ROBSize back has retired.
-	robQ []int32
+	robQ evRing
 	// redirect is the execution-event index of a pending mispredicted
 	// branch; the next fetch depends on it.
 	redirect int32
@@ -119,7 +169,20 @@ type capture struct {
 	// wire issue-bandwidth edges: an event cannot start before the event
 	// K issues earlier in the same domain finished, where K is the
 	// domain's functional-unit count.
-	lastExec [arch.NumScalable][]int32
+	lastExec [arch.NumScalable]evRing
+}
+
+// resetStream empties the per-instruction scratch queues (fresh segment
+// or split continuation).
+func (capt *capture) resetStream() {
+	capt.fetchQ.init(fetchWidth)
+	capt.commitQ.init(retireWidth)
+	capt.robQ.init(robSize)
+	for d := range capt.lastExec {
+		capt.lastExec[d].init(bandwidthOf(arch.Domain(d)))
+	}
+	capt.redirect = -1
+	capt.redirectFrom = 0
 }
 
 // NewCollector builds a collector against a finalized training tree.
@@ -207,12 +270,34 @@ func (c *Collector) enter(kind calltree.NodeKind, id, site int32) {
 	c.stack = append(c.stack, n)
 	if n.LongRunning && c.seen[n] < c.MaxInstances {
 		c.seen[n]++
-		c.capStack = append(c.capStack, &capture{
-			seg:      &Segment{Node: n},
-			node:     n,
-			redirect: -1,
-		})
+		capt := c.newCapture()
+		capt.node = n
+		capt.seg = c.newSegment(n)
+		capt.resetStream()
+		c.capStack = append(c.capStack, capt)
 	}
+}
+
+// newCapture returns a pooled (or fresh) capture.
+func (c *Collector) newCapture() *capture {
+	if n := len(c.freeCaps); n > 0 {
+		capt := c.freeCaps[n-1]
+		c.freeCaps = c.freeCaps[:n-1]
+		return capt
+	}
+	return &capture{}
+}
+
+// newSegment returns a fresh Segment, reattaching recycled event
+// storage when available. The struct itself is always newly allocated:
+// the data-dependence ring distinguishes segments by pointer identity.
+func (c *Collector) newSegment(n *calltree.Node) *Segment {
+	seg := &Segment{Node: n}
+	if k := len(c.freeEvents); k > 0 {
+		seg.Events = c.freeEvents[k-1]
+		c.freeEvents = c.freeEvents[:k-1]
+	}
+	return seg
 }
 
 func (c *Collector) exit() {
@@ -226,6 +311,8 @@ func (c *Collector) exit() {
 		if capt.node == leaving {
 			c.capStack = c.capStack[:len(c.capStack)-1]
 			c.flush(capt)
+			capt.seg, capt.node = nil, nil
+			c.freeCaps = append(c.freeCaps, capt)
 		}
 	}
 }
@@ -246,8 +333,16 @@ func bandwidthOf(d arch.Domain) int {
 }
 
 func (c *Collector) flush(capt *capture) {
-	if len(capt.seg.Events) > 0 && c.OnSegment != nil {
-		c.OnSegment(capt.seg)
+	seg := capt.seg
+	if len(seg.Events) > 0 && c.OnSegment != nil {
+		c.OnSegment(seg)
+	}
+	if c.RecycleSegments && seg.Events != nil {
+		// Reclaim the event storage (the callback has finished with it);
+		// detach it from the Segment so a caller that wrongly retained
+		// the segment sees an empty DAG instead of silent corruption.
+		c.freeEvents = append(c.freeEvents, seg.Events[:0])
+		seg.Events = nil
 	}
 }
 
@@ -273,6 +368,25 @@ func (c *Collector) active() *capture {
 	return nil
 }
 
+// extend grows seg.Events by n slots and returns the index of the
+// first. Recycled slots keep their Out backing arrays (truncated to
+// empty) so steady-state collection re-walks one arena; callers must
+// assign every other field of each new slot.
+func extend(seg *Segment, n int) int32 {
+	base := len(seg.Events)
+	if need := base + n; need <= cap(seg.Events) {
+		seg.Events = seg.Events[:need]
+		for i := base; i < need; i++ {
+			seg.Events[i].Out = seg.Events[i].Out[:0]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			seg.Events = append(seg.Events, Event{})
+		}
+	}
+	return int32(base)
+}
+
 // Trace implements sim.Tracer: it appends up to three events for the
 // instruction and wires dependence edges.
 func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
@@ -285,43 +399,39 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 	if len(seg.Events) >= c.MaxEvents {
 		// Split: close this segment and continue in a fresh one.
 		c.flush(capt)
-		capt.seg = &Segment{Node: capt.node}
-		capt.fetchQ, capt.commitQ, capt.robQ = nil, nil, nil
-		capt.redirect = -1
-		capt.lastExec = [arch.NumScalable][]int32{}
+		capt.seg = c.newSegment(capt.node)
+		capt.resetStream()
 		seg = capt.seg
 	}
-	base := int32(len(seg.Events))
+	base := extend(seg, 3)
 	fetchIdx, execIdx, commitIdx := base, base+1, base+2
+	ev := seg.Events
 	// Front-end events model the one-cycle fetch and retire stage slots;
 	// the full fetch-to-dispatch span overlaps across instructions and
 	// would otherwise show false negative slack.
-	seg.Events = append(seg.Events,
-		Event{Domain: arch.FrontEnd, Start: t.Fetch, End: t.Fetch + basePeriodPs,
-			Weight: basePeriodPs / fetchWidth},
-		Event{Domain: t.Dom, Start: t.Issue, End: t.Complete,
-			Weight: float64(t.Complete-t.Issue) / float64(bandwidthOf(t.Dom))},
-		Event{Domain: arch.FrontEnd, Start: t.Commit, End: t.Commit + basePeriodPs,
-			Weight: basePeriodPs / retireWidth},
-	)
-	ev := seg.Events
+	ev[fetchIdx].Domain = arch.FrontEnd
+	ev[fetchIdx].Start = t.Fetch
+	ev[fetchIdx].End = t.Fetch + basePeriodPs
+	ev[fetchIdx].Weight = basePeriodPs / fetchWidth
+	ev[execIdx].Domain = t.Dom
+	ev[execIdx].Start = t.Issue
+	ev[execIdx].End = t.Complete
+	ev[execIdx].Weight = float64(t.Complete-t.Issue) / float64(bandwidthOf(t.Dom))
+	ev[commitIdx].Domain = arch.FrontEnd
+	ev[commitIdx].Start = t.Commit
+	ev[commitIdx].End = t.Commit + basePeriodPs
+	ev[commitIdx].Weight = basePeriodPs / retireWidth
 	// Pipeline edges.
 	ev[fetchIdx].Out = append(ev[fetchIdx].Out, execIdx)
 	ev[execIdx].Out = append(ev[execIdx].Out, commitIdx)
 	// Width-limited program order within the front end: the fetch slot
 	// four instructions back and the retire slot eleven back bound this
 	// instruction's front-end events.
-	if q := capt.fetchQ; len(q) >= fetchWidth {
-		ev[q[len(q)-fetchWidth]].Out = append(ev[q[len(q)-fetchWidth]].Out, fetchIdx)
-		capt.fetchQ = append(q[1:], fetchIdx)
-	} else {
-		capt.fetchQ = append(q, fetchIdx)
+	if old, full := capt.fetchQ.push(fetchIdx); full {
+		ev[old].Out = append(ev[old].Out, fetchIdx)
 	}
-	if q := capt.commitQ; len(q) >= retireWidth {
-		ev[q[len(q)-retireWidth]].Out = append(ev[q[len(q)-retireWidth]].Out, commitIdx)
-		capt.commitQ = append(q[1:], commitIdx)
-	} else {
-		capt.commitQ = append(q, commitIdx)
+	if old, full := capt.commitQ.push(commitIdx); full {
+		ev[old].Out = append(ev[old].Out, commitIdx)
 	}
 	// Control dependence: fetch after a mispredicted branch waits through
 	// the redirect/refill, which is front-end work whose duration scales
@@ -329,15 +439,13 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 	// gap) keeps the shaker from reading the stall as stretchable slack
 	// and charges the refill cycles to the FE histogram.
 	if capt.redirect >= 0 {
-		rIdx := int32(len(seg.Events))
-		seg.Events = append(seg.Events, Event{
-			Domain: arch.FrontEnd,
-			Start:  capt.redirectFrom,
-			End:    t.Fetch,
-			// Refill work is serial: full weight.
-			Weight: float64(t.Fetch - capt.redirectFrom),
-		})
+		rIdx := extend(seg, 1)
 		ev = seg.Events
+		ev[rIdx].Domain = arch.FrontEnd
+		ev[rIdx].Start = capt.redirectFrom
+		ev[rIdx].End = t.Fetch
+		// Refill work is serial: full weight.
+		ev[rIdx].Weight = float64(t.Fetch - capt.redirectFrom)
 		ev[capt.redirect].Out = append(ev[capt.redirect].Out, rIdx)
 		ev[rIdx].Out = append(ev[rIdx].Out, fetchIdx)
 		capt.redirect = -1
@@ -350,14 +458,10 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 	// of the instruction ROBSize earlier. The edge matters only when the
 	// window was actually full (the commit happened at or after this
 	// fetch); otherwise the ROB had room and imposes no constraint.
-	if q := capt.robQ; len(q) >= robSize {
-		prev := q[len(q)-robSize]
-		if ev[prev].Start <= ev[fetchIdx].Start {
-			ev[prev].Out = append(ev[prev].Out, fetchIdx)
+	if old, full := capt.robQ.push(commitIdx); full {
+		if ev[old].Start <= ev[fetchIdx].Start {
+			ev[old].Out = append(ev[old].Out, fetchIdx)
 		}
-		capt.robQ = append(q[1:], commitIdx)
-	} else {
-		capt.robQ = append(q, commitIdx)
 	}
 	// Issue-bandwidth edge: with K units in the domain, the K-th previous
 	// execution event bounds this one (structural hazard). Without these
@@ -365,18 +469,13 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 	// is added only when the constraint was (nearly) binding in the
 	// observed schedule; a long-idle unit is genuine headroom.
 	if t.Dom < arch.NumScalable {
-		q := capt.lastExec[t.Dom]
-		k := bandwidthOf(t.Dom)
-		if len(q) >= k {
-			prev := q[len(q)-k]
+		if old, full := capt.lastExec[t.Dom].push(execIdx); full {
 			// Keep the edge only when it points forward in time; an
 			// out-of-order overlap carries no constraint.
-			if ev[prev].Start <= ev[execIdx].Start {
-				ev[prev].Out = append(ev[prev].Out, execIdx)
+			if ev[old].Start <= ev[execIdx].Start {
+				ev[old].Out = append(ev[old].Out, execIdx)
 			}
-			q = q[1:]
 		}
-		capt.lastExec[t.Dom] = append(q, execIdx)
 	}
 	// Data dependencies to producers inside the same segment.
 	for _, src := range [2]uint16{ins.Src1, ins.Src2} {
@@ -385,24 +484,19 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 		}
 		r := c.ring[(seq-int64(src))&(ringSize-1)]
 		if r.seg == seg && r.idx >= 0 {
-			seg.Events[r.idx].Out = append(seg.Events[r.idx].Out, execIdx)
+			ev[r.idx].Out = append(ev[r.idx].Out, execIdx)
 		}
 	}
 	c.ring[seq&(ringSize-1)] = ref{seg: seg, idx: execIdx}
-
-	// Control dependence: a mispredicted branch gates later fetch; the
-	// in-order fetch chain plus this edge approximates it.
-	if ins.Class == isa.Branch && ins.Taken {
-		// Taken branches steer fetch; edge from execute to next fetch is
-		// added lazily via the fetch chain (fetch already serialized).
-		_ = execIdx
-	}
 }
 
 // Close flushes any open captures at end of simulation.
 func (c *Collector) Close() {
 	for i := len(c.capStack) - 1; i >= 0; i-- {
-		c.flush(c.capStack[i])
+		capt := c.capStack[i]
+		c.flush(capt)
+		capt.seg, capt.node = nil, nil
+		c.freeCaps = append(c.freeCaps, capt)
 	}
 	c.capStack = nil
 }

@@ -3,7 +3,7 @@ package workload
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
+	"repro/internal/xrand"
 
 	"repro/internal/isa"
 )
@@ -86,7 +86,7 @@ func (c category) sizes(spec *Spec, jitter float64) (train, ref int) {
 type builder struct {
 	spec *Spec
 	b    *isa.Builder
-	rng  *rand.Rand
+	rng  *xrand.Rand
 
 	main       *isa.Subroutine
 	parents    []*parentSlot // main + containers
@@ -124,7 +124,7 @@ func Build(spec Spec) *Benchmark {
 	w := &builder{
 		spec: &spec,
 		b:    isa.NewBuilder(spec.Name),
-		rng:  rand.New(rand.NewSource(int64(h.Sum64()))),
+		rng:  xrand.New(int64(h.Sum64())),
 	}
 	w.main = w.b.Subroutine("main")
 	w.parents = []*parentSlot{{sub: w.main}}

@@ -1,0 +1,91 @@
+// Package xrand vendors the exact pseudo-random generator of math/rand
+// (the Mitchell & Reeds additive lagged-Fibonacci source plus the
+// ziggurat normal/exponential variates) as a concrete type. The
+// simulator draws several variates per simulated instruction, and the
+// standard library routes every draw through a rand.Source interface
+// call that defeats inlining; binding the source concretely removes
+// that dispatch while producing bit-identical sequences for identical
+// seeds — a hard requirement, since every experiment output and sweep
+// cache key depends on these streams. The algorithm files are copied
+// from Go go1.24.0 math/rand (BSD license, see the Go LICENSE file); do not
+// edit them except to track upstream.
+package xrand
+
+// Rand is a deterministic source of pseudo-random variates, stream-
+// compatible with math/rand.New(math/rand.NewSource(seed)) for the
+// methods implemented here. It is not safe for concurrent use.
+type Rand struct {
+	src rngSource
+}
+
+// New returns a Rand seeded exactly like math/rand.NewSource(seed).
+func New(seed int64) *Rand {
+	r := &Rand{}
+	r.src.Seed(seed)
+	return r
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 { return r.src.Int63() }
+
+// Uint32 returns a 32-bit value, matching math/rand.(*Rand).Uint32.
+func (r *Rand) Uint32() uint32 { return uint32(r.Int63() >> 31) }
+
+// Int31 returns a non-negative 31-bit integer.
+func (r *Rand) Int31() int32 { return int32(r.Int63() >> 32) }
+
+// Int31n returns an integer in [0, n); it panics if n <= 0. The
+// rejection algorithm matches math/rand exactly.
+func (r *Rand) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("invalid argument to Int31n")
+	}
+	if n&(n-1) == 0 { // n is power of two, can mask
+		return r.Int31() & (n - 1)
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := r.Int31()
+	for v > max {
+		v = r.Int31()
+	}
+	return v % n
+}
+
+// Int63n returns an integer in [0, n); it panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("invalid argument to Int63n")
+	}
+	if n&(n-1) == 0 { // n is power of two, can mask
+		return r.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.Int63()
+	for v > max {
+		v = r.Int63()
+	}
+	return v % n
+}
+
+// Intn returns an integer in [0, n); it panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("invalid argument to Intn")
+	}
+	if n <= 1<<31-1 {
+		return int(r.Int31n(int32(n)))
+	}
+	return int(r.Int63n(int64(n)))
+}
+
+// Float64 returns a float64 in [0.0, 1.0).
+func (r *Rand) Float64() float64 {
+	// See math/rand for the history of this formulation; the clamp loop
+	// preserves the exact stream.
+again:
+	f := float64(r.Int63()) / (1 << 63)
+	if f == 1 {
+		goto again // resample; this branch is taken O(never)
+	}
+	return f
+}
