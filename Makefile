@@ -30,8 +30,12 @@ staticcheck:
 test:
 	$(GO) test ./...
 
+# The experiments package simulates real report subsets; under -race on
+# a small machine that can exceed go test's default 10-minute
+# per-package timeout, so raise it (CI's multi-core runners finish well
+# inside it either way).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
 
 # Short benchmark smoke run: one iteration of a headline figure on the
 # small 5-benchmark subset plus the simulator throughput microbenchmark.

@@ -1,12 +1,14 @@
-// Command mcdsweep enumerates, shards, runs and merges experiment
-// sweeps over the paper's evaluation grid, backed by the
-// content-addressed persistent result cache in internal/sweep.
+// Command mcdsweep enumerates, shards, runs, merges and prunes
+// experiment sweeps over the paper's evaluation grid, backed by the
+// content-addressed persistent result cache and artifact store in
+// internal/sweep.
 //
 // Usage:
 //
 //	mcdsweep enum  -manifest m.json [-shards N -shard I]
 //	mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
 //	mcdsweep merge -manifest m.json -cache DIR [-o out.json]
+//	mcdsweep prune -manifest m.json -cache DIR [-rm]
 //
 // A manifest is a JSON grid (see internal/sweep.Manifest):
 //
@@ -20,10 +22,20 @@
 //
 // run prints a JSON summary whose "executed" counter is zero when every
 // job was already cached, so re-running a completed manifest does no
-// simulation work. Shards partition jobs by stable key hash: run the
-// same manifest with -shards N -shard 0..N-1 (possibly on N machines
-// sharing the cache directory), then merge; the merged output is
-// byte-identical to an unsharded run's.
+// simulation work. Alongside the result cache, run persists trained
+// profiles into DIR/artifacts, so profile-driven jobs with new
+// parameters (e.g. fresh threshold deltas) replan from stored training
+// state instead of retraining. Shards partition jobs by stable anchor
+// key — each job placed with the training its dependency chain hangs
+// off — so a cold fleet of N processes sharing the cache directory
+// executes each training, and each shared dependency run, exactly once;
+// then merge: the merged output is byte-identical to an unsharded run's.
+//
+// prune garbage-collects cache and artifact entries not reachable from
+// the manifest's jobs (including their dependency closure). It is a dry
+// run by default, listing what it would delete; -rm deletes. Long-lived
+// shared cache directories otherwise grow without bound as
+// configurations and grids evolve.
 package main
 
 import (
@@ -41,18 +53,19 @@ func main() {
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
-	case "enum", "run", "merge":
+	case "enum", "run", "merge", "prune":
 	default:
 		usage()
 	}
 
 	fs := flag.NewFlagSet("mcdsweep "+cmd, flag.ExitOnError)
 	manifestPath := fs.String("manifest", "", "sweep manifest JSON file (required)")
-	cacheDir := fs.String("cache", "", "persistent result cache directory")
+	cacheDir := fs.String("cache", "", "persistent result cache directory (artifact store lives in its artifacts/ subdirectory)")
 	shards := fs.Int("shards", 1, "total number of shards")
 	shard := fs.Int("shard", 0, "this process's shard index, 0-based")
 	parallel := fs.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
 	out := fs.String("o", "", "merge output file (default stdout)")
+	rm := fs.Bool("rm", false, "prune: actually delete unreachable entries (default: dry run)")
 	fs.Parse(args)
 
 	if *manifestPath == "" {
@@ -66,11 +79,13 @@ func main() {
 	// always reassembles the full manifest from the cache.
 	switch cmd {
 	case "enum":
-		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel")
+		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm")
 	case "run":
-		rejectFlags(cmd, *out != "", "-o")
+		rejectFlags(cmd, *out != "", "-o", *rm, "-rm")
 	case "merge":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm")
+	case "prune":
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o")
 	}
 	m, err := sweep.LoadManifest(*manifestPath)
 	if err != nil {
@@ -98,6 +113,7 @@ func main() {
 		eng := sweep.New(cfg)
 		eng.Workers = *parallel
 		eng.Cache = &sweep.Cache{Dir: *cacheDir}
+		eng.Artifacts = sweep.ArtifactStore(*cacheDir)
 		mine := sweep.Shard(cfg, jobs, *shards, *shard)
 		_, sum, err := eng.Run(mine)
 		summary := struct {
@@ -130,6 +146,35 @@ func main() {
 		} else if err := os.WriteFile(*out, b, 0o644); err != nil {
 			fatal(err.Error())
 		}
+
+	case "prune":
+		if *cacheDir == "" {
+			fatal("prune requires -cache")
+		}
+		results, artifacts, err := sweep.Reachable(cfg, jobs)
+		if err != nil {
+			fatal(err.Error())
+		}
+		unreachable, err := sweep.Unreachable(*cacheDir, results, artifacts)
+		if err != nil {
+			fatal(err.Error())
+		}
+		var bytes int64
+		for _, rel := range unreachable {
+			bytes += sweep.EntrySize(*cacheDir, rel)
+			fmt.Println(rel)
+		}
+		if !*rm {
+			fmt.Fprintf(os.Stderr,
+				"prune (dry run): %d unreachable entries, %d bytes; %d result keys and %d artifact keys reachable; rerun with -rm to delete\n",
+				len(unreachable), bytes, len(results), len(artifacts))
+			return
+		}
+		removed, freed, err := sweep.Prune(*cacheDir, unreachable)
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Fprintf(os.Stderr, "prune: removed %d entries, freed %d bytes\n", removed, freed)
 	}
 }
 
@@ -137,7 +182,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mcdsweep enum  -manifest m.json [-shards N -shard I]
   mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
-  mcdsweep merge -manifest m.json -cache DIR [-o out.json]`)
+  mcdsweep merge -manifest m.json -cache DIR [-o out.json]
+  mcdsweep prune -manifest m.json -cache DIR [-rm]`)
 	os.Exit(2)
 }
 

@@ -1,10 +1,15 @@
 // Command mcdtrain runs the full training pipeline (profile, shake,
 // threshold, edit) on a benchmark's training input and dumps the chosen
-// per-node frequencies and the edit plan summary.
+// per-node frequencies and the edit plan summary. Training resolves
+// through the sweep engine's profile layers: with -artifacts set, a
+// previously trained profile is loaded from the content-addressed
+// artifact store instead of retraining, and a fresh training is
+// persisted there for every later consumer (sweeps, reports, other
+// machines sharing the directory).
 //
 // Usage:
 //
-//	mcdtrain -bench applu [-scheme L+F] [-delta 1.75]
+//	mcdtrain -bench applu [-scheme L+F] [-delta 1.75] [-artifacts DIR]
 package main
 
 import (
@@ -14,8 +19,9 @@ import (
 	"sort"
 
 	"repro/internal/arch"
-	"repro/internal/calltree"
+	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -23,6 +29,7 @@ func main() {
 	bench := flag.String("bench", "gsm_decode", "benchmark name")
 	schemeName := flag.String("scheme", "L+F", "context scheme")
 	delta := flag.Float64("delta", 0, "slowdown threshold delta (percent)")
+	artifactDir := flag.String("artifacts", "", "artifact store directory (reuse/persist trained profiles)")
 	flag.Parse()
 
 	b := workload.ByName(*bench)
@@ -30,14 +37,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
 		os.Exit(1)
 	}
-	var scheme calltree.Scheme
-	found := false
-	for _, s := range calltree.Schemes() {
-		if s.Name == *schemeName {
-			scheme, found = s, true
-			break
-		}
-	}
+	scheme, found := sweep.SchemeByName(*schemeName)
 	if !found {
 		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
 		os.Exit(1)
@@ -47,7 +47,15 @@ func main() {
 	if *delta > 0 {
 		cfg.DeltaPct = *delta
 	}
-	prof := core.Train(cfg, b.Prog, b.Train, b.TrainWindow, scheme)
+	eng := sweep.New(cfg)
+	if *artifactDir != "" {
+		eng.Artifacts = &artifact.Store{Dir: *artifactDir}
+	}
+	prof, err := eng.Profile(sweep.ProfileSpec{Bench: b.Name(), Scheme: scheme.Name})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdtrain:", err)
+		os.Exit(1)
+	}
 
 	rc, instr := prof.Plan.StaticPoints()
 	fmt.Printf("benchmark:       %s (training window %d)\n", b.Name(), b.TrainWindow)

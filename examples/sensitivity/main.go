@@ -4,7 +4,9 @@
 // delta point replans the frequencies from the memoized shaken
 // histograms and reruns the production input. With -cache set, results
 // persist across invocations and a second run does zero simulation
-// work.
+// work — and trained profiles land in the artifact store under the
+// cache directory, so even a grid of entirely new deltas replans from
+// stored histograms instead of retraining.
 package main
 
 import (
@@ -28,6 +30,7 @@ func main() {
 	eng := sweep.New(core.DefaultConfig())
 	if *cacheDir != "" {
 		eng.Cache = &sweep.Cache{Dir: *cacheDir}
+		eng.Artifacts = sweep.ArtifactStore(*cacheDir)
 	}
 
 	// One baseline job per benchmark, then the full (benchmark x delta)

@@ -1,0 +1,160 @@
+// Package artifact implements a content-addressed, schema-versioned
+// on-disk store for intermediate pipeline products — trained profiles
+// (call trees plus shaken per-domain frequency histograms) today, with
+// room for other stage outputs. It shares the sweep result cache's
+// discipline: one JSON file per key under a two-character fan-out
+// directory, written atomically (temp file + rename) so concurrent
+// shards and machines can share one store, and corrupt or mismatched
+// entries are reported as such and rewritten by the next producer.
+//
+// Artifacts differ from sweep results in what their keys hash: a result
+// key covers the full core.Config because every knob can change the
+// outcome, while an artifact key covers only the configuration that can
+// change the training state. The threshold delta and the on-line
+// controller parameters are canonicalized away, so a threshold sweep —
+// or a manifest with a different calibrated delta — replans from one
+// stored profile instead of retraining.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/control"
+	"repro/internal/core"
+)
+
+// SchemaVersion versions both the key derivation and the payload
+// encodings; bump it when either changes meaning so stale artifacts can
+// never be mistaken for current ones. It is independent of the sweep
+// result cache's key schema: bumping one does not move the other's keys.
+const SchemaVersion = 1
+
+// KindProfile is the artifact kind of a trained profile payload
+// (core.EncodeProfile bytes).
+const KindProfile = "profile"
+
+// ProfileKey returns the content-addressed key of a trained profile: a
+// hex SHA-256 of the canonical JSON of (schema version, kind, training
+// configuration, benchmark, scheme, input, window). The training
+// configuration is cfg with the replan-time and comparator-only knobs
+// (DeltaPct, Online) zeroed — training is delta-independent, which is
+// exactly what makes the stored profile shareable across deltas.
+func ProfileKey(cfg core.Config, bench, scheme, input string, window int64) string {
+	cfg.DeltaPct = 0
+	cfg.Online = control.AttackDecayConfig{}
+	payload := struct {
+		Schema int         `json:"schema"`
+		Kind   string      `json:"kind"`
+		Config core.Config `json:"config"`
+		Bench  string      `json:"bench"`
+		Scheme string      `json:"scheme"`
+		Input  string      `json:"input"`
+		Window int64       `json:"window"`
+	}{SchemaVersion, KindProfile, cfg, bench, scheme, input, window}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// core.Config and the key fields are plain data; this cannot fail.
+		panic("artifact: key encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Status classifies the outcome of a store lookup.
+type Status int
+
+const (
+	// Miss means no entry exists under the key.
+	Miss Status = iota
+	// Hit means a valid entry was loaded.
+	Hit
+	// Corrupt means an entry exists but is unreadable, syntactically
+	// invalid, schema-stale, or stored under a mismatched key — the
+	// caller should treat it as a miss and surface the damage.
+	Corrupt
+)
+
+// Store is the on-disk artifact store rooted at Dir.
+type Store struct {
+	Dir string
+
+	writes atomic.Int64
+}
+
+// entry is the on-disk representation: schema, key and kind are stored
+// alongside the payload so entries are self-describing and damage
+// (truncation, copies to the wrong name, stale schemas) is detectable.
+type entry struct {
+	Schema  int             `json:"schema"`
+	Key     string          `json:"key"`
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// EntryPath returns the path an artifact is stored at.
+func (s *Store) EntryPath(key string) string {
+	return filepath.Join(s.Dir, key[:2], key+".json")
+}
+
+// Load returns the payload stored under key for the given kind, with a
+// status distinguishing absent entries from damaged ones.
+func (s *Store) Load(key, kind string) (json.RawMessage, Status) {
+	b, err := os.ReadFile(s.EntryPath(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, Miss
+		}
+		return nil, Corrupt
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, Corrupt
+	}
+	if e.Schema != SchemaVersion || e.Key != key || e.Kind != kind || len(e.Payload) == 0 {
+		return nil, Corrupt
+	}
+	return e.Payload, Hit
+}
+
+// Put atomically persists a payload under key.
+func (s *Store) Put(key, kind string, payload []byte) error {
+	dir := filepath.Dir(s.EntryPath(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("artifact store: %w", err)
+	}
+	// Compact encoding: json.Marshal preserves the payload's bytes
+	// exactly (payloads are already compact canonical JSON), so what
+	// Load returns is byte-identical to what the producer encoded.
+	b, err := json.Marshal(entry{Schema: SchemaVersion, Key: key, Kind: kind, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("artifact store: encode %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("artifact store: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if err := errors.Join(werr, cerr); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact store: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.EntryPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact store: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Writes reports how many artifacts this store instance has persisted —
+// the observable that fleet-wide train-once tests assert on.
+func (s *Store) Writes() int64 { return s.writes.Load() }

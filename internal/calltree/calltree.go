@@ -33,6 +33,16 @@ var (
 // Schemes returns all six schemes in the paper's order.
 func Schemes() []Scheme { return []Scheme{LFCP, LFP, FCP, FP, LF, F} }
 
+// SchemeByName resolves one of the six schemes by name.
+func SchemeByName(name string) (Scheme, bool) {
+	for _, s := range Schemes() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scheme{}, false
+}
+
 // NodeKind distinguishes subroutine from loop nodes.
 type NodeKind uint8
 

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/calltree"
+	"repro/internal/dvfs"
+	"repro/internal/shaker"
+)
+
+// This file implements the portable encoding of a trained Profile: the
+// delta-independent training state (call tree plus per-node shaken
+// frequency histograms) as deterministic canonical JSON, so profiles can
+// be stored content-addressed in an artifact store and shared across
+// processes and machines. The edit plan is deliberately not serialized:
+// it is a cheap, deterministic function of the tree, the histograms and
+// the threshold delta (Replan), and rebuilding it on load is what lets
+// one stored profile serve every delta of a threshold sweep.
+//
+// Determinism: nodes are emitted in tree creation order (the same order
+// calltree.Tree.Nodes holds, which is also label order), histograms are
+// sorted by node label, and every value is a struct, array or scalar —
+// no maps — so json.Marshal yields identical bytes for identical
+// training state. Go's float64 JSON encoding round-trips exactly, so a
+// decoded profile replans to bit-identical frequencies.
+
+// portableNode is one call-tree node. Parent is the label of the parent
+// node (0 = the synthetic root); children appear after their parent, in
+// creation order, so decoding rebuilds the exact tree shape.
+type portableNode struct {
+	Kind       uint8 `json:"kind"`
+	ID         int32 `json:"id"`
+	Site       int32 `json:"site"`
+	Parent     int32 `json:"parent"`
+	Instances  int64 `json:"instances"`
+	SelfInstrs int64 `json:"self_instrs"`
+}
+
+// portableHist carries the shaken per-domain histograms of one
+// long-running node, addressed by node label.
+type portableHist struct {
+	Node int32                                    `json:"node"`
+	Bins [arch.NumScalable][dvfs.NumSteps]float64 `json:"bins"`
+}
+
+// portableProfile is the serialized form of a Profile minus its plan.
+type portableProfile struct {
+	Scheme         string         `json:"scheme"`
+	RootInstances  int64          `json:"root_instances,omitempty"`
+	RootSelfInstrs int64          `json:"root_self_instrs,omitempty"`
+	Nodes          []portableNode `json:"nodes"`
+	Hists          []portableHist `json:"hists"`
+}
+
+// EncodeProfile serializes a profile's delta-independent training state
+// (tree and shaken histograms, not the plan) as deterministic JSON.
+func EncodeProfile(p *Profile) ([]byte, error) {
+	t := p.Tree
+	labels := make(map[*calltree.Node]int32, len(t.Nodes)+1)
+	labels[t.Root] = 0
+	for i, n := range t.Nodes {
+		labels[n] = int32(i + 1)
+	}
+	pp := portableProfile{
+		Scheme:         p.Scheme.Name,
+		RootInstances:  t.Root.Instances,
+		RootSelfInstrs: t.Root.SelfInstrs,
+		Nodes:          make([]portableNode, len(t.Nodes)),
+	}
+	for i, n := range t.Nodes {
+		parent, ok := labels[n.Parent]
+		if !ok {
+			return nil, fmt.Errorf("core: encode profile: node %s has a parent outside the tree", n.Path())
+		}
+		pp.Nodes[i] = portableNode{
+			Kind:       uint8(n.Kind),
+			ID:         n.ID,
+			Site:       n.Site,
+			Parent:     parent,
+			Instances:  n.Instances,
+			SelfInstrs: n.SelfInstrs,
+		}
+	}
+	for n, h := range p.Hists {
+		label, ok := labels[n]
+		if !ok {
+			return nil, fmt.Errorf("core: encode profile: histogram node not in tree")
+		}
+		ph := portableHist{Node: label}
+		for d := range h {
+			ph.Bins[d] = h[d].Bins
+		}
+		pp.Hists = append(pp.Hists, ph)
+	}
+	sort.Slice(pp.Hists, func(i, j int) bool { return pp.Hists[i].Node < pp.Hists[j].Node })
+	return json.Marshal(pp)
+}
+
+// DecodeProfile reconstructs a profile from EncodeProfile's output. The
+// returned profile has no Plan; callers rebuild it with Replan at their
+// threshold delta (the stored training state is delta-independent).
+func DecodeProfile(b []byte) (*Profile, error) {
+	var pp portableProfile
+	if err := json.Unmarshal(b, &pp); err != nil {
+		return nil, fmt.Errorf("core: decode profile: %w", err)
+	}
+	scheme, ok := calltree.SchemeByName(pp.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("core: decode profile: unknown scheme %q", pp.Scheme)
+	}
+	t := calltree.NewTree(scheme)
+	t.Root.Instances = pp.RootInstances
+	t.Root.SelfInstrs = pp.RootSelfInstrs
+	byLabel := make([]*calltree.Node, 1, len(pp.Nodes)+1)
+	byLabel[0] = t.Root
+	for i, pn := range pp.Nodes {
+		if pn.Parent < 0 || int(pn.Parent) >= len(byLabel) {
+			return nil, fmt.Errorf("core: decode profile: node %d references parent %d out of order", i+1, pn.Parent)
+		}
+		if k := calltree.NodeKind(pn.Kind); k != calltree.SubNode && k != calltree.LoopNode {
+			return nil, fmt.Errorf("core: decode profile: node %d has unknown kind %d", i+1, pn.Kind)
+		}
+		parent := byLabel[pn.Parent]
+		n := &calltree.Node{
+			Kind:       calltree.NodeKind(pn.Kind),
+			ID:         pn.ID,
+			Site:       pn.Site,
+			Parent:     parent,
+			Instances:  pn.Instances,
+			SelfInstrs: pn.SelfInstrs,
+		}
+		parent.Children = append(parent.Children, n)
+		t.Nodes = append(t.Nodes, n)
+		byLabel = append(byLabel, n)
+	}
+	t.Finalize()
+	hists := make(map[*calltree.Node]*shaker.DomainHists, len(pp.Hists))
+	for _, ph := range pp.Hists {
+		if ph.Node < 1 || int(ph.Node) >= len(byLabel) {
+			return nil, fmt.Errorf("core: decode profile: histogram references node %d out of range", ph.Node)
+		}
+		var dh shaker.DomainHists
+		for d := range dh {
+			dh[d].Bins = ph.Bins[d]
+		}
+		hists[byLabel[ph.Node]] = &dh
+	}
+	return &Profile{Scheme: scheme, Tree: t, Hists: hists}, nil
+}

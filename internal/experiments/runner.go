@@ -58,7 +58,10 @@ type Runner struct {
 	// Names restricts the suite (nil = all 19 benchmarks).
 	Names []string
 	// CacheDir, when non-empty, persists simulation outcomes to a sweep
-	// cache shared across processes. Set it before the first query.
+	// cache shared across processes — and trained profiles to the
+	// artifact store in its artifacts/ subdirectory, so new parameter
+	// grids replan from stored training state instead of retraining.
+	// Set it before the first query.
 	CacheDir string
 
 	engOnce sync.Once
@@ -81,6 +84,7 @@ func (r *Runner) Engine() *sweep.Engine {
 		r.eng.Workers = r.Parallel
 		if r.CacheDir != "" {
 			r.eng.Cache = &sweep.Cache{Dir: r.CacheDir}
+			r.eng.Artifacts = sweep.ArtifactStore(r.CacheDir)
 		}
 	})
 	return r.eng

@@ -29,7 +29,11 @@ type Scenario struct {
 	Name string
 	// Desc is a one-line description shown by `mcdperf -list`.
 	Desc string
-	Run  func() (instructions int64, err error)
+	// Setup, when non-nil, prepares untimed state the scenario measures
+	// against (e.g. a warm artifact store) and returns a cleanup
+	// function. It runs before the measurement window opens.
+	Setup func() (cleanup func(), err error)
+	Run   func() (instructions int64, err error)
 }
 
 // Result is the measured outcome of one scenario run.
@@ -72,8 +76,18 @@ func (r *Report) Find(name string) *Result {
 
 // Measure runs one scenario and returns its measured result. The heap is
 // settled with a forced GC before the run so allocation deltas belong to
-// the scenario alone.
+// the scenario alone; Setup (when present) runs before the window opens
+// so preparation work is never measured.
 func Measure(s Scenario) (Result, error) {
+	if s.Setup != nil {
+		cleanup, err := s.Setup()
+		if err != nil {
+			return Result{}, fmt.Errorf("perf: scenario %s: setup: %w", s.Name, err)
+		}
+		if cleanup != nil {
+			defer cleanup()
+		}
+	}
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)

@@ -37,6 +37,12 @@ const (
 	// SimThroughput is the steady-state Machine microbenchmark: a single
 	// hot block, no markers, no tracer — the allocation-free loop itself.
 	SimThroughput = "sim-throughput"
+	// SweepWarmArtifacts runs a threshold-sweep grid (gzip, off-line +
+	// L+F at five deltas) against a cold result cache but a warm
+	// artifact store: every point replans from stored shaken histograms
+	// instead of retraining — the case the artifact store accelerates.
+	// The store is warmed in untimed setup.
+	SweepWarmArtifacts = "sweep-warm-artifacts"
 )
 
 // smokeBenches is the bench-smoke subset, mirroring bench_test.go's
@@ -74,6 +80,7 @@ func init() {
 		Desc: "manifest grid through the sweep engine with a cold disk cache",
 		Run:  runSweepThroughput,
 	})
+	registerSweepWarmArtifacts()
 }
 
 func runSimThroughput() (int64, error) {
@@ -136,6 +143,74 @@ func runTrainPipeline() (int64, error) {
 		instrs += o.Res.Instructions
 	}
 	return instrs, nil
+}
+
+// warmArtifactBench and warmArtifactDeltas define the sweep-warm-artifacts
+// grid: gzip's training dominates its production runs, so the scenario
+// isolates what the artifact store saves — ten delta points replanned
+// from two stored profiles (the L+F+C+P oracle on ref, L+F on train).
+var (
+	warmArtifactBench  = "gzip"
+	warmArtifactDeltas = []float64{0.5, 1, 1.75, 2.5, 4}
+)
+
+func warmArtifactJobs() []sweep.Job {
+	var jobs []sweep.Job
+	for _, d := range warmArtifactDeltas {
+		jobs = append(jobs,
+			sweep.Job{Bench: warmArtifactBench, Policy: sweep.PolicyOffline, Delta: d},
+			sweep.Job{Bench: warmArtifactBench, Policy: sweep.PolicyScheme, Scheme: calltree.LF.Name, Delta: d})
+	}
+	return jobs
+}
+
+func registerSweepWarmArtifacts() {
+	var storeDir string
+	Register(Scenario{
+		Name: SweepWarmArtifacts,
+		Desc: fmt.Sprintf("threshold-sweep grid (%s offline+L+F x %d deltas) against a warm artifact store",
+			warmArtifactBench, len(warmArtifactDeltas)),
+		Setup: func() (func(), error) {
+			dir, err := os.MkdirTemp("", "mcdperf-warmart-*")
+			if err != nil {
+				return nil, err
+			}
+			storeDir = dir
+			// Warm the store: resolve the grid's two training
+			// dependencies once, persisting their profiles.
+			eng := sweep.New(core.DefaultConfig())
+			eng.Artifacts = sweep.ArtifactStore(dir)
+			for _, spec := range []sweep.ProfileSpec{
+				{Bench: warmArtifactBench, Scheme: calltree.LFCP.Name, OnRef: true},
+				{Bench: warmArtifactBench, Scheme: calltree.LF.Name},
+			} {
+				if _, err := eng.Profile(spec); err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+			}
+			return func() { os.RemoveAll(dir) }, nil
+		},
+		Run: func() (int64, error) {
+			resultDir, err := os.MkdirTemp("", "mcdperf-warmart-results-*")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(resultDir)
+			eng := sweep.New(core.DefaultConfig())
+			eng.Cache = &sweep.Cache{Dir: resultDir}
+			eng.Artifacts = sweep.ArtifactStore(storeDir)
+			outs, _, err := eng.Run(warmArtifactJobs())
+			if err != nil {
+				return 0, err
+			}
+			var instrs int64
+			for _, o := range outs {
+				instrs += o.Res.Instructions
+			}
+			return instrs, nil
+		},
+	})
 }
 
 func runSweepThroughput() (int64, error) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 )
@@ -13,7 +14,8 @@ import (
 // directory, written atomically (temp file + rename) so concurrent
 // shards can share one cache directory and interrupted sweeps never
 // leave half-written entries behind. Corrupt or mismatched entries are
-// treated as misses and silently overwritten by the next run.
+// treated as misses and overwritten by the next run; the engine counts
+// and surfaces them (Summary.CorruptEntries).
 type Cache struct {
 	Dir string
 }
@@ -31,22 +33,50 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.Dir, key[:2], key+".json")
 }
 
-// Get loads the outcome stored under key. It returns ok=false for
-// missing, unreadable, corrupt, or key-mismatched entries — all of
-// which the engine handles as cache misses.
-func (c *Cache) Get(key string) (*Outcome, bool) {
+// EntryPath returns the path an outcome is stored at.
+func (c *Cache) EntryPath(key string) string { return c.path(key) }
+
+// LoadStatus classifies the outcome of a cache lookup.
+type LoadStatus int
+
+const (
+	// LoadMiss means no entry exists under the key.
+	LoadMiss LoadStatus = iota
+	// LoadHit means a valid entry was loaded.
+	LoadHit
+	// LoadCorrupt means an entry exists but is unreadable, truncated,
+	// syntactically invalid, or stored under a mismatched key (e.g. a
+	// file copied to the wrong name) — the engine treats it as a miss
+	// and surfaces the damage.
+	LoadCorrupt
+)
+
+// Load returns the outcome stored under key, with a status
+// distinguishing absent entries from damaged ones.
+func (c *Cache) Load(key string) (*Outcome, LoadStatus) {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return nil, false
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, LoadMiss
+		}
+		return nil, LoadCorrupt
 	}
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil {
-		return nil, false
+		return nil, LoadCorrupt
 	}
 	if e.Key != key || e.Outcome == nil {
-		return nil, false
+		return nil, LoadCorrupt
 	}
-	return e.Outcome, true
+	return e.Outcome, LoadHit
+}
+
+// Get loads the outcome stored under key, collapsing missing and
+// damaged entries to ok=false (Merge's view: either way the work is
+// not in the cache).
+func (c *Cache) Get(key string) (*Outcome, bool) {
+	out, status := c.Load(key)
+	return out, status == LoadHit
 }
 
 // Put atomically persists an outcome under key.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 )
 
@@ -43,19 +44,24 @@ func (s Source) String() string {
 // triggered and is zero iff the whole sweep was served from cache.
 // MemHits counts batch jobs answered by the in-process memo (including
 // joining an execution another job started), so the three counters can
-// sum to more than Jobs when dependencies span jobs.
+// sum to more than Jobs when dependencies span jobs. CorruptEntries
+// counts persistent entries — result-cache and artifact-store alike —
+// that existed but could not be used (truncated, unreadable, stale
+// schema, or stored under a mismatched key); each was treated as a miss
+// and overwritten, and the first offending path was logged.
 type Summary struct {
-	Jobs     int `json:"jobs"`
-	MemHits  int `json:"mem_hits"`
-	DiskHits int `json:"disk_hits"`
-	Executed int `json:"executed"`
-	Errors   int `json:"errors"`
+	Jobs           int `json:"jobs"`
+	MemHits        int `json:"mem_hits"`
+	DiskHits       int `json:"disk_hits"`
+	Executed       int `json:"executed"`
+	Errors         int `json:"errors"`
+	CorruptEntries int `json:"corrupt_entries"`
 }
 
 // String renders the summary as one log-friendly line.
 func (s Summary) String() string {
-	return fmt.Sprintf("jobs=%d mem_hits=%d disk_hits=%d executed=%d errors=%d",
-		s.Jobs, s.MemHits, s.DiskHits, s.Executed, s.Errors)
+	return fmt.Sprintf("jobs=%d mem_hits=%d disk_hits=%d executed=%d errors=%d corrupt_entries=%d",
+		s.Jobs, s.MemHits, s.DiskHits, s.Executed, s.Errors, s.CorruptEntries)
 }
 
 // Engine executes sweep jobs against one configuration with in-process
@@ -69,6 +75,11 @@ type Engine struct {
 	Workers int
 	// Cache, when non-nil, persists outcomes across processes.
 	Cache *Cache
+	// Artifacts, when non-nil, persists intermediate pipeline products
+	// (trained profiles) across processes, so a fleet sharing one store
+	// directory trains each profile once total and threshold sweeps
+	// replan from stored histograms instead of retraining.
+	Artifacts *artifact.Store
 	// ExecFn overrides the built-in policy executor (tests use this to
 	// count executions without running the simulator).
 	ExecFn func(Job) (*Outcome, error)
@@ -76,13 +87,15 @@ type Engine struct {
 	execOnce sync.Once
 	exec     *executor
 
-	// nExecuted and nDisk count resolutions engine-wide; Run reports
-	// them as before/after deltas so dependency jobs are attributed to
-	// the batch that triggered them, independent of which worker (or
-	// nested Do) got there first.
-	nExecuted atomic.Int64
-	nDisk     atomic.Int64
-	warnOnce  sync.Once
+	// nExecuted, nDisk and nCorrupt count resolutions engine-wide; Run
+	// reports them as before/after deltas so dependency jobs are
+	// attributed to the batch that triggered them, independent of which
+	// worker (or nested Do) got there first.
+	nExecuted   atomic.Int64
+	nDisk       atomic.Int64
+	nCorrupt    atomic.Int64
+	warnOnce    sync.Once
+	corruptOnce sync.Once
 
 	mu     sync.Mutex
 	flight map[string]*flight
@@ -100,6 +113,42 @@ type flight struct {
 // New returns an engine over cfg with no persistent cache.
 func New(cfg core.Config) *Engine {
 	return &Engine{Cfg: cfg, flight: make(map[string]*flight)}
+}
+
+// noteCorrupt records one unusable persistent entry and logs the first
+// offending path: corruption is handled as a miss, but it should never
+// be silent — a recurring count points at a damaged shared directory.
+func (e *Engine) noteCorrupt(path string) {
+	e.nCorrupt.Add(1)
+	e.corruptOnce.Do(func() {
+		fmt.Fprintf(os.Stderr, "sweep: corrupt cache entry (treated as a miss, will be rewritten): %s\n", path)
+	})
+}
+
+// warnPersist reports, once, that results or artifacts are not landing
+// on disk (full disk, lost permission); completed work stays memoized
+// in process and a later merge names any jobs that never persisted.
+func (e *Engine) warnPersist(err error) {
+	e.warnOnce.Do(func() {
+		fmt.Fprintf(os.Stderr, "sweep: results not persisting: %v\n", err)
+	})
+}
+
+// executor returns the built-in policy executor, creating it on first
+// use.
+func (e *Engine) executor() *executor {
+	e.execOnce.Do(func() {
+		e.exec = newExecutor(e)
+	})
+	return e.exec
+}
+
+// Profile resolves one trained profile through the engine's profile
+// memo and artifact store, training it if necessary. The returned
+// profile's Plan is built at the engine configuration's delta; use
+// core.Replan for other deltas.
+func (e *Engine) Profile(spec ProfileSpec) (*core.Profile, error) {
+	return e.executor().profile(spec)
 }
 
 // Do returns the outcome of one job, consulting the in-process memo,
@@ -142,9 +191,13 @@ func (e *Engine) Do(job Job) (*Outcome, Source, error) {
 
 func (e *Engine) resolve(key string, job Job) (*Outcome, Source, error) {
 	if e.Cache != nil {
-		if out, ok := e.Cache.Get(key); ok {
+		out, status := e.Cache.Load(key)
+		switch status {
+		case LoadHit:
 			e.nDisk.Add(1)
 			return out, SourceDisk, nil
+		case LoadCorrupt:
+			e.noteCorrupt(e.Cache.EntryPath(key))
 		}
 	}
 	out, err := e.execFn()(job)
@@ -158,9 +211,7 @@ func (e *Engine) resolve(key string, job Job) (*Outcome, Source, error) {
 			// (full disk, lost permission) must not throw that work
 			// away. Keep the outcome memoized in process and warn once
 			// — a later merge will name any jobs that never landed.
-			e.warnOnce.Do(func() {
-				fmt.Fprintf(os.Stderr, "sweep: results not persisting: %v\n", err)
-			})
+			e.warnPersist(err)
 		}
 	}
 	return out, SourceExecuted, nil
@@ -170,10 +221,7 @@ func (e *Engine) execFn() func(Job) (*Outcome, error) {
 	if e.ExecFn != nil {
 		return e.ExecFn
 	}
-	e.execOnce.Do(func() {
-		e.exec = newExecutor(e)
-	})
-	return e.exec.execute
+	return e.executor().execute
 }
 
 // Run resolves a batch of jobs on a worker pool and returns their
@@ -192,7 +240,7 @@ func (e *Engine) Run(jobs []Job) ([]*Outcome, Summary, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	exec0, disk0 := e.nExecuted.Load(), e.nDisk.Load()
+	exec0, disk0, corrupt0 := e.nExecuted.Load(), e.nDisk.Load(), e.nCorrupt.Load()
 	ch := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -211,9 +259,10 @@ func (e *Engine) Run(jobs []Job) ([]*Outcome, Summary, error) {
 	wg.Wait()
 
 	sum := Summary{
-		Jobs:     len(jobs),
-		Executed: int(e.nExecuted.Load() - exec0),
-		DiskHits: int(e.nDisk.Load() - disk0),
+		Jobs:           len(jobs),
+		Executed:       int(e.nExecuted.Load() - exec0),
+		DiskHits:       int(e.nDisk.Load() - disk0),
+		CorruptEntries: int(e.nCorrupt.Load() - corrupt0),
 	}
 	for i := range jobs {
 		switch {

@@ -5,21 +5,23 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/artifact"
 	"repro/internal/calltree"
-	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/edit"
 	"repro/internal/isa"
 	"repro/internal/workload"
 )
 
-// executor runs jobs through the core pipeline. Training (phases one
-// and two) is delta-independent and by far the most expensive part of a
-// profile-driven job, so profiles are memoized per (benchmark, scheme,
-// input) with per-key singleflight: a threshold sweep trains once and
-// replans cheaply per delta point, even when the points run
-// concurrently. Persistent caching stays at the engine layer — only
-// final scalar outcomes hit the disk, never profiles.
+// executor is the engine's Runtime: it resolves a job's declared
+// dependencies and hands the resolved values to the job's policy.
+// Training (phases one and two) is delta-independent and by far the
+// most expensive part of a profile-driven job, so trained profiles
+// resolve through two layers keyed by their content-addressed artifact
+// key: an in-process memo with per-key singleflight, then the engine's
+// persistent artifact store — a threshold sweep trains once and replans
+// cheaply per delta point, even when the points run concurrently, and a
+// fleet of processes sharing one store directory trains once total.
 //
 // The executor also keeps a small LRU of recorded dynamic streams: a
 // policy grid simulates the same (benchmark, input) stream once per
@@ -31,7 +33,7 @@ type executor struct {
 	eng *Engine
 
 	mu       sync.Mutex
-	profiles map[string]*profFlight
+	profiles map[string]*profFlight // keyed by artifact key
 
 	smu     sync.Mutex
 	streams map[string]*streamFlight
@@ -73,10 +75,13 @@ func newExecutor(e *Engine) *executor {
 	}
 }
 
-// feeder returns a replayable stream for one benchmark input, recording
-// it on first use. Concurrent requests for the same stream share one
-// recording.
-func (x *executor) feeder(b *workload.Benchmark, ref bool) isa.Feeder {
+// Config returns the engine configuration (Runtime).
+func (x *executor) Config() core.Config { return x.eng.Cfg }
+
+// Feeder returns a replayable stream for one benchmark input, recording
+// it on first use (Runtime). Concurrent requests for the same stream
+// share one recording.
+func (x *executor) Feeder(b *workload.Benchmark, ref bool) isa.Feeder {
 	in, window := b.Train, b.TrainWindow
 	if ref {
 		in, window = b.Ref, b.RefWindow
@@ -119,97 +124,111 @@ func (x *executor) feeder(b *workload.Benchmark, ref bool) isa.Feeder {
 	return f.rec
 }
 
-// profile trains (or returns the memoized) profile for one benchmark
-// and scheme. onRef trains on the reference input itself, which is how
-// the off-line oracle gets its perfect future knowledge.
-func (x *executor) profile(b *workload.Benchmark, scheme calltree.Scheme, onRef bool) *core.Profile {
-	key := b.Name() + "\x00" + scheme.Name
-	window := b.TrainWindow
-	if onRef {
-		key += "\x00ref"
-		window = b.RefWindow
+// profile resolves one trained profile: in-process memo (with per-key
+// singleflight), then the persistent artifact store, then training —
+// which persists the new artifact so sibling processes sharing the
+// store directory never retrain it.
+func (x *executor) profile(spec ProfileSpec) (*core.Profile, error) {
+	b := workload.ByName(spec.Bench)
+	if b == nil {
+		return nil, fmt.Errorf("unknown benchmark %q", spec.Bench)
 	}
+	scheme, ok := SchemeByName(spec.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("unknown context scheme %q", spec.Scheme)
+	}
+	key := spec.ArtifactKey(x.eng.Cfg)
 	x.mu.Lock()
 	if f, ok := x.profiles[key]; ok {
 		x.mu.Unlock()
 		<-f.done
-		return f.prof
+		return f.prof, nil
 	}
 	f := &profFlight{done: make(chan struct{})}
 	x.profiles[key] = f
 	x.mu.Unlock()
 
-	f.prof = core.TrainFeed(x.eng.Cfg, x.feeder(b, onRef), window, scheme)
+	f.prof = x.resolveProfile(key, spec, b, scheme)
 	close(f.done)
-	return f.prof
+	return f.prof, nil
 }
 
-// plan returns the edit plan of a profile at the job's delta,
+// resolveProfile loads a stored profile or trains and stores a new one.
+// Store damage is never fatal: corrupt entries are counted, surfaced
+// once, and overwritten by the fresh training.
+func (x *executor) resolveProfile(key string, spec ProfileSpec, b *workload.Benchmark, scheme calltree.Scheme) *core.Profile {
+	cfg := x.eng.Cfg
+	if st := x.eng.Artifacts; st != nil {
+		payload, status := st.Load(key, artifact.KindProfile)
+		switch status {
+		case artifact.Hit:
+			prof, err := core.DecodeProfile(payload)
+			if err == nil {
+				// The stored state is delta-independent; rebuild the plan
+				// at this engine's calibrated delta.
+				prof.Plan = core.Replan(prof, cfg.DeltaPct)
+				return prof
+			}
+			x.eng.noteCorrupt(st.EntryPath(key))
+		case artifact.Corrupt:
+			x.eng.noteCorrupt(st.EntryPath(key))
+		}
+	}
+	_, window := spec.inputWindow(b)
+	prof := core.TrainFeed(cfg, x.Feeder(b, spec.OnRef), window, scheme)
+	if st := x.eng.Artifacts; st != nil {
+		payload, err := core.EncodeProfile(prof)
+		if err == nil {
+			err = st.Put(key, artifact.KindProfile, payload)
+		}
+		if err != nil {
+			// Training already succeeded; a persistence failure must not
+			// throw that work away. Keep the profile memoized in process
+			// and warn once.
+			x.eng.warnPersist(err)
+		}
+	}
+	return prof
+}
+
+// Plan returns the edit plan of a profile at the job's delta (Runtime),
 // replanning from the memoized shaken histograms when the delta differs
 // from the configuration's.
-func (x *executor) plan(prof *core.Profile, delta float64) *edit.Plan {
+func (x *executor) Plan(prof *core.Profile, delta float64) *edit.Plan {
 	if delta == 0 || delta == x.eng.Cfg.DeltaPct {
 		return prof.Plan
 	}
 	return core.Replan(prof, delta)
 }
 
-// execute runs one cache-missed job to completion.
+// execute runs one cache-missed job to completion: resolve the job
+// policy's declared dependencies — result dependencies through the
+// engine (cached and shared like any other job), profile dependencies
+// through the artifact layers — then let the policy build its outcome.
 func (x *executor) execute(job Job) (*Outcome, error) {
-	b := workload.ByName(job.Bench)
-	if b == nil {
+	if workload.ByName(job.Bench) == nil {
 		return nil, fmt.Errorf("unknown benchmark %q", job.Bench)
 	}
-	cfg := x.eng.Cfg
-	out := &Outcome{}
-	switch job.Policy {
-	case PolicyBaseline:
-		out.Res = core.RunBaselineFeed(cfg, x.feeder(b, true), b.RefWindow)
-
-	case PolicySingleClock:
-		mhz := job.MHz
-		if mhz == 0 {
-			mhz = cfg.Sim.BaseMHz
-		}
-		out.Res = core.RunSingleClockFeed(cfg, x.feeder(b, true), b.RefWindow, mhz)
-
-	case PolicyOffline:
-		prof := x.profile(b, calltree.LFCP, true)
-		out.Res, _ = core.RunEditedFeed(cfg, x.feeder(b, true), b.RefWindow, x.plan(prof, job.Delta), true)
-
-	case PolicyOnline:
-		if job.Aggressiveness != 0 {
-			cfg.Online.Aggressiveness = job.Aggressiveness
-		}
-		out.Res = core.RunOnlineFeed(cfg, x.feeder(b, true), b.RefWindow)
-
-	case PolicyGlobal:
-		// Global DVS is matched to the off-line runtime; resolve both
-		// dependencies through the engine so they are cached and shared
-		// like any other job.
-		sc, _, err := x.eng.Do(Job{Bench: job.Bench, Policy: PolicySingleClock})
-		if err != nil {
-			return nil, err
-		}
-		off, _, err := x.eng.Do(Job{Bench: job.Bench, Policy: PolicyOffline})
-		if err != nil {
-			return nil, err
-		}
-		out.GlobalMHz = control.GlobalDVSMHz(sc.Res.TimePs, off.Res.TimePs)
-		out.Res = core.RunSingleClockFeed(cfg, x.feeder(b, true), b.RefWindow, out.GlobalMHz)
-
-	case PolicyScheme:
-		scheme, ok := SchemeByName(job.Scheme)
-		if !ok {
-			return nil, fmt.Errorf("unknown context scheme %q", job.Scheme)
-		}
-		prof := x.profile(b, scheme, false)
-		plan := x.plan(prof, job.Delta)
-		out.Res, out.Stats = core.RunEditedFeed(cfg, x.feeder(b, true), b.RefWindow, plan, false)
-		out.StaticReconfig, out.StaticInstr = plan.StaticPoints()
-
-	default:
+	p, ok := PolicyByName(job.Policy)
+	if !ok {
 		return nil, fmt.Errorf("unknown policy %q", job.Policy)
 	}
-	return out, nil
+	deps := p.Deps(x.eng.Cfg, job)
+	resolved := make([]Resolved, len(deps))
+	for i, d := range deps {
+		if d.Profile != nil {
+			prof, err := x.profile(*d.Profile)
+			if err != nil {
+				return nil, err
+			}
+			resolved[i].Profile = prof
+		} else {
+			out, _, err := x.eng.Do(*d.Job)
+			if err != nil {
+				return nil, err
+			}
+			resolved[i].Outcome = out
+		}
+	}
+	return p.Run(x, job, resolved)
 }

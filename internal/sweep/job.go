@@ -1,13 +1,19 @@
-// Package sweep implements a sharded experiment-sweep engine with a
-// content-addressed, persistent on-disk result cache. A sweep is a set
-// of Jobs, each naming one (benchmark, policy, context scheme,
-// parameters) simulation under one core.Config. Jobs are keyed by a
-// deterministic hash of their full specification, so identical work is
-// never simulated twice: results are memoized in process, persisted as
-// JSON cache entries, and survive across runs and across processes. A
-// sweep can be partitioned into shards by key for multi-process fan-out
-// and later merged back from the shared cache into one deterministic
-// result set.
+// Package sweep implements a sharded experiment-sweep engine over a
+// dependency-aware job DAG, backed by a content-addressed, persistent
+// on-disk result cache and artifact store. A sweep is a set of Jobs,
+// each naming one (benchmark, policy, context scheme, parameters)
+// simulation under one core.Config. Policies are registered values that
+// declare typed prerequisites — other jobs, and trained profiles stored
+// as artifacts — and the engine resolves every node through an
+// in-process memo, the persistent caches, and finally execution, exactly
+// once per key. Jobs are keyed by a deterministic hash of their full
+// specification, so identical work is never simulated twice: results are
+// memoized in process, persisted as JSON cache entries, and survive
+// across runs and across processes. A sweep can be partitioned into
+// shards for multi-process fan-out — each job placed by its dependency
+// chain's anchor key, so the shard that owns an expensive training also
+// owns everything built from it — and later merged back from the shared
+// cache into one deterministic result set.
 package sweep
 
 import (
@@ -23,26 +29,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
-
-// The policies a Job can name. They mirror the paper's comparators
-// (Section 4): the MCD baseline, the globally synchronous single-clock
-// machine, the off-line oracle, the on-line attack/decay controller, the
-// matched global-DVS comparator, and the profile-driven edited binary
-// under one of the six context schemes.
-const (
-	PolicyBaseline    = "baseline"
-	PolicySingleClock = "single_clock"
-	PolicyOffline     = "offline"
-	PolicyOnline      = "online"
-	PolicyGlobal      = "global"
-	PolicyScheme      = "scheme"
-)
-
-// Policies lists every valid policy name in canonical order.
-func Policies() []string {
-	return []string{PolicyBaseline, PolicySingleClock, PolicyOffline,
-		PolicyOnline, PolicyGlobal, PolicyScheme}
-}
 
 // Job is one unit of sweep work. The zero value of each optional field
 // means "use the engine configuration's value", which keeps keys stable
@@ -82,22 +68,21 @@ func (j Job) String() string {
 	return s
 }
 
-// Validate checks that the job names a known benchmark, policy and (for
-// PolicyScheme) context scheme, and that its parameters are in range —
-// out-of-range values would otherwise produce garbage results that the
-// cache then serves forever under a perfectly valid key.
+// Validate checks that the job names a known benchmark and registered
+// policy, passes the policy's own parameter validation, and that its
+// generic parameters are in range — out-of-range values would otherwise
+// produce garbage results that the cache then serves forever under a
+// perfectly valid key.
 func (j Job) Validate() error {
 	if workload.ByName(j.Bench) == nil {
 		return fmt.Errorf("sweep: unknown benchmark %q", j.Bench)
 	}
-	switch j.Policy {
-	case PolicyBaseline, PolicySingleClock, PolicyOffline, PolicyOnline, PolicyGlobal:
-	case PolicyScheme:
-		if _, ok := SchemeByName(j.Scheme); !ok {
-			return fmt.Errorf("sweep: unknown context scheme %q", j.Scheme)
-		}
-	default:
+	p, ok := PolicyByName(j.Policy)
+	if !ok {
 		return fmt.Errorf("sweep: unknown policy %q", j.Policy)
+	}
+	if err := p.ValidateJob(j); err != nil {
+		return err
 	}
 	if j.Delta < 0 || math.IsNaN(j.Delta) || math.IsInf(j.Delta, 0) {
 		return fmt.Errorf("sweep: %s: delta %v out of range", j, j.Delta)
@@ -111,43 +96,23 @@ func (j Job) Validate() error {
 	return nil
 }
 
-// canonical maps parameter values that the executor treats as defaults
-// onto the zero value, and clears parameters the policy ignores, so
-// semantically identical jobs share one cache key (e.g. an explicit
-// delta equal to cfg.DeltaPct keys the same as no delta at all).
+// canonical delegates to the job's policy: parameter values the policy
+// treats as defaults map onto the zero value, and parameters it ignores
+// are cleared, so semantically identical jobs share one cache key (e.g.
+// an explicit delta equal to cfg.DeltaPct keys the same as no delta at
+// all). Unknown policies pass through unchanged (Key is only meaningful
+// for validated jobs).
 func (j Job) canonical(cfg core.Config) Job {
-	if j.Policy != PolicyScheme {
-		j.Scheme = ""
+	p, ok := PolicyByName(j.Policy)
+	if !ok {
+		return j
 	}
-	switch j.Policy {
-	case PolicyOffline, PolicyScheme:
-		if j.Delta == cfg.DeltaPct {
-			j.Delta = 0
-		}
-	default:
-		j.Delta = 0
-	}
-	if j.Policy != PolicyOnline {
-		j.Aggressiveness = 0
-	} else if j.Aggressiveness == cfg.Online.Aggressiveness {
-		j.Aggressiveness = 0
-	}
-	if j.Policy != PolicySingleClock {
-		j.MHz = 0
-	} else if j.MHz == cfg.Sim.BaseMHz {
-		j.MHz = 0
-	}
-	return j
+	return p.CanonicalJob(j, cfg)
 }
 
 // SchemeByName resolves one of the paper's six context schemes.
 func SchemeByName(name string) (calltree.Scheme, bool) {
-	for _, s := range calltree.Schemes() {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return calltree.Scheme{}, false
+	return calltree.SchemeByName(name)
 }
 
 // Outcome is the cacheable result of one job: the simulation result plus
@@ -167,7 +132,8 @@ type Outcome struct {
 
 // keySchema versions the key derivation; bump it when the hashed
 // payload's meaning changes so stale cache entries cannot be mistaken
-// for current ones.
+// for current ones. It is independent of artifact.SchemaVersion: the
+// artifact schema can move without invalidating result keys.
 const keySchema = 1
 
 // Key returns the content-addressed cache key of a job under a
@@ -199,22 +165,36 @@ func shardOf(key string, shards int) int {
 	return int(v % uint64(shards))
 }
 
-// shardKey returns the key a job is shard-assigned by. Global-DVS jobs
-// are placed by their off-line dependency's key: the dependency is the
-// most expensive job type, and resolving it inline from a shard that
-// doesn't own it would duplicate a concurrent sibling shard's training
-// work on a cold cache.
+// shardKey returns the key a job is shard-assigned by: its policy's
+// shard anchor, followed transitively. A job with no anchor places by
+// its own key; a job anchored to a trained profile places by that
+// profile's artifact key — so every job that resolves (or feeds) one
+// training lands on the shard that owns it, and a cold fleet executes
+// each training, and each shared dependency run, exactly once.
 func shardKey(cfg core.Config, j Job) string {
-	if j.Policy == PolicyGlobal {
-		return Key(cfg, Job{Bench: j.Bench, Policy: PolicyOffline})
+	// The anchor chain is at most (job -> dependency job -> artifact);
+	// the depth bound guards against a misregistered policy cycle.
+	for depth := 0; depth < 8; depth++ {
+		p, ok := PolicyByName(j.Policy)
+		if !ok {
+			break
+		}
+		d := p.ShardAnchor(cfg, j)
+		if d == nil {
+			break
+		}
+		if d.Profile != nil {
+			return d.Profile.ArtifactKey(cfg)
+		}
+		j = *d.Job
 	}
 	return Key(cfg, j)
 }
 
 // Shard returns the subset of jobs owned by shard index out of shards
-// total, assigned by stable key hash: every job belongs to exactly one
-// shard, and the assignment depends only on (config, job), never on
-// slice order. shards <= 1 returns jobs unchanged.
+// total, assigned by stable anchor-key hash: every job belongs to
+// exactly one shard, and the assignment depends only on (config, job),
+// never on slice order. shards <= 1 returns jobs unchanged.
 func Shard(cfg core.Config, jobs []Job, shards, index int) []Job {
 	if shards <= 1 {
 		return jobs

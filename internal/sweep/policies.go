@@ -1,0 +1,243 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/calltree"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The built-in policies. They mirror the paper's comparators
+// (Section 4): the MCD baseline, the globally synchronous single-clock
+// machine, the off-line oracle, the on-line attack/decay controller, the
+// matched global-DVS comparator, and the profile-driven edited binary
+// under one of the six context schemes.
+const (
+	PolicyBaseline    = "baseline"
+	PolicySingleClock = "single_clock"
+	PolicyOffline     = "offline"
+	PolicyOnline      = "online"
+	PolicyGlobal      = "global"
+	PolicyScheme      = "scheme"
+)
+
+func init() {
+	// Registration order is the canonical policy order (Policies()).
+	RegisterPolicy(baselinePolicy{})
+	RegisterPolicy(singleClockPolicy{})
+	RegisterPolicy(offlinePolicy{})
+	RegisterPolicy(onlinePolicy{})
+	RegisterPolicy(globalPolicy{})
+	RegisterPolicy(schemePolicy{})
+}
+
+// basePolicy provides the no-op defaults shared by parameterless
+// comparators.
+type basePolicy struct{}
+
+func (basePolicy) ValidateJob(Job) error             { return nil }
+func (basePolicy) Deps(core.Config, Job) []Dep       { return nil }
+func (basePolicy) ShardAnchor(core.Config, Job) *Dep { return nil }
+
+// clearCommon zeroes every optional parameter; policies re-apply the
+// ones they honor.
+func clearCommon(j Job) Job {
+	j.Scheme = ""
+	j.Delta = 0
+	j.Aggressiveness = 0
+	j.MHz = 0
+	return j
+}
+
+// offlineProfile is the off-line oracle's training dependency: the
+// paper's most elaborate scheme trained on the reference input itself.
+func offlineProfile(bench string) *ProfileSpec {
+	return &ProfileSpec{Bench: bench, Scheme: calltree.LFCP.Name, OnRef: true}
+}
+
+// baselinePolicy runs the MCD baseline: all domains at full speed,
+// synchronization penalties included.
+type baselinePolicy struct{ basePolicy }
+
+func (baselinePolicy) Name() string { return PolicyBaseline }
+
+func (baselinePolicy) CanonicalJob(j Job, cfg core.Config) Job { return clearCommon(j) }
+
+func (baselinePolicy) Run(rt Runtime, j Job, _ []Resolved) (*Outcome, error) {
+	b := workload.ByName(j.Bench)
+	out := &Outcome{}
+	out.Res = core.RunBaselineFeed(rt.Config(), rt.Feeder(b, true), b.RefWindow)
+	return out, nil
+}
+
+// singleClockPolicy runs the globally synchronous comparator at the
+// job's frequency (default: full base speed).
+type singleClockPolicy struct{ basePolicy }
+
+func (singleClockPolicy) Name() string { return PolicySingleClock }
+
+func (singleClockPolicy) CanonicalJob(j Job, cfg core.Config) Job {
+	mhz := j.MHz
+	j = clearCommon(j)
+	if mhz != cfg.Sim.BaseMHz {
+		j.MHz = mhz
+	}
+	return j
+}
+
+// ShardAnchor places the default-frequency run with the off-line chain
+// that consumes it: the global-DVS comparator needs this job, and a cold
+// fleet should compute it on the one shard that owns that chain instead
+// of redundantly on every shard that hosts a global job. The anchor is
+// placement-only — no training is triggered for benchmarks whose
+// manifest never needs it.
+func (singleClockPolicy) ShardAnchor(cfg core.Config, j Job) *Dep {
+	if j.canonical(cfg).MHz != 0 {
+		return nil // explicit-frequency ladder points place by their own key
+	}
+	return &Dep{Profile: offlineProfile(j.Bench)}
+}
+
+func (singleClockPolicy) Run(rt Runtime, j Job, _ []Resolved) (*Outcome, error) {
+	b := workload.ByName(j.Bench)
+	cfg := rt.Config()
+	mhz := j.MHz
+	if mhz == 0 {
+		mhz = cfg.Sim.BaseMHz
+	}
+	out := &Outcome{}
+	out.Res = core.RunSingleClockFeed(cfg, rt.Feeder(b, true), b.RefWindow, mhz)
+	return out, nil
+}
+
+// offlinePolicy is the off-line oracle: train on the production input
+// itself, run with zero-cost reconfiguration.
+type offlinePolicy struct{ basePolicy }
+
+func (offlinePolicy) Name() string { return PolicyOffline }
+
+func (offlinePolicy) CanonicalJob(j Job, cfg core.Config) Job {
+	delta := j.Delta
+	j = clearCommon(j)
+	if delta != cfg.DeltaPct {
+		j.Delta = delta
+	}
+	return j
+}
+
+func (offlinePolicy) Deps(cfg core.Config, j Job) []Dep {
+	return []Dep{{Profile: offlineProfile(j.Bench)}}
+}
+
+func (offlinePolicy) ShardAnchor(cfg core.Config, j Job) *Dep {
+	return &Dep{Profile: offlineProfile(j.Bench)}
+}
+
+func (offlinePolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	b := workload.ByName(j.Bench)
+	out := &Outcome{}
+	out.Res, _ = core.RunEditedFeed(rt.Config(), rt.Feeder(b, true), b.RefWindow,
+		rt.Plan(deps[0].Profile, j.Delta), true)
+	return out, nil
+}
+
+// onlinePolicy simulates the hardware attack/decay controller.
+type onlinePolicy struct{ basePolicy }
+
+func (onlinePolicy) Name() string { return PolicyOnline }
+
+func (onlinePolicy) CanonicalJob(j Job, cfg core.Config) Job {
+	aggr := j.Aggressiveness
+	j = clearCommon(j)
+	if aggr != cfg.Online.Aggressiveness {
+		j.Aggressiveness = aggr
+	}
+	return j
+}
+
+func (onlinePolicy) Run(rt Runtime, j Job, _ []Resolved) (*Outcome, error) {
+	b := workload.ByName(j.Bench)
+	cfg := rt.Config()
+	if j.Aggressiveness != 0 {
+		cfg.Online.Aggressiveness = j.Aggressiveness
+	}
+	out := &Outcome{}
+	out.Res = core.RunOnlineFeed(cfg, rt.Feeder(b, true), b.RefWindow)
+	return out, nil
+}
+
+// globalPolicy is the global-DVS comparator: a single-clock machine
+// frequency-matched to the off-line oracle's run time. Both inputs are
+// declared result dependencies, so they are cached and shared like any
+// other job.
+type globalPolicy struct{ basePolicy }
+
+func (globalPolicy) Name() string { return PolicyGlobal }
+
+func (globalPolicy) CanonicalJob(j Job, cfg core.Config) Job { return clearCommon(j) }
+
+func (globalPolicy) Deps(cfg core.Config, j Job) []Dep {
+	return []Dep{
+		{Job: &Job{Bench: j.Bench, Policy: PolicySingleClock}},
+		{Job: &Job{Bench: j.Bench, Policy: PolicyOffline}},
+	}
+}
+
+// ShardAnchor follows the off-line dependency: it is the most expensive
+// job in the chain, and the shard that owns the oracle training should
+// also resolve the global run.
+func (globalPolicy) ShardAnchor(cfg core.Config, j Job) *Dep {
+	return &Dep{Job: &Job{Bench: j.Bench, Policy: PolicyOffline}}
+}
+
+func (globalPolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	b := workload.ByName(j.Bench)
+	sc, off := deps[0].Outcome, deps[1].Outcome
+	out := &Outcome{}
+	out.GlobalMHz = control.GlobalDVSMHz(sc.Res.TimePs, off.Res.TimePs)
+	out.Res = core.RunSingleClockFeed(rt.Config(), rt.Feeder(b, true), b.RefWindow, out.GlobalMHz)
+	return out, nil
+}
+
+// schemePolicy runs the profile-driven edited binary under one of the
+// paper's six context schemes: train on the training input, edit, run
+// on the reference input.
+type schemePolicy struct{ basePolicy }
+
+func (schemePolicy) Name() string { return PolicyScheme }
+
+func (schemePolicy) ValidateJob(j Job) error {
+	if _, ok := SchemeByName(j.Scheme); !ok {
+		return fmt.Errorf("sweep: unknown context scheme %q", j.Scheme)
+	}
+	return nil
+}
+
+func (schemePolicy) CanonicalJob(j Job, cfg core.Config) Job {
+	scheme, delta := j.Scheme, j.Delta
+	j = clearCommon(j)
+	j.Scheme = scheme
+	if delta != cfg.DeltaPct {
+		j.Delta = delta
+	}
+	return j
+}
+
+func (p schemePolicy) Deps(cfg core.Config, j Job) []Dep {
+	return []Dep{{Profile: &ProfileSpec{Bench: j.Bench, Scheme: j.Scheme}}}
+}
+
+func (p schemePolicy) ShardAnchor(cfg core.Config, j Job) *Dep {
+	return &Dep{Profile: &ProfileSpec{Bench: j.Bench, Scheme: j.Scheme}}
+}
+
+func (schemePolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	b := workload.ByName(j.Bench)
+	plan := rt.Plan(deps[0].Profile, j.Delta)
+	out := &Outcome{}
+	out.Res, out.Stats = core.RunEditedFeed(rt.Config(), rt.Feeder(b, true), b.RefWindow, plan, false)
+	out.StaticReconfig, out.StaticInstr = plan.StaticPoints()
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/artifact"
+)
+
+// artifactSubdir is where a cache directory's co-located artifact store
+// lives. Result entries fan out under two-hex-character directories, so
+// the name can never collide with one.
+const artifactSubdir = "artifacts"
+
+// ArtifactStore returns the artifact store conventionally co-located
+// with a result cache directory (its "artifacts" subdirectory), so one
+// shared directory tree — on one machine or a network mount — carries
+// both the results and the training artifacts they were built from.
+func ArtifactStore(cacheDir string) *artifact.Store {
+	return &artifact.Store{Dir: filepath.Join(cacheDir, artifactSubdir)}
+}
+
+// entryKey reports whether name looks like a content-addressed entry
+// file (<64 hex chars>.json) and returns its key.
+func entryKey(name string) (string, bool) {
+	key, ok := strings.CutSuffix(name, ".json")
+	if !ok || len(key) != 64 {
+		return "", false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", false
+		}
+	}
+	return key, true
+}
+
+// isFanoutDir reports whether name is a two-hex-character fan-out
+// directory.
+func isFanoutDir(name string) bool {
+	if len(name) != 2 {
+		return false
+	}
+	_, ok := entryKey(name + strings.Repeat("0", 62) + ".json")
+	return ok
+}
+
+// Unreachable scans a shared cache directory — result entries at the
+// top level, the artifact store under artifacts/ — and returns the
+// entry files whose keys are not in the given reachable sets, as sorted
+// cache-relative paths. Leftover temp files from interrupted writers
+// are included (they are garbage by construction); files outside the
+// two recognized layouts are left alone.
+func Unreachable(dir string, results, artifacts map[string]bool) ([]string, error) {
+	var out []string
+	scan := func(root string, keep map[string]bool) error {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		for _, fan := range entries {
+			if !fan.IsDir() || !isFanoutDir(fan.Name()) {
+				continue
+			}
+			files, err := os.ReadDir(filepath.Join(root, fan.Name()))
+			if err != nil {
+				return err
+			}
+			for _, f := range files {
+				if f.IsDir() {
+					continue
+				}
+				if key, ok := entryKey(f.Name()); ok && keep[key] {
+					continue
+				}
+				rel, err := filepath.Rel(dir, filepath.Join(root, fan.Name(), f.Name()))
+				if err != nil {
+					return err
+				}
+				out = append(out, rel)
+			}
+		}
+		return nil
+	}
+	if err := scan(dir, results); err != nil {
+		return nil, fmt.Errorf("sweep: prune scan: %w", err)
+	}
+	if err := scan(filepath.Join(dir, artifactSubdir), artifacts); err != nil {
+		return nil, fmt.Errorf("sweep: prune scan: %w", err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Prune deletes the given cache-relative entry files under dir and
+// removes any fan-out directories left empty. It returns the number of
+// files removed and the bytes reclaimed.
+func Prune(dir string, rel []string) (removed int, bytes int64, err error) {
+	dirs := make(map[string]bool)
+	for _, r := range rel {
+		path := filepath.Join(dir, r)
+		if info, serr := os.Stat(path); serr == nil {
+			bytes += info.Size()
+		}
+		if rerr := os.Remove(path); rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue
+			}
+			return removed, bytes, fmt.Errorf("sweep: prune: %w", rerr)
+		}
+		removed++
+		dirs[filepath.Dir(path)] = true
+	}
+	// Best-effort cleanup of emptied fan-out directories.
+	var emptied []string
+	for d := range dirs {
+		emptied = append(emptied, d)
+	}
+	sort.Strings(emptied)
+	for _, d := range emptied {
+		os.Remove(d) // fails (and is ignored) when not empty
+	}
+	return removed, bytes, nil
+}
+
+// EntrySize returns the on-disk size of a cache-relative entry, for
+// dry-run reporting.
+func EntrySize(dir, rel string) int64 {
+	info, err := os.Stat(filepath.Join(dir, rel))
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}
