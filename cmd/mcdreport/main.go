@@ -4,9 +4,14 @@
 // Usage:
 //
 //	mcdreport [-only fig4,fig5,...] [-bench name1,name2] [-delta 2.0] [-parallel N]
+//	          [-topology fine6] [-topologies paper4,sync1,fe-be2,fine6]
 //
 // Without -only it produces everything: Tables 1-4, Figures 4-12 and the
-// MCD baseline-penalty analysis.
+// MCD baseline-penalty analysis. The extra "topology" section
+// (-only topology) is opt-in: it runs the baseline, offline and online
+// policies under every topology named by -topologies and renders a
+// slowdown/energy comparison table. -topology switches the machine model
+// every other section simulates.
 package main
 
 import (
@@ -15,19 +20,28 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig4..fig12,baseline")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig4..fig12,baseline,topology")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
 	delta := flag.Float64("delta", 0, "slowdown threshold delta in percent (default: calibrated)")
 	parallel := flag.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
 	cache := flag.String("cache", "", "persistent sweep cache directory (optional)")
+	topoName := flag.String("topology", "", "clock-domain topology for all sections (default: paper4)")
+	topoList := flag.String("topologies", "", "comma-separated topologies for -only topology (default: all registered)")
 	flag.Parse()
 
+	topo, err := arch.TopologyByName(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdreport:", err)
+		os.Exit(1)
+	}
 	cfg := core.DefaultConfig()
+	cfg.Sim.Topology = arch.CanonicalTopologyName(topo.Name)
 	if *delta > 0 {
 		cfg.DeltaPct = *delta
 	}
@@ -93,5 +107,19 @@ func main() {
 	}
 	if sel("baseline") {
 		emit(r.BaselinePenalty())
+	}
+	// Opt-in only: the cross-topology comparison simulates the suite
+	// under every named topology, so it never rides along implicitly.
+	if want["topology"] {
+		var topos []string
+		if *topoList != "" {
+			topos = strings.Split(*topoList, ",")
+		}
+		table, err := r.TopologyTable(topos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdreport:", err)
+			os.Exit(1)
+		}
+		emit(table)
 	}
 }

@@ -27,6 +27,7 @@ func main() {
 	schemeName := flag.String("scheme", "L+F", "context scheme for -policy profile")
 	inputName := flag.String("input", "ref", "input set: train | ref")
 	delta := flag.Float64("delta", 0, "slowdown threshold delta (percent)")
+	topoName := flag.String("topology", "", "clock-domain topology (default: paper4; see arch.TopologyNames)")
 	flag.Parse()
 
 	b := workload.ByName(*bench)
@@ -34,7 +35,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q; available: %v\n", *bench, workload.Names())
 		os.Exit(1)
 	}
+	topo, err := arch.TopologyByName(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdsim:", err)
+		os.Exit(1)
+	}
 	cfg := core.DefaultConfig()
+	cfg.Sim.Topology = arch.CanonicalTopologyName(topo.Name)
 	if *delta > 0 {
 		cfg.DeltaPct = *delta
 	}
@@ -80,11 +87,14 @@ func main() {
 
 	fmt.Printf("benchmark:   %s (%s input, %d instructions)\n", b.Name(), *inputName, window)
 	fmt.Printf("policy:      %s\n", *policy)
+	if topo.Name != arch.DefaultName {
+		fmt.Printf("topology:    %s (%d domains)\n", topo.Name, topo.NumDomains())
+	}
 	fmt.Printf("time:        %.3f us\n", float64(res.TimePs)/1e6)
 	fmt.Printf("energy:      %.3f uJ\n", res.EnergyPJ/1e6)
 	fmt.Printf("IPC@1GHz:    %.3f\n", res.IPCAt(1000))
-	for i, d := range arch.ScalableDomains() {
-		fmt.Printf("avg %-9s %.0f MHz\n", d.String()+":", res.AvgMHz[i])
+	for i := 0; i < topo.NumScalable() && i < len(res.AvgMHz); i++ {
+		fmt.Printf("avg %-9s %.0f MHz\n", topo.Spec(arch.Domain(i)).Name+":", res.AvgMHz[i])
 	}
 	if *policy != "baseline" {
 		d := stats.Vs(res, base)

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the mcdsweep CLI: when the
+// reexec marker is set, run main() with the test binary's arguments
+// instead of the test harness. This gives true end-to-end coverage of
+// flag parsing, manifest loading and exit codes without a separate
+// `go build` step.
+func TestMain(m *testing.M) {
+	if os.Getenv("MCDSWEEP_REEXEC") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI reexecs the test binary as mcdsweep with args.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "MCDSWEEP_REEXEC=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func writeManifest(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestEnumRejectsUnknownTopology is the end-to-end CLI check for the
+// manifest topology boundary: an unknown name must fail with a nonzero
+// exit and list every registered topology.
+func TestEnumRejectsUnknownTopology(t *testing.T) {
+	path := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline"],"topology":"octo8"}`)
+	_, stderr, code := runCLI(t, "enum", "-manifest", path)
+	if code == 0 {
+		t.Fatalf("enum accepted unknown topology; stderr: %s", stderr)
+	}
+	for _, want := range []string{`unknown topology "octo8"`, "paper4", "sync1", "fe-be2", "fine6"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr %q missing %q", stderr, want)
+		}
+	}
+}
+
+// TestEnumTopologyChangesKeys verifies a valid non-default topology
+// enumerates the same jobs under different cache keys, while naming the
+// default explicitly keeps the historical keys.
+func TestEnumTopologyChangesKeys(t *testing.T) {
+	base := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline"]}`)
+	named := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline"],"topology":"paper4"}`)
+	fine := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline"],"topology":"fine6"}`)
+
+	outBase, _, code := runCLI(t, "enum", "-manifest", base)
+	if code != 0 {
+		t.Fatalf("enum failed: %d", code)
+	}
+	outNamed, _, _ := runCLI(t, "enum", "-manifest", named)
+	outFine, _, _ := runCLI(t, "enum", "-manifest", fine)
+	if outBase != outNamed {
+		t.Errorf("explicit default topology moved keys:\n%s\nvs\n%s", outBase, outNamed)
+	}
+	if outBase == outFine {
+		t.Errorf("fine6 topology did not move keys:\n%s", outBase)
+	}
+	if !strings.Contains(outFine, "g721_decode/baseline") {
+		t.Errorf("fine6 enum lost the job row: %s", outFine)
+	}
+}
+
+// TestRunAndMergeWithTopology runs a tiny non-default-topology manifest
+// through run and merge against a shared cache directory.
+func TestRunAndMergeWithTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark")
+	}
+	path := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline","online"],"topology":"fe-be2"}`)
+	cache := t.TempDir()
+	stdout, stderr, code := runCLI(t, "run", "-manifest", path, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"executed":2`) {
+		t.Errorf("cold run summary = %s, want 2 executed", stdout)
+	}
+	// Re-run: everything served from the persistent cache.
+	stdout, _, code = runCLI(t, "run", "-manifest", path, "-cache", cache)
+	if code != 0 || !strings.Contains(stdout, `"executed":0`) {
+		t.Errorf("warm run summary = %s (code %d), want 0 executed", stdout, code)
+	}
+	merged, stderr, code := runCLI(t, "merge", "-manifest", path, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("merge failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(merged, "g721_decode") || !strings.Contains(merged, "DomainPJ") {
+		t.Errorf("merge output incomplete: %.200s", merged)
+	}
+}

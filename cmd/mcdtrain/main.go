@@ -21,6 +21,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/edit"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -30,6 +31,7 @@ func main() {
 	schemeName := flag.String("scheme", "L+F", "context scheme")
 	delta := flag.Float64("delta", 0, "slowdown threshold delta (percent)")
 	artifactDir := flag.String("artifacts", "", "artifact store directory (reuse/persist trained profiles)")
+	topoName := flag.String("topology", "", "clock-domain topology (default: paper4)")
 	flag.Parse()
 
 	b := workload.ByName(*bench)
@@ -42,8 +44,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
 		os.Exit(1)
 	}
+	topo, err := arch.TopologyByName(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdtrain:", err)
+		os.Exit(1)
+	}
 
 	cfg := core.DefaultConfig()
+	cfg.Sim.Topology = arch.CanonicalTopologyName(topo.Name)
 	if *delta > 0 {
 		cfg.DeltaPct = *delta
 	}
@@ -66,33 +74,34 @@ func main() {
 	fmt.Printf("table footprint: %d bytes\n", prof.Plan.LookupTableBytes())
 
 	fmt.Println("\nchosen frequencies (MHz):")
-	fmt.Printf("  %-52s %9s %9s %9s %9s\n", "node",
-		arch.FrontEnd, arch.Integer, arch.FP, arch.Memory)
-	if scheme.Path {
-		type row struct {
-			path string
-			f    [4]uint16
+	header := fmt.Sprintf("  %-52s", "node")
+	for d := 0; d < topo.NumScalable(); d++ {
+		header += fmt.Sprintf(" %9s", topo.Spec(arch.Domain(d)).Name)
+	}
+	fmt.Println(header)
+	printRow := func(label string, f edit.Freqs) {
+		line := fmt.Sprintf("  %-52s", label)
+		for _, mhz := range f {
+			line += fmt.Sprintf(" %9d", mhz)
 		}
-		var rows []row
+		fmt.Println(line)
+	}
+	type row struct {
+		label string
+		f     edit.Freqs
+	}
+	var rows []row
+	if scheme.Path {
 		for n, f := range prof.Plan.NodeFreqs {
 			rows = append(rows, row{n.Path(), f})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
-		for _, r := range rows {
-			fmt.Printf("  %-52s %9d %9d %9d %9d\n", r.path, r.f[0], r.f[1], r.f[2], r.f[3])
-		}
 	} else {
-		type row struct {
-			key string
-			f   [4]uint16
-		}
-		var rows []row
 		for k, f := range prof.Plan.StaticFreqs {
 			rows = append(rows, row{fmt.Sprintf("%s%d", k.Kind, k.ID), f})
 		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
-		for _, r := range rows {
-			fmt.Printf("  %-52s %9d %9d %9d %9d\n", r.key, r.f[0], r.f[1], r.f[2], r.f[3])
-		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].label < rows[j].label })
+	for _, r := range rows {
+		printRow(r.label, r.f)
 	}
 }

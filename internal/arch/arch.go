@@ -6,9 +6,12 @@ package arch
 
 import "fmt"
 
-// Domain identifies one of the independently clocked regions of the MCD
-// processor. The first four are on-chip and scalable; External models main
-// memory, which always runs at full speed.
+// Domain indexes one of the independently clocked regions of the MCD
+// processor within its Topology's domain list. The named constants
+// below are the indices of the *default* (paper4) topology: the first
+// four are on-chip and scalable; External models main memory, which
+// always runs at full speed. Code driven by an arbitrary topology must
+// size and resolve domains through the Topology, not these constants.
 type Domain uint8
 
 const (

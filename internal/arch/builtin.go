@@ -1,0 +1,89 @@
+package arch
+
+// The built-in topologies. paper4 is the paper's Figure 1 partition and
+// the default everywhere; the others open domain granularity as a sweep
+// axis: sync1 collapses the core into one clock (the fully synchronous
+// comparator as a *topology*, synchronization penalties gone but all
+// resources scaling together), fe-be2 splits only front end from back
+// end, and fine6 additionally separates dispatch from fetch and the
+// load/store unit from the L2 interface.
+//
+// Power factors, clock-tree energy and leakage are declared per domain
+// such that any grouping of the same resources sums to the paper4
+// calibration exactly (the per-resource splits are binary-exact halves,
+// so regrouping is bit-identical arithmetic).
+
+func fullSync(names ...string) [][2]string {
+	var edges [][2]string
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			edges = append(edges, [2]string{names[i], names[j]})
+		}
+	}
+	return edges
+}
+
+func init() {
+	RegisterTopology(&Topology{
+		Name: DefaultName, // paper4
+		Domains: []DomainSpec{
+			{Name: "front-end", Scalable: true, PowerFactor: 0.30,
+				Resources: []Resource{ResFetch, ResDispatch}},
+			{Name: "integer", Scalable: true, PowerFactor: 0.24,
+				Resources: []Resource{ResIntExec}},
+			{Name: "fp", Scalable: true, PowerFactor: 0.20,
+				Resources: []Resource{ResFPExec}},
+			{Name: "memory", Scalable: true, PowerFactor: 0.26,
+				Resources: []Resource{ResLoadStore, ResL2}},
+			{Name: "external", Resources: []Resource{ResMemory}},
+		},
+		SyncEdges: fullSync("front-end", "integer", "fp", "memory"),
+	})
+
+	RegisterTopology(&Topology{
+		Name: "sync1",
+		Domains: []DomainSpec{
+			{Name: "core", Scalable: true, PowerFactor: 1.0,
+				Resources: []Resource{ResFetch, ResDispatch, ResIntExec, ResFPExec, ResLoadStore, ResL2}},
+			{Name: "external", Resources: []Resource{ResMemory}},
+		},
+	})
+
+	RegisterTopology(&Topology{
+		Name: "fe-be2",
+		Domains: []DomainSpec{
+			{Name: "front-end", Scalable: true, PowerFactor: 0.30,
+				Resources: []Resource{ResFetch, ResDispatch}},
+			{Name: "back-end", Scalable: true, PowerFactor: 0.70,
+				Resources: []Resource{ResIntExec, ResFPExec, ResLoadStore, ResL2}},
+			{Name: "external", Resources: []Resource{ResMemory}},
+		},
+		SyncEdges: [][2]string{{"front-end", "back-end"}},
+	})
+
+	RegisterTopology(&Topology{
+		Name: "fine6",
+		Domains: []DomainSpec{
+			{Name: "fetch", Scalable: true, PowerFactor: 0.15,
+				Resources: []Resource{ResFetch}},
+			{Name: "dispatch", Scalable: true, PowerFactor: 0.15,
+				Resources: []Resource{ResDispatch}},
+			{Name: "integer", Scalable: true, PowerFactor: 0.24,
+				Resources: []Resource{ResIntExec}},
+			{Name: "fp", Scalable: true, PowerFactor: 0.20,
+				Resources: []Resource{ResFPExec}},
+			{Name: "load-store", Scalable: true, PowerFactor: 0.13,
+				Resources: []Resource{ResLoadStore}},
+			{Name: "l2", Scalable: true, PowerFactor: 0.13,
+				Resources: []Resource{ResL2}},
+			{Name: "external", Resources: []Resource{ResMemory}},
+		},
+		SyncEdges: [][2]string{
+			{"fetch", "dispatch"},
+			{"dispatch", "integer"}, {"dispatch", "fp"}, {"dispatch", "load-store"},
+			{"integer", "fp"}, {"integer", "load-store"}, {"fp", "load-store"},
+			{"integer", "fetch"},
+			{"fetch", "l2"}, {"load-store", "l2"},
+		},
+	})
+}

@@ -1,0 +1,405 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dvfs"
+)
+
+// Resource is one pipeline resource the machine model routes onto a
+// clock domain. The resource vocabulary is fixed — it is the simulator's
+// structural skeleton — while the resource→domain mapping is the
+// declarative part a Topology configures.
+type Resource uint8
+
+const (
+	// ResFetch is the fetch unit, L1 I-cache and branch predictor.
+	ResFetch Resource = iota
+	// ResDispatch is rename, dispatch, the reorder buffer and commit.
+	ResDispatch
+	// ResIntExec is the integer issue queue, ALUs, multiplier and
+	// register file.
+	ResIntExec
+	// ResFPExec is the floating-point issue queue, ALUs, multiplier and
+	// register file.
+	ResFPExec
+	// ResLoadStore is the load/store queue, its ports and the L1 D-cache.
+	ResLoadStore
+	// ResL2 is the unified L2 cache interface.
+	ResL2
+	// ResMemory is off-chip main memory; it always runs at full speed and
+	// must be owned by the single non-scalable external domain.
+	ResMemory
+
+	// NumResources counts the routable resources.
+	NumResources = 7
+)
+
+var resourceNames = [NumResources]string{
+	"fetch", "dispatch", "int-exec", "fp-exec", "load-store", "l2", "memory",
+}
+
+// String returns the lower-case resource name.
+func (r Resource) String() string {
+	if int(r) < len(resourceNames) {
+		return resourceNames[r]
+	}
+	return fmt.Sprintf("resource(%d)", uint8(r))
+}
+
+// resourcePairs lists the resource pairs that exchange timed values in
+// the simulator: every pair mapped onto two distinct on-chip domains by
+// a topology needs a declared synchronization edge between those
+// domains. (Crossings to the external memory domain are modeled as a
+// fixed latency, not through the synchronizer.)
+var resourcePairs = [][2]Resource{
+	{ResFetch, ResDispatch},     // fetch→dispatch handoff
+	{ResDispatch, ResIntExec},   // dispatch→issue
+	{ResDispatch, ResFPExec},    //
+	{ResDispatch, ResLoadStore}, //
+	{ResIntExec, ResFPExec},     // operand forwarding
+	{ResIntExec, ResLoadStore},  //
+	{ResFPExec, ResLoadStore},   //
+	{ResIntExec, ResDispatch},   // completion→commit
+	{ResFPExec, ResDispatch},    //
+	{ResLoadStore, ResDispatch}, //
+	{ResIntExec, ResFetch},      // branch redirect
+	{ResFetch, ResL2},           // I-fetch miss path
+	{ResLoadStore, ResL2},       // D-miss path
+}
+
+// DomainSpec declares one clock domain of a topology: its name, the
+// pipeline resources it owns, and its DVFS envelope. The zero envelope
+// fields default to the paper's Table 1 values when the spec is built
+// through Normalize (which Validate calls).
+type DomainSpec struct {
+	// Name is the domain's unique lower-case name.
+	Name string
+	// Resources lists the pipeline resources the domain owns.
+	Resources []Resource
+	// Scalable marks the domain as subject to DVFS; exactly the
+	// non-scalable external domain owns ResMemory.
+	Scalable bool
+	// FMinMHz and FMaxMHz bound the domain frequency (default 250–1000).
+	FMinMHz, FMaxMHz int
+	// VMin and VMax bound the matched supply voltage (default 0.65–1.20).
+	VMin, VMax float64
+	// RampPsPerMHz is the DVFS ramp rate (default 73300 ps/MHz, the
+	// paper's 73.3 ns/MHz).
+	RampPsPerMHz int64
+	// PowerFactor is the domain's initial per-event power factor used by
+	// the shaker's slack-distribution passes; scalable domains must
+	// declare a positive factor.
+	PowerFactor float64
+}
+
+// Scale returns the domain's DVFS envelope as a dvfs.Scale.
+func (d *DomainSpec) Scale() dvfs.Scale {
+	return dvfs.Scale{
+		FMinMHz:      d.FMinMHz,
+		FMaxMHz:      d.FMaxMHz,
+		StepMHz:      dvfs.StepMHz,
+		VMin:         d.VMin,
+		VMax:         d.VMax,
+		RampPsPerMHz: d.RampPsPerMHz,
+	}
+}
+
+// Topology is a declarative, validated description of a machine's clock
+// domains: which pipeline resources each domain owns, each domain's
+// DVFS envelope, and which domain pairs are connected by a
+// synchronization circuit. The paper's 4-domain split is the default;
+// alternative topologies make domain granularity a sweep axis.
+type Topology struct {
+	// Name identifies the topology in configurations and sweep
+	// manifests.
+	Name string
+	// Domains lists the clock domains; scalable domains must precede the
+	// single non-scalable external domain, so a domain index below
+	// NumScalable() is always a DVFS domain.
+	Domains []DomainSpec
+	// SyncEdges lists the unordered domain-name pairs connected by a
+	// synchronization circuit. Every resource pair the simulator times
+	// across two distinct on-chip domains must be covered.
+	SyncEdges [][2]string
+
+	// Derived tables, filled by Validate.
+	resDom      [NumResources]Domain
+	numScalable int
+}
+
+// Validate checks the topology's internal consistency, applying the
+// paper-default DVFS envelope to zero fields first. It must be called
+// (directly or via RegisterTopology) before the topology is used.
+func (t *Topology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("arch: topology has no name")
+	}
+	if len(t.Domains) < 2 {
+		return fmt.Errorf("arch: topology %q needs at least one scalable domain and the external domain", t.Name)
+	}
+	byName := make(map[string]Domain, len(t.Domains))
+	sawNonScalable := false
+	t.numScalable = 0
+	for i := range t.Domains {
+		d := &t.Domains[i]
+		if d.Name == "" {
+			return fmt.Errorf("arch: topology %q: domain %d has no name", t.Name, i)
+		}
+		if _, dup := byName[d.Name]; dup {
+			return fmt.Errorf("arch: topology %q: duplicate domain name %q", t.Name, d.Name)
+		}
+		byName[d.Name] = Domain(i)
+		d.normalize()
+		if d.FMinMHz >= d.FMaxMHz {
+			return fmt.Errorf("arch: topology %q: domain %q: inverted frequency range %d-%d MHz",
+				t.Name, d.Name, d.FMinMHz, d.FMaxMHz)
+		}
+		if err := d.Scale().Validate(); err != nil {
+			return fmt.Errorf("arch: topology %q: domain %q: %v", t.Name, d.Name, err)
+		}
+		if d.Scalable {
+			if sawNonScalable {
+				return fmt.Errorf("arch: topology %q: scalable domain %q listed after the external domain", t.Name, d.Name)
+			}
+			if d.PowerFactor <= 0 {
+				return fmt.Errorf("arch: topology %q: scalable domain %q needs a positive power factor", t.Name, d.Name)
+			}
+			t.numScalable++
+		} else {
+			sawNonScalable = true
+		}
+	}
+	if t.numScalable == 0 {
+		return fmt.Errorf("arch: topology %q has no scalable domain", t.Name)
+	}
+	if t.numScalable == len(t.Domains) {
+		return fmt.Errorf("arch: topology %q has no external memory domain", t.Name)
+	}
+	if t.numScalable != len(t.Domains)-1 {
+		return fmt.Errorf("arch: topology %q has %d non-scalable domains; exactly one external domain is supported",
+			t.Name, len(t.Domains)-t.numScalable)
+	}
+
+	// Every resource owned by exactly one domain.
+	var owner [NumResources]int
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i := range t.Domains {
+		for _, r := range t.Domains[i].Resources {
+			if int(r) >= NumResources {
+				return fmt.Errorf("arch: topology %q: domain %q owns unknown resource %d", t.Name, t.Domains[i].Name, r)
+			}
+			if o := owner[r]; o >= 0 {
+				return fmt.Errorf("arch: topology %q: resource %s owned by both %q and %q",
+					t.Name, r, t.Domains[o].Name, t.Domains[i].Name)
+			}
+			owner[r] = i
+			t.resDom[r] = Domain(i)
+		}
+	}
+	for r, o := range owner {
+		if o < 0 {
+			return fmt.Errorf("arch: topology %q: resource %s owned by no domain", t.Name, Resource(r))
+		}
+	}
+	ext := Domain(len(t.Domains) - 1)
+	if t.resDom[ResMemory] != ext {
+		return fmt.Errorf("arch: topology %q: resource memory must be owned by the external domain %q, not %q",
+			t.Name, t.Domains[ext].Name, t.Domains[t.resDom[ResMemory]].Name)
+	}
+	for r := Resource(0); r < NumResources; r++ {
+		if r != ResMemory && t.resDom[r] == ext {
+			return fmt.Errorf("arch: topology %q: on-chip resource %s cannot live in the external domain %q",
+				t.Name, r, t.Domains[ext].Name)
+		}
+	}
+
+	// Synchronization edges: declared pairs must name known, distinct
+	// domains, and every cross-domain resource pair must be covered.
+	edges := make(map[[2]Domain]bool, len(t.SyncEdges))
+	for _, e := range t.SyncEdges {
+		a, okA := byName[e[0]]
+		b, okB := byName[e[1]]
+		if !okA || !okB {
+			return fmt.Errorf("arch: topology %q: sync edge {%s, %s} names an unknown domain", t.Name, e[0], e[1])
+		}
+		if a == b {
+			return fmt.Errorf("arch: topology %q: sync edge {%s, %s} connects a domain to itself", t.Name, e[0], e[1])
+		}
+		edges[edgeKey(a, b)] = true
+	}
+	for _, p := range resourcePairs {
+		a, b := t.resDom[p[0]], t.resDom[p[1]]
+		if a == b || a == ext || b == ext {
+			continue
+		}
+		if !edges[edgeKey(a, b)] {
+			return fmt.Errorf("arch: topology %q: missing sync edge between %q and %q (crossed by %s→%s)",
+				t.Name, t.Domains[a].Name, t.Domains[b].Name, p[0], p[1])
+		}
+	}
+	return nil
+}
+
+// normalize fills a spec's zero DVFS-envelope fields with the paper
+// defaults.
+func (d *DomainSpec) normalize() {
+	if d.FMinMHz == 0 {
+		d.FMinMHz = dvfs.FMinMHz
+	}
+	if d.FMaxMHz == 0 {
+		d.FMaxMHz = dvfs.FMaxMHz
+	}
+	if d.VMin == 0 {
+		d.VMin = dvfs.VMin
+	}
+	if d.VMax == 0 {
+		d.VMax = dvfs.VMax
+	}
+	if d.RampPsPerMHz == 0 {
+		d.RampPsPerMHz = dvfs.RampPsPerMHz
+	}
+}
+
+func edgeKey(a, b Domain) [2]Domain {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Domain{a, b}
+}
+
+// NumDomains returns the number of domains, external included.
+func (t *Topology) NumDomains() int { return len(t.Domains) }
+
+// NumScalable returns the number of DVFS domains; they occupy indices
+// [0, NumScalable).
+func (t *Topology) NumScalable() int { return t.numScalable }
+
+// DomainOf returns the domain owning a resource.
+func (t *Topology) DomainOf(r Resource) Domain { return t.resDom[r] }
+
+// Spec returns the domain's declaration.
+func (t *Topology) Spec(d Domain) *DomainSpec { return &t.Domains[d] }
+
+// External returns the index of the non-scalable external memory domain.
+func (t *Topology) External() Domain { return Domain(len(t.Domains) - 1) }
+
+// ScalableOf reports whether domain index d is a DVFS domain.
+func (t *Topology) ScalableOf(d Domain) bool { return int(d) < t.numScalable }
+
+// PowerFactors returns the per-scalable-domain shaker power factors in
+// domain order.
+func (t *Topology) PowerFactors() []float64 {
+	out := make([]float64, t.numScalable)
+	for i := range out {
+		out[i] = t.Domains[i].PowerFactor
+	}
+	return out
+}
+
+// Uniform reports whether every scalable domain shares one DVFS
+// envelope, and returns it (the default envelope when there are no
+// scalable domains, which Validate rules out).
+func (t *Topology) Uniform() (dvfs.Scale, bool) {
+	sc := dvfs.DefaultScale()
+	for i := 0; i < t.numScalable; i++ {
+		s := t.Domains[i].Scale()
+		if i == 0 {
+			sc = s
+		} else if s != sc {
+			return dvfs.DefaultScale(), false
+		}
+	}
+	return sc, true
+}
+
+// DomainNames returns every domain name in index order.
+func (t *Topology) DomainNames() []string {
+	out := make([]string, len(t.Domains))
+	for i := range t.Domains {
+		out[i] = t.Domains[i].Name
+	}
+	return out
+}
+
+// DefaultName names the paper's 4-domain topology; an empty topology
+// name in a configuration means this one, and the two canonicalize to
+// the same cache keys.
+const DefaultName = "paper4"
+
+var topologies = make(map[string]*Topology)
+var topologyOrder []string
+
+// RegisterTopology validates and registers a topology under its name;
+// duplicate names and invalid topologies panic (programming error —
+// built-ins and init-time extensions only).
+func RegisterTopology(t *Topology) {
+	if err := t.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if _, dup := topologies[t.Name]; dup {
+		panic("arch: duplicate topology " + t.Name)
+	}
+	topologies[t.Name] = t
+	topologyOrder = append(topologyOrder, t.Name)
+}
+
+// TopologyByName resolves a registered topology; the empty name means
+// the default. Unknown names return an error listing every registered
+// topology.
+func TopologyByName(name string) (*Topology, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	if t, ok := topologies[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("arch: unknown topology %q (registered: %s)", name, namesList())
+}
+
+// MustTopology is TopologyByName for callers whose name was already
+// validated; it panics on unknown names.
+func MustTopology(name string) *Topology {
+	t, err := TopologyByName(name)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// Default returns the paper's 4-domain topology.
+func Default() *Topology { return topologies[DefaultName] }
+
+// CanonicalTopologyName maps the default topology's explicit name to
+// the empty string, so configurations naming it hash identically to
+// configurations omitting it.
+func CanonicalTopologyName(name string) string {
+	if name == DefaultName {
+		return ""
+	}
+	return name
+}
+
+// TopologyNames returns every registered topology name in registration
+// order (built-ins first).
+func TopologyNames() []string {
+	out := make([]string, len(topologyOrder))
+	copy(out, topologyOrder)
+	return out
+}
+
+func namesList() string {
+	names := TopologyNames()
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

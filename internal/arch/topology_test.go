@@ -1,0 +1,187 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// validTopology returns a well-formed 2-domain topology test fixture;
+// tests mutate one aspect to trigger one validation error.
+func validTopology() *Topology {
+	return &Topology{
+		Name: "test2",
+		Domains: []DomainSpec{
+			{Name: "front", Scalable: true, PowerFactor: 0.3,
+				Resources: []Resource{ResFetch, ResDispatch}},
+			{Name: "back", Scalable: true, PowerFactor: 0.7,
+				Resources: []Resource{ResIntExec, ResFPExec, ResLoadStore, ResL2}},
+			{Name: "external", Resources: []Resource{ResMemory}},
+		},
+		SyncEdges: [][2]string{{"front", "back"}},
+	}
+}
+
+func wantErr(t *testing.T, topo *Topology, frag string) {
+	t.Helper()
+	err := topo.Validate()
+	if err == nil {
+		t.Fatalf("Validate() = nil, want error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("Validate() = %q, want it to contain %q", err, frag)
+	}
+}
+
+func TestValidateFixtureOK(t *testing.T) {
+	if err := validTopology().Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+}
+
+func TestValidateDuplicateDomainName(t *testing.T) {
+	topo := validTopology()
+	topo.Domains[1].Name = "front"
+	wantErr(t, topo, `duplicate domain name "front"`)
+}
+
+func TestValidateResourceOwnedTwice(t *testing.T) {
+	topo := validTopology()
+	topo.Domains[1].Resources = append(topo.Domains[1].Resources, ResFetch)
+	wantErr(t, topo, `resource fetch owned by both "front" and "back"`)
+}
+
+func TestValidateResourceUnowned(t *testing.T) {
+	topo := validTopology()
+	topo.Domains[1].Resources = []Resource{ResIntExec, ResFPExec, ResLoadStore}
+	wantErr(t, topo, "resource l2 owned by no domain")
+}
+
+func TestValidateInvertedFrequencyRange(t *testing.T) {
+	topo := validTopology()
+	topo.Domains[0].FMinMHz = 1000
+	topo.Domains[0].FMaxMHz = 250
+	wantErr(t, topo, `domain "front": inverted frequency range 1000-250 MHz`)
+}
+
+func TestValidateMissingSyncEdge(t *testing.T) {
+	topo := validTopology()
+	topo.SyncEdges = nil
+	wantErr(t, topo, `missing sync edge between "front" and "back"`)
+}
+
+func TestValidateSyncEdgeUnknownDomain(t *testing.T) {
+	topo := validTopology()
+	topo.SyncEdges = append(topo.SyncEdges, [2]string{"front", "nowhere"})
+	wantErr(t, topo, "names an unknown domain")
+}
+
+func TestValidateMemoryInScalableDomain(t *testing.T) {
+	topo := validTopology()
+	topo.Domains[1].Resources = append(topo.Domains[1].Resources, ResMemory)
+	wantErr(t, topo, "owned by both")
+	topo = validTopology()
+	topo.Domains[2].Resources = nil
+	wantErr(t, topo, "resource memory owned by no domain")
+}
+
+func TestValidateScalableAfterExternal(t *testing.T) {
+	topo := validTopology()
+	topo.Domains[1], topo.Domains[2] = topo.Domains[2], topo.Domains[1]
+	wantErr(t, topo, "listed after the external domain")
+}
+
+func TestValidateNeedsPowerFactor(t *testing.T) {
+	topo := validTopology()
+	topo.Domains[0].PowerFactor = 0
+	wantErr(t, topo, `scalable domain "front" needs a positive power factor`)
+}
+
+func TestBuiltinsRegisteredAndValid(t *testing.T) {
+	names := TopologyNames()
+	want := []string{DefaultName, "sync1", "fe-be2", "fine6"}
+	for _, w := range want {
+		topo, err := TopologyByName(w)
+		if err != nil {
+			t.Fatalf("built-in %q not registered: %v", w, err)
+		}
+		if topo.NumScalable() < 1 || topo.NumDomains() != topo.NumScalable()+1 {
+			t.Errorf("%q: %d domains / %d scalable", w, topo.NumDomains(), topo.NumScalable())
+		}
+	}
+	if len(names) < len(want) {
+		t.Errorf("TopologyNames() = %v", names)
+	}
+}
+
+func TestDefaultTopologyMatchesLegacyEnum(t *testing.T) {
+	topo := Default()
+	if topo.NumDomains() != NumDomains || topo.NumScalable() != NumScalable {
+		t.Fatalf("default topology %d/%d domains, want %d/%d",
+			topo.NumDomains(), topo.NumScalable(), NumDomains, NumScalable)
+	}
+	for _, tc := range []struct {
+		r Resource
+		d Domain
+	}{
+		{ResFetch, FrontEnd}, {ResDispatch, FrontEnd},
+		{ResIntExec, Integer}, {ResFPExec, FP},
+		{ResLoadStore, Memory}, {ResL2, Memory},
+		{ResMemory, External},
+	} {
+		if got := topo.DomainOf(tc.r); got != tc.d {
+			t.Errorf("DomainOf(%s) = %v, want %v", tc.r, got, tc.d)
+		}
+	}
+	for i, d := range Domains() {
+		if topo.Spec(Domain(i)).Name != d.String() {
+			t.Errorf("domain %d name %q != legacy %q", i, topo.Spec(Domain(i)).Name, d)
+		}
+	}
+	// The declared power factors are the shaker calibration, bitwise.
+	pf := topo.PowerFactors()
+	want := []float64{0.30, 0.24, 0.20, 0.26}
+	for i := range want {
+		if pf[i] != want[i] {
+			t.Errorf("power factor[%d] = %v, want %v", i, pf[i], want[i])
+		}
+	}
+}
+
+func TestTopologyByNameUnknownListsRegistered(t *testing.T) {
+	_, err := TopologyByName("nope")
+	if err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	for _, want := range []string{`"nope"`, DefaultName, "sync1", "fe-be2", "fine6"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestCanonicalTopologyName(t *testing.T) {
+	if CanonicalTopologyName(DefaultName) != "" {
+		t.Error("default name did not canonicalize to empty")
+	}
+	if CanonicalTopologyName("fine6") != "fine6" {
+		t.Error("non-default name mangled")
+	}
+	if tp, err := TopologyByName(""); err != nil || tp.Name != DefaultName {
+		t.Errorf("empty name resolved to %v, %v", tp, err)
+	}
+}
+
+func TestUniformEnvelope(t *testing.T) {
+	for _, name := range TopologyNames() {
+		topo := MustTopology(name)
+		if _, uniform := topo.Uniform(); !uniform {
+			t.Errorf("built-in %q should have a uniform envelope", name)
+		}
+	}
+}
+func TestValidateOnChipResourceInExternal(t *testing.T) {
+	topo := validTopology()
+	topo.Domains[1].Resources = []Resource{ResIntExec, ResFPExec, ResLoadStore}
+	topo.Domains[2].Resources = append(topo.Domains[2].Resources, ResL2)
+	wantErr(t, topo, `on-chip resource l2 cannot live in the external domain "external"`)
+}

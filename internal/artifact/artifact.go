@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/internal/arch"
 	"repro/internal/control"
 	"repro/internal/core"
 )
@@ -50,6 +51,9 @@ const KindProfile = "profile"
 func ProfileKey(cfg core.Config, bench, scheme, input string, window int64) string {
 	cfg.DeltaPct = 0
 	cfg.Online = control.AttackDecayConfig{}
+	// The default topology hashes as absent (like the result-cache key
+	// space), so pre-topology artifacts keep their keys.
+	cfg.Sim.Topology = arch.CanonicalTopologyName(cfg.Sim.Topology)
 	payload := struct {
 		Schema int         `json:"schema"`
 		Kind   string      `json:"kind"`

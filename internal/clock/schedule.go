@@ -28,6 +28,11 @@ type Schedule struct {
 	segs []Segment
 	last int // cache of the most recently used segment index
 
+	// scale is the domain's DVFS envelope (ladder, voltage range, ramp
+	// rate). Schedules built with New carry the paper-default envelope;
+	// topology-driven machines hand each domain its own.
+	scale dvfs.Scale
+
 	// Edge cache for the final segment: once simulation time is inside
 	// the last (open-ended) segment, edge arithmetic reduces to strides
 	// of a constant period, so NextEdge and Advance avoid the segment
@@ -48,10 +53,11 @@ func (s *Schedule) fillTailCache(seg Segment, edge int64) {
 	s.tailStart = seg.Start
 	s.tailPeriod = seg.PeriodPs
 	s.tailEdge = edge
-	s.tailVolts = dvfs.VoltageFor(seg.MHz)
+	s.tailVolts = s.scale.VoltageFor(seg.MHz)
 }
 
-// New returns a schedule running at mhz from time zero.
+// New returns a schedule running at mhz from time zero under the
+// default DVFS envelope.
 func New(mhz int) *Schedule { return NewWithPhase(mhz, 0) }
 
 // NewWithPhase returns a schedule running at mhz whose clock edges are
@@ -59,14 +65,22 @@ func New(mhz int) *Schedule { return NewWithPhase(mhz, 0) }
 // domain an unrelated phase, which is what makes inter-domain
 // synchronization costly even when nominal frequencies match.
 func NewWithPhase(mhz int, phasePs int64) *Schedule {
-	mhz = dvfs.Quantize(mhz)
+	return NewScaled(dvfs.DefaultScale(), mhz, phasePs)
+}
+
+// NewScaled is NewWithPhase under an explicit per-domain DVFS envelope.
+func NewScaled(sc dvfs.Scale, mhz int, phasePs int64) *Schedule {
+	mhz = sc.Quantize(mhz)
 	p := dvfs.PeriodPs(mhz)
 	phasePs %= p
 	if phasePs < 0 {
 		phasePs += p
 	}
-	return &Schedule{segs: []Segment{{Start: phasePs - p, PeriodPs: p, MHz: mhz}}}
+	return &Schedule{scale: sc, segs: []Segment{{Start: phasePs - p, PeriodPs: p, MHz: mhz}}}
 }
+
+// Scale returns the schedule's DVFS envelope.
+func (s *Schedule) Scale() dvfs.Scale { return s.scale }
 
 // NewFixed returns a schedule pinned at mhz which is never expected to
 // change; it is identical to New but documents intent (e.g. the external
@@ -106,7 +120,7 @@ func (s *Schedule) VoltsAt(t int64) float64 {
 	if s.tailPeriod > 0 && t >= s.tailStart {
 		return s.tailVolts
 	}
-	return dvfs.VoltageFor(s.FreqAt(t))
+	return s.scale.VoltageFor(s.FreqAt(t))
 }
 
 // PeriodAt returns the clock period, in picoseconds, at time t.
@@ -194,11 +208,11 @@ func (s *Schedule) Advance(t int64, n int64) int64 {
 // SetTarget requests a frequency change toward mhz beginning at time now.
 // Any previously scheduled changes after now are discarded (a new request
 // preempts an in-flight ramp), and the ramp proceeds from the effective
-// frequency at now, one ladder notch per dvfs.RampPsPerMHz*StepMHz
-// picoseconds. The processor keeps executing throughout. mhz is quantized
-// to the ladder.
+// frequency at now, one ladder notch per RampPsPerMHz*StepMHz
+// picoseconds of the schedule's envelope. The processor keeps executing
+// throughout. mhz is quantized to the domain's ladder.
 func (s *Schedule) SetTarget(now int64, mhz int) {
-	mhz = dvfs.Quantize(mhz)
+	mhz = s.scale.Quantize(mhz)
 	i := s.segAt(now)
 	s.dropTailCache()
 	cur := s.segs[i].MHz
@@ -210,7 +224,7 @@ func (s *Schedule) SetTarget(now int64, mhz int) {
 	if cur == mhz {
 		return
 	}
-	for _, ch := range dvfs.PlanRamp(cur, mhz, now) {
+	for _, ch := range s.scale.PlanRamp(cur, mhz, now) {
 		s.segs = append(s.segs, Segment{Start: ch.At, PeriodPs: dvfs.PeriodPs(ch.MHz), MHz: ch.MHz})
 	}
 }
@@ -218,7 +232,7 @@ func (s *Schedule) SetTarget(now int64, mhz int) {
 // SetImmediate pins the frequency to mhz at time now with no ramp. It is
 // used for modeling globally synchronous baselines, not DVFS transitions.
 func (s *Schedule) SetImmediate(now int64, mhz int) {
-	mhz = dvfs.Quantize(mhz)
+	mhz = s.scale.Quantize(mhz)
 	i := s.segAt(now)
 	s.dropTailCache()
 	s.segs = s.segs[:i+1]

@@ -79,11 +79,38 @@ func (a *AttackDecay) Attach(m *sim.Machine) {
 	m.SetController(a, a.cfg.IntervalInstrs)
 }
 
-// OnInterval implements sim.Controller.
+// domainUnits returns the functional-unit count of one topology domain
+// (the sum over its owned execution resources) and whether the domain
+// is front-end-style (owns fetch or dispatch logic). Unit-owning
+// domains are regulated by unit busy time; unit-less front-end domains
+// by delivered fetch bandwidth; unit-less non-front-end domains (e.g. a
+// split-off L2 interface) by their busy time against one implicit port.
+func domainUnits(cfg sim.Config, topo *arch.Topology, d arch.Domain) (units float64, frontEnd bool) {
+	n := 0
+	for _, r := range topo.Spec(d).Resources {
+		switch r {
+		case arch.ResIntExec:
+			n += cfg.IntALUs + cfg.IntMuls
+		case arch.ResFPExec:
+			n += cfg.FPALUs + cfg.FPMuls
+		case arch.ResLoadStore:
+			n += cfg.LSPorts
+		case arch.ResFetch, arch.ResDispatch:
+			frontEnd = true
+		}
+	}
+	return float64(n), frontEnd
+}
+
+// OnInterval implements sim.Controller. Its per-domain loops run over
+// the machine's topology, so the controller sizes itself to any domain
+// structure.
 func (a *AttackDecay) OnInterval(m *sim.Machine, now int64, s sim.IntervalStats) {
 	if s.Instructions == 0 || s.ElapsedPs == 0 {
 		return
 	}
+	topo := m.Topology()
+	cfg := m.Config()
 	// Performance guard: if throughput fell too far below the best
 	// observed rate, attack every scaled domain upward and skip decay.
 	ips := float64(s.Instructions) / float64(s.ElapsedPs)
@@ -95,20 +122,14 @@ func (a *AttackDecay) OnInterval(m *sim.Machine, now int64, s sim.IntervalStats)
 	}
 	guard := a.cfg.PerfGuard * a.cfg.Aggressiveness
 	if a.cfg.PerfGuard > 0 && a.bestIPS > 0 && ips < a.bestIPS*(1-guard) {
-		for _, d := range arch.ScalableDomains() {
-			if d == arch.FrontEnd {
+		for d := arch.Domain(0); int(d) < topo.NumScalable(); d++ {
+			if units, frontEnd := domainUnits(cfg, topo, d); units == 0 && frontEnd {
 				continue
 			}
 			cur := m.Clock(d).TargetMHz()
 			m.SetDomainTarget(d, now, dvfs.Quantize(int(float64(cur)*(1+2*a.cfg.AttackStep))))
 		}
 		return
-	}
-	cfg := m.Config()
-	units := [arch.NumScalable]float64{
-		arch.Integer: float64(cfg.IntALUs + cfg.IntMuls),
-		arch.FP:      float64(cfg.FPALUs + cfg.FPMuls),
-		arch.Memory:  float64(cfg.LSPorts),
 	}
 	// Higher aggressiveness tolerates higher utilization before attacking
 	// upward and probes downward faster, trading performance for energy.
@@ -121,18 +142,23 @@ func (a *AttackDecay) OnInterval(m *sim.Machine, now int64, s sim.IntervalStats)
 	if low > high*0.8 {
 		low = high * 0.8
 	}
-	for _, d := range arch.ScalableDomains() {
+	for d := arch.Domain(0); int(d) < topo.NumScalable(); d++ {
 		var util float64
-		if d == arch.FrontEnd {
-			// The front end has no issue queue; its utilization is the
+		switch units, frontEnd := domainUnits(cfg, topo, d); {
+		case units == 0 && frontEnd:
+			// No issue queue in this domain; its utilization is the
 			// delivered fetch bandwidth against the decode width.
 			period := float64(m.Clock(d).PeriodAt(now))
 			util = float64(s.Instructions) * period / (float64(s.ElapsedPs) * float64(cfg.DecodeWidth))
-		} else {
+		case units == 0:
+			// A unit-less non-front-end domain (e.g. a split-off L2
+			// interface): its busy time against one implicit port.
+			util = float64(s.BusyPs[d]) / float64(s.ElapsedPs)
+		default:
 			// Utilization: functional-unit service time over interval
 			// capacity. Slowing a domain lengthens its service times, so
 			// the signal self-corrects when the domain becomes critical.
-			util = float64(s.BusyPs[d]) / (units[d] * float64(s.ElapsedPs))
+			util = float64(s.BusyPs[d]) / (units * float64(s.ElapsedPs))
 		}
 		cur := m.Clock(d).TargetMHz()
 		next := float64(cur)

@@ -87,12 +87,15 @@ func Train(cfg Config, prog *isa.Program, in isa.Input, window int64, scheme cal
 // recorded streams here so the two training walks (profiling, then DAG
 // collection) replay one recording instead of regenerating the stream.
 func TrainFeed(cfg Config, src isa.Feeder, window int64, scheme calltree.Scheme) *Profile {
+	topo := cfg.Sim.Topo()
 	// Phase 1: build the call tree.
 	tree := profiler.ProfileFeed(src, window, scheme)
 
 	// Phase 2: full-speed simulated run with DAG collection + shaker.
+	// The shaker's per-domain power factors follow the topology unless
+	// the configuration already covers its scalable domains.
 	hists := make(map[*calltree.Node]*shaker.DomainHists)
-	shk := shaker.NewRunner(cfg.Shaker)
+	shk := shaker.NewRunner(shaker.ConfigFor(cfg.Shaker, topo))
 	collector := trace.NewCollector(tree, cfg.MaxInstances, cfg.MaxEvents, func(seg *trace.Segment) {
 		h := shk.Run(seg)
 		if prev, ok := hists[seg.Node]; ok {
@@ -102,6 +105,7 @@ func TrainFeed(cfg Config, src isa.Feeder, window int64, scheme calltree.Scheme)
 			hists[seg.Node] = &hc
 		}
 	})
+	collector.SetTopology(topo)
 	// The shaker reduces each segment synchronously in the callback, so
 	// the collector can reuse one event arena for the whole run.
 	collector.RecycleSegments = true
@@ -139,8 +143,10 @@ func Replan(prof *Profile, deltaPct float64) *edit.Plan {
 		if prev, ok := merged[k]; ok {
 			prev.Add(h)
 		} else {
-			hc := *h
-			merged[k] = &hc
+			// Deep copy: the merge accumulates into this entry, and the
+			// profile's own histograms must stay untouched (they are the
+			// delta-independent training state every Replan reuses).
+			merged[k] = h.Clone()
 		}
 	}
 	staticFreqs := make(map[edit.StaticKey]edit.Freqs, len(merged))
@@ -158,8 +164,8 @@ func Replan(prof *Profile, deltaPct float64) *edit.Plan {
 	return plan
 }
 
-func toFreqs(f [4]int) edit.Freqs {
-	var out edit.Freqs
+func toFreqs(f []int) edit.Freqs {
+	out := make(edit.Freqs, len(f))
 	for i, v := range f {
 		out[i] = uint16(v)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/calltree"
@@ -205,7 +206,7 @@ func TestTrainDeterministic(t *testing.T) {
 		t.Fatal("training not deterministic: different plan sizes")
 	}
 	for k, f := range p1.Plan.StaticFreqs {
-		if p2.Plan.StaticFreqs[k] != f {
+		if !slices.Equal(p2.Plan.StaticFreqs[k], f) {
 			t.Fatalf("training not deterministic at %v: %v vs %v", k, f, p2.Plan.StaticFreqs[k])
 		}
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/arch"
 	"repro/internal/calltree"
 	"repro/internal/dvfs"
 	"repro/internal/shaker"
@@ -40,10 +39,13 @@ type portableNode struct {
 }
 
 // portableHist carries the shaken per-domain histograms of one
-// long-running node, addressed by node label.
+// long-running node, addressed by node label. The outer dimension is
+// the profile's scalable-domain count (4 under the default topology);
+// its JSON encoding is identical to the fixed-size array an earlier
+// schema used, so stored artifacts are unchanged for the default.
 type portableHist struct {
-	Node int32                                    `json:"node"`
-	Bins [arch.NumScalable][dvfs.NumSteps]float64 `json:"bins"`
+	Node int32                    `json:"node"`
+	Bins [][dvfs.NumSteps]float64 `json:"bins"`
 }
 
 // portableProfile is the serialized form of a Profile minus its plan.
@@ -89,9 +91,9 @@ func EncodeProfile(p *Profile) ([]byte, error) {
 		if !ok {
 			return nil, fmt.Errorf("core: encode profile: histogram node not in tree")
 		}
-		ph := portableHist{Node: label}
-		for d := range h {
-			ph.Bins[d] = h[d].Bins
+		ph := portableHist{Node: label, Bins: make([][dvfs.NumSteps]float64, len(*h))}
+		for d := range *h {
+			ph.Bins[d] = (*h)[d].Bins
 		}
 		pp.Hists = append(pp.Hists, ph)
 	}
@@ -142,7 +144,7 @@ func DecodeProfile(b []byte) (*Profile, error) {
 		if ph.Node < 1 || int(ph.Node) >= len(byLabel) {
 			return nil, fmt.Errorf("core: decode profile: histogram references node %d out of range", ph.Node)
 		}
-		var dh shaker.DomainHists
+		dh := make(shaker.DomainHists, len(ph.Bins))
 		for d := range dh {
 			dh[d].Bins = ph.Bins[d]
 		}

@@ -35,12 +35,19 @@ const (
 	StaticReconfigCost = 1
 )
 
-// Freqs is a per-scalable-domain frequency assignment in MHz.
-type Freqs [arch.NumScalable]uint16
+// Freqs is a per-scalable-domain frequency assignment in MHz, in
+// topology domain order. Assignments are shared by reference between
+// the plan and the instructions it emits; they must not be mutated
+// after planning.
+type Freqs []uint16
 
-// FullSpeed returns the assignment with every domain at maximum.
-func FullSpeed() Freqs {
-	var f Freqs
+// FullSpeed returns the default-topology assignment with every domain
+// at maximum.
+func FullSpeed() Freqs { return FullSpeedN(arch.NumScalable) }
+
+// FullSpeedN returns the assignment with n domains at maximum.
+func FullSpeedN(n int) Freqs {
+	f := make(Freqs, n)
 	for i := range f {
 		f[i] = uint16(dvfs.FMaxMHz)
 	}
@@ -75,6 +82,11 @@ type Plan struct {
 	TrackedSites  map[int32]bool // call-site instrumentation (C schemes)
 	ReconfigSubs  map[int32]bool // static subs that are reconfig points
 	ReconfigLoops map[int32]bool
+
+	// FullSpeed is the all-domains-at-maximum assignment the editor
+	// starts from and restores to; its length is the number of scalable
+	// domains the plan's frequencies cover.
+	FullSpeed Freqs
 }
 
 // BuildPlan constructs the edit plan from a finalized training tree and
@@ -90,6 +102,13 @@ func BuildPlan(tree *calltree.Tree, nodeFreqs map[*calltree.Node]Freqs, scheme c
 		TrackedSites:  make(map[int32]bool),
 		ReconfigSubs:  make(map[int32]bool),
 		ReconfigLoops: make(map[int32]bool),
+	}
+	// Size the full-speed assignment from the planned frequencies; an
+	// empty plan keeps the default-topology width.
+	p.FullSpeed = FullSpeed()
+	for _, f := range nodeFreqs {
+		p.FullSpeed = FullSpeedN(len(f))
+		break
 	}
 	for n := range nodeFreqs {
 		key := StaticKey{Kind: n.Kind, ID: n.ID}

@@ -1,6 +1,7 @@
 package edit
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/calltree"
@@ -136,13 +137,13 @@ func TestEditorReconfiguresOnKnownPath(t *testing.T) {
 	if len(out.freqs) != 4 {
 		t.Fatalf("reconfigs = %d, want 4 (%v)", len(out.freqs), out.freqs)
 	}
-	if out.freqs[1] != nf[leafA] {
+	if !slices.Equal(out.freqs[1], nf[leafA]) {
 		t.Errorf("leafA reconfig = %v", out.freqs[1])
 	}
-	if out.freqs[2] != nf[mainNode] {
+	if !slices.Equal(out.freqs[2], nf[mainNode]) {
 		t.Errorf("restore after leafA = %v, want main's %v", out.freqs[2], nf[mainNode])
 	}
-	if out.freqs[3] != FullSpeed() {
+	if !slices.Equal(out.freqs[3], FullSpeed()) {
 		t.Errorf("final restore = %v, want full speed", out.freqs[3])
 	}
 	if ed.DynReconfig != 4 {
@@ -195,7 +196,7 @@ func TestStaticSchemeReconfiguresOnUnseenPath(t *testing.T) {
 	if len(out.freqs) != 2 { // enter + restore
 		t.Fatalf("reconfigs = %d, want 2", len(out.freqs))
 	}
-	if out.freqs[0] != nf[leafA] {
+	if !slices.Equal(out.freqs[0], nf[leafA]) {
 		t.Errorf("reconfig freqs = %v", out.freqs[0])
 	}
 }
@@ -246,7 +247,7 @@ func TestEditorLoopReconfig(t *testing.T) {
 	if len(out.freqs) != 2 {
 		t.Fatalf("loop reconfigs = %d, want 2 (enter+restore)", len(out.freqs))
 	}
-	if out.freqs[0] != nf[loop] {
+	if !slices.Equal(out.freqs[0], nf[loop]) {
 		t.Errorf("loop freqs = %v", out.freqs[0])
 	}
 }

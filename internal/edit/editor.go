@@ -47,12 +47,16 @@ type pathFrame struct {
 
 // NewEditor wraps inner with the edited binary's instrumentation.
 func NewEditor(plan *Plan, inner isa.Consumer) *Editor {
+	full := plan.FullSpeed
+	if full == nil {
+		full = FullSpeed()
+	}
 	return &Editor{
 		plan:        plan,
 		inner:       inner,
 		cur:         plan.Tree.Root,
 		pendingSite: -1,
-		curFreqs:    FullSpeed(),
+		curFreqs:    full,
 	}
 }
 

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// TopologyRow summarizes one clock-domain topology across a benchmark
+// subset: the offline-oracle and on-line controller slowdown and energy
+// savings, each against that topology's own MCD baseline, plus the
+// baseline's synchronization penalty rate.
+type TopologyRow struct {
+	Topology    string
+	Domains     int // scalable domains
+	OffSlowdown float64
+	OffSavings  float64
+	OnSlowdown  float64
+	OnSavings   float64
+	// BaseTimePs is the summed baseline run time, for cross-topology
+	// absolute comparison.
+	BaseTimePs int64
+}
+
+// TopologyData runs the baseline, offline and online policies for every
+// named topology over the benchmark subset and averages the per-bench
+// deltas. An empty topology list means every registered topology.
+func (r *Runner) TopologyData(topos []string) ([]TopologyRow, error) {
+	if len(topos) == 0 {
+		topos = arch.TopologyNames()
+	}
+	var rows []TopologyRow
+	for _, name := range topos {
+		topo, err := arch.TopologyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.Cfg
+		cfg.Sim.Topology = arch.CanonicalTopologyName(topo.Name)
+		// One engine per topology: its configuration is part of every
+		// cache key, so results never cross-contaminate.
+		eng := sweep.New(cfg)
+		eng.Workers = r.Parallel
+		if r.CacheDir != "" {
+			eng.Cache = &sweep.Cache{Dir: r.CacheDir}
+			eng.Artifacts = sweep.ArtifactStore(r.CacheDir)
+		}
+		var jobs []sweep.Job
+		for _, b := range r.SuiteNames() {
+			jobs = append(jobs,
+				sweep.Job{Bench: b, Policy: sweep.PolicyBaseline},
+				sweep.Job{Bench: b, Policy: sweep.PolicyOffline},
+				sweep.Job{Bench: b, Policy: sweep.PolicyOnline})
+		}
+		outs, _, err := eng.Run(jobs)
+		if err != nil {
+			return nil, err
+		}
+		row := TopologyRow{Topology: topo.Name, Domains: topo.NumScalable()}
+		var offS, offE, onS, onE []float64
+		for i := 0; i < len(outs); i += 3 {
+			base, off, on := outs[i].Res, outs[i+1].Res, outs[i+2].Res
+			row.BaseTimePs += base.TimePs
+			dOff := stats.Vs(off, base)
+			dOn := stats.Vs(on, base)
+			offS = append(offS, dOff.Slowdown)
+			offE = append(offE, dOff.EnergySavings)
+			onS = append(onS, dOn.Slowdown)
+			onE = append(onE, dOn.EnergySavings)
+		}
+		row.OffSlowdown = stats.Summarize(offS).Avg
+		row.OffSavings = stats.Summarize(offE).Avg
+		row.OnSlowdown = stats.Summarize(onS).Avg
+		row.OnSavings = stats.Summarize(onE).Avg
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TopologyTable renders the cross-topology comparison: how much slack
+// each domain partition exposes to the offline oracle and the on-line
+// controller, against that topology's own baseline.
+func (r *Runner) TopologyTable(topos []string) (string, error) {
+	rows, err := r.TopologyData(topos)
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable("topology", "domains",
+		"offline slowdown (%)", "offline savings (%)",
+		"online slowdown (%)", "online savings (%)", "base time (us)")
+	for _, row := range rows {
+		t.Row(row.Topology, row.Domains,
+			fmt.Sprintf("%.2f", row.OffSlowdown), fmt.Sprintf("%.2f", row.OffSavings),
+			fmt.Sprintf("%.2f", row.OnSlowdown), fmt.Sprintf("%.2f", row.OnSavings),
+			fmt.Sprintf("%.1f", float64(row.BaseTimePs)/1e6))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Topology comparison: offline + online vs each topology's baseline (%d benchmarks: %s)\n",
+		len(r.SuiteNames()), strings.Join(r.SuiteNames(), ", "))
+	b.WriteString(t.String())
+	b.WriteString("Per-row baselines differ: each topology pays its own synchronization penalties.\n")
+	return b.String(), nil
+}

@@ -71,9 +71,12 @@ type Instr struct {
 	Addr uint32
 	// Taken is the actual outcome for branches.
 	Taken bool
-	// Freqs is the per-domain frequency target, in MHz, carried by a
-	// Reconfig instruction (front-end, integer, fp, memory).
-	Freqs [4]uint16
+	// Freqs is the per-scalable-domain frequency target, in MHz, carried
+	// by a Reconfig instruction, in the topology's domain order (the
+	// default topology: front-end, integer, fp, memory). The slice is
+	// owned by the edit plan and shared across emissions; consumers must
+	// not mutate it.
+	Freqs []uint16
 }
 
 // MarkerKind distinguishes structure markers in the dynamic stream.

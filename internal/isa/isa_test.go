@@ -20,6 +20,21 @@ func (c *collect) Marker(m Marker) bool {
 	return true
 }
 
+// instrEqual compares two instructions field by field (Instr holds a
+// frequency slice, so it is not directly comparable).
+func instrEqual(a, b Instr) bool {
+	if a.Class != b.Class || a.PC != b.PC || a.Src1 != b.Src1 || a.Src2 != b.Src2 ||
+		a.Addr != b.Addr || a.Taken != b.Taken || len(a.Freqs) != len(b.Freqs) {
+		return false
+	}
+	for i := range a.Freqs {
+		if a.Freqs[i] != b.Freqs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func simpleProgram() *Program {
 	b := NewBuilder("test")
 	main := b.Subroutine("main")
@@ -41,7 +56,7 @@ func TestWalkDeterministic(t *testing.T) {
 		t.Fatalf("lengths differ: %d vs %d", len(a.instrs), len(b.instrs))
 	}
 	for i := range a.instrs {
-		if a.instrs[i] != b.instrs[i] {
+		if !instrEqual(a.instrs[i], b.instrs[i]) {
 			t.Fatalf("instruction %d differs: %+v vs %+v", i, a.instrs[i], b.instrs[i])
 		}
 	}
@@ -54,7 +69,7 @@ func TestWalkSeedsDiffer(t *testing.T) {
 	p.Walk(Input{Name: "ref", Seed: 2}, &b)
 	same := true
 	for i := range a.instrs {
-		if i >= len(b.instrs) || a.instrs[i] != b.instrs[i] {
+		if i >= len(b.instrs) || !instrEqual(a.instrs[i], b.instrs[i]) {
 			same = false
 			break
 		}

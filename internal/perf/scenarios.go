@@ -43,6 +43,12 @@ const (
 	// instead of retraining — the case the artifact store accelerates.
 	// The store is warmed in untimed setup.
 	SweepWarmArtifacts = "sweep-warm-artifacts"
+	// SimThroughput2Dom is the steady-state Machine microbenchmark under
+	// the non-default fe-be2 topology: same hot loop, different domain
+	// routing, so regressions in the topology-driven paths (slice-backed
+	// clocks, resource→domain indirection) are tracked separately from
+	// the default-topology loop.
+	SimThroughput2Dom = "sim-throughput-2dom"
 )
 
 // smokeBenches is the bench-smoke subset, mirroring bench_test.go's
@@ -58,7 +64,12 @@ func init() {
 	Register(Scenario{
 		Name: SimThroughput,
 		Desc: "steady-state Machine loop, 1M synthetic instructions",
-		Run:  runSimThroughput,
+		Run:  func() (int64, error) { return runSimThroughput("") },
+	})
+	Register(Scenario{
+		Name: SimThroughput2Dom,
+		Desc: "steady-state Machine loop under the fe-be2 topology, 1M synthetic instructions",
+		Run:  func() (int64, error) { return runSimThroughput("fe-be2") },
 	})
 	Register(Scenario{
 		Name: FullWindow,
@@ -83,13 +94,15 @@ func init() {
 	registerSweepWarmArtifacts()
 }
 
-func runSimThroughput() (int64, error) {
+func runSimThroughput(topology string) (int64, error) {
 	const budget = 1_000_000
 	b := isa.NewBuilder("perf-sim-throughput")
 	main := b.Subroutine("main")
 	b.SetBody(main, b.Block(isa.Balanced, budget))
 	prog := b.Finish(main)
-	m := sim.New(sim.DefaultConfig())
+	cfg := sim.DefaultConfig()
+	cfg.Topology = topology
+	m := sim.New(cfg)
 	prog.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: budget})
 	res := m.Finalize()
 	return res.Instructions, nil

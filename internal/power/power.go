@@ -7,6 +7,13 @@
 // an arbitrary but internally consistent scale calibrated so the relative
 // per-domain power of the simulated Alpha 21264-like core matches the
 // Wattch breakdown used in the paper.
+//
+// Event kinds map to pipeline resources (arch.Resource), and a Model is
+// built for a topology: per-domain clock-tree and leakage parameters are
+// the sums over the resources each domain owns. The per-resource splits
+// of the paper4 calibration are binary-exact halves, so any regrouping
+// of the same resources reproduces the original per-domain sums
+// bit-identically.
 package power
 
 import (
@@ -20,12 +27,12 @@ type EventKind uint8
 
 const (
 	// FetchOp covers I-cache read and branch predictor access per
-	// instruction fetched (front-end domain).
+	// instruction fetched (fetch resource).
 	FetchOp EventKind = iota
 	// RenameOp covers decode, rename, ROB and issue-queue write per
-	// instruction dispatched (front-end domain).
+	// instruction dispatched (dispatch resource).
 	RenameOp
-	// CommitOp covers retirement bookkeeping (front-end domain).
+	// CommitOp covers retirement bookkeeping (dispatch resource).
 	CommitOp
 	// IntOp covers integer issue, register file access and ALU execution.
 	IntOp
@@ -35,61 +42,104 @@ const (
 	FPOp
 	// FPMulOp covers the FP multiply/divide/sqrt unit.
 	FPMulOp
-	// LSQOp covers load/store queue insertion and address generation
-	// (memory domain).
+	// LSQOp covers load/store queue insertion and address generation.
 	LSQOp
-	// DCacheOp covers one L1 D-cache access (memory domain).
+	// DCacheOp covers one L1 D-cache access.
 	DCacheOp
-	// L2Op covers one unified L2 access (memory domain).
+	// L2Op covers one unified L2 access.
 	L2Op
 	// MemOp covers one main-memory access (external domain, not scaled).
 	MemOp
 	// OverheadOp covers one injected instrumentation instruction
-	// (front-end domain); small because such instructions are simple
+	// (dispatch resource); small because such instructions are simple
 	// integer operations.
 	OverheadOp
 
 	numEventKinds
 )
 
-var eventDomain = [numEventKinds]arch.Domain{
-	FetchOp:    arch.FrontEnd,
-	RenameOp:   arch.FrontEnd,
-	CommitOp:   arch.FrontEnd,
-	IntOp:      arch.Integer,
-	IntMulOp:   arch.Integer,
-	FPOp:       arch.FP,
-	FPMulOp:    arch.FP,
-	LSQOp:      arch.Memory,
-	DCacheOp:   arch.Memory,
-	L2Op:       arch.Memory,
-	MemOp:      arch.External,
-	OverheadOp: arch.FrontEnd,
+// eventResource maps each event kind to the pipeline resource that
+// performs it; a topology then routes the resource onto a domain.
+var eventResource = [numEventKinds]arch.Resource{
+	FetchOp:    arch.ResFetch,
+	RenameOp:   arch.ResDispatch,
+	CommitOp:   arch.ResDispatch,
+	IntOp:      arch.ResIntExec,
+	IntMulOp:   arch.ResIntExec,
+	FPOp:       arch.ResFPExec,
+	FPMulOp:    arch.ResFPExec,
+	LSQOp:      arch.ResLoadStore,
+	DCacheOp:   arch.ResLoadStore,
+	L2Op:       arch.ResL2,
+	MemOp:      arch.ResMemory,
+	OverheadOp: arch.ResDispatch,
 }
 
-// Domain returns the clock domain an event kind belongs to.
-func (k EventKind) Domain() arch.Domain { return eventDomain[k] }
+// Resource returns the pipeline resource an event kind belongs to.
+func (k EventKind) Resource() arch.Resource { return eventResource[k] }
 
-// Model holds the base (full-voltage) energy parameters.
+// Per-resource clock-tree energy (pJ per cycle at VMax) and leakage
+// power (pJ/ps = W at VMax). The paper4 per-domain calibration —
+// front-end 140/0.000045, integer 135/0.000035, fp 115/0.000030,
+// memory 150/0.000050 — is split across that domain's resources in
+// binary-exact halves, so per-domain sums reproduce it bitwise under
+// any regrouping.
+var (
+	resClockPJPerCycle = [arch.NumResources]float64{
+		arch.ResFetch:     70,
+		arch.ResDispatch:  70,
+		arch.ResIntExec:   135,
+		arch.ResFPExec:    115,
+		arch.ResLoadStore: 75,
+		arch.ResL2:        75,
+		arch.ResMemory:    0, // charged per access instead
+	}
+	resLeakWatts = [arch.NumResources]float64{
+		arch.ResFetch:     0.0000225,
+		arch.ResDispatch:  0.0000225,
+		arch.ResIntExec:   0.000035,
+		arch.ResFPExec:    0.000030,
+		arch.ResLoadStore: 0.000025,
+		arch.ResL2:        0.000025,
+		arch.ResMemory:    0,
+	}
+)
+
+// Model holds the base (full-voltage) energy parameters for one
+// topology's domain structure.
 type Model struct {
 	// EventPJ is the energy of one event of each kind at VMax, in pJ.
 	EventPJ [numEventKinds]float64
-	// ClockPJPerCycle is per-domain clock-tree energy per cycle at VMax.
-	ClockPJPerCycle [arch.NumDomains]float64
+	// ClockPJPerCycle is per-domain clock-tree energy per cycle at VMax,
+	// indexed by topology domain.
+	ClockPJPerCycle []float64
 	// ClockGateFloor is the fraction of clock energy that cannot be gated
 	// away when the domain is idle (conditional clocking floor).
 	ClockGateFloor float64
 	// LeakWatts is per-domain leakage power at VMax, in pJ/ps (= W).
-	LeakWatts [arch.NumDomains]float64
+	LeakWatts []float64
+
+	// kindDom routes each event kind to its topology domain.
+	kindDom [numEventKinds]arch.Domain
 }
 
-// DefaultModel returns the calibrated energy model. Relative magnitudes
-// follow the Wattch 0.35um-class breakdown scaled to the Table 1 core:
-// caches and clock dominate, FP units are the most expensive per
-// operation, the external memory interface costs the most per access.
-func DefaultModel() *Model {
+// DefaultModel returns the calibrated energy model for the default
+// 4-domain topology. Relative magnitudes follow the Wattch 0.35um-class
+// breakdown scaled to the Table 1 core: caches and clock dominate, FP
+// units are the most expensive per operation, the external memory
+// interface costs the most per access.
+func DefaultModel() *Model { return ModelFor(arch.Default()) }
+
+// ModelFor builds the calibrated energy model for one topology:
+// per-domain clock-tree and leakage parameters are summed over the
+// resources each domain owns, and event kinds route to the domain
+// owning their resource.
+func ModelFor(topo *arch.Topology) *Model {
+	n := topo.NumDomains()
 	m := &Model{
-		ClockGateFloor: 0.35,
+		ClockGateFloor:  0.35,
+		ClockPJPerCycle: make([]float64, n),
+		LeakWatts:       make([]float64, n),
 	}
 	m.EventPJ = [numEventKinds]float64{
 		FetchOp:    220,
@@ -105,24 +155,26 @@ func DefaultModel() *Model {
 		MemOp:      2100,
 		OverheadOp: 110,
 	}
-	m.ClockPJPerCycle = [arch.NumDomains]float64{
-		arch.FrontEnd: 140,
-		arch.Integer:  135,
-		arch.FP:       115,
-		arch.Memory:   150,
-		arch.External: 0, // charged per access instead
+	for d := 0; d < n; d++ {
+		for _, r := range topo.Spec(arch.Domain(d)).Resources {
+			m.ClockPJPerCycle[d] += resClockPJPerCycle[r]
+			m.LeakWatts[d] += resLeakWatts[r]
+		}
 	}
-	m.LeakWatts = [arch.NumDomains]float64{
-		arch.FrontEnd: 0.000045, // pJ/ps == W
-		arch.Integer:  0.000035,
-		arch.FP:       0.000030,
-		arch.Memory:   0.000050,
-		arch.External: 0,
+	for k := range m.kindDom {
+		m.kindDom[k] = topo.DomainOf(eventResource[k])
 	}
 	return m
 }
 
-// vScale returns the dynamic-energy voltage scaling factor (V/VMax)^2.
+// Domain returns the topology domain an event kind is charged to.
+func (m *Model) Domain(k EventKind) arch.Domain { return m.kindDom[k] }
+
+// NumDomains returns the number of domains the model covers.
+func (m *Model) NumDomains() int { return len(m.ClockPJPerCycle) }
+
+// vScale returns the dynamic-energy voltage scaling factor (V/VMax)^2,
+// normalized to the paper's full-range supply voltage.
 func vScale(volts float64) float64 {
 	r := volts / dvfs.VMax
 	return r * r
@@ -134,48 +186,67 @@ func (m *Model) EventEnergy(k EventKind, volts float64) float64 {
 	return m.EventPJ[k] * vScale(volts)
 }
 
-// Book accumulates energy for one simulation run.
+// domState is one domain's hot accumulation state, packed so a Charge
+// touches a single cache line: dynamic energy, event count, and the
+// vScale memo.
+type domState struct {
+	dynamicPJ float64
+	// vScale memo: a domain's supply voltage changes only on DVFS
+	// steps, while Charge runs several times per instruction; the memo
+	// turns the common repeat case into one float compare. The cached
+	// scale is vScale(volts) exactly, so results are bit-identical to
+	// recomputing.
+	lastVolts float64
+	lastScale float64
+	events    int64
+}
+
+// Book accumulates energy for one simulation run. Its per-domain state
+// is indexed by the model's topology domains.
 type Book struct {
 	model *Model
-	// DynamicPJ is per-domain accumulated event energy.
-	DynamicPJ [arch.NumDomains]float64
+	dom   []domState
 	// ClockPJ and LeakPJ are filled in by Finalize.
-	ClockPJ [arch.NumDomains]float64
-	LeakPJ  [arch.NumDomains]float64
-	// Events counts events per domain (used for utilization).
-	Events [arch.NumDomains]int64
-
-	// vScale memo per domain: a domain's supply voltage changes only on
-	// DVFS steps, while Charge runs several times per instruction; the
-	// memo turns the common repeat case into one float compare. The
-	// cached scale is vScale(volts) exactly, so results are bit-identical
-	// to recomputing.
-	lastVolts [arch.NumDomains]float64
-	lastScale [arch.NumDomains]float64
+	ClockPJ []float64
+	LeakPJ  []float64
 }
 
 // NewBook returns an empty energy book using model m.
-func NewBook(m *Model) *Book { return &Book{model: m} }
+func NewBook(m *Model) *Book {
+	n := m.NumDomains()
+	return &Book{
+		model:   m,
+		dom:     make([]domState, n),
+		ClockPJ: make([]float64, n),
+		LeakPJ:  make([]float64, n),
+	}
+}
 
 // Model returns the book's energy model.
 func (b *Book) Model() *Model { return b.model }
 
+// DynamicPJ returns the accumulated event energy of one domain.
+func (b *Book) DynamicPJ(d arch.Domain) float64 { return b.dom[d].dynamicPJ }
+
+// Events returns the event count of one domain (used for utilization).
+func (b *Book) Events(d arch.Domain) int64 { return b.dom[d].events }
+
 // Charge records one event at the given voltage.
 func (b *Book) Charge(k EventKind, volts float64) {
-	d := eventDomain[k]
-	if volts != b.lastVolts[d] || b.lastScale[d] == 0 {
-		b.lastVolts[d] = volts
-		b.lastScale[d] = vScale(volts)
+	e := &b.dom[b.model.kindDom[k]]
+	if volts != e.lastVolts || e.lastScale == 0 {
+		e.lastVolts = volts
+		e.lastScale = vScale(volts)
 	}
-	b.DynamicPJ[d] += b.model.EventPJ[k] * b.lastScale[d]
-	b.Events[d]++
+	e.dynamicPJ += b.model.EventPJ[k] * e.lastScale
+	e.events++
 }
 
 // ChargeN records n identical events at the given voltage.
 func (b *Book) ChargeN(k EventKind, volts float64, n int64) {
-	d := eventDomain[k]
-	b.DynamicPJ[d] += b.model.EventEnergy(k, volts) * float64(n)
-	b.Events[d] += n
+	e := &b.dom[b.model.kindDom[k]]
+	e.dynamicPJ += b.model.EventEnergy(k, volts) * float64(n)
+	e.events += n
 }
 
 // Finalize integrates clock-tree and leakage energy for one domain over
@@ -190,6 +261,7 @@ func (b *Book) Finalize(d arch.Domain, sched *clock.Schedule, end int64, util fl
 		util = 1
 	}
 	gate := b.model.ClockGateFloor + (1-b.model.ClockGateFloor)*util
+	scale := sched.Scale()
 	segs := sched.Segments()
 	for i, seg := range segs {
 		lo := seg.Start
@@ -205,7 +277,7 @@ func (b *Book) Finalize(d arch.Domain, sched *clock.Schedule, end int64, util fl
 		}
 		dur := float64(hi - lo)
 		cycles := dur / float64(seg.PeriodPs)
-		v := dvfs.VoltageFor(seg.MHz)
+		v := scale.VoltageFor(seg.MHz)
 		b.ClockPJ[d] += cycles * b.model.ClockPJPerCycle[d] * vScale(v) * gate
 		b.LeakPJ[d] += dur * b.model.LeakWatts[d] * (v / dvfs.VMax)
 		if i+1 >= len(segs) || segs[i+1].Start >= end {
@@ -216,13 +288,13 @@ func (b *Book) Finalize(d arch.Domain, sched *clock.Schedule, end int64, util fl
 
 // DomainTotalPJ returns the total energy charged to one domain.
 func (b *Book) DomainTotalPJ(d arch.Domain) float64 {
-	return b.DynamicPJ[d] + b.ClockPJ[d] + b.LeakPJ[d]
+	return b.dom[d].dynamicPJ + b.ClockPJ[d] + b.LeakPJ[d]
 }
 
 // TotalPJ returns the total energy across all domains.
 func (b *Book) TotalPJ() float64 {
 	t := 0.0
-	for d := 0; d < arch.NumDomains; d++ {
+	for d := range b.dom {
 		t += b.DomainTotalPJ(arch.Domain(d))
 	}
 	return t

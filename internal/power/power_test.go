@@ -25,10 +25,39 @@ func TestEventDomains(t *testing.T) {
 		MemOp:      arch.External,
 		OverheadOp: arch.FrontEnd,
 	}
+	m := DefaultModel()
 	for k, want := range cases {
-		if got := k.Domain(); got != want {
+		if got := m.Domain(k); got != want {
 			t.Errorf("%v domain = %v, want %v", k, got, want)
 		}
+	}
+}
+
+// TestModelRegroupingExact pins the calibration invariant the topology
+// refactor relies on: per-domain clock and leakage parameters are sums
+// over owned resources, and the paper4 grouping reproduces the original
+// calibration bit-for-bit.
+func TestModelRegroupingExact(t *testing.T) {
+	m := DefaultModel()
+	wantClock := []float64{140, 135, 115, 150, 0}
+	wantLeak := []float64{0.000045, 0.000035, 0.000030, 0.000050, 0}
+	for d := range wantClock {
+		if m.ClockPJPerCycle[d] != wantClock[d] {
+			t.Errorf("domain %d clock pJ/cycle = %v, want %v (bitwise)", d, m.ClockPJPerCycle[d], wantClock[d])
+		}
+		if m.LeakWatts[d] != wantLeak[d] {
+			t.Errorf("domain %d leak = %v, want %v (bitwise)", d, m.LeakWatts[d], wantLeak[d])
+		}
+	}
+	// Any regrouping conserves the totals exactly: compare against the
+	// 2-domain front/back split.
+	fb, err := arch.TopologyByName("fe-be2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := ModelFor(fb)
+	if m2.ClockPJPerCycle[0] != 140 || m2.ClockPJPerCycle[1] != 135+115+150 {
+		t.Errorf("fe-be2 clock pJ/cycle = %v, want [140 400 0]", m2.ClockPJPerCycle)
 	}
 }
 
@@ -61,12 +90,12 @@ func TestChargeAccumulates(t *testing.T) {
 	b.Charge(IntOp, dvfs.VMax)
 	b.Charge(IntOp, dvfs.VMax)
 	b.ChargeN(IntOp, dvfs.VMax, 3)
-	if b.Events[arch.Integer] != 5 {
-		t.Errorf("events = %d, want 5", b.Events[arch.Integer])
+	if b.Events(arch.Integer) != 5 {
+		t.Errorf("events = %d, want 5", b.Events(arch.Integer))
 	}
 	want := 5 * b.Model().EventPJ[IntOp]
-	if math.Abs(b.DynamicPJ[arch.Integer]-want) > 1e-9 {
-		t.Errorf("dynamic = %v, want %v", b.DynamicPJ[arch.Integer], want)
+	if math.Abs(b.DynamicPJ(arch.Integer)-want) > 1e-9 {
+		t.Errorf("dynamic = %v, want %v", b.DynamicPJ(arch.Integer), want)
 	}
 }
 

@@ -32,24 +32,40 @@ type Config struct {
 	// MaxPasses bounds the number of pass pairs.
 	MaxPasses int
 	// PowerFactor is the initial per-domain event power factor,
-	// reflecting the relative power consumption of each clock domain.
-	PowerFactor [arch.NumScalable]float64
+	// reflecting the relative power consumption of each clock domain;
+	// its length is the number of scalable domains the shaker histograms
+	// cover. Topology-driven pipelines size it with ConfigFor.
+	PowerFactor []float64
 }
 
-// DefaultConfig returns the calibrated shaker parameters.
+// DefaultConfig returns the calibrated shaker parameters for the default
+// 4-domain topology.
 func DefaultConfig() Config {
 	return Config{
 		MaxStretch:           4.0,
 		ThresholdDecay:       0.9,
 		InitialThresholdFrac: 0.95,
 		MaxPasses:            48,
-		PowerFactor: [arch.NumScalable]float64{
+		PowerFactor: []float64{
 			arch.FrontEnd: 0.30,
 			arch.Integer:  0.24,
 			arch.FP:       0.20,
 			arch.Memory:   0.26,
 		},
 	}
+}
+
+// ConfigFor adapts a configuration to a topology: under the default
+// topology the configured factors are kept when they cover its domains
+// (the calibrated default does, and callers may tune them); any other
+// topology uses its own declared per-domain factors — positional
+// factors calibrated for the paper's domain order must not silently
+// apply to a different grouping.
+func ConfigFor(cfg Config, topo *arch.Topology) Config {
+	if topo.Name != arch.DefaultName || len(cfg.PowerFactor) != topo.NumScalable() {
+		cfg.PowerFactor = topo.PowerFactors()
+	}
+	return cfg
 }
 
 // Hist is a histogram over the DVFS frequency ladder: Bins[i] accumulates
@@ -75,14 +91,28 @@ func (h *Hist) Total() float64 {
 	return t
 }
 
-// DomainHists holds one histogram per scalable domain.
-type DomainHists [arch.NumScalable]Hist
+// DomainHists holds one histogram per scalable domain, in topology
+// domain order.
+type DomainHists []Hist
 
-// Add merges another set of histograms.
+// Add merges another set of histograms; both sets must cover the same
+// domains.
 func (d *DomainHists) Add(o *DomainHists) {
-	for i := range d {
-		d[i].Add(&o[i])
+	for i := range *d {
+		if i >= len(*o) {
+			break
+		}
+		(*d)[i].Add(&(*o)[i])
 	}
+}
+
+// Clone returns an independent deep copy. DomainHists is a slice, so a
+// plain assignment aliases the underlying histograms; accumulation over
+// a copy must go through Clone or it would corrupt the source.
+func (d *DomainHists) Clone() *DomainHists {
+	c := make(DomainHists, len(*d))
+	copy(c, *d)
+	return &c
 }
 
 // Runner owns the shaker's scratch arrays so repeated invocations (one
@@ -171,7 +201,7 @@ func (r *Runner) resize(n int) {
 func (r *Runner) Run(seg *trace.Segment) DomainHists {
 	cfg := r.cfg
 	n := len(seg.Events)
-	var hists DomainHists
+	hists := make(DomainHists, len(cfg.PowerFactor))
 	if n == 0 {
 		return hists
 	}
@@ -183,7 +213,7 @@ func (r *Runner) Run(seg *trace.Segment) DomainHists {
 	for i := range seg.Events {
 		te := &seg.Events[i]
 		pf := 0.0
-		if te.Domain < arch.NumScalable {
+		if int(te.Domain) < len(cfg.PowerFactor) {
 			pf = cfg.PowerFactor[te.Domain]
 		}
 		w := te.Weight
@@ -346,7 +376,7 @@ func (r *Runner) Run(seg *trace.Segment) DomainHists {
 	// bin of the frequency it was scaled to (rounded down to the ladder
 	// so chosen frequencies never overestimate savings).
 	for i := 0; i < n; i++ {
-		if hot[i].dur0 <= 0 || arch.Domain(r.dom[i]) >= arch.NumScalable {
+		if hot[i].dur0 <= 0 || int(r.dom[i]) >= len(hists) {
 			continue
 		}
 		ideal := float64(dvfs.FMaxMHz) / hot[i].scale

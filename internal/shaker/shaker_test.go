@@ -158,7 +158,8 @@ func TestHistAdd(t *testing.T) {
 }
 
 func TestDomainHistsAdd(t *testing.T) {
-	var a, b DomainHists
+	a := make(DomainHists, arch.NumScalable)
+	b := make(DomainHists, arch.NumScalable)
 	a[arch.FP].Bins[3] = 1
 	b[arch.FP].Bins[3] = 2
 	b[arch.Memory].Bins[0] = 5

@@ -1,16 +1,21 @@
 // Package sim implements the cycle-level Multiple Clock Domain processor
 // simulator: an out-of-order, Alpha 21264-class core (paper Table 1)
-// partitioned into four independently clocked on-chip domains plus
-// full-speed external memory. Instruction timing is computed with a
-// timestamp-propagation model that honours fetch/dispatch/retire widths,
-// ROB and issue-queue capacities, functional-unit contention, cache and
-// memory latencies, branch misprediction, inter-domain synchronization
-// (with jitter), per-domain DVFS ramps, and injected instrumentation
-// instructions. Energy is accounted with the Wattch-style model in
-// internal/power.
+// partitioned into independently clocked on-chip domains plus full-speed
+// external memory. The domain structure is declarative: an arch.Topology
+// routes each pipeline resource (fetch, dispatch, the execution
+// clusters, the L2 interface, main memory) onto a clock domain, and the
+// machine sizes its per-domain state from the model — the paper's
+// 4-domain split is simply the default topology. Instruction timing is
+// computed with a timestamp-propagation model that honours
+// fetch/dispatch/retire widths, ROB and issue-queue capacities,
+// functional-unit contention, cache and memory latencies, branch
+// misprediction, inter-domain synchronization (with jitter), per-domain
+// DVFS ramps, and injected instrumentation instructions. Energy is
+// accounted with the Wattch-style model in internal/power.
 package sim
 
 import (
+	"repro/internal/arch"
 	"repro/internal/clock"
 )
 
@@ -54,7 +59,19 @@ type Config struct {
 
 	// Seed drives synchronization jitter randomization.
 	Seed int64
+
+	// Topology names the registered clock-domain topology the machine is
+	// built from; empty means the paper's default 4-domain split
+	// (arch.DefaultName). The empty and default names canonicalize to
+	// the same cache keys, which is why the field is omitted from JSON
+	// when unset.
+	Topology string `json:",omitempty"`
 }
+
+// Topo resolves the configuration's topology; it panics on unknown
+// names (validate names with arch.TopologyByName at the boundary —
+// manifests and CLI flags — before building machines).
+func (c Config) Topo() *arch.Topology { return arch.MustTopology(c.Topology) }
 
 // DefaultConfig returns the Table 1 configuration.
 func DefaultConfig() Config {

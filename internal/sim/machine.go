@@ -22,7 +22,8 @@ type Times struct {
 	Issue    int64
 	Complete int64
 	Commit   int64
-	// Dom is the execution domain of the instruction.
+	// Dom is the execution domain of the instruction (a topology domain
+	// index).
 	Dom arch.Domain
 	// MemLevel is 0 (L1 hit), 1 (L2 hit) or 2 (main memory) for loads.
 	MemLevel uint8
@@ -48,29 +49,52 @@ type Controller interface {
 }
 
 // IntervalStats summarizes domain activity since the previous controller
-// callback.
+// callback. The per-domain slices are indexed by scalable topology
+// domain and are valid only for the duration of the callback (the
+// machine reuses them between intervals).
 type IntervalStats struct {
 	// Instructions in the interval.
 	Instructions int64
 	// Issued counts instructions issued per scalable domain.
-	Issued [arch.NumScalable]int64
+	Issued []int64
 	// QueueSum accumulates issue-queue occupancy samples (one per
 	// dispatched instruction) per execution domain.
-	QueueSum [arch.NumScalable]int64
+	QueueSum []int64
 	// BusyPs accumulates per-domain functional-unit service time: the
 	// on-chip latency of each instruction executed in the domain
 	// (excluding external memory time). Utilization = BusyPs /
 	// (units * ElapsedPs).
-	BusyPs [arch.NumScalable]int64
+	BusyPs []int64
 	// ElapsedPs is wall-clock simulation time covered by the interval.
 	ElapsedPs int64
 }
 
+// ctrlCounter is one domain's packed per-instruction controller
+// bookkeeping.
+type ctrlCounter struct {
+	issued   int64
+	queueSum int64
+	busyPs   int64
+}
+
+// Execution clusters: the three issue-queue-backed execution resources.
+// Clusters are structural (queues, functional units); the topology only
+// decides which clock domain each cluster runs in.
+const (
+	clInt = iota
+	clFP
+	clLS
+	numClusters
+)
+
 // Machine is one simulated MCD processor executing one dynamic stream.
-// It implements isa.Consumer; feed it a program walk, then call Finalize.
+// Its domain structure — clock count, resource routing, per-domain DVFS
+// envelopes — comes from the configuration's arch.Topology. It
+// implements isa.Consumer; feed it a program walk, then call Finalize.
 type Machine struct {
 	cfg   Config
-	clk   [arch.NumDomains]*clock.Schedule
+	topo  *arch.Topology
+	clk   []*clock.Schedule // one per topology domain
 	sync  *clock.Synchronizer
 	bp    *bpred.Predictor
 	il1   *cache.Cache
@@ -80,11 +104,22 @@ type Machine struct {
 	trace Tracer
 	msink MarkerSink
 
+	// Resource→domain routing, resolved once from the topology.
+	numScalable int
+	fetchDom    arch.Domain // owns fetch, L1I, branch predictor
+	dispDom     arch.Domain // owns rename/ROB/commit
+	l2Dom       arch.Domain // owns the L2 interface
+	clDom       [numClusters]arch.Domain
+
 	ctrl         Controller
 	ctrlInterval int64
 	ctrlLastSeq  int64
 	ctrlLastTime int64
-	ctrlStats    IntervalStats
+	// ctrlCnt is the per-instruction accumulation state, packed per
+	// domain so the hot loop touches one cache line; ctrlStats is the
+	// view materialized for each OnInterval callback.
+	ctrlCnt   []ctrlCounter
+	ctrlStats IntervalStats
 
 	// Completion-time ring for register dependencies.
 	complRing [depRingSize]int64
@@ -95,9 +130,9 @@ type Machine struct {
 	rob    []int64
 	robIdx int
 
-	// Issue queues: outstanding issue times per execution domain.
-	iq    [arch.NumScalable][]int64
-	iqCap [arch.NumScalable]int
+	// Issue queues: outstanding issue times per execution cluster.
+	iq    [numClusters][]int64
+	iqCap [numClusters]int
 
 	// Functional units: next-free time per unit.
 	intALU []int64
@@ -127,35 +162,47 @@ type Machine struct {
 	times       Times // scratch
 }
 
-// New builds a machine with every domain at cfg.BaseMHz.
+// New builds a machine with every domain at cfg.BaseMHz, structured by
+// the configuration's topology.
 func New(cfg Config) *Machine {
+	topo := cfg.Topo()
 	m := &Machine{
 		cfg:  cfg,
+		topo: topo,
 		sync: clock.NewSynchronizer(cfg.Sync, cfg.Seed),
 		bp:   bpred.New(bpred.DefaultConfig()),
 		il1:  cache.New(cache.L1Config()),
 		dl1:  cache.New(cache.L1Config()),
 		l2:   cache.New(cache.L2Config()),
-		book: power.NewBook(power.DefaultModel()),
+		book: power.NewBook(power.ModelFor(topo)),
 		rob:  make([]int64, cfg.ROBSize),
+	}
+	m.numScalable = topo.NumScalable()
+	m.fetchDom = topo.DomainOf(arch.ResFetch)
+	m.dispDom = topo.DomainOf(arch.ResDispatch)
+	m.l2Dom = topo.DomainOf(arch.ResL2)
+	m.clDom = [numClusters]arch.Domain{
+		clInt: topo.DomainOf(arch.ResIntExec),
+		clFP:  topo.DomainOf(arch.ResFPExec),
+		clLS:  topo.DomainOf(arch.ResLoadStore),
 	}
 	// Each domain's PLL has an unrelated phase; seed them deterministically.
 	// The external domain keeps phase zero. A globally synchronous
 	// configuration (Sync.Disabled) aligns all phases.
 	phaseRng := xrand.New(cfg.Seed ^ 0x5deece66d)
 	period := int64(1e6) / int64(cfg.BaseMHz)
-	for d := 0; d < arch.NumDomains; d++ {
+	m.clk = make([]*clock.Schedule, topo.NumDomains())
+	for d := range m.clk {
 		phase := int64(0)
-		if !cfg.Sync.Disabled && arch.Domain(d).Scalable() {
+		if !cfg.Sync.Disabled && d < m.numScalable {
 			phase = phaseRng.Int63n(period)
 		}
-		m.clk[d] = clock.NewWithPhase(cfg.BaseMHz, phase)
+		m.clk[d] = clock.NewScaled(topo.Spec(arch.Domain(d)).Scale(), cfg.BaseMHz, phase)
 	}
-	m.iqCap = [arch.NumScalable]int{
-		arch.FrontEnd: 1 << 30, // front end has no issue queue
-		arch.Integer:  cfg.IQInt,
-		arch.FP:       cfg.IQFP,
-		arch.Memory:   cfg.IQLS,
+	m.iqCap = [numClusters]int{
+		clInt: cfg.IQInt,
+		clFP:  cfg.IQFP,
+		clLS:  cfg.IQLS,
 	}
 	m.intALU = make([]int64, cfg.IntALUs)
 	m.intMul = make([]int64, cfg.IntMuls)
@@ -167,6 +214,9 @@ func New(cfg Config) *Machine {
 
 // Clock returns the schedule of one domain (controllers use this).
 func (m *Machine) Clock(d arch.Domain) *clock.Schedule { return m.clk[d] }
+
+// Topology returns the machine's clock-domain topology.
+func (m *Machine) Topology() *arch.Topology { return m.topo }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -232,24 +282,30 @@ func isNilSink(v any) bool {
 func (m *Machine) SetController(c Controller, intervalInstrs int64) {
 	m.ctrl = c
 	m.ctrlInterval = intervalInstrs
+	if m.ctrlCnt == nil {
+		m.ctrlCnt = make([]ctrlCounter, m.numScalable)
+		m.ctrlStats = IntervalStats{
+			Issued:   make([]int64, m.numScalable),
+			QueueSum: make([]int64, m.numScalable),
+			BusyPs:   make([]int64, m.numScalable),
+		}
+	}
 }
 
 // SetDomainTarget requests a DVFS ramp of domain d toward mhz beginning
 // at time now. External memory cannot be scaled.
 func (m *Machine) SetDomainTarget(d arch.Domain, now int64, mhz int) {
-	if !d.Scalable() {
+	if int(d) >= m.numScalable {
 		return
 	}
 	m.clk[d].SetTarget(now, mhz)
 }
 
-// SetAllImmediate pins every domain to mhz instantly (baseline and global
-// DVS modeling).
+// SetAllImmediate pins every scalable domain to mhz instantly (baseline
+// and global DVS modeling).
 func (m *Machine) SetAllImmediate(now int64, mhz int) {
-	for d := 0; d < arch.NumDomains; d++ {
-		if arch.Domain(d).Scalable() {
-			m.clk[d].SetImmediate(now, mhz)
-		}
+	for d := 0; d < m.numScalable; d++ {
+		m.clk[d].SetImmediate(now, mhz)
 	}
 }
 
@@ -261,45 +317,49 @@ func (m *Machine) Marker(mk isa.Marker) bool {
 	return true
 }
 
-// execDomain returns the domain that executes a class.
-func execDomain(c isa.Class) arch.Domain {
+// execCluster returns the execution cluster of a class.
+func execCluster(c isa.Class) int {
 	switch c {
 	case isa.FPALU, isa.FPMul:
-		return arch.FP
+		return clFP
 	case isa.Load, isa.Store:
-		return arch.Memory
+		return clLS
 	default:
-		return arch.Integer
+		return clInt
 	}
 }
 
 // Instr implements isa.Consumer: it simulates one instruction.
 func (m *Machine) Instr(ins *isa.Instr) bool {
 	cfg := &m.cfg
-	fe := m.clk[arch.FrontEnd]
+	fclk := m.clk[m.fetchDom]
+	dclk0 := m.clk[m.dispDom]
 	t := &m.times
 	*t = Times{}
 
 	// --- Fetch ---
 	if m.fetchEdge == 0 {
-		m.fetchEdge = fe.NextEdge(0)
+		m.fetchEdge = fclk.NextEdge(0)
 	}
 	if m.fetchCount >= cfg.DecodeWidth {
-		m.fetchEdge = fe.NextEdge(m.fetchEdge)
+		m.fetchEdge = fclk.NextEdge(m.fetchEdge)
 		m.fetchCount = 0
 	}
 	if line := ins.PC >> 6; line != m.fetchLine {
 		m.fetchLine = line
 		if !m.il1.Access(ins.PC) {
-			m.fetchEdge = m.missPath(m.fetchEdge, arch.FrontEnd)
+			m.fetchEdge = m.missPath(m.fetchEdge, m.fetchDom)
 		}
 	}
 	t.Fetch = m.fetchEdge
 	m.fetchCount++
-	m.book.Charge(power.FetchOp, fe.VoltsAt(t.Fetch))
+	m.book.Charge(power.FetchOp, fclk.VoltsAt(t.Fetch))
 
 	// --- Dispatch (rename, ROB and IQ allocation) ---
-	disp := fe.Advance(t.Fetch, int64(cfg.FrontDepth))
+	disp := fclk.Advance(t.Fetch, int64(cfg.FrontDepth))
+	// Fetch→dispatch handoff crosses domains when the topology splits
+	// the front end (identity under the default topology).
+	disp = m.sync.Cross(disp, fclk, dclk0)
 	// ROB capacity: wait for the instruction ROBSize back to commit.
 	if m.seq >= int64(cfg.ROBSize) {
 		if old := m.rob[m.robIdx]; old > disp {
@@ -308,10 +368,10 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 	}
 	// Dispatch width.
 	if disp > m.dispEdge {
-		m.dispEdge = fe.NextEdge(disp - 1)
+		m.dispEdge = dclk0.NextEdge(disp - 1)
 		m.dispCount = 0
 	} else if m.dispCount >= cfg.DecodeWidth {
-		m.dispEdge = fe.NextEdge(m.dispEdge)
+		m.dispEdge = dclk0.NextEdge(m.dispEdge)
 		m.dispCount = 0
 		disp = m.dispEdge
 	}
@@ -320,15 +380,16 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 	}
 	m.dispCount++
 
-	dom := execDomain(ins.Class)
-	// Issue-queue capacity in the execution domain.
-	disp = m.iqAdmit(dom, disp)
+	cl := execCluster(ins.Class)
+	dom := m.clDom[cl]
+	// Issue-queue capacity in the execution cluster.
+	disp = m.iqAdmit(cl, disp)
 	t.Dispatch = disp
 	t.Dom = dom
-	m.book.Charge(power.RenameOp, fe.VoltsAt(disp))
+	m.book.Charge(power.RenameOp, dclk0.VoltsAt(disp))
 
 	// --- Ready: operand availability ---
-	ready := m.sync.Cross(disp, fe, m.clk[dom])
+	ready := m.sync.Cross(disp, dclk0, m.clk[dom])
 	for _, src := range [2]uint16{ins.Src1, ins.Src2} {
 		if src == 0 || int64(src) > m.seq {
 			continue
@@ -348,45 +409,53 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 	dclk := m.clk[dom]
 	switch ins.Class {
 	case isa.IntALU:
-		issue := m.fuIssue(dom, m.intALU, dclk, ready, 1)
+		issue := m.fuIssue(cl, m.intALU, dclk, ready, 1)
 		complete = dclk.Advance(issue, int64(cfg.IntALULat))
 		t.Issue = issue
 		m.book.Charge(power.IntOp, dclk.VoltsAt(issue))
 	case isa.IntMul:
-		issue := m.fuIssue(dom, m.intMul, dclk, ready, int64(cfg.IntMulLat))
+		issue := m.fuIssue(cl, m.intMul, dclk, ready, int64(cfg.IntMulLat))
 		complete = dclk.Advance(issue, int64(cfg.IntMulLat))
 		t.Issue = issue
 		m.book.Charge(power.IntMulOp, dclk.VoltsAt(issue))
 	case isa.FPALU:
-		issue := m.fuIssue(dom, m.fpALU, dclk, ready, 1)
+		issue := m.fuIssue(cl, m.fpALU, dclk, ready, 1)
 		complete = dclk.Advance(issue, int64(cfg.FPALULat))
 		t.Issue = issue
 		m.book.Charge(power.FPOp, dclk.VoltsAt(issue))
 	case isa.FPMul:
-		issue := m.fuIssue(dom, m.fpMul, dclk, ready, int64(cfg.FPMulLat))
+		issue := m.fuIssue(cl, m.fpMul, dclk, ready, int64(cfg.FPMulLat))
 		complete = dclk.Advance(issue, int64(cfg.FPMulLat))
 		t.Issue = issue
 		m.book.Charge(power.FPMulOp, dclk.VoltsAt(issue))
 	case isa.Load:
-		issue := m.fuIssue(dom, m.lsPort, dclk, ready, 1)
+		issue := m.fuIssue(cl, m.lsPort, dclk, ready, 1)
 		t.Issue = issue
 		m.book.Charge(power.LSQOp, dclk.VoltsAt(issue))
 		m.book.Charge(power.DCacheOp, dclk.VoltsAt(issue))
 		if m.dl1.Access(ins.Addr) {
 			complete = dclk.Advance(issue, int64(cfg.L1Lat))
-		} else if m.l2.Access(ins.Addr) {
-			t.MemLevel = 1
-			m.book.Charge(power.L2Op, dclk.VoltsAt(issue))
-			complete = dclk.Advance(issue, int64(cfg.L1Lat+cfg.L2Lat))
 		} else {
-			t.MemLevel = 2
-			m.book.Charge(power.L2Op, dclk.VoltsAt(issue))
-			m.book.Charge(power.MemOp, dvfs.VMax)
-			after := dclk.Advance(issue, int64(cfg.L1Lat+cfg.L2Lat)) + cfg.MemLatPs
-			complete = dclk.NextEdge(after)
+			// The request leaves the load/store unit and probes the L2
+			// interface; under the default topology both live in the
+			// memory domain and every crossing below is the identity.
+			l2clk := m.clk[m.l2Dom]
+			afterL1 := dclk.Advance(issue, int64(cfg.L1Lat))
+			probe := l2clk.Advance(m.sync.Cross(afterL1, dclk, l2clk), int64(cfg.L2Lat))
+			if m.l2.Access(ins.Addr) {
+				t.MemLevel = 1
+				m.book.Charge(power.L2Op, l2clk.VoltsAt(issue))
+				complete = m.sync.Cross(probe, l2clk, dclk)
+			} else {
+				t.MemLevel = 2
+				m.book.Charge(power.L2Op, l2clk.VoltsAt(issue))
+				m.book.Charge(power.MemOp, dvfs.VMax)
+				after := probe + cfg.MemLatPs
+				complete = dclk.NextEdge(m.sync.Cross(after, l2clk, dclk))
+			}
 		}
 	case isa.Store:
-		issue := m.fuIssue(dom, m.lsPort, dclk, ready, 1)
+		issue := m.fuIssue(cl, m.lsPort, dclk, ready, 1)
 		t.Issue = issue
 		m.book.Charge(power.LSQOp, dclk.VoltsAt(issue))
 		m.book.Charge(power.DCacheOp, dclk.VoltsAt(issue))
@@ -395,15 +464,15 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 		m.dl1.Access(ins.Addr)
 		complete = dclk.Advance(issue, 1)
 	case isa.Branch:
-		issue := m.fuIssue(dom, m.intALU, dclk, ready, 1)
+		issue := m.fuIssue(cl, m.intALU, dclk, ready, 1)
 		complete = dclk.Advance(issue, int64(cfg.IntALULat))
 		t.Issue = issue
 		m.book.Charge(power.IntOp, dclk.VoltsAt(issue))
 		if m.bp.Lookup(ins.PC, ins.Taken) {
 			m.Mispredicts++
 			t.Mispredict = true
-			redirect := m.sync.Cross(complete, dclk, fe)
-			m.fetchEdge = fe.Advance(redirect, int64(cfg.MispredictPenalty))
+			redirect := m.sync.Cross(complete, dclk, fclk)
+			m.fetchEdge = fclk.Advance(redirect, int64(cfg.MispredictPenalty))
 			m.fetchCount = 0
 		}
 	case isa.Track, isa.Reconfig:
@@ -413,7 +482,7 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 		if lat < 1 {
 			lat = 1
 		}
-		issue := m.fuIssue(dom, m.intALU, dclk, ready, 1)
+		issue := m.fuIssue(cl, m.intALU, dclk, ready, 1)
 		complete = dclk.Advance(issue, lat)
 		t.Issue = issue
 		m.book.Charge(power.OverheadOp, dclk.VoltsAt(issue))
@@ -424,14 +493,14 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 	t.Complete = complete
 
 	// --- Commit (in order) ---
-	cm := m.sync.Cross(complete, dclk, fe)
-	edge := fe.NextEdge(cm - 1)
+	cm := m.sync.Cross(complete, dclk, dclk0)
+	edge := dclk0.NextEdge(cm - 1)
 	if edge < m.commitEdge {
 		edge = m.commitEdge
 	}
 	if edge == m.commitEdge {
 		if m.commitCount >= cfg.RetireWidth {
-			edge = fe.NextEdge(edge)
+			edge = dclk0.NextEdge(edge)
 			m.commitCount = 0
 		}
 	} else {
@@ -441,7 +510,7 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 	m.commitCount++
 	t.Commit = edge
 	m.lastCommit = edge
-	m.book.Charge(power.CommitOp, fe.VoltsAt(edge))
+	m.book.Charge(power.CommitOp, dclk0.VoltsAt(edge))
 
 	// Record results for dependents and the ROB.
 	idx := m.seq & (depRingSize - 1)
@@ -458,15 +527,31 @@ func (m *Machine) Instr(ins *isa.Instr) bool {
 
 	// Controller interval bookkeeping.
 	if m.ctrl != nil {
-		m.ctrlStats.Issued[dom]++
-		m.ctrlStats.QueueSum[dom] += int64(len(m.iq[dom]))
-		m.ctrlStats.BusyPs[dom] += m.serviceTime(ins, t)
+		c := &m.ctrlCnt[dom]
+		c.issued++
+		c.queueSum += int64(len(m.iq[cl]))
+		st := m.serviceTime(ins, t)
+		if t.MemLevel >= 1 && m.l2Dom != dom {
+			// The L2 portion of a load's service time is work done in
+			// the (separately clocked) L2 domain; credit it there so the
+			// controller has a utilization signal for L2-only domains.
+			// Under the default topology both indices coincide and this
+			// branch never runs.
+			st -= int64(cfg.L2Lat) * m.clk[dom].PeriodAt(t.Issue)
+			m.ctrlCnt[m.l2Dom].busyPs += int64(cfg.L2Lat) * m.clk[m.l2Dom].PeriodAt(t.Issue)
+		}
+		c.busyPs += st
 		if m.seq-m.ctrlLastSeq >= m.ctrlInterval {
 			s := m.ctrlStats
+			for d := range m.ctrlCnt {
+				s.Issued[d] = m.ctrlCnt[d].issued
+				s.QueueSum[d] = m.ctrlCnt[d].queueSum
+				s.BusyPs[d] = m.ctrlCnt[d].busyPs
+				m.ctrlCnt[d] = ctrlCounter{}
+			}
 			s.Instructions = m.seq - m.ctrlLastSeq
 			s.ElapsedPs = m.lastCommit - m.ctrlLastTime
 			m.ctrl.OnInterval(m, m.lastCommit, s)
-			m.ctrlStats = IntervalStats{}
 			m.ctrlLastSeq = m.seq
 			m.ctrlLastTime = m.lastCommit
 		}
@@ -513,19 +598,23 @@ func instrCost(ins *isa.Instr) int {
 }
 
 // applyReconfig writes the MCD reconfiguration register: each scalable
-// domain begins ramping toward its target frequency. The write itself
-// incurs no idle time (paper Section 2).
+// domain begins ramping toward its target frequency (quantized to its
+// own ladder). The write itself incurs no idle time (paper Section 2).
 func (m *Machine) applyReconfig(ins *isa.Instr, now int64) {
-	for i, d := range arch.ScalableDomains() {
-		mhz := int(ins.Freqs[i])
+	n := m.numScalable
+	if len(ins.Freqs) < n {
+		n = len(ins.Freqs)
+	}
+	for d := 0; d < n; d++ {
+		mhz := int(ins.Freqs[d])
 		if mhz == 0 {
 			continue
 		}
-		m.clk[d].SetTarget(now, dvfs.Quantize(mhz))
+		m.clk[d].SetTarget(now, mhz)
 	}
 }
 
-// iqAdmit delays t until the execution domain's issue queue has a free
+// iqAdmit delays t until the execution cluster's issue queue has a free
 // entry, then records the (not yet known) entry; the caller fills in the
 // issue time via fuIssue.
 //
@@ -536,9 +625,9 @@ func (m *Machine) applyReconfig(ins *isa.Instr, now int64) {
 // occupancy after each dispatch, and stale entries would skew it. The
 // sweep is a branch-friendly sequential compaction; an earlier min-heap
 // variant benchmarked measurably slower on these tiny queues.
-func (m *Machine) iqAdmit(dom arch.Domain, t int64) int64 {
-	capQ := m.iqCap[dom]
-	q := m.iq[dom]
+func (m *Machine) iqAdmit(cl int, t int64) int64 {
+	capQ := m.iqCap[cl]
+	q := m.iq[cl]
 	if m.ctrl != nil {
 		// Prune entries that have issued by time t.
 		q = pruneQueue(q, t)
@@ -559,7 +648,7 @@ func (m *Machine) iqAdmit(dom arch.Domain, t int64) int64 {
 			q = pruneQueue(q, t)
 		}
 	}
-	m.iq[dom] = q
+	m.iq[cl] = q
 	return t
 }
 
@@ -577,8 +666,8 @@ func pruneQueue(q []int64, t int64) []int64 {
 
 // fuIssue selects the earliest-available unit, aligns issue to the
 // execution domain clock, reserves the unit for occ cycles and records
-// the issue-queue departure in dom's queue.
-func (m *Machine) fuIssue(dom arch.Domain, units []int64, dclk *clock.Schedule, ready int64, occ int64) int64 {
+// the issue-queue departure in the cluster's queue.
+func (m *Machine) fuIssue(cl int, units []int64, dclk *clock.Schedule, ready int64, occ int64) int64 {
 	best := 0
 	for i := 1; i < len(units); i++ {
 		if units[i] < units[best] {
@@ -592,26 +681,24 @@ func (m *Machine) fuIssue(dom arch.Domain, units []int64, dclk *clock.Schedule, 
 	issue := dclk.NextEdge(start - 1)
 	units[best] = dclk.Advance(issue, occ)
 	// Record IQ residency: the entry leaves the queue at issue.
-	if m.iqCap[dom] < 1<<30 {
-		m.iq[dom] = append(m.iq[dom], issue)
-	}
+	m.iq[cl] = append(m.iq[cl], issue)
 	return issue
 }
 
 // missPath models an instruction-fetch miss: the request crosses to the
-// memory domain, probes the L2 (and main memory on an L2 miss), and the
-// line returns to the requesting domain.
+// domain owning the L2 interface, probes the L2 (and main memory on an
+// L2 miss), and the line returns to the requesting domain.
 func (m *Machine) missPath(from int64, req arch.Domain) int64 {
-	mem := m.clk[arch.Memory]
-	t := m.sync.Cross(from, m.clk[req], mem)
-	t = mem.NextEdge(t - 1)
-	m.book.Charge(power.L2Op, mem.VoltsAt(t))
+	l2clk := m.clk[m.l2Dom]
+	t := m.sync.Cross(from, m.clk[req], l2clk)
+	t = l2clk.NextEdge(t - 1)
+	m.book.Charge(power.L2Op, l2clk.VoltsAt(t))
 	if m.l2.Access(m.fetchLine << 6) {
-		t = mem.Advance(t, int64(m.cfg.L2Lat))
+		t = l2clk.Advance(t, int64(m.cfg.L2Lat))
 	} else {
 		m.book.Charge(power.MemOp, dvfs.VMax)
-		t = mem.Advance(t, int64(m.cfg.L2Lat)) + m.cfg.MemLatPs
+		t = l2clk.Advance(t, int64(m.cfg.L2Lat)) + m.cfg.MemLatPs
 	}
-	back := m.sync.Cross(t, mem, m.clk[req])
+	back := m.sync.Cross(t, l2clk, m.clk[req])
 	return m.clk[req].NextEdge(back)
 }

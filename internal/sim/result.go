@@ -6,7 +6,9 @@ import (
 	"repro/internal/arch"
 )
 
-// Result summarizes one completed simulation run.
+// Result summarizes one completed simulation run. Per-domain slices are
+// indexed by the run's topology domains (the default topology:
+// front-end, integer, fp, memory, external).
 type Result struct {
 	// Instructions is the number of dynamic instructions simulated,
 	// including injected instrumentation instructions.
@@ -16,11 +18,12 @@ type Result struct {
 	TimePs int64
 	// EnergyPJ is the total energy across all domains.
 	EnergyPJ float64
-	// DomainPJ is the per-domain energy breakdown.
-	DomainPJ [arch.NumDomains]float64
+	// DomainPJ is the per-domain energy breakdown, one entry per
+	// topology domain.
+	DomainPJ []float64
 	// AvgMHz is the time-weighted average frequency of each scalable
 	// domain.
-	AvgMHz [arch.NumScalable]float64
+	AvgMHz []float64
 
 	// Microarchitectural statistics.
 	SyncCrossings  int64
@@ -61,18 +64,20 @@ func (m *Machine) Finalize() Result {
 	var res Result
 	res.Instructions = m.seq
 	res.TimePs = end
-	for d := 0; d < arch.NumDomains; d++ {
+	res.DomainPJ = make([]float64, len(m.clk))
+	for d := range m.clk {
 		dom := arch.Domain(d)
 		cycles := m.clk[d].CyclesIn(0, end)
 		util := 0.0
 		if cycles > 0 {
-			util = float64(m.book.Events[d]) / cycles
+			util = float64(m.book.Events(dom)) / cycles
 		}
 		m.book.Finalize(dom, m.clk[d], end, util)
 		res.DomainPJ[d] = m.book.DomainTotalPJ(dom)
 		res.EnergyPJ += res.DomainPJ[d]
 	}
-	for i, d := range arch.ScalableDomains() {
+	res.AvgMHz = make([]float64, m.numScalable)
+	for d := 0; d < m.numScalable; d++ {
 		segs := m.clk[d].Segments()
 		var weighted float64
 		for j, seg := range segs {
@@ -91,7 +96,7 @@ func (m *Machine) Finalize() Result {
 				break
 			}
 		}
-		res.AvgMHz[i] = weighted / float64(end)
+		res.AvgMHz[d] = weighted / float64(end)
 	}
 	res.SyncCrossings = m.sync.Crossings
 	res.SyncPenalties = m.sync.Penalties

@@ -156,7 +156,7 @@ func TestReconfigInstructionRampsDomain(t *testing.T) {
 	// Feed a reconfiguration instruction by hand, then the block. The
 	// full-range ramp takes 55 us, so the run must be long enough for
 	// the frequency to settle (150k instructions is roughly 130 us).
-	ins := isa.Instr{Class: isa.Reconfig, PC: 0x40, Freqs: [4]uint16{1000, 1000, 250, 1000}}
+	ins := isa.Instr{Class: isa.Reconfig, PC: 0x40, Freqs: []uint16{1000, 1000, 250, 1000}}
 	m.Instr(&ins)
 	p.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: 160_000})
 	r := m.Finalize()
@@ -175,7 +175,7 @@ func TestTrackInstructionCharged(t *testing.T) {
 	if m.Seq() != 1 {
 		t.Error("track instruction not consumed")
 	}
-	if m.Book().Events[arch.FrontEnd] == 0 {
+	if m.Book().Events(arch.FrontEnd) == 0 {
 		t.Error("no front-end energy charged for injected instruction")
 	}
 }

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// runUnder simulates n balanced instructions under one topology.
+func runUnder(t *testing.T, topology string, n int) Result {
+	t.Helper()
+	b := isa.NewBuilder("topo-" + topology)
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(isa.Balanced, n))
+	prog := b.Finish(main)
+	cfg := DefaultConfig()
+	cfg.Topology = topology
+	m := New(cfg)
+	prog.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: int64(n)})
+	return m.Finalize()
+}
+
+// TestTopologySizesResult checks that the machine sizes its per-domain
+// state and result slices from the topology model.
+func TestTopologySizesResult(t *testing.T) {
+	for _, name := range arch.TopologyNames() {
+		topo := arch.MustTopology(name)
+		res := runUnder(t, name, 20_000)
+		if len(res.DomainPJ) != topo.NumDomains() {
+			t.Errorf("%s: DomainPJ sized %d, want %d", name, len(res.DomainPJ), topo.NumDomains())
+		}
+		if len(res.AvgMHz) != topo.NumScalable() {
+			t.Errorf("%s: AvgMHz sized %d, want %d", name, len(res.AvgMHz), topo.NumScalable())
+		}
+		if res.EnergyPJ <= 0 || res.TimePs <= 0 {
+			t.Errorf("%s: empty result %v", name, res)
+		}
+	}
+}
+
+// TestSync1HasNoCrossings pins the defining property of the fully
+// synchronous topology: with every on-chip resource in one domain, no
+// value ever crosses a synchronizer, even with jitter enabled.
+func TestSync1HasNoCrossings(t *testing.T) {
+	res := runUnder(t, "sync1", 20_000)
+	if res.SyncCrossings != 0 {
+		t.Errorf("sync1 counted %d crossings, want 0", res.SyncCrossings)
+	}
+	if p4 := runUnder(t, "paper4", 20_000); p4.SyncCrossings == 0 {
+		t.Error("paper4 counted no crossings; the control is broken")
+	}
+}
+
+// TestFinerTopologyCrossesMore checks the monotonic intuition the sweep
+// axis exists to expose: splitting domains adds synchronization
+// boundaries, so fine6 crosses at least as often as paper4, and fe-be2
+// at most as often.
+func TestFinerTopologyCrossesMore(t *testing.T) {
+	const n = 20_000
+	two := runUnder(t, "fe-be2", n)
+	four := runUnder(t, "paper4", n)
+	six := runUnder(t, "fine6", n)
+	if !(two.SyncCrossings <= four.SyncCrossings && four.SyncCrossings <= six.SyncCrossings) {
+		t.Errorf("crossings not monotonic in granularity: fe-be2=%d paper4=%d fine6=%d",
+			two.SyncCrossings, four.SyncCrossings, six.SyncCrossings)
+	}
+}
+
+// TestTopologyReconfigTargetsDomains verifies a Reconfig instruction's
+// per-domain frequency vector lands on the topology's scalable domains.
+func TestTopologyReconfigTargetsDomains(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = "fe-be2"
+	m := New(cfg)
+	b := isa.NewBuilder("reconf2")
+	main := b.Subroutine("main")
+	b.SetBody(main, b.Block(isa.Balanced, 60_000))
+	prog := b.Finish(main)
+
+	// Feed a few instructions, then a reconfig halving the back end.
+	prog.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: 100})
+	ins := isa.Instr{Class: isa.Reconfig, PC: 0x40, Freqs: []uint16{1000, 500}}
+	m.Instr(&ins)
+	prog.Walk(isa.Input{Name: "train"}, &isa.CountingConsumer{Inner: m, Budget: 50_000})
+	res := m.Finalize()
+	if res.AvgMHz[0] < 950 {
+		t.Errorf("front-end avg %v MHz, want near 1000", res.AvgMHz[0])
+	}
+	if res.AvgMHz[1] > 700 {
+		t.Errorf("back-end avg %v MHz, want ramped toward 500", res.AvgMHz[1])
+	}
+}
+
+// TestUnknownTopologyPanics pins the boundary contract: building a
+// machine from an unvalidated topology name is a programming error.
+func TestUnknownTopologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unknown topology did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Topology = "bogus"
+	New(cfg)
+}

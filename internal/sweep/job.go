@@ -24,6 +24,7 @@ import (
 	"math"
 	"strconv"
 
+	"repro/internal/arch"
 	"repro/internal/calltree"
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -140,8 +141,12 @@ const keySchema = 1
 // configuration: a hex SHA-256 of the canonical JSON encoding of
 // (schema, config, job). encoding/json serializes struct fields in
 // declaration order, so the encoding — and therefore the key — is
-// deterministic across runs and processes of the same build.
+// deterministic across runs and processes of the same build. The
+// configuration's topology name is canonicalized first: the default
+// topology is hashed as absent, so pre-topology cache entries keep
+// their keys, while non-default topologies hash into the key space.
 func Key(cfg core.Config, job Job) string {
+	cfg.Sim.Topology = arch.CanonicalTopologyName(cfg.Sim.Topology)
 	payload := struct {
 		Schema int         `json:"schema"`
 		Config core.Config `json:"config"`

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/arch"
 	"repro/internal/calltree"
 	"repro/internal/core"
 	"repro/internal/workload"
@@ -35,6 +36,11 @@ type Manifest struct {
 	// Configuration overrides; zero values keep core.DefaultConfig().
 	DeltaPct float64 `json:"delta_pct,omitempty"`
 	Seed     int64   `json:"seed,omitempty"`
+	// Topology selects the machine's clock-domain topology by registered
+	// name (arch.TopologyNames); empty means the paper's default
+	// 4-domain split, and naming the default explicitly keys identically
+	// to omitting it.
+	Topology string `json:"topology,omitempty"`
 }
 
 // LoadManifest reads and validates a JSON manifest file.
@@ -54,6 +60,9 @@ func LoadManifest(path string) (*Manifest, error) {
 }
 
 // Config returns the core configuration the manifest's jobs run under.
+// The topology name is canonicalized (the default maps to the empty
+// string) so the paper configuration keys identically however it is
+// spelled.
 func (m *Manifest) Config() core.Config {
 	cfg := core.DefaultConfig()
 	if m.DeltaPct > 0 {
@@ -62,6 +71,7 @@ func (m *Manifest) Config() core.Config {
 	if m.Seed != 0 {
 		cfg.Sim.Seed = m.Seed
 	}
+	cfg.Sim.Topology = arch.CanonicalTopologyName(m.Topology)
 	return cfg
 }
 
@@ -69,6 +79,9 @@ func (m *Manifest) Config() core.Config {
 // Parameter sweeps are only applied to the policies they affect, so a
 // manifest with deltas does not duplicate delta-independent baselines.
 func (m *Manifest) Jobs() ([]Job, error) {
+	if _, err := arch.TopologyByName(m.Topology); err != nil {
+		return nil, fmt.Errorf("sweep: manifest: %w", err)
+	}
 	benches := m.Benchmarks
 	if len(benches) == 0 {
 		benches = workload.Names()

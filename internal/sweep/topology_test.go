@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestDefaultKeysPinned pins the content-addressed key space of the
+// default configuration to pre-topology goldens: introducing the
+// Topology field must not move a single existing result-cache or
+// artifact-store key. If this test fails, every shared cache in the
+// fleet silently goes cold — bump the key schema instead of editing the
+// expected hashes.
+func TestDefaultKeysPinned(t *testing.T) {
+	cfg := core.DefaultConfig()
+	pinned := []struct {
+		job Job
+		key string
+	}{
+		{Job{Bench: "adpcm_decode", Policy: PolicyBaseline},
+			"24b937609efac2ec11ff8be0decc9f17e3d3638a5613c1f6b9a77dfe8fa882c4"},
+		{Job{Bench: "gzip", Policy: PolicyScheme, Scheme: "L+F", Delta: 2.5},
+			"eff5e6a39b138e9a3dcd7cb5d03fe4335adf81bcecca5a66d685b960dfaf55ef"},
+		{Job{Bench: "mcf", Policy: PolicyOnline},
+			"58c0e160a95f9364ce9b1158f818a4fd47a8672755dfc727aad86c662c5a2a34"},
+	}
+	for _, p := range pinned {
+		if got := Key(cfg, p.job); got != p.key {
+			t.Errorf("Key(%s) = %s, want pinned %s", p.job, got, p.key)
+		}
+	}
+	// Naming the default topology explicitly must key identically.
+	named := cfg
+	named.Sim.Topology = arch.DefaultName
+	for _, p := range pinned {
+		if got := Key(named, p.job); got != p.key {
+			t.Errorf("Key(%s) with explicit %s topology = %s, want pinned %s",
+				p.job, arch.DefaultName, got, p.key)
+		}
+	}
+	// Artifact keys are pinned the same way.
+	b := workload.ByName("adpcm_decode")
+	spec := ProfileSpec{Bench: "adpcm_decode", Scheme: "L+F"}
+	const wantArt = "ca03105dd32d0b752e4fb9f04e194ec23b8bd1b678685a0a19f00c47a21f54a5"
+	if got := spec.ArtifactKey(cfg); got != wantArt {
+		t.Errorf("ArtifactKey = %s, want pinned %s", got, wantArt)
+	}
+	if got := spec.ArtifactKey(named); got != wantArt {
+		t.Errorf("ArtifactKey with explicit topology = %s, want pinned %s", got, wantArt)
+	}
+	_ = b
+}
+
+// TestTopologyKeysDistinct verifies non-default topologies hash into
+// both key spaces.
+func TestTopologyKeysDistinct(t *testing.T) {
+	cfg := core.DefaultConfig()
+	job := Job{Bench: "adpcm_decode", Policy: PolicyBaseline}
+	spec := ProfileSpec{Bench: "adpcm_decode", Scheme: "L+F"}
+	seenK := map[string]string{Key(cfg, job): "default"}
+	seenA := map[string]string{spec.ArtifactKey(cfg): "default"}
+	for _, name := range []string{"sync1", "fe-be2", "fine6"} {
+		c := cfg
+		c.Sim.Topology = name
+		k, a := Key(c, job), spec.ArtifactKey(c)
+		if prev, dup := seenK[k]; dup {
+			t.Errorf("topology %s result key collides with %s", name, prev)
+		}
+		if prev, dup := seenA[a]; dup {
+			t.Errorf("topology %s artifact key collides with %s", name, prev)
+		}
+		seenK[k], seenA[a] = name, name
+	}
+}
+
+// TestManifestRejectsUnknownTopology covers the manifest boundary: an
+// unknown topology is rejected with the registered names listed.
+func TestManifestRejectsUnknownTopology(t *testing.T) {
+	m := &Manifest{Benchmarks: []string{"g721_decode"}, Topology: "hexa12"}
+	if _, err := m.Jobs(); err == nil {
+		t.Fatal("unknown topology accepted")
+	} else {
+		for _, want := range []string{`"hexa12"`, "paper4", "sync1", "fe-be2", "fine6"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q missing %q", err, want)
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks":["g721_decode"],"topology":"hexa12"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil || !strings.Contains(err.Error(), "hexa12") {
+		t.Fatalf("LoadManifest err = %v, want unknown-topology rejection", err)
+	}
+}
+
+// TestManifestTopologyCanonicalizes checks that naming the default in a
+// manifest keys like omitting it, and that non-default names survive
+// into the configuration.
+func TestManifestTopologyCanonicalizes(t *testing.T) {
+	def := &Manifest{Benchmarks: []string{"g721_decode"}}
+	named := &Manifest{Benchmarks: []string{"g721_decode"}, Topology: arch.DefaultName}
+	a, _ := json.Marshal(def.Config())
+	b, _ := json.Marshal(named.Config())
+	if string(a) != string(b) {
+		t.Error("explicit default topology produced a different config")
+	}
+	fine := &Manifest{Benchmarks: []string{"g721_decode"}, Topology: "fine6"}
+	if fine.Config().Sim.Topology != "fine6" {
+		t.Errorf("fine6 topology lost: %+v", fine.Config().Sim.Topology)
+	}
+}
+
+// TestAllTopologiesEndToEnd runs the offline, online and baseline
+// policies for every built-in topology end to end from a sweep
+// manifest on the smallest benchmark — the acceptance gate that domain
+// granularity is a working sweep axis, not just a validated model.
+func TestAllTopologiesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains one profile per topology")
+	}
+	for _, name := range arch.TopologyNames() {
+		m := &Manifest{
+			Benchmarks: []string{"g721_decode"},
+			Policies:   []string{PolicyBaseline, PolicyOffline, PolicyOnline},
+			Topology:   name,
+		}
+		jobs, err := m.Jobs()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(jobs) != 3 {
+			t.Fatalf("%s: %d jobs, want 3", name, len(jobs))
+		}
+		eng := New(m.Config())
+		outs, sum, err := eng.Run(jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		topo := arch.MustTopology(name)
+		for i, o := range outs {
+			if o == nil || o.Res.Instructions == 0 || o.Res.TimePs == 0 {
+				t.Fatalf("%s: job %s produced no result", name, jobs[i])
+			}
+			if len(o.Res.DomainPJ) != topo.NumDomains() || len(o.Res.AvgMHz) != topo.NumScalable() {
+				t.Fatalf("%s: job %s result sized %d/%d domains, want %d/%d",
+					name, jobs[i], len(o.Res.DomainPJ), len(o.Res.AvgMHz),
+					topo.NumDomains(), topo.NumScalable())
+			}
+			// Outcomes must survive the JSON cache round trip with their
+			// per-domain slices intact.
+			bts, err := json.Marshal(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Outcome
+			if err := json.Unmarshal(bts, &back); err != nil {
+				t.Fatal(err)
+			}
+			if len(back.Res.DomainPJ) != len(o.Res.DomainPJ) {
+				t.Fatalf("%s: DomainPJ lost in round trip", name)
+			}
+		}
+		if sum.Errors != 0 {
+			t.Fatalf("%s: summary %v", name, sum)
+		}
+		// The offline oracle must not run above baseline speed, and the
+		// online controller must scale at least one domain below max on
+		// average (it always probes downward somewhere on this workload).
+		base, off := outs[0].Res, outs[1].Res
+		if off.TimePs < base.TimePs {
+			t.Errorf("%s: offline faster than baseline (%d < %d ps)", name, off.TimePs, base.TimePs)
+		}
+		if off.EnergyPJ >= base.EnergyPJ {
+			t.Errorf("%s: offline saved no energy (%.0f >= %.0f pJ)", name, off.EnergyPJ, base.EnergyPJ)
+		}
+	}
+}

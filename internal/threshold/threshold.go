@@ -7,18 +7,18 @@
 package threshold
 
 import (
-	"repro/internal/arch"
 	"repro/internal/dvfs"
 	"repro/internal/shaker"
 )
 
-// Choose returns, per scalable domain, the minimum frequency (MHz) that
-// keeps the estimated slowdown within deltaPct percent. Domains with no
-// recorded events idle at the minimum frequency.
-func Choose(h *shaker.DomainHists, deltaPct float64) [arch.NumScalable]int {
-	var out [arch.NumScalable]int
-	for d := 0; d < arch.NumScalable; d++ {
-		out[d] = chooseDomain(&h[d], deltaPct)
+// Choose returns, per scalable domain (in topology domain order), the
+// minimum frequency (MHz) that keeps the estimated slowdown within
+// deltaPct percent. Domains with no recorded events idle at the minimum
+// frequency. The result length matches the histogram set's.
+func Choose(h *shaker.DomainHists, deltaPct float64) []int {
+	out := make([]int, len(*h))
+	for d := range *h {
+		out[d] = chooseDomain(&(*h)[d], deltaPct)
 	}
 	return out
 }

@@ -16,7 +16,7 @@ func histAt(mhz int, weight float64) *shaker.Hist {
 }
 
 func TestEmptyDomainIdlesAtMinimum(t *testing.T) {
-	var h shaker.DomainHists
+	h := make(shaker.DomainHists, arch.NumScalable)
 	f := Choose(&h, 5)
 	for d, mhz := range f {
 		if mhz != dvfs.FMinMHz {
@@ -28,7 +28,7 @@ func TestEmptyDomainIdlesAtMinimum(t *testing.T) {
 func TestAllWeightAtOneBin(t *testing.T) {
 	// All events ideal at 500 MHz: the chosen frequency is 500 (zero
 	// extra time, any delta).
-	var h shaker.DomainHists
+	h := make(shaker.DomainHists, arch.NumScalable)
 	h[arch.Integer] = *histAt(500, 1000)
 	f := Choose(&h, 1)
 	if f[arch.Integer] != 500 {
@@ -37,7 +37,7 @@ func TestAllWeightAtOneBin(t *testing.T) {
 }
 
 func TestFullSpeedWeightForcesFullSpeed(t *testing.T) {
-	var h shaker.DomainHists
+	h := make(shaker.DomainHists, arch.NumScalable)
 	h[arch.FP] = *histAt(1000, 1000)
 	f := Choose(&h, 0) // no slowdown budget at all
 	if f[arch.FP] != 1000 {
@@ -48,7 +48,7 @@ func TestFullSpeedWeightForcesFullSpeed(t *testing.T) {
 func TestBudgetAllowsLower(t *testing.T) {
 	// 10% of weight at full speed, the rest at 250 MHz: a modest delta
 	// lets the domain run well below full speed.
-	var h shaker.DomainHists
+	h := make(shaker.DomainHists, arch.NumScalable)
 	hist := &h[arch.Memory]
 	hist.Bins[dvfs.StepIndex(1000)] = 100
 	hist.Bins[dvfs.StepIndex(250)] = 900
@@ -63,7 +63,7 @@ func TestBudgetAllowsLower(t *testing.T) {
 }
 
 func TestMonotonicInDelta(t *testing.T) {
-	var h shaker.DomainHists
+	h := make(shaker.DomainHists, arch.NumScalable)
 	hist := &h[arch.Integer]
 	hist.Bins[dvfs.StepIndex(1000)] = 300
 	hist.Bins[dvfs.StepIndex(700)] = 300
@@ -80,7 +80,7 @@ func TestMonotonicInDelta(t *testing.T) {
 
 func TestChosenFrequencySatisfiesBudget(t *testing.T) {
 	f := func(w1, w2, w3 uint16, deltaQ uint8) bool {
-		var h shaker.DomainHists
+		h := make(shaker.DomainHists, arch.NumScalable)
 		hist := &h[arch.Integer]
 		hist.Bins[dvfs.StepIndex(1000)] = float64(w1)
 		hist.Bins[dvfs.StepIndex(625)] = float64(w2)
@@ -111,7 +111,7 @@ func TestEstimatedSlowdown(t *testing.T) {
 }
 
 func TestPerDomainIndependence(t *testing.T) {
-	var h shaker.DomainHists
+	h := make(shaker.DomainHists, arch.NumScalable)
 	h[arch.FrontEnd] = *histAt(1000, 500)
 	h[arch.FP] = *histAt(250, 500)
 	f := Choose(&h, 1)

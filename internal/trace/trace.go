@@ -90,6 +90,15 @@ type Collector struct {
 	// recent execution events for data dependencies: ring indexed by
 	// global sequence number.
 	ring [ringSize]ref
+
+	// topology-derived routing: the domains owning the fetch and
+	// dispatch/commit resources, the scalable-domain count and per-domain
+	// issue bandwidths. Filled by SetTopology; NewCollector defaults to
+	// the paper topology.
+	fetchDom    arch.Domain
+	commitDom   arch.Domain
+	numScalable int
+	bw          []int
 }
 
 const ringSize = 1 << 16
@@ -165,27 +174,32 @@ type capture struct {
 	// redirectFrom is the completion time of the pending mispredicted
 	// branch, the start of the refill event.
 	redirectFrom int64
-	// lastExec holds recent execution-event indices per domain, used to
-	// wire issue-bandwidth edges: an event cannot start before the event
-	// K issues earlier in the same domain finished, where K is the
-	// domain's functional-unit count.
-	lastExec [arch.NumScalable]evRing
+	// lastExec holds recent execution-event indices per scalable domain,
+	// used to wire issue-bandwidth edges: an event cannot start before
+	// the event K issues earlier in the same domain finished, where K is
+	// the domain's functional-unit count.
+	lastExec []evRing
 }
 
 // resetStream empties the per-instruction scratch queues (fresh segment
-// or split continuation).
-func (capt *capture) resetStream() {
+// or split continuation). bw is the per-scalable-domain issue bandwidth.
+func (capt *capture) resetStream(bw []int) {
 	capt.fetchQ.init(fetchWidth)
 	capt.commitQ.init(retireWidth)
 	capt.robQ.init(robSize)
+	if len(capt.lastExec) != len(bw) {
+		capt.lastExec = make([]evRing, len(bw))
+	}
 	for d := range capt.lastExec {
-		capt.lastExec[d].init(bandwidthOf(arch.Domain(d)))
+		capt.lastExec[d].init(bw[d])
 	}
 	capt.redirect = -1
 	capt.redirectFrom = 0
 }
 
-// NewCollector builds a collector against a finalized training tree.
+// NewCollector builds a collector against a finalized training tree,
+// routed by the default topology; call SetTopology before the run for a
+// different domain structure.
 func NewCollector(tree *calltree.Tree, maxInstances, maxEvents int, onSegment func(*Segment)) *Collector {
 	c := &Collector{
 		MaxInstances: maxInstances,
@@ -195,8 +209,31 @@ func NewCollector(tree *calltree.Tree, maxInstances, maxEvents int, onSegment fu
 		seen:         make(map[*calltree.Node]int),
 		pendingSite:  -1,
 	}
+	c.SetTopology(arch.Default())
 	c.stack = append(c.stack, tree.Root)
 	return c
+}
+
+// SetTopology routes the collector's events by a clock-domain topology:
+// front-end events land in the domains owning the fetch and
+// dispatch/commit resources, and issue-bandwidth edges use per-domain
+// unit counts summed over each domain's owned execution resources. It
+// must be called before the first traced instruction.
+func (c *Collector) SetTopology(topo *arch.Topology) {
+	c.fetchDom = topo.DomainOf(arch.ResFetch)
+	c.commitDom = topo.DomainOf(arch.ResDispatch)
+	c.numScalable = topo.NumScalable()
+	c.bw = make([]int, c.numScalable)
+	for d := 0; d < c.numScalable; d++ {
+		b := 0
+		for _, r := range topo.Spec(arch.Domain(d)).Resources {
+			b += resourceBandwidth[r]
+		}
+		if b < 1 {
+			b = 1
+		}
+		c.bw[d] = b
+	}
 }
 
 func (c *Collector) top() *calltree.Node { return c.stack[len(c.stack)-1] }
@@ -273,7 +310,7 @@ func (c *Collector) enter(kind calltree.NodeKind, id, site int32) {
 		capt := c.newCapture()
 		capt.node = n
 		capt.seg = c.newSegment(n)
-		capt.resetStream()
+		capt.resetStream(c.bw)
 		c.capStack = append(c.capStack, capt)
 	}
 }
@@ -317,19 +354,18 @@ func (c *Collector) exit() {
 	}
 }
 
-// bandwidthOf returns the per-cycle issue bandwidth (functional units)
-// of a domain, used for structural-hazard edges.
-func bandwidthOf(d arch.Domain) int {
-	switch d {
-	case arch.Integer:
-		return 5 // 4 ALUs + 1 mul/div
-	case arch.FP:
-		return 3 // 2 ALUs + 1 mul/div/sqrt
-	case arch.Memory:
-		return 2 // load/store ports
-	default:
-		return 4 // front-end width
-	}
+// resourceBandwidth is the per-cycle issue bandwidth each pipeline
+// resource contributes to its domain, used for structural-hazard edges
+// (Table 1 unit counts: 4+1 integer units, 2+1 FP units, 2 load/store
+// ports, 4-wide fetch).
+var resourceBandwidth = [arch.NumResources]int{
+	arch.ResFetch:     4,
+	arch.ResDispatch:  0,
+	arch.ResIntExec:   5,
+	arch.ResFPExec:    3,
+	arch.ResLoadStore: 2,
+	arch.ResL2:        0,
+	arch.ResMemory:    0,
 }
 
 func (c *Collector) flush(capt *capture) {
@@ -400,7 +436,7 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 		// Split: close this segment and continue in a fresh one.
 		c.flush(capt)
 		capt.seg = c.newSegment(capt.node)
-		capt.resetStream()
+		capt.resetStream(c.bw)
 		seg = capt.seg
 	}
 	base := extend(seg, 3)
@@ -409,15 +445,15 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 	// Front-end events model the one-cycle fetch and retire stage slots;
 	// the full fetch-to-dispatch span overlaps across instructions and
 	// would otherwise show false negative slack.
-	ev[fetchIdx].Domain = arch.FrontEnd
+	ev[fetchIdx].Domain = c.fetchDom
 	ev[fetchIdx].Start = t.Fetch
 	ev[fetchIdx].End = t.Fetch + basePeriodPs
 	ev[fetchIdx].Weight = basePeriodPs / fetchWidth
 	ev[execIdx].Domain = t.Dom
 	ev[execIdx].Start = t.Issue
 	ev[execIdx].End = t.Complete
-	ev[execIdx].Weight = float64(t.Complete-t.Issue) / float64(bandwidthOf(t.Dom))
-	ev[commitIdx].Domain = arch.FrontEnd
+	ev[execIdx].Weight = float64(t.Complete-t.Issue) / float64(c.bw[t.Dom])
+	ev[commitIdx].Domain = c.commitDom
 	ev[commitIdx].Start = t.Commit
 	ev[commitIdx].End = t.Commit + basePeriodPs
 	ev[commitIdx].Weight = basePeriodPs / retireWidth
@@ -441,7 +477,7 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 	if capt.redirect >= 0 {
 		rIdx := extend(seg, 1)
 		ev = seg.Events
-		ev[rIdx].Domain = arch.FrontEnd
+		ev[rIdx].Domain = c.fetchDom
 		ev[rIdx].Start = capt.redirectFrom
 		ev[rIdx].End = t.Fetch
 		// Refill work is serial: full weight.
@@ -468,7 +504,7 @@ func (c *Collector) Trace(seq int64, ins *isa.Instr, t *sim.Times) {
 	// edges the shaker sees far more slack than the machine has. The edge
 	// is added only when the constraint was (nearly) binding in the
 	// observed schedule; a long-idle unit is genuine headroom.
-	if t.Dom < arch.NumScalable {
+	if int(t.Dom) < c.numScalable {
 		if old, full := capt.lastExec[t.Dom].push(execIdx); full {
 			// Keep the edge only when it points forward in time; an
 			// out-of-order overlap carries no constraint.
