@@ -1,0 +1,149 @@
+// Command mcdserved runs the sweep engine as a long-lived HTTP/JSON
+// service (see internal/serve): a daemon that accepts concurrent sweep
+// manifests, deduplicates them against the persistent result cache and
+// artifact store it shares with the mcdsweep CLI, streams job outcomes
+// as they finish, and applies admission control when the job queue is
+// full.
+//
+// Usage:
+//
+//	mcdserved -cache DIR [-addr HOST:PORT] [-parallel K] [-queue N] [-drain-timeout D]
+//
+// Endpoints:
+//
+//	POST /v1/sweeps              submit a manifest (mcdsweep's schema); returns the sweep ID
+//	GET  /v1/sweeps/{id}         progress snapshot
+//	GET  /v1/sweeps/{id}/stream  NDJSON job completions, live (?from=N resumes)
+//	GET  /v1/sweeps/{id}/results merged results, byte-identical to `mcdsweep merge`
+//	GET  /healthz                liveness
+//	GET  /metrics                Prometheus text format
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: new submissions get
+// 503 immediately, admitted sweeps run to completion (bounded by
+// -drain-timeout), streams deliver their terminal lines, and only then
+// does the listener close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8337", "listen address (use :0 for an ephemeral port; the chosen address is printed)")
+	cacheDir := flag.String("cache", "", "persistent result cache directory, shared with mcdsweep (required)")
+	parallel := flag.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission budget: max admitted-but-unfinished jobs (default workers*64, min 1024)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long a graceful shutdown waits for admitted sweeps")
+	leakCheck := flag.Bool("leakcheck", false, "after graceful shutdown, fail (exit 1) if any service goroutine is still alive — CI's no-goroutine-leak assert")
+	flag.Parse()
+
+	if *cacheDir == "" {
+		fatal("missing -cache")
+	}
+	srv := serve.NewServer(*cacheDir, *parallel, *queue)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err.Error())
+	}
+	// The listening line goes to stdout (and is flushed by Println) so
+	// scripts and tests that start the daemon on :0 can scrape the port.
+	fmt.Printf("mcdserved: listening on http://%s (cache %s, %d workers, queue %d)\n",
+		ln.Addr(), *cacheDir, srv.Workers, srv.QueueDepth)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "mcdserved: %v: draining\n", s)
+	case err := <-serveErr:
+		fatal(err.Error())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain first — submissions start failing fast with 503 while
+	// status/stream/results keep answering — then close the listener
+	// once every admitted sweep has delivered its terminal stream line.
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdserved:", err)
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "mcdserved:", err)
+		os.Exit(1)
+	}
+	if *leakCheck {
+		if err := checkGoroutines(5 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdserved: goroutine leak after drain:")
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "mcdserved: drained, bye")
+}
+
+// checkGoroutines asserts that after a full drain no service goroutine
+// is still alive: nothing from this module and no lingering HTTP
+// connection handlers. The signal watcher and the runtime's own
+// goroutines are expected survivors. It polls until the deadline to let
+// stragglers park, then returns the offending stacks.
+func checkGoroutines(wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		leaked := leakedStacks()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New(strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// leakedStacks dumps all goroutine stacks and returns the stanzas that
+// belong to the service: anything running module code (repro/) or a
+// net/http connection handler. The main goroutine (which is running
+// this check) and the os/signal watcher are filtered out.
+func leakedStacks() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var leaked []string
+	for _, stanza := range strings.Split(string(buf[:n]), "\n\n") {
+		// The main goroutine (running this check — under `go test` it is
+		// compiled as repro/cmd/mcdserved.leakedStacks, not
+		// main.leakedStacks) and the signal watcher are expected.
+		if stanza == "" ||
+			strings.Contains(stanza, ".leakedStacks") ||
+			strings.Contains(stanza, "os/signal") {
+			continue
+		}
+		if strings.Contains(stanza, "repro/") || strings.Contains(stanza, "net/http.(*conn).serve") {
+			leaked = append(leaked, stanza)
+		}
+	}
+	return leaked
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "mcdserved:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// TestMain lets the test binary impersonate the mcdserved daemon (the
+// reexec style of cmd/mcdsweep/main_test.go): with the marker set, run
+// main() with the test binary's arguments for true end-to-end coverage
+// of flag parsing, signal handling and exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("MCDSERVED_REEXEC") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one reexec'd mcdserved under test.
+type daemon struct {
+	cmd     *exec.Cmd
+	baseURL string
+	stderr  *bytes.Buffer
+}
+
+// startDaemon boots mcdserved on an ephemeral port with -leakcheck and
+// scrapes the listening address off its stdout.
+func startDaemon(t *testing.T, cacheDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-addr", "127.0.0.1:0", "-cache", cacheDir, "-leakcheck")
+	cmd.Env = append(os.Environ(), "MCDSERVED_REEXEC=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			url := strings.Fields(line[i+len("listening on "):])[0]
+			d := &daemon{cmd: cmd, baseURL: url, stderr: &stderr}
+			t.Cleanup(func() {
+				if cmd.ProcessState == nil {
+					cmd.Process.Kill()
+					cmd.Wait()
+				}
+			})
+			// Drain the rest of stdout so the child never blocks on a
+			// full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return d
+		}
+	}
+	cmd.Wait()
+	t.Fatalf("daemon never printed its address; stderr: %s", stderr.String())
+	return nil
+}
+
+// stop SIGTERMs the daemon and returns its exit code after the
+// graceful drain (and its -leakcheck goroutine assert) completes.
+func (d *daemon) stop(t *testing.T) int {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case <-done:
+		return d.cmd.ProcessState.ExitCode()
+	case <-time.After(2 * time.Minute):
+		d.cmd.Process.Kill()
+		t.Fatalf("daemon did not drain after SIGTERM; stderr: %s", d.stderr.String())
+		return -1
+	}
+}
+
+// TestGracefulShutdownCleanExit boots the daemon, probes /healthz, and
+// checks SIGTERM produces a clean drain with no leaked goroutines
+// (-leakcheck makes a leak a nonzero exit with a stack dump).
+func TestGracefulShutdownCleanExit(t *testing.T) {
+	d := startDaemon(t, t.TempDir())
+	c := &serve.Client{BaseURL: d.baseURL}
+	if err := c.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.stop(t); code != 0 {
+		t.Fatalf("daemon exited %d after SIGTERM; stderr:\n%s", code, d.stderr.String())
+	}
+	if !strings.Contains(d.stderr.String(), "drained, bye") {
+		t.Errorf("no graceful-drain farewell on stderr: %s", d.stderr.String())
+	}
+}
+
+// TestServedMatchesLocalRun is the end-to-end acceptance check: a
+// daemon-served run of the ci-manifest must produce merged results —
+// and result-cache and artifact-store entry bytes — byte-identical to
+// a local `mcdsweep run` + `merge` of the same manifest into a
+// separate cache directory.
+func TestServedMatchesLocalRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full ci-manifest twice")
+	}
+	manifestPath := filepath.Join("..", "..", "perf", "ci-manifest.json")
+	body, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sweep.LoadManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	jobs, err := m.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local reference run: the exact library path `mcdsweep run` +
+	// `mcdsweep merge` take.
+	localDir := t.TempDir()
+	eng := sweep.New(cfg)
+	eng.Cache = &sweep.Cache{Dir: localDir}
+	eng.Artifacts = sweep.ArtifactStore(localDir)
+	if _, _, err := eng.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	localBytes, err := sweep.MergeBytes(cfg, jobs, eng.Cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Served run into a separate cache directory.
+	servedDir := t.TempDir()
+	d := startDaemon(t, servedDir)
+	c := &serve.Client{BaseURL: d.baseURL}
+	events := 0
+	st, err := c.RunManifest(body, func(serve.Event) { events++ })
+	if err != nil {
+		t.Fatalf("served run: %v; stderr: %s", err, d.stderr.String())
+	}
+	if st.State != serve.StateComplete {
+		t.Fatalf("sweep state %s: %s", st.State, st.Error)
+	}
+	if events != len(jobs) {
+		t.Errorf("streamed %d events, want %d", events, len(jobs))
+	}
+	if st.Summary == nil || st.Summary.Executed == 0 {
+		t.Errorf("cold served run executed nothing: %+v", st.Summary)
+	}
+	servedBytes, err := c.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(servedBytes, localBytes) {
+		t.Errorf("served results differ from local merge (%d vs %d bytes)", len(servedBytes), len(localBytes))
+	}
+
+	// Stop before diffing the stores so every entry has landed.
+	if code := d.stop(t); code != 0 {
+		t.Fatalf("daemon exited %d; stderr:\n%s", code, d.stderr.String())
+	}
+
+	// Cache entry and artifact bytes: same relative file set, identical
+	// contents.
+	localFiles := entrySet(t, localDir)
+	servedFiles := entrySet(t, servedDir)
+	if len(localFiles) != len(servedFiles) {
+		t.Errorf("entry sets differ: local %d files, served %d", len(localFiles), len(servedFiles))
+	}
+	for rel, lb := range localFiles {
+		sb, ok := servedFiles[rel]
+		if !ok {
+			t.Errorf("served cache missing %s", rel)
+			continue
+		}
+		if !bytes.Equal(lb, sb) {
+			t.Errorf("entry %s differs between local and served caches", rel)
+		}
+	}
+}
+
+// entrySet maps every persistent entry file under dir (result cache and
+// artifact store alike) to its contents, keyed by relative path.
+func entrySet(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[rel] = b
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

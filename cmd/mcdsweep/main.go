@@ -7,8 +7,15 @@
 //
 //	mcdsweep enum  -manifest m.json [-shards N -shard I]
 //	mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
+//	mcdsweep run   -manifest m.json -server URL
 //	mcdsweep merge -manifest m.json -cache DIR [-o out.json]
+//	mcdsweep merge -manifest m.json -server URL [-o out.json]
 //	mcdsweep prune -manifest m.json -cache DIR [-rm]
+//
+// With -server, run submits the manifest to a running mcdserved daemon
+// (cmd/mcdserved) and waits for the streamed completion instead of
+// executing locally, and merge fetches the daemon's merged results —
+// byte-identical to a local merge over the daemon's cache directory.
 //
 // A manifest is a JSON grid (see internal/sweep.Manifest):
 //
@@ -44,6 +51,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/serve"
 	"repro/internal/sweep"
 )
 
@@ -66,6 +74,7 @@ func main() {
 	parallel := fs.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
 	out := fs.String("o", "", "merge output file (default stdout)")
 	rm := fs.Bool("rm", false, "prune: actually delete unreachable entries (default: dry run)")
+	server := fs.String("server", "", "mcdserved base URL (e.g. http://127.0.0.1:8337); run submits and waits instead of executing locally, merge fetches the served results")
 	fs.Parse(args)
 
 	if *manifestPath == "" {
@@ -79,13 +88,22 @@ func main() {
 	// always reassembles the full manifest from the cache.
 	switch cmd {
 	case "enum":
-		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm")
+		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server")
 	case "run":
 		rejectFlags(cmd, *out != "", "-o", *rm, "-rm")
+		if *server != "" {
+			// The daemon owns its cache directory, worker pool and shard
+			// placement; client mode only submits and waits.
+			rejectFlags(cmd+" -server", *cacheDir != "", "-cache", *shards != 1, "-shards",
+				*shard != 0, "-shard", *parallel != 0, "-parallel")
+		}
 	case "merge":
 		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm")
+		if *server != "" {
+			rejectFlags(cmd+" -server", *cacheDir != "", "-cache")
+		}
 	case "prune":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server")
 	}
 	m, err := sweep.LoadManifest(*manifestPath)
 	if err != nil {
@@ -107,6 +125,10 @@ func main() {
 			len(mine), *shard, *shards, len(jobs))
 
 	case "run":
+		if *server != "" {
+			runRemote(*server, *manifestPath, m)
+			return
+		}
 		if *cacheDir == "" {
 			fatal("run requires -cache")
 		}
@@ -129,18 +151,19 @@ func main() {
 		}
 
 	case "merge":
-		if *cacheDir == "" {
-			fatal("merge requires -cache")
+		var b []byte
+		if *server != "" {
+			b = mergeRemote(*server, *manifestPath)
+		} else {
+			if *cacheDir == "" {
+				fatal("merge requires -cache")
+			}
+			var err error
+			b, err = sweep.MergeBytes(cfg, jobs, &sweep.Cache{Dir: *cacheDir})
+			if err != nil {
+				fatal(err.Error())
+			}
 		}
-		merged, err := sweep.Merge(cfg, jobs, &sweep.Cache{Dir: *cacheDir})
-		if err != nil {
-			fatal(err.Error())
-		}
-		b, err := json.MarshalIndent(merged, "", " ")
-		if err != nil {
-			fatal(err.Error())
-		}
-		b = append(b, '\n')
 		if *out == "" {
 			os.Stdout.Write(b)
 		} else if err := os.WriteFile(*out, b, 0o644); err != nil {
@@ -178,11 +201,81 @@ func main() {
 	}
 }
 
+// runRemote is run's client mode: submit the manifest to a daemon, wait
+// for the streamed completion, and print a run-style summary line with
+// the sweep ID and the server's batch summary (same semantics as a
+// local run: executed is zero iff everything was served from cache).
+func runRemote(server, manifestPath string, m *sweep.Manifest) {
+	body, err := os.ReadFile(manifestPath)
+	if err != nil {
+		fatal(err.Error())
+	}
+	c := &serve.Client{BaseURL: server}
+	st, err := c.RunManifest(body, nil)
+	if err != nil {
+		fatal(err.Error())
+	}
+	var sum sweep.Summary
+	if st.Summary != nil {
+		sum = *st.Summary
+	}
+	summary := struct {
+		Manifest string `json:"manifest"`
+		Server   string `json:"server"`
+		SweepID  string `json:"sweep_id"`
+		sweep.Summary
+	}{m.Name, server, st.ID, sum}
+	json.NewEncoder(os.Stdout).Encode(summary)
+	if st.Error != "" {
+		fatal(st.Error)
+	}
+}
+
+// mergeRemote is merge's client mode: submit the manifest (a completed
+// or cached sweep resolves without recomputation), wait, and fetch the
+// merged results the daemon serves — byte-identical to a local merge
+// over the same cache.
+func mergeRemote(server, manifestPath string) []byte {
+	body, err := os.ReadFile(manifestPath)
+	if err != nil {
+		fatal(err.Error())
+	}
+	c := &serve.Client{BaseURL: server}
+	st, err := c.Submit(body)
+	if err != nil {
+		fatal(err.Error())
+	}
+	if st.State == serve.StateRunning {
+		// Unlike a local merge (which fails fast on missing cache
+		// entries), the daemon computes whatever is missing; make the
+		// wait — and the reason for it — visible. A sweep that is
+		// already done skips the stream entirely: replaying N outcome
+		// events just to reach the terminal line would double the
+		// transfer for warm merges.
+		fmt.Fprintf(os.Stderr, "mcdsweep: merge -server: sweep %s is running (%d/%d jobs done); waiting while the daemon completes it\n",
+			st.ID, st.Done, st.Jobs)
+		st, err = c.Follow(st.ID, st.Jobs, nil)
+		if err != nil {
+			fatal(err.Error())
+		}
+	}
+	if st.Error != "" {
+		fatal(st.Error)
+	}
+	b, err := c.Results(st.ID)
+	if err != nil {
+		fatal(err.Error())
+	}
+	return b
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mcdsweep enum  -manifest m.json [-shards N -shard I]
   mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
+  mcdsweep run   -manifest m.json -server URL
   mcdsweep merge -manifest m.json -cache DIR [-o out.json]
+  mcdsweep merge -manifest m.json -server URL [-o out.json]
   mcdsweep prune -manifest m.json -cache DIR [-rm]`)
 	os.Exit(2)
 }

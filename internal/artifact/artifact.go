@@ -91,6 +91,8 @@ type Store struct {
 	Dir string
 
 	writes atomic.Int64
+	loads  atomic.Int64
+	hits   atomic.Int64
 }
 
 // entry is the on-disk representation: schema, key and kind are stored
@@ -111,6 +113,15 @@ func (s *Store) EntryPath(key string) string {
 // Load returns the payload stored under key for the given kind, with a
 // status distinguishing absent entries from damaged ones.
 func (s *Store) Load(key, kind string) (json.RawMessage, Status) {
+	payload, status := s.load(key, kind)
+	s.loads.Add(1)
+	if status == Hit {
+		s.hits.Add(1)
+	}
+	return payload, status
+}
+
+func (s *Store) load(key, kind string) (json.RawMessage, Status) {
 	b, err := os.ReadFile(s.EntryPath(key))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -162,3 +173,11 @@ func (s *Store) Put(key, kind string, payload []byte) error {
 // Writes reports how many artifacts this store instance has persisted —
 // the observable that fleet-wide train-once tests assert on.
 func (s *Store) Writes() int64 { return s.writes.Load() }
+
+// Loads reports how many lookups this store instance has answered.
+func (s *Store) Loads() int64 { return s.loads.Load() }
+
+// Hits reports how many of those lookups found a valid entry — with
+// Loads and Writes, the store-level hit-ratio observable a long-lived
+// service exposes on its metrics surface.
+func (s *Store) Hits() int64 { return s.hits.Load() }

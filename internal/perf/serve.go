@@ -1,0 +1,176 @@
+package perf
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/calltree"
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// Service scenarios: the sweep-as-a-service daemon driven by an
+// in-process load generator, over a cold and a warm persistent cache.
+const (
+	// ServeThroughput drives a fresh daemon over a warm cache directory
+	// (the restart case): eight concurrent clients submit overlapping
+	// manifests, every job resolves through the result cache, and the
+	// scenario measures the full service path — admission, dispatch,
+	// disk loads, NDJSON streaming, merge. This is the serving-layer
+	// counterpart of sweep-throughput's cold engine measurement.
+	ServeThroughput = "serve-throughput"
+	// ServeThroughputCold is the same eight-client load against a cold
+	// cache: unique jobs execute exactly once via cross-request dedup
+	// while every overlapping submission streams the shared outcomes.
+	ServeThroughputCold = "serve-throughput-cold"
+)
+
+// serveLoadClients is the in-process load generator's concurrency.
+const serveLoadClients = 8
+
+// serveWarmRounds is how many fresh-daemon rounds the warm scenario
+// measures: one warm round is a few milliseconds, far too short to
+// gate on wall time, so the scenario amortizes setup noise over many.
+const serveWarmRounds = 25
+
+// serveLoadManifests is the submission mix: overlapping variants of the
+// sweep-throughput grid. Variants (not byte-identical copies, which
+// would collapse into a single content-addressed sweep) keep several
+// distinct sweeps in flight that still share most jobs, so the
+// cross-request dedup path is what gets measured.
+func serveLoadManifests() [][]byte {
+	base := sweep.Manifest{
+		Name:       "serve-load",
+		Benchmarks: []string{"adpcm_decode"},
+		Policies:   []string{sweep.PolicyBaseline, sweep.PolicySingleClock, sweep.PolicyScheme},
+		Schemes:    []string{calltree.LF.Name, calltree.LFCP.Name},
+		Deltas:     []float64{1.0, 1.75, 2.5},
+	}
+	v2 := base
+	v2.Name, v2.Deltas = "serve-load-2", []float64{1.0, 1.75}
+	v3 := base
+	v3.Name, v3.Schemes = "serve-load-3", []string{calltree.LF.Name}
+	v4 := base
+	v4.Name, v4.Policies = "serve-load-4", []string{sweep.PolicyBaseline, sweep.PolicySingleClock}
+
+	var out [][]byte
+	for _, m := range []sweep.Manifest{base, v2, v3, v4} {
+		b, err := json.Marshal(m)
+		if err != nil {
+			panic("perf: serve manifest encoding: " + err.Error())
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// serveLoadUnion enumerates the union of the load mix's job grids (the
+// base variant covers the others), for warming the cache untimed.
+func serveLoadUnion() (core.Config, []sweep.Job, error) {
+	var m sweep.Manifest
+	if err := json.Unmarshal(serveLoadManifests()[0], &m); err != nil {
+		return core.Config{}, nil, err
+	}
+	jobs, err := m.Jobs()
+	return m.Config(), jobs, err
+}
+
+// driveServer boots a fresh server over cacheDir, submits the load mix
+// with serveLoadClients concurrent clients, and returns the total
+// instructions streamed back across all sweeps (shared jobs count once
+// per sweep that serves them — that is serving throughput, not
+// simulation throughput).
+func driveServer(cacheDir string) (int64, error) {
+	srv := serve.NewServer(cacheDir, 0, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Drain before closing the listener so no scenario leaks pool
+	// workers into the next measurement's allocation window.
+	defer srv.Drain(context.Background())
+
+	manifests := serveLoadManifests()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, serveLoadClients)
+	for i := 0; i < serveLoadClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &serve.Client{BaseURL: ts.URL}
+			st, err := c.RunManifest(manifests[i%len(manifests)], func(ev serve.Event) {
+				if ev.Outcome != nil {
+					total.Add(ev.Outcome.Res.Instructions)
+				}
+			})
+			if err == nil && st.Error != "" {
+				err = errors.New(st.Error)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	return total.Load(), nil
+}
+
+func init() {
+	Register(Scenario{
+		Name: ServeThroughputCold,
+		Desc: "mcdserved under 8 overlapping concurrent submissions, cold cache (dedup executes each unique job once)",
+		Run: func() (int64, error) {
+			dir, err := os.MkdirTemp("", "mcdperf-serve-cold-*")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(dir)
+			return driveServer(dir)
+		},
+	})
+
+	var warmDir string
+	Register(Scenario{
+		Name: ServeThroughput,
+		Desc: "mcdserved under 8 overlapping concurrent submissions, warm cache (fresh daemon, the restart case)",
+		Setup: func() (func(), error) {
+			dir, err := os.MkdirTemp("", "mcdperf-serve-warm-*")
+			if err != nil {
+				return nil, err
+			}
+			warmDir = dir
+			// Warm the cache untimed with the union grid, exactly as a
+			// prior daemon (or a local mcdsweep run) would have left it.
+			cfg, jobs, err := serveLoadUnion()
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			eng := sweep.New(cfg)
+			eng.Cache = &sweep.Cache{Dir: dir}
+			eng.Artifacts = sweep.ArtifactStore(dir)
+			if _, _, err := eng.Run(jobs); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			return func() { os.RemoveAll(dir) }, nil
+		},
+		Run: func() (int64, error) {
+			var total int64
+			for r := 0; r < serveWarmRounds; r++ {
+				n, err := driveServer(warmDir)
+				if err != nil {
+					return 0, err
+				}
+				total += n
+			}
+			return total, nil
+		},
+	})
+}

@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/arch"
+	"repro/internal/calltree"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// apiError is the structured error every endpoint returns on failure:
+// a machine-readable code, a human message (identical to what the CLI
+// prints for the same mistake), and, for manifest validation, the
+// offending field.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+
+	status     int
+	retryAfter int
+}
+
+// errorBody is the wire shape: {"error": {...}}.
+type errorBody struct {
+	Err apiError `json:"error"`
+}
+
+func invalidManifest(err error, field string) *apiError {
+	return &apiError{
+		status:  http.StatusUnprocessableEntity,
+		Code:    "invalid_manifest",
+		Message: err.Error(),
+		Field:   field,
+	}
+}
+
+// writeError emits a structured JSON error with its HTTP status and,
+// for backpressure rejections, a Retry-After header.
+func writeError(w http.ResponseWriter, e *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	w.WriteHeader(e.status)
+	json.NewEncoder(w).Encode(errorBody{Err: *e})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// validateManifest parses a submission body and attributes validation
+// failures to the manifest field that caused them. Every check runs
+// through the exact validation path the CLI hits (Job.Validate,
+// arch.TopologyByName), so an unknown topology, policy or scheme
+// reports the same registered-name listing over the API as `mcdsweep`
+// prints on stderr.
+func validateManifest(body []byte) (*sweep.Manifest, []sweep.Job, *apiError) {
+	var m sweep.Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, nil, &apiError{
+			status:  http.StatusBadRequest,
+			Code:    "bad_json",
+			Message: "manifest: " + err.Error(),
+		}
+	}
+	if _, err := arch.TopologyByName(m.Topology); err != nil {
+		return nil, nil, invalidManifest(err, "topology")
+	}
+	// Probe each grid dimension with a minimal job so the error text is
+	// Job.Validate's own.
+	probeBench := workload.Names()[0]
+	for _, b := range m.Benchmarks {
+		if err := (sweep.Job{Bench: b, Policy: sweep.PolicyBaseline}).Validate(); err != nil {
+			return nil, nil, invalidManifest(err, "benchmarks")
+		}
+	}
+	probeScheme := calltree.Schemes()[0].Name
+	for _, p := range m.Policies {
+		// The scheme policy's own validation needs a scheme; probe it
+		// with a registered one so only the policy name is under test.
+		j := sweep.Job{Bench: probeBench, Policy: p}
+		if p == sweep.PolicyScheme {
+			j.Scheme = probeScheme
+		}
+		if err := j.Validate(); err != nil {
+			return nil, nil, invalidManifest(err, "policies")
+		}
+	}
+	for _, sc := range m.Schemes {
+		if err := (sweep.Job{Bench: probeBench, Policy: sweep.PolicyScheme, Scheme: sc}).Validate(); err != nil {
+			return nil, nil, invalidManifest(err, "schemes")
+		}
+	}
+	// Full enumeration catches everything else (parameter ranges and any
+	// cross-field combination) with the CLI's message; the enumerated
+	// grid is returned so the submission path never re-derives it.
+	jobs, err := m.Jobs()
+	if err != nil {
+		return nil, nil, invalidManifest(err, "")
+	}
+	return &m, jobs, nil
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/sweeps              submit a manifest; 202 + Status (200 when joining an existing sweep)
+//	GET  /v1/sweeps/{id}         progress snapshot
+//	GET  /v1/sweeps/{id}/stream  NDJSON job completions (?from=N resumes), terminated by {"done":true,...}
+//	GET  /v1/sweeps/{id}/results merged results, byte-identical to `mcdsweep merge`
+//	GET  /healthz                liveness + drain state
+//	GET  /metrics                Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// maxManifestBytes bounds a submission body; a grid that needs more
+// JSON than this should be split, and truncating silently would turn
+// the mistake into a misleading syntax error.
+const maxManifestBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxManifestBytes+1))
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: "bad_request", Message: err.Error()})
+		return
+	}
+	if len(body) > maxManifestBytes {
+		writeError(w, &apiError{status: http.StatusRequestEntityTooLarge, Code: "manifest_too_large",
+			Message: fmt.Sprintf("manifest exceeds %d bytes; split the grid", maxManifestBytes)})
+		return
+	}
+	m, jobs, apiErr := validateManifest(body)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	r, created, apiErr := s.submit(m, jobs)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+r.id)
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, r.status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	r := s.sweepByID(req.PathValue("id"))
+	if r == nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: "unknown_sweep",
+			Message: fmt.Sprintf("no sweep %q (sweeps are not persisted across restarts; resubmit the manifest — cached jobs cost nothing)", req.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, r.status())
+}
+
+// streamEnd is the NDJSON stream's terminal line.
+type streamEnd struct {
+	Done   bool   `json:"done"`
+	Status Status `json:"status"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	r := s.sweepByID(req.PathValue("id"))
+	if r == nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: "unknown_sweep",
+			Message: fmt.Sprintf("no sweep %q", req.PathValue("id"))})
+		return
+	}
+	from := 0
+	if q := req.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, &apiError{status: http.StatusBadRequest, Code: "bad_request",
+				Message: fmt.Sprintf("invalid from=%q", q)})
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		evs, done, wait := r.next(from)
+		for i := range evs {
+			if err := enc.Encode(&evs[i]); err != nil {
+				return
+			}
+		}
+		from += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			enc.Encode(streamEnd{Done: true, Status: r.status()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-wait:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
+	r := s.sweepByID(req.PathValue("id"))
+	if r == nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: "unknown_sweep",
+			Message: fmt.Sprintf("no sweep %q", req.PathValue("id"))})
+		return
+	}
+	st := r.status()
+	switch st.State {
+	case StateRunning:
+		writeError(w, &apiError{status: http.StatusConflict, Code: "sweep_incomplete",
+			Message: fmt.Sprintf("sweep %s still running (%d/%d jobs done)", r.id, st.Done, st.Jobs)})
+		return
+	case StateFailed:
+		writeError(w, &apiError{status: http.StatusConflict, Code: "sweep_failed",
+			Message: fmt.Sprintf("sweep %s failed: %s", r.id, st.Error)})
+		return
+	}
+	// Reassemble from the persistent cache through the one canonical
+	// merge serialization, so served bytes are identical to the CLI's
+	// merge output by construction.
+	b, err := sweep.MergeBytes(r.cfg, r.jobs, s.cache)
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusInternalServerError, Code: "merge_failed",
+			Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// healthz is the liveness body.
+type healthz struct {
+	OK       bool    `json:"ok"`
+	Draining bool    `json:"draining"`
+	Sweeps   int     `json:"sweeps"`
+	UptimeS  float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthz{
+		OK:       true,
+		Draining: s.draining.Load(),
+		Sweeps:   s.sweepCount(),
+		UptimeS:  s.metrics.uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.render(w, poolGauges{
+		queued:        s.pool.Queued(),
+		running:       s.pool.Running(),
+		pending:       int(s.pending.Load()),
+		capacity:      s.QueueDepth,
+		draining:      s.draining.Load(),
+		artifactLoads: s.artifacts.Loads(),
+		artifactHits:  s.artifacts.Hits(),
+		artifactW:     s.artifacts.Writes(),
+	})
+}

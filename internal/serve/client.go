@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Client talks to a running mcdserved daemon. The zero HTTP client is
+// usable; BaseURL is required (e.g. "http://127.0.0.1:8337").
+type Client struct {
+	BaseURL string
+	// HTTP overrides the transport; nil uses http.DefaultClient. Streams
+	// are long-lived, so a client with a response timeout will cut
+	// Follow short — leave Timeout zero and rely on context/transport
+	// timeouts instead.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// APIError is a structured server-side rejection, decoded from the
+// {"error": {...}} body every endpoint returns on failure.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	Field      string
+	// RetryAfter is the server's backpressure estimate in seconds (429
+	// rejections), 0 otherwise.
+	RetryAfter int
+}
+
+func (e *APIError) Error() string {
+	s := fmt.Sprintf("server: %s (%s", e.Message, e.Code)
+	if e.Field != "" {
+		s += ", field " + e.Field
+	}
+	return s + ")"
+}
+
+// decodeError turns a non-2xx response into an *APIError (or a plain
+// error when the body is not the structured shape).
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Err.Code != "" {
+		ae := &APIError{
+			StatusCode: resp.StatusCode,
+			Code:       eb.Err.Code,
+			Message:    eb.Err.Message,
+			Field:      eb.Err.Field,
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			ae.RetryAfter, _ = strconv.Atoi(ra)
+		}
+		return ae
+	}
+	return fmt.Errorf("server: HTTP %d: %.200s", resp.StatusCode, body)
+}
+
+// Submit posts a raw manifest (the same JSON file mcdsweep takes) and
+// returns the sweep's status snapshot. Submitting work the server
+// already knows joins the existing sweep.
+func (c *Client) Submit(manifest []byte) (*Status, error) {
+	resp, err := c.http().Post(c.url("/v1/sweeps"), "application/json", bytes.NewReader(manifest))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("server: submit response: %w", err)
+	}
+	return &st, nil
+}
+
+// Status fetches a sweep's progress snapshot.
+func (c *Client) Status(id string) (*Status, error) {
+	resp, err := c.http().Get(c.url("/v1/sweeps/" + id))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("server: status response: %w", err)
+	}
+	return &st, nil
+}
+
+// Follow streams a sweep's job completions from event seq `from` until
+// the sweep finishes, invoking onEvent (when non-nil) per event, and
+// returns the terminal status. It is the client half of the NDJSON
+// stream endpoint.
+func (c *Client) Follow(id string, from int, onEvent func(Event)) (*Status, error) {
+	resp, err := c.http().Get(c.url(fmt.Sprintf("/v1/sweeps/%s/stream?from=%d", id, from)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		// The terminal line is {"done":true,"status":{...}}; every other
+		// line is an Event.
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("server: stream line: %w", err)
+		}
+		if probe.Done {
+			var end streamEnd
+			if err := json.Unmarshal(line, &end); err != nil {
+				return nil, fmt.Errorf("server: stream end: %w", err)
+			}
+			return &end.Status, nil
+		}
+		if onEvent != nil {
+			var ev Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return nil, fmt.Errorf("server: stream event: %w", err)
+			}
+			onEvent(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: stream: %w", err)
+	}
+	return nil, errors.New("server: stream ended without a terminal status (connection dropped?)")
+}
+
+// Results fetches a completed sweep's merged results — byte-identical
+// to `mcdsweep merge` over the same manifest and cache.
+func (c *Client) Results(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.url("/v1/sweeps/" + id + "/results"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// RunManifest submits a manifest, follows the stream to completion and
+// returns the terminal status — the client-mode equivalent of a local
+// `mcdsweep run`.
+func (c *Client) RunManifest(manifest []byte, onEvent func(Event)) (*Status, error) {
+	st, err := c.Submit(manifest)
+	if err != nil {
+		return nil, err
+	}
+	return c.Follow(st.ID, 0, onEvent)
+}
+
+// Healthz probes the daemon's liveness endpoint.
+func (c *Client) Healthz() error {
+	resp, err := c.http().Get(c.url("/healthz"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}

@@ -1,0 +1,466 @@
+// Package serve turns the sweep engine into a long-lived, multi-tenant
+// service: an HTTP/JSON daemon (cmd/mcdserved) that accepts concurrent
+// sweep submissions over the same manifest schema mcdsweep uses,
+// deduplicates them against the in-process singleflight layers, the
+// persistent result cache and the artifact store, and streams job
+// outcomes back as they finish.
+//
+// The service adds three things the one-shot CLI does not have:
+//
+//   - Admission control and backpressure. All sweeps share one bounded
+//     worker pool (sweep.Pool) and one job-slot budget; a submission
+//     that would overflow the budget is rejected with 429 and a
+//     Retry-After estimate instead of queueing unboundedly.
+//
+//   - Cross-request dedup. Sweeps are content-addressed: a manifest
+//     whose job set (under its configuration) matches a sweep the
+//     server already knows joins it instead of resubmitting, concurrent
+//     sweeps sharing jobs resolve each unique job once through the
+//     engine's singleflight memo, and everything lands in the same
+//     persistent cache directory the CLI uses — so the service never
+//     recomputes work it has seen, even across restarts.
+//
+//   - An operational surface: per-sweep progress and merged-result
+//     endpoints, an NDJSON stream of job completions, /healthz, and
+//     /metrics in Prometheus text format (queue depth, in-flight jobs,
+//     cache hit ratio, jobs/sec, per-policy latency histograms).
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// Server is the sweep-as-a-service daemon state: a registry of
+// content-addressed sweeps executing on one shared bounded worker pool,
+// over one persistent cache directory.
+type Server struct {
+	// CacheDir is the persistent result-cache directory (the artifact
+	// store lives in its artifacts/ subdirectory), shared with — and
+	// interchangeable with — the mcdsweep CLI's -cache directory.
+	CacheDir string
+	// Workers is the worker-pool size; NewServer defaults it to
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds admitted-but-unfinished jobs across all sweeps;
+	// submissions that would overflow it are rejected with 429.
+	QueueDepth int
+	// ExecFn, when non-nil, overrides job execution on every engine the
+	// server creates (tests use it to count executions without running
+	// the simulator).
+	ExecFn func(sweep.Job) (*sweep.Outcome, error)
+
+	pool      *sweep.Pool
+	cache     *sweep.Cache
+	artifacts *artifact.Store
+
+	mu      sync.Mutex
+	engines map[string]*sweep.Engine // by configKey
+	sweeps  map[string]*sweepRun     // by sweep ID
+
+	// pending counts admitted jobs that have not finished — the
+	// admission-control budget QueueDepth caps.
+	pending  atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup // one per running sweep dispatcher
+
+	metrics metrics
+}
+
+// NewServer returns a ready server over a persistent cache directory.
+// workers <= 0 means GOMAXPROCS; queueDepth <= 0 picks workers*64
+// (minimum 1024).
+func NewServer(cacheDir string, workers, queueDepth int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = sweep.DefaultQueueDepth(workers)
+	}
+	s := &Server{
+		CacheDir:   cacheDir,
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		pool:       sweep.NewPool(workers, queueDepth),
+		cache:      &sweep.Cache{Dir: cacheDir},
+		artifacts:  sweep.ArtifactStore(cacheDir),
+		engines:    make(map[string]*sweep.Engine),
+		sweeps:     make(map[string]*sweepRun),
+	}
+	s.metrics.start = time.Now()
+	return s
+}
+
+// Sweep states reported by Status.
+const (
+	StateRunning  = "running"
+	StateComplete = "complete"
+	StateFailed   = "failed"
+)
+
+// Status is one sweep's progress snapshot: submission response, status
+// endpoint body, and the terminal stream line's payload.
+type Status struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	Jobs int    `json:"jobs"`
+	Done int    `json:"done"`
+	// State is running until every job resolved; then complete, or
+	// failed when any job errored.
+	State string `json:"state"`
+	// Summary is built from this sweep's own job completions (one count
+	// per batch job, by answering layer), so concurrent sweeps sharing
+	// an engine never contaminate each other's counters and Executed is
+	// zero iff none of this sweep's jobs needed simulation. Dependency
+	// work a job triggered inline is inside that job's latency and the
+	// /metrics counters, not broken out here (a local `mcdsweep run`,
+	// which owns its engine, does count dependency executions). Present
+	// once the sweep is done.
+	Summary *sweep.Summary `json:"summary,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// Event is one completed job as it appears on the NDJSON stream, in
+// completion order. Seq is the event's position in the sweep's stream
+// (dense from 0), so a dropped connection resumes with ?from=seq.
+type Event struct {
+	Seq     int            `json:"seq"`
+	Job     sweep.Job      `json:"job"`
+	Key     string         `json:"key"`
+	Source  string         `json:"source"`
+	Elapsed int64          `json:"elapsed_ns"`
+	Error   string         `json:"error,omitempty"`
+	Outcome *sweep.Outcome `json:"outcome,omitempty"`
+}
+
+// sweepRun is one registered sweep: its jobs, completion-ordered events,
+// and a broadcast channel streamers wait on.
+type sweepRun struct {
+	id   string
+	name string
+	cfg  core.Config
+	jobs []sweep.Job
+
+	mu      sync.Mutex
+	events  []Event
+	changed chan struct{}
+	done    bool
+	summary sweep.Summary
+	err     error
+}
+
+func newSweepRun(id string, m *sweep.Manifest, cfg core.Config, jobs []sweep.Job) *sweepRun {
+	return &sweepRun{
+		id:      id,
+		name:    m.Name,
+		cfg:     cfg,
+		jobs:    jobs,
+		changed: make(chan struct{}),
+	}
+}
+
+// append records one finished job and wakes streamers.
+func (r *sweepRun) append(d sweep.JobDone) {
+	ev := Event{
+		Job:     d.Job,
+		Key:     d.Key,
+		Source:  d.Source.String(),
+		Elapsed: d.Elapsed.Nanoseconds(),
+		Outcome: d.Outcome,
+	}
+	if d.Err != nil {
+		ev.Error = d.Err.Error()
+	}
+	r.mu.Lock()
+	ev.Seq = len(r.events)
+	r.events = append(r.events, ev)
+	close(r.changed)
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// finish marks the sweep done and wakes streamers one last time.
+func (r *sweepRun) finish(sum sweep.Summary, err error) {
+	r.mu.Lock()
+	r.done = true
+	r.summary = sum
+	r.err = err
+	close(r.changed)
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// next returns the events at and after from, whether the sweep is fully
+// drained at that point, and a channel that closes on the next change.
+func (r *sweepRun) next(from int) (evs []Event, done bool, wait <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(r.events) {
+		evs = append(evs, r.events[from:]...)
+	}
+	// >= rather than ==: a finished sweep must report done even for an
+	// overshot from (a client that miscounted), or the streamer would
+	// wait forever on a changed channel that never closes again.
+	return evs, r.done && from+len(evs) >= len(r.events), r.changed
+}
+
+// status snapshots the sweep's progress.
+func (r *sweepRun) status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		ID:    r.id,
+		Name:  r.name,
+		Jobs:  len(r.jobs),
+		Done:  len(r.events),
+		State: StateRunning,
+	}
+	if r.done {
+		st.State = StateComplete
+		sum := r.summary
+		st.Summary = &sum
+		if r.err != nil {
+			st.State = StateFailed
+			st.Error = r.err.Error()
+		}
+	}
+	return st
+}
+
+// configKey content-addresses a configuration (topology canonicalized
+// like the cache-key space) so engines — and their singleflight memo —
+// are shared by every sweep running under the same configuration.
+func configKey(cfg core.Config) string {
+	cfg.Sim.Topology = arch.CanonicalTopologyName(cfg.Sim.Topology)
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		panic("serve: config encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// SweepID content-addresses a sweep: the hash of its configuration and
+// its sorted job-key set. Two manifests that enumerate the same work
+// under the same configuration get the same ID — however they spell it —
+// so resubmissions join the existing sweep instead of re-running it, and
+// the ID is stable across server restarts.
+func SweepID(cfg core.Config, jobs []sweep.Job) string {
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = sweep.Key(cfg, j)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	io.WriteString(h, configKey(cfg))
+	for _, k := range keys {
+		io.WriteString(h, k)
+	}
+	return "sw-" + hex.EncodeToString(h.Sum(nil))[:24]
+}
+
+// engine returns the shared engine for a configuration, creating it on
+// first use. All engines share the server's pool, cache and artifact
+// store, so identical jobs in concurrent sweeps resolve exactly once.
+func (s *Server) engine(cfg core.Config) *sweep.Engine {
+	key := configKey(cfg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.engines[key]; ok {
+		return e
+	}
+	e := sweep.New(cfg)
+	e.Pool = s.pool
+	e.Cache = s.cache
+	e.Artifacts = s.artifacts
+	e.ExecFn = s.ExecFn
+	s.engines[key] = e
+	return e
+}
+
+// submit registers a manifest's sweep (already validated and
+// enumerated by the handler) and starts it, or joins the
+// already-registered sweep with the same content address. It returns
+// the sweep and whether this call created it; a non-nil *apiError is an
+// admission rejection.
+func (s *Server) submit(m *sweep.Manifest, jobs []sweep.Job) (*sweepRun, bool, *apiError) {
+	cfg := m.Config()
+	id := SweepID(cfg, jobs)
+
+	s.mu.Lock()
+	// The draining check happens under mu — the same lock Drain flips
+	// the flag under — so a submission can never slip past Drain's
+	// wg.Wait and dispatch onto a closed pool.
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.metrics.sweepsRejected.Add(1)
+		return nil, false, &apiError{
+			status:  503,
+			Code:    "draining",
+			Message: "server is draining; not accepting new sweeps",
+		}
+	}
+	if r, ok := s.sweeps[id]; ok {
+		// Join the existing sweep — unless it finished with errors: the
+		// engine deliberately drops failed flights so transient failures
+		// (full disk, fixed permissions) can be retried, and a sticky
+		// failed registry entry would make resubmission a no-op until
+		// the daemon restarts. A failed sweep is replaced and re-run
+		// below; its successfully completed jobs replay from the caches.
+		r.mu.Lock()
+		failed := r.done && r.err != nil
+		r.mu.Unlock()
+		if !failed {
+			s.mu.Unlock()
+			s.metrics.sweepsDeduped.Add(1)
+			return r, false, nil
+		}
+	}
+	// Admission: reserve one job slot per job, all or nothing, while
+	// holding mu so concurrent submissions cannot jointly overshoot.
+	n := int64(len(jobs))
+	if n > int64(s.QueueDepth) {
+		s.mu.Unlock()
+		s.metrics.sweepsRejected.Add(1)
+		return nil, false, &apiError{
+			status: 413,
+			Code:   "sweep_too_large",
+			Message: fmt.Sprintf("sweep enumerates %d jobs, above the server's queue depth %d; shard the manifest",
+				n, s.QueueDepth),
+		}
+	}
+	if pending := s.pending.Load(); pending+n > int64(s.QueueDepth) {
+		s.mu.Unlock()
+		s.metrics.sweepsRejected.Add(1)
+		return nil, false, &apiError{
+			status: 429,
+			Code:   "queue_full",
+			Message: fmt.Sprintf("%d jobs pending, %d submitted, queue depth %d; retry later",
+				pending, n, s.QueueDepth),
+			retryAfter: s.retryAfter(pending),
+		}
+	}
+	s.pending.Add(n)
+	r := newSweepRun(id, m, cfg, jobs)
+	s.sweeps[id] = r
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.metrics.sweepsAccepted.Add(1)
+	go s.runSweep(r)
+	return r, true, nil
+}
+
+// retryAfter estimates seconds until the backlog drains, from the
+// pool's lifetime completion rate, clamped to [1, 60].
+func (s *Server) retryAfter(pending int64) int {
+	elapsed := time.Since(s.metrics.start).Seconds()
+	done := s.pool.Completed()
+	if done <= 0 || elapsed <= 0 {
+		return 5
+	}
+	est := float64(pending) / (float64(done) / elapsed)
+	switch {
+	case est < 1:
+		return 1
+	case est > 60:
+		return 60
+	default:
+		return int(est + 0.5)
+	}
+}
+
+// runSweep executes one sweep on the shared pool, feeding its event log
+// and the server metrics as each job completes. The per-sweep summary
+// is tallied from this sweep's own completions — RunStream's summary
+// reports engine-wide counter deltas, which concurrent sweeps sharing
+// an engine would cross-attribute.
+func (s *Server) runSweep(r *sweepRun) {
+	defer s.wg.Done()
+	eng := s.engine(r.cfg)
+	var sum sweep.Summary
+	engSum, err := eng.RunStream(r.jobs, func(d sweep.JobDone) {
+		s.pending.Add(-1)
+		s.metrics.observe(d)
+		switch {
+		case d.Err != nil:
+			sum.Errors++
+		case d.Source == sweep.SourceExecuted:
+			sum.Executed++
+		case d.Source == sweep.SourceDisk:
+			sum.DiskHits++
+		default:
+			sum.MemHits++
+		}
+		r.append(d)
+	})
+	sum.Jobs = len(r.jobs)
+	// Corruption has no per-job attribution (JobDone cannot carry it),
+	// so take the engine-wide delta: between concurrent sweeps it may
+	// land on either, but it is a damage signal — what matters is that
+	// a damaged shared directory is never silent, here or in /metrics.
+	sum.CorruptEntries = engSum.CorruptEntries
+	s.metrics.corruptEntries.Add(int64(engSum.CorruptEntries))
+	r.finish(sum, err)
+	s.metrics.sweepsCompleted.Add(1)
+}
+
+// sweepByID looks a registered sweep up.
+func (s *Server) sweepByID(id string) *sweepRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps[id]
+}
+
+// sweepCount reports how many sweeps the server knows.
+func (s *Server) sweepCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sweeps)
+}
+
+// Drain gracefully stops the server: new submissions are refused with
+// 503 immediately, every admitted sweep runs to completion (or ctx
+// expires), and the worker pool shuts down. Status, stream, results and
+// metrics endpoints keep answering throughout, so clients watching a
+// draining sweep see it finish. Drain is idempotent; only the first
+// call closes the pool.
+func (s *Server) Drain(ctx context.Context) error {
+	// Flip the flag under the registry lock: every submission that
+	// passed its own draining check has already registered (and
+	// wg.Add'ed) its sweep, so wg.Wait below cannot miss it.
+	s.mu.Lock()
+	already := s.draining.Swap(true)
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %d jobs still pending: %w", s.pending.Load(), ctx.Err())
+	case <-done:
+	}
+	if !already {
+		s.pool.Close()
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/core"
@@ -73,6 +75,11 @@ type Engine struct {
 	Cfg core.Config
 	// Workers bounds Run's concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// Pool, when non-nil, is a shared worker pool Run and RunStream
+	// dispatch jobs to instead of spawning per-call workers, so a
+	// long-lived process can bound concurrency and queue depth globally
+	// across engines and concurrent batches.
+	Pool *Pool
 	// Cache, when non-nil, persists outcomes across processes.
 	Cache *Cache
 	// Artifacts, when non-nil, persists intermediate pipeline products
@@ -158,8 +165,13 @@ func (e *Engine) Do(job Job) (*Outcome, Source, error) {
 	if err := job.Validate(); err != nil {
 		return nil, SourceMemory, err
 	}
-	key := Key(e.Cfg, job)
+	return e.doKeyed(Key(e.Cfg, job), job)
+}
 
+// doKeyed is Do after validation, for callers that already derived the
+// job's key (RunStream hands it to the completion callback, and key
+// derivation marshals the full config — not worth doing twice per job).
+func (e *Engine) doKeyed(key string, job Job) (*Outcome, Source, error) {
 	e.mu.Lock()
 	if e.flight == nil {
 		e.flight = make(map[string]*flight)
@@ -230,32 +242,104 @@ func (e *Engine) execFn() func(Job) (*Outcome, error) {
 // reports all of them.
 func (e *Engine) Run(jobs []Job) ([]*Outcome, Summary, error) {
 	outs := make([]*Outcome, len(jobs))
+	sum, err := e.RunStream(jobs, func(d JobDone) { outs[d.Index] = d.Outcome })
+	return outs, sum, err
+}
+
+// JobDone reports one finished job to RunStream's callback.
+type JobDone struct {
+	// Index is the job's position in the submitted batch.
+	Index int
+	// Job is the batch job, as submitted.
+	Job Job
+	// Key is the job's content-addressed cache key under the engine
+	// configuration; empty when the job failed validation.
+	Key string
+	// Outcome is the resolved outcome; nil when Err is non-nil.
+	Outcome *Outcome
+	// Source reports which layer answered: memo, disk, or execution.
+	Source Source
+	// Elapsed is the wall time resolution took, dependency work
+	// (trainings, prerequisite jobs) included.
+	Elapsed time.Duration
+	// Err is the job's resolution error, if any.
+	Err error
+}
+
+// RunStream resolves a batch of jobs and invokes onDone once per job in
+// completion order, as each finishes — the iterator a long-lived
+// service needs to stream outcomes while the batch is still running,
+// instead of waiting for Run's batch return. Callbacks are serialized
+// (never concurrent) but run on worker goroutines, so they must not
+// block for long. Jobs run on the engine's shared Pool when one is set,
+// otherwise on a per-call pool bounded by Workers. The summary and
+// joined error are exactly Run's.
+func (e *Engine) RunStream(jobs []Job, onDone func(JobDone)) (Summary, error) {
 	srcs := make([]Source, len(jobs))
 	errs := make([]error, len(jobs))
 
-	workers := e.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	exec0, disk0, corrupt0 := e.nExecuted.Load(), e.nDisk.Load(), e.nCorrupt.Load()
-	ch := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				outs[i], srcs[i], errs[i] = e.Do(jobs[i])
+	var cbMu sync.Mutex
+	do := func(i int) {
+		start := time.Now()
+		var key string
+		var out *Outcome
+		src := SourceMemory // matches Do's label for validation failures
+		err := jobs[i].Validate()
+		if err == nil {
+			key = Key(e.Cfg, jobs[i])
+			out, src, err = e.doKeyed(key, jobs[i])
+		}
+		srcs[i], errs[i] = src, err
+		if onDone != nil {
+			d := JobDone{
+				Index:   i,
+				Job:     jobs[i],
+				Key:     key,
+				Outcome: out,
+				Source:  src,
+				Elapsed: time.Since(start),
+				Err:     err,
 			}
-		}()
+			cbMu.Lock()
+			onDone(d)
+			cbMu.Unlock()
+		}
 	}
-	for i := range jobs {
-		ch <- i
+
+	var wg sync.WaitGroup
+	if e.Pool != nil {
+		for i := range jobs {
+			i := i
+			wg.Add(1)
+			e.Pool.Submit(func() {
+				defer wg.Done()
+				do(i)
+			})
+		}
+	} else {
+		workers := e.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					do(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			ch <- i
+		}
+		close(ch)
 	}
-	close(ch)
 	wg.Wait()
 
 	sum := Summary{
@@ -272,7 +356,7 @@ func (e *Engine) Run(jobs []Job) ([]*Outcome, Summary, error) {
 			sum.MemHits++
 		}
 	}
-	return outs, sum, errors.Join(errs...)
+	return sum, errors.Join(errs...)
 }
 
 // Merged pairs one job with its cached outcome for merge output.
@@ -280,6 +364,22 @@ type Merged struct {
 	Key     string   `json:"key"`
 	Job     Job      `json:"job"`
 	Outcome *Outcome `json:"outcome"`
+}
+
+// MergeBytes renders Merge's result in the one canonical serialization
+// every merge surface emits — `mcdsweep merge` files and the daemon's
+// results endpoint alike — so "byte-identical merged output" is an
+// invariant of this function, not of call sites staying in sync.
+func MergeBytes(cfg core.Config, jobs []Job, c *Cache) ([]byte, error) {
+	merged, err := Merge(cfg, jobs, c)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(merged, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // Merge collects the outcomes of a full job set from the persistent

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/calltree"
@@ -80,7 +81,7 @@ func (j Job) Validate() error {
 	}
 	p, ok := PolicyByName(j.Policy)
 	if !ok {
-		return fmt.Errorf("sweep: unknown policy %q", j.Policy)
+		return fmt.Errorf("sweep: unknown policy %q (registered: %s)", j.Policy, strings.Join(Policies(), ", "))
 	}
 	if err := p.ValidateJob(j); err != nil {
 		return err

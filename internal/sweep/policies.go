@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/calltree"
 	"repro/internal/control"
@@ -210,7 +211,11 @@ func (schemePolicy) Name() string { return PolicyScheme }
 
 func (schemePolicy) ValidateJob(j Job) error {
 	if _, ok := SchemeByName(j.Scheme); !ok {
-		return fmt.Errorf("sweep: unknown context scheme %q", j.Scheme)
+		var names []string
+		for _, s := range calltree.Schemes() {
+			names = append(names, s.Name)
+		}
+		return fmt.Errorf("sweep: unknown context scheme %q (registered: %s)", j.Scheme, strings.Join(names, ", "))
 	}
 	return nil
 }

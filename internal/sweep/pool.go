@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool multiple engines can share, giving a
+// long-lived process one global concurrency budget and one queue across
+// concurrent batches: RunStream dispatches to the shared pool when
+// Engine.Pool is set instead of spawning per-call workers, so N
+// concurrent sweeps never run more than the pool's worker count of
+// simulations at once. Queued tasks wait in a buffered channel; Submit
+// blocks once the buffer is full, so a caller that needs admission
+// control (reject instead of block) must bound what it admits to the
+// pool's capacity before submitting.
+//
+// Dependency jobs never deadlock the pool: the executor resolves a
+// job's prerequisites inline on the worker already running it, and a
+// singleflight wait always waits on a flight owned by another running
+// worker, so every blocked task has a running owner making progress.
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	running atomic.Int64
+	done    atomic.Int64
+}
+
+// DefaultQueueDepth is the capacity a pool (and the admission budget
+// sized against it) gets when the caller does not choose one:
+// workers*64, minimum 1024. One function on purpose — the never-blocks
+// admission invariant requires the budget and the queue capacity to
+// agree, so both sides derive from here.
+func DefaultQueueDepth(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	d := workers * 64
+	if d < 1024 {
+		d = 1024
+	}
+	return d
+}
+
+// NewPool starts a pool of workers goroutines (GOMAXPROCS when <= 0)
+// whose queue holds up to capacity waiting tasks (DefaultQueueDepth
+// when <= 0).
+func NewPool(workers, capacity int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if capacity <= 0 {
+		capacity = DefaultQueueDepth(workers)
+	}
+	p := &Pool{tasks: make(chan func(), capacity)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				p.running.Add(1)
+				f()
+				p.running.Add(-1)
+				p.done.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues one task, blocking while the queue is full. Submitting
+// after Close panics (programming error: the owner drains batches before
+// closing the pool).
+func (p *Pool) Submit(f func()) { p.tasks <- f }
+
+// Queued reports how many tasks are waiting in the queue, not yet
+// started — the service's queue-depth gauge.
+func (p *Pool) Queued() int { return len(p.tasks) }
+
+// Running reports how many tasks are executing right now.
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Completed reports how many tasks have finished over the pool's
+// lifetime.
+func (p *Pool) Completed() int64 { return p.done.Load() }
+
+// Close stops accepting tasks and waits for every queued and running
+// one to finish.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
