@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"io/fs"
 	"os"
 	"os/exec"
@@ -142,7 +143,7 @@ func TestServedMatchesLocalRun(t *testing.T) {
 	eng := sweep.New(cfg)
 	eng.Cache = &sweep.Cache{Dir: localDir}
 	eng.Artifacts = sweep.ArtifactStore(localDir)
-	if _, _, err := eng.Run(jobs); err != nil {
+	if _, _, err := eng.Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	localBytes, err := sweep.MergeBytes(cfg, jobs, eng.Cache)

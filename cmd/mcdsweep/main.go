@@ -46,7 +46,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -72,6 +74,7 @@ func main() {
 	shards := fs.Int("shards", 1, "total number of shards")
 	shard := fs.Int("shard", 0, "this process's shard index, 0-based")
 	parallel := fs.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
+	recCache := fs.Int("recording-cache", 0, "recorded-stream cache entries (overrides the manifest's recording_cache; default auto-sized)")
 	out := fs.String("o", "", "merge output file (default stdout)")
 	rm := fs.Bool("rm", false, "prune: actually delete unreachable entries (default: dry run)")
 	server := fs.String("server", "", "mcdserved base URL (e.g. http://127.0.0.1:8337); run submits and waits instead of executing locally, merge fetches the served results")
@@ -83,30 +86,39 @@ func main() {
 	if *shards < 1 || *shard < 0 || *shard >= *shards {
 		fatal(fmt.Sprintf("invalid shard selection %d/%d", *shard, *shards))
 	}
+	if *recCache < 0 {
+		fatal(fmt.Sprintf("invalid -recording-cache %d", *recCache))
+	}
 	// Reject flags the subcommand ignores rather than silently dropping
 	// them: a shard-scoped merge, for example, is not a thing — merge
 	// always reassembles the full manifest from the cache.
 	switch cmd {
 	case "enum":
-		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server")
+		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server", *recCache != 0, "-recording-cache")
 	case "run":
 		rejectFlags(cmd, *out != "", "-o", *rm, "-rm")
 		if *server != "" {
 			// The daemon owns its cache directory, worker pool and shard
 			// placement; client mode only submits and waits.
 			rejectFlags(cmd+" -server", *cacheDir != "", "-cache", *shards != 1, "-shards",
-				*shard != 0, "-shard", *parallel != 0, "-parallel")
+				*shard != 0, "-shard", *parallel != 0, "-parallel", *recCache != 0, "-recording-cache")
 		}
 	case "merge":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm", *recCache != 0, "-recording-cache")
 		if *server != "" {
 			rejectFlags(cmd+" -server", *cacheDir != "", "-cache")
 		}
 	case "prune":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server", *recCache != 0, "-recording-cache")
 	}
 	m, err := sweep.LoadManifest(*manifestPath)
 	if err != nil {
+		// Surface the same structured triple the daemon returns for the
+		// identical manifest mistake.
+		var verr *sweep.ValidationError
+		if errors.As(err, &verr) {
+			fatalValidation(verr)
+		}
 		fatal(err.Error())
 	}
 	cfg := m.Config()
@@ -134,10 +146,11 @@ func main() {
 		}
 		eng := sweep.New(cfg)
 		eng.Workers = *parallel
+		eng.RecordingCache = recordingCache(m, *recCache)
 		eng.Cache = &sweep.Cache{Dir: *cacheDir}
 		eng.Artifacts = sweep.ArtifactStore(*cacheDir)
 		mine := sweep.Shard(cfg, jobs, *shards, *shard)
-		_, sum, err := eng.Run(mine)
+		_, sum, err := eng.Run(context.Background(), mine)
 		summary := struct {
 			Manifest string `json:"manifest"`
 			Shard    int    `json:"shard"`
@@ -288,6 +301,25 @@ func rejectFlags(cmd string, pairs ...interface{}) {
 			fatal(fmt.Sprintf("%s does not take %s", cmd, pairs[i+1].(string)))
 		}
 	}
+}
+
+// recordingCache resolves the engine's recorded-stream cache bound: the
+// -recording-cache flag wins over the manifest's recording_cache field;
+// zero keeps the engine's automatic sizing.
+func recordingCache(m *sweep.Manifest, flagVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	return m.RecordingCache
+}
+
+// fatalValidation renders a manifest validation error as the same
+// (code, message, field) triple the daemon returns over HTTP.
+func fatalValidation(v *sweep.ValidationError) {
+	if v.Field != "" {
+		fatal(fmt.Sprintf("%s (code %s, field %q)", v.Message, v.Code, v.Field))
+	}
+	fatal(fmt.Sprintf("%s (code %s)", v.Message, v.Code))
 }
 
 func fatal(msg string) {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,7 @@ func main() {
 				Scheme: calltree.LF.Name, Delta: d})
 		}
 	}
-	outs, sum, err := eng.Run(jobs)
+	outs, sum, err := eng.Run(context.Background(), jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sensitivity:", err)
 		os.Exit(1)

@@ -191,9 +191,14 @@ func RunBaseline(cfg Config, prog *isa.Program, in isa.Input, window int64) sim.
 
 // RunBaselineFeed is RunBaseline over any stream source.
 func RunBaselineFeed(cfg Config, src isa.Feeder, window int64) sim.Result {
-	m := sim.New(cfg.Sim)
-	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
-	return m.Finalize()
+	res, _ := feedLane(NewBaselineLane(cfg), src, window)
+	return res
+}
+
+// feedLane drives a lane from a sequential stream source.
+func feedLane(l *Lane, src isa.Feeder, window int64) (sim.Result, EditStats) {
+	src.Feed(&isa.CountingConsumer{Inner: l.Consumer, Budget: window})
+	return l.Finish()
 }
 
 // RunSingleClock simulates a globally synchronous processor: one clock
@@ -206,12 +211,8 @@ func RunSingleClock(cfg Config, prog *isa.Program, in isa.Input, window int64, m
 
 // RunSingleClockFeed is RunSingleClock over any stream source.
 func RunSingleClockFeed(cfg Config, src isa.Feeder, window int64, mhz int) sim.Result {
-	scfg := cfg.Sim
-	scfg.BaseMHz = mhz
-	scfg.Sync.Disabled = true
-	m := sim.New(scfg)
-	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
-	return m.Finalize()
+	res, _ := feedLane(NewSingleClockLane(cfg, mhz), src, window)
+	return res
 }
 
 // RunEdited simulates the edited binary (profile-driven reconfiguration)
@@ -223,26 +224,7 @@ func RunEdited(cfg Config, prog *isa.Program, in isa.Input, window int64, plan *
 
 // RunEditedFeed is RunEdited over any stream source.
 func RunEditedFeed(cfg Config, src isa.Feeder, window int64, plan *edit.Plan, oracle bool) (sim.Result, EditStats) {
-	m := sim.New(cfg.Sim)
-	var ed *edit.Editor
-	if oracle {
-		ed = edit.NewOracleEditor(plan, m)
-	} else {
-		ed = edit.NewEditor(plan, m)
-	}
-	src.Feed(&isa.CountingConsumer{Inner: ed, Budget: window})
-	res := m.Finalize()
-	st := EditStats{
-		DynReconfig:    ed.DynReconfig,
-		DynInstr:       ed.DynInstr,
-		OverheadCycles: ed.OverheadCycles,
-	}
-	if res.TimePs > 0 {
-		// Overhead cycles are front-end-nominal; convert via the base
-		// period.
-		st.OverheadPct = 100 * float64(st.OverheadCycles) * float64(1e6/int64(cfg.Sim.BaseMHz)) / float64(res.TimePs)
-	}
-	return res, st
+	return feedLane(NewEditedLane(cfg, plan, oracle), src, window)
 }
 
 // RunOffline trains on the production input itself (perfect future
@@ -261,10 +243,8 @@ func RunOnline(cfg Config, prog *isa.Program, in isa.Input, window int64) sim.Re
 
 // RunOnlineFeed is RunOnline over any stream source.
 func RunOnlineFeed(cfg Config, src isa.Feeder, window int64) sim.Result {
-	m := sim.New(cfg.Sim)
-	control.NewAttackDecay(cfg.Online).Attach(m)
-	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
-	return m.Finalize()
+	res, _ := feedLane(NewOnlineLane(cfg), src, window)
+	return res
 }
 
 // RunGlobalDVS runs the single-clock global-DVS comparator matched to a

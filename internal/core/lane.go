@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/calltree"
+	"repro/internal/control"
+	"repro/internal/edit"
+	"repro/internal/isa"
+	"repro/internal/profiler"
+	"repro/internal/shaker"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Lane is one production simulation split into its two halves — the
+// consumer that eats the instruction stream and the finalization that
+// produces the result — so a caller can choose how the stream arrives:
+// a sequential Feed (the Run*Feed wrappers below) or one lockstep
+// replay driving many lanes from a single decoded pass
+// (isa.PackedStream.FeedLockstep). Both deliver item-for-item identical
+// streams, so the lane computes identical results either way.
+type Lane struct {
+	// Consumer receives the (budget-limited) instruction stream.
+	Consumer isa.Consumer
+	finish   func() (sim.Result, EditStats)
+	done     bool
+	res      sim.Result
+	stats    EditStats
+}
+
+// Finish finalizes the simulation and returns its result. It is
+// idempotent: repeated calls return the first result.
+func (l *Lane) Finish() (sim.Result, EditStats) {
+	if !l.done {
+		l.res, l.stats = l.finish()
+		l.done = true
+	}
+	return l.res, l.stats
+}
+
+// NewBaselineLane prepares an MCD-baseline simulation (all domains at
+// full speed, synchronization penalties included).
+func NewBaselineLane(cfg Config) *Lane {
+	m := sim.New(cfg.Sim)
+	return &Lane{Consumer: m, finish: func() (sim.Result, EditStats) {
+		return m.Finalize(), EditStats{}
+	}}
+}
+
+// NewSingleClockLane prepares a globally synchronous simulation at mhz.
+func NewSingleClockLane(cfg Config, mhz int) *Lane {
+	scfg := cfg.Sim
+	scfg.BaseMHz = mhz
+	scfg.Sync.Disabled = true
+	m := sim.New(scfg)
+	return &Lane{Consumer: m, finish: func() (sim.Result, EditStats) {
+		return m.Finalize(), EditStats{}
+	}}
+}
+
+// NewOnlineLane prepares a simulation under the attack/decay hardware
+// controller.
+func NewOnlineLane(cfg Config) *Lane {
+	m := sim.New(cfg.Sim)
+	control.NewAttackDecay(cfg.Online).Attach(m)
+	return &Lane{Consumer: m, finish: func() (sim.Result, EditStats) {
+		return m.Finalize(), EditStats{}
+	}}
+}
+
+// NewEditedLane prepares a simulation of the edited binary under plan;
+// oracle runs suppress instrumentation overhead.
+func NewEditedLane(cfg Config, plan *edit.Plan, oracle bool) *Lane {
+	m := sim.New(cfg.Sim)
+	var ed *edit.Editor
+	if oracle {
+		ed = edit.NewOracleEditor(plan, m)
+	} else {
+		ed = edit.NewEditor(plan, m)
+	}
+	return &Lane{Consumer: ed, finish: func() (sim.Result, EditStats) {
+		res := m.Finalize()
+		st := EditStats{
+			DynReconfig:    ed.DynReconfig,
+			DynInstr:       ed.DynInstr,
+			OverheadCycles: ed.OverheadCycles,
+		}
+		if res.TimePs > 0 {
+			// Overhead cycles are front-end-nominal; convert via the base
+			// period.
+			st.OverheadPct = 100 * float64(st.OverheadCycles) * float64(1e6/int64(cfg.Sim.BaseMHz)) / float64(res.TimePs)
+		}
+		return res, st
+	}}
+}
+
+// TrainFeedBatch trains one (program, input, window) stream under
+// several context schemes in a single batched pass. It produces exactly
+// the profiles TrainFeed would produce scheme by scheme, but shares the
+// two stream-shaped costs across the batch:
+//
+//   - Phase 2 (the full-speed simulated run with DAG collection) runs
+//     the machine once, fanning its trace to one collector per scheme.
+//     The collector is a pure observer, so N collectors on one machine
+//     pass see exactly what N machine passes would each show them.
+//   - Shaking is memoized across schemes: different schemes carve the
+//     same dynamic stream at different context granularity, so most
+//     traced segments reappear shifted in time but otherwise identical.
+//     The shaker's histograms are shift-invariant (binning depends only
+//     on durations, weights, and domains), so a segment whose
+//     time-rebased content hash was already shaken reuses the shaken
+//     histograms instead of re-running the O(passes x events) shaker.
+//
+// Phase 1 (call-tree profiling) and phases 3-4 (thresholding and plan
+// construction) stay per-scheme; they are scheme-dependent and cheap.
+func TrainFeedBatch(cfg Config, src isa.Feeder, window int64, schemes []calltree.Scheme) []*Profile {
+	if len(schemes) == 1 {
+		return []*Profile{TrainFeed(cfg, src, window, schemes[0])}
+	}
+	topo := cfg.Sim.Topo()
+	shk := shaker.NewRunner(shaker.ConfigFor(cfg.Shaker, topo))
+	memo := make(map[segKey]*shaker.DomainHists)
+	profs := make([]*Profile, len(schemes))
+	collectors := make([]*trace.Collector, len(schemes))
+	for i, scheme := range schemes {
+		// Phase 1 per scheme.
+		tree := profiler.ProfileFeed(src, window, scheme)
+		hists := make(map[*calltree.Node]*shaker.DomainHists)
+		collector := trace.NewCollector(tree, cfg.MaxInstances, cfg.MaxEvents, func(seg *trace.Segment) {
+			k, hashable := segmentKey(seg)
+			if hashable {
+				if h, ok := memo[k]; ok {
+					addHists(hists, seg, h.Clone())
+					return
+				}
+			}
+			h := shk.Run(seg)
+			if hashable {
+				// The memo owns its copy: the per-node entry below is
+				// accumulated into by later segments of the same node.
+				memo[k] = h.Clone()
+			}
+			addHists(hists, seg, &h)
+		})
+		collector.SetTopology(topo)
+		// Segments are reduced synchronously in the callback, so each
+		// collector can reuse one event arena for the whole run.
+		collector.RecycleSegments = true
+		profs[i] = &Profile{Scheme: scheme, Tree: tree, Hists: hists}
+		collectors[i] = collector
+	}
+
+	// Phase 2, once: one machine pass fanned to every collector.
+	tee := &teeObserver{sinks: collectors}
+	m := sim.New(cfg.Sim)
+	m.SetTracer(tee)
+	m.SetMarkerSink(tee)
+	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
+	for _, c := range collectors {
+		c.Close()
+	}
+
+	for _, prof := range profs {
+		prof.Plan = Replan(prof, cfg.DeltaPct)
+	}
+	return profs
+}
+
+// addHists accumulates shaken histograms into the per-node table with
+// the same aliasing rule TrainFeed uses: the first entry for a node
+// takes ownership of h, later segments add into it.
+func addHists(hists map[*calltree.Node]*shaker.DomainHists, seg *trace.Segment, h *shaker.DomainHists) {
+	if prev, ok := hists[seg.Node]; ok {
+		prev.Add(h)
+	} else {
+		hists[seg.Node] = h
+	}
+}
+
+// segKey is a 128-bit content hash of a segment's events rebased to
+// the segment's start time. Two segments with equal keys hold
+// shift-identical event sets, which the shaker reduces to identical
+// histograms; 128 bits makes a silent collision astronomically
+// unlikely (~2^-64 at millions of segments).
+type segKey struct{ lo, hi uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// segmentKey hashes the shift-normalized content of a segment. The
+// second lane of the hash seeds differently and taps the stream at a
+// byte offset, so the two 64-bit halves decorrelate.
+func segmentKey(seg *trace.Segment) (segKey, bool) {
+	ev := seg.Events
+	if len(ev) == 0 {
+		return segKey{}, false
+	}
+	base := ev[0].Start
+	lo := uint64(fnvOffset)
+	hi := uint64(fnvOffset) ^ 0x9e3779b97f4a7c15
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			b := (v >> uint(s)) & 0xff
+			lo = (lo ^ b) * fnvPrime
+			hi = (hi ^ ((v >> uint((s+8)%64)) & 0xff)) * fnvPrime
+		}
+	}
+	mix(uint64(len(ev)))
+	for i := range ev {
+		e := &ev[i]
+		mix(uint64(e.Start - base))
+		mix(uint64(e.End - base))
+		mix(uint64(e.Domain))
+		mix(math.Float64bits(e.Weight))
+		mix(uint64(len(e.Out)))
+		for _, o := range e.Out {
+			mix(uint64(o))
+		}
+	}
+	return segKey{lo, hi}, true
+}
+
+// teeObserver fans one machine's trace and marker streams to several
+// collectors. Collectors are pure observers — they never mutate the
+// instruction, times, or machine — so each sink sees exactly the stream
+// a dedicated machine pass would deliver.
+type teeObserver struct{ sinks []*trace.Collector }
+
+func (t *teeObserver) Trace(seq int64, ins *isa.Instr, tm *sim.Times) {
+	for _, c := range t.sinks {
+		c.Trace(seq, ins, tm)
+	}
+}
+
+func (t *teeObserver) MachineMarker(m isa.Marker, now int64) {
+	for _, c := range t.sinks {
+		c.MachineMarker(m, now)
+	}
+}

@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/calltree"
@@ -94,7 +95,7 @@ func (r *Runner) Engine() *sweep.Engine {
 // report generators whose job specs are built internally, so an error
 // here is a programming mistake or an unusable cache directory.
 func (r *Runner) run(jobs []sweep.Job) []*sweep.Outcome {
-	outs, _, err := r.Engine().Run(jobs)
+	outs, _, err := r.Engine().Run(context.Background(), jobs)
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}

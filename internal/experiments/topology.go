@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,7 +56,7 @@ func (r *Runner) TopologyData(topos []string) ([]TopologyRow, error) {
 				sweep.Job{Bench: b, Policy: sweep.PolicyOffline},
 				sweep.Job{Bench: b, Policy: sweep.PolicyOnline})
 		}
-		outs, _, err := eng.Run(jobs)
+		outs, _, err := eng.Run(context.Background(), jobs)
 		if err != nil {
 			return nil, err
 		}

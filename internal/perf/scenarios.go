@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -43,6 +44,13 @@ const (
 	// instead of retraining — the case the artifact store accelerates.
 	// The store is warmed in untimed setup.
 	SweepWarmArtifacts = "sweep-warm-artifacts"
+	// BatchThroughput pushes a wide one-anchor grid — one benchmark under
+	// many untrained machine configurations (a single-clock frequency
+	// ladder plus an on-line aggressiveness ladder) — through the
+	// engine's lockstep batching path with a cold cache: all jobs share
+	// one decoded reference stream, so this isolates what
+	// PackedStream.FeedLockstep saves over per-job stream replay.
+	BatchThroughput = "batch-throughput"
 	// SimThroughput2Dom is the steady-state Machine microbenchmark under
 	// the non-default fe-be2 topology: same hot loop, different domain
 	// routing, so regressions in the topology-driven paths (slice-backed
@@ -91,6 +99,11 @@ func init() {
 		Desc: "manifest grid through the sweep engine with a cold disk cache",
 		Run:  runSweepThroughput,
 	})
+	Register(Scenario{
+		Name: BatchThroughput,
+		Desc: "wide one-anchor untrained grid through lockstep batching, cold disk cache",
+		Run:  runBatchThroughput,
+	})
 	registerSweepWarmArtifacts()
 }
 
@@ -127,7 +140,7 @@ func runBenchSmoke() (int64, error) {
 			sweep.Job{Bench: n, Policy: sweep.PolicyOnline},
 		)
 	}
-	outs, _, err := eng.Run(jobs)
+	outs, _, err := eng.Run(context.Background(), jobs)
 	if err != nil {
 		return 0, err
 	}
@@ -147,7 +160,7 @@ func runTrainPipeline() (int64, error) {
 			sweep.Job{Bench: n, Policy: sweep.PolicyScheme, Scheme: calltree.LF.Name},
 		)
 	}
-	outs, _, err := eng.Run(jobs)
+	outs, _, err := eng.Run(context.Background(), jobs)
 	if err != nil {
 		return 0, err
 	}
@@ -213,7 +226,7 @@ func registerSweepWarmArtifacts() {
 			eng := sweep.New(core.DefaultConfig())
 			eng.Cache = &sweep.Cache{Dir: resultDir}
 			eng.Artifacts = sweep.ArtifactStore(storeDir)
-			outs, _, err := eng.Run(warmArtifactJobs())
+			outs, _, err := eng.Run(context.Background(), warmArtifactJobs())
 			if err != nil {
 				return 0, err
 			}
@@ -224,6 +237,35 @@ func registerSweepWarmArtifacts() {
 			return instrs, nil
 		},
 	})
+}
+
+func runBatchThroughput() (int64, error) {
+	dir, err := os.MkdirTemp("", "mcdperf-batch-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	m := &sweep.Manifest{
+		Benchmarks:     []string{"adpcm_decode"},
+		Policies:       []string{sweep.PolicyBaseline, sweep.PolicySingleClock, sweep.PolicyOnline},
+		MHz:            []int{250, 400, 550, 700, 850, 1000},
+		Aggressiveness: []float64{0.4, 0.55, 0.7, 0.85, 1.0, 1.15},
+	}
+	jobs, err := m.Jobs()
+	if err != nil {
+		return 0, err
+	}
+	eng := sweep.New(m.Config())
+	eng.Cache = &sweep.Cache{Dir: dir}
+	outs, _, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		return 0, err
+	}
+	var instrs int64
+	for _, o := range outs {
+		instrs += o.Res.Instructions
+	}
+	return instrs, nil
 }
 
 func runSweepThroughput() (int64, error) {
@@ -244,7 +286,7 @@ func runSweepThroughput() (int64, error) {
 	}
 	eng := sweep.New(m.Config())
 	eng.Cache = &sweep.Cache{Dir: dir}
-	outs, _, err := eng.Run(jobs)
+	outs, _, err := eng.Run(context.Background(), jobs)
 	if err != nil {
 		return 0, err
 	}

@@ -155,7 +155,7 @@ func init() {
 			eng := sweep.New(cfg)
 			eng.Cache = &sweep.Cache{Dir: dir}
 			eng.Artifacts = sweep.ArtifactStore(dir)
-			if _, _, err := eng.Run(jobs); err != nil {
+			if _, _, err := eng.Run(context.Background(), jobs); err != nil {
 				os.RemoveAll(dir)
 				return nil, err
 			}

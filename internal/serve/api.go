@@ -7,10 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
-	"repro/internal/arch"
-	"repro/internal/calltree"
 	"repro/internal/sweep"
-	"repro/internal/workload"
 )
 
 // apiError is the structured error every endpoint returns on failure:
@@ -31,13 +28,17 @@ type errorBody struct {
 	Err apiError `json:"error"`
 }
 
-func invalidManifest(err error, field string) *apiError {
-	return &apiError{
-		status:  http.StatusUnprocessableEntity,
-		Code:    "invalid_manifest",
-		Message: err.Error(),
-		Field:   field,
+// fromValidation maps the shared validator's structured error onto the
+// wire shape, choosing the HTTP status by code: parse failures are 400,
+// semantic failures 422. Code, message and field pass through verbatim,
+// so the daemon's error body and the CLI's stderr line carry the same
+// triple for the same mistake.
+func fromValidation(v *sweep.ValidationError) *apiError {
+	status := http.StatusUnprocessableEntity
+	if v.Code == sweep.ErrBadJSON {
+		status = http.StatusBadRequest
 	}
+	return &apiError{status: status, Code: v.Code, Message: v.Message, Field: v.Field}
 }
 
 // writeError emits a structured JSON error with its HTTP status and,
@@ -57,57 +58,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// validateManifest parses a submission body and attributes validation
-// failures to the manifest field that caused them. Every check runs
-// through the exact validation path the CLI hits (Job.Validate,
-// arch.TopologyByName), so an unknown topology, policy or scheme
-// reports the same registered-name listing over the API as `mcdsweep`
-// prints on stderr.
+// validateManifest parses and validates a submission body through the
+// shared validator (sweep.ParseManifest + sweep.ValidateManifest) — the
+// same code path `mcdsweep` runs on a manifest file — so an unknown
+// topology, policy or scheme reports the same registered-name listing
+// over the API as the CLI prints on stderr.
 func validateManifest(body []byte) (*sweep.Manifest, []sweep.Job, *apiError) {
-	var m sweep.Manifest
-	if err := json.Unmarshal(body, &m); err != nil {
-		return nil, nil, &apiError{
-			status:  http.StatusBadRequest,
-			Code:    "bad_json",
-			Message: "manifest: " + err.Error(),
-		}
+	m, verr := sweep.ParseManifest(body)
+	if verr != nil {
+		return nil, nil, fromValidation(verr)
 	}
-	if _, err := arch.TopologyByName(m.Topology); err != nil {
-		return nil, nil, invalidManifest(err, "topology")
+	jobs, verr := sweep.ValidateManifest(m)
+	if verr != nil {
+		return nil, nil, fromValidation(verr)
 	}
-	// Probe each grid dimension with a minimal job so the error text is
-	// Job.Validate's own.
-	probeBench := workload.Names()[0]
-	for _, b := range m.Benchmarks {
-		if err := (sweep.Job{Bench: b, Policy: sweep.PolicyBaseline}).Validate(); err != nil {
-			return nil, nil, invalidManifest(err, "benchmarks")
-		}
-	}
-	probeScheme := calltree.Schemes()[0].Name
-	for _, p := range m.Policies {
-		// The scheme policy's own validation needs a scheme; probe it
-		// with a registered one so only the policy name is under test.
-		j := sweep.Job{Bench: probeBench, Policy: p}
-		if p == sweep.PolicyScheme {
-			j.Scheme = probeScheme
-		}
-		if err := j.Validate(); err != nil {
-			return nil, nil, invalidManifest(err, "policies")
-		}
-	}
-	for _, sc := range m.Schemes {
-		if err := (sweep.Job{Bench: probeBench, Policy: sweep.PolicyScheme, Scheme: sc}).Validate(); err != nil {
-			return nil, nil, invalidManifest(err, "schemes")
-		}
-	}
-	// Full enumeration catches everything else (parameter ranges and any
-	// cross-field combination) with the CLI's message; the enumerated
-	// grid is returned so the submission path never re-derives it.
-	jobs, err := m.Jobs()
-	if err != nil {
-		return nil, nil, invalidManifest(err, "")
-	}
-	return &m, jobs, nil
+	return m, jobs, nil
 }
 
 // Handler returns the server's HTTP API:

@@ -154,6 +154,10 @@ type sweepRun struct {
 	name string
 	cfg  core.Config
 	jobs []sweep.Job
+	// recCache is the manifest's recorded-stream cache override; it is
+	// an execution knob (not part of cfg or the sweep ID) applied when
+	// this sweep is the first to create its configuration's engine.
+	recCache int
 
 	mu      sync.Mutex
 	events  []Event
@@ -165,11 +169,12 @@ type sweepRun struct {
 
 func newSweepRun(id string, m *sweep.Manifest, cfg core.Config, jobs []sweep.Job) *sweepRun {
 	return &sweepRun{
-		id:      id,
-		name:    m.Name,
-		cfg:     cfg,
-		jobs:    jobs,
-		changed: make(chan struct{}),
+		id:       id,
+		name:     m.Name,
+		cfg:      cfg,
+		jobs:     jobs,
+		recCache: m.RecordingCache,
+		changed:  make(chan struct{}),
 	}
 }
 
@@ -277,9 +282,12 @@ func SweepID(cfg core.Config, jobs []sweep.Job) string {
 }
 
 // engine returns the shared engine for a configuration, creating it on
-// first use. All engines share the server's pool, cache and artifact
-// store, so identical jobs in concurrent sweeps resolve exactly once.
-func (s *Server) engine(cfg core.Config) *sweep.Engine {
+// first use. All engines share the server's pool (passed per Run call
+// via sweep.WithPool), cache and artifact store, so identical jobs in
+// concurrent sweeps resolve exactly once. recCache sizes the
+// recorded-stream cache when this call creates the engine; later sweeps
+// joining the same configuration keep the creator's sizing.
+func (s *Server) engine(cfg core.Config, recCache int) *sweep.Engine {
 	key := configKey(cfg)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -287,7 +295,7 @@ func (s *Server) engine(cfg core.Config) *sweep.Engine {
 		return e
 	}
 	e := sweep.New(cfg)
-	e.Pool = s.pool
+	e.RecordingCache = recCache
 	e.Cache = s.cache
 	e.Artifacts = s.artifacts
 	e.ExecFn = s.ExecFn
@@ -389,14 +397,14 @@ func (s *Server) retryAfter(pending int64) int {
 
 // runSweep executes one sweep on the shared pool, feeding its event log
 // and the server metrics as each job completes. The per-sweep summary
-// is tallied from this sweep's own completions — RunStream's summary
-// reports engine-wide counter deltas, which concurrent sweeps sharing
-// an engine would cross-attribute.
+// is tallied from this sweep's own completions — Run's summary reports
+// engine-wide counter deltas, which concurrent sweeps sharing an engine
+// would cross-attribute.
 func (s *Server) runSweep(r *sweepRun) {
 	defer s.wg.Done()
-	eng := s.engine(r.cfg)
+	eng := s.engine(r.cfg, r.recCache)
 	var sum sweep.Summary
-	engSum, err := eng.RunStream(r.jobs, func(d sweep.JobDone) {
+	_, engSum, err := eng.Run(context.Background(), r.jobs, sweep.WithPool(s.pool), sweep.WithOnDone(func(d sweep.JobDone) {
 		s.pending.Add(-1)
 		s.metrics.observe(d)
 		switch {
@@ -410,7 +418,7 @@ func (s *Server) runSweep(r *sweepRun) {
 			sum.MemHits++
 		}
 		r.append(d)
-	})
+	}))
 	sum.Jobs = len(r.jobs)
 	// Corruption has no per-job attribution (JobDone cannot carry it),
 	// so take the engine-wide delta: between concurrent sweeps it may

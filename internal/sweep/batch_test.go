@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestBatchedMatchesSequential is the batching acceptance gate: for
+// every built-in topology, a full policy grid run with lockstep
+// batching must be indistinguishable on disk and in memory from the
+// same grid run job-by-job — identical per-job outcomes, identical
+// result-cache entry bytes, identical artifact-store bytes, and the
+// same executed/error counts. Batching is a throughput optimization
+// only; any divergence here is a correctness bug, not a tuning matter.
+func TestBatchedMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two profiles per topology, twice")
+	}
+	for _, name := range arch.TopologyNames() {
+		t.Run(name, func(t *testing.T) {
+			m := &Manifest{
+				Benchmarks: []string{"g721_decode"},
+				Policies:   Policies(),
+				Schemes:    []string{"L+F"},
+				Topology:   name,
+			}
+			jobs, err := m.Jobs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := m.Config()
+			run := func(dir string, opts ...RunOption) ([]*Outcome, Summary) {
+				eng := New(cfg)
+				eng.Cache = &Cache{Dir: dir}
+				eng.Artifacts = ArtifactStore(dir)
+				outs, sum, err := eng.Run(context.Background(), jobs, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return outs, sum
+			}
+			dirSeq, dirBat := t.TempDir(), t.TempDir()
+			seqOuts, seqSum := run(dirSeq, WithBatching(0))
+			batOuts, batSum := run(dirBat) // automatic lockstep width
+
+			for i := range jobs {
+				a, _ := json.Marshal(seqOuts[i])
+				b, _ := json.Marshal(batOuts[i])
+				if !bytes.Equal(a, b) {
+					t.Errorf("%s: outcome diverged\nseq %s\nbat %s", jobs[i], a, b)
+				}
+			}
+			if seqSum.Executed != batSum.Executed || seqSum.Errors != batSum.Errors {
+				t.Errorf("summary diverged: seq %+v bat %+v", seqSum, batSum)
+			}
+			compareTrees(t, dirSeq, dirBat)
+		})
+	}
+}
+
+// compareTrees asserts two cache directories hold the same relative
+// paths with the same bytes.
+func compareTrees(t *testing.T, dirA, dirB string) {
+	t.Helper()
+	list := func(root string) map[string][]byte {
+		files := make(map[string][]byte)
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, _ := filepath.Rel(root, path)
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			files[rel] = b
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return files
+	}
+	a, b := list(dirA), list(dirB)
+	if len(a) != len(b) {
+		t.Errorf("cache trees differ: %d vs %d files", len(a), len(b))
+	}
+	for rel, ab := range a {
+		bb, ok := b[rel]
+		if !ok {
+			t.Errorf("batched cache missing %s", rel)
+			continue
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Errorf("cache entry %s differs between sequential and batched runs", rel)
+		}
+	}
+	for rel := range b {
+		if _, ok := a[rel]; !ok {
+			t.Errorf("batched cache has extra entry %s", rel)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -105,7 +106,7 @@ func TestFleetTrainsOnce(t *testing.T) {
 	engA := New(cfg)
 	engA.Cache = &Cache{Dir: dirA}
 	engA.Artifacts = ArtifactStore(dirA)
-	if _, _, err := engA.Run(jobs); err != nil {
+	if _, _, err := engA.Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	if n := engA.Artifacts.Writes(); n != wantTrainings {
@@ -127,7 +128,7 @@ func TestFleetTrainsOnce(t *testing.T) {
 		wg.Add(1)
 		go func(idx int, eng *Engine, mine []Job) {
 			defer wg.Done()
-			_, _, errs[idx] = eng.Run(mine)
+			_, _, errs[idx] = eng.Run(context.Background(), mine)
 		}(idx, eng, mine)
 	}
 	wg.Wait()
@@ -168,7 +169,7 @@ func TestFleetTrainsOnce(t *testing.T) {
 		eng := New(cfg)
 		eng.Cache = &Cache{Dir: dirB}
 		eng.Artifacts = ArtifactStore(dirB)
-		_, sum, err := eng.Run(Shard(cfg, jobs, shards, idx))
+		_, sum, err := eng.Run(context.Background(), Shard(cfg, jobs, shards, idx))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +259,7 @@ func TestCorruptEntriesSurfaced(t *testing.T) {
 		e.ExecFn = fakeExec(&execs)
 		return e
 	}
-	if _, sum, err := fresh().Run(jobs); err != nil {
+	if _, sum, err := fresh().Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	} else if sum.CorruptEntries != 0 {
 		t.Fatalf("cold run reported corruption: %s", sum)
@@ -275,7 +276,7 @@ func TestCorruptEntriesSurfaced(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, sum, err := fresh().Run(jobs)
+	_, sum, err := fresh().Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,12 +292,12 @@ func TestCorruptEntriesSurfaced(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"key":"beef","job":{},"outcome":{"result":{}}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, sum, err = fresh().Run(jobs); err != nil {
+	if _, sum, err = fresh().Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	} else if sum.CorruptEntries != 1 {
 		t.Errorf("key-mismatched entry: corrupt_entries=%d, want 1", sum.CorruptEntries)
 	}
-	if _, sum, err = fresh().Run(jobs); err != nil {
+	if _, sum, err = fresh().Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	} else if sum.CorruptEntries != 0 || sum.DiskHits != len(jobs) {
 		t.Errorf("post-repair run: %s", sum)
@@ -360,7 +361,7 @@ func TestPruneUnreachable(t *testing.T) {
 	eng := New(cfg)
 	eng.Cache = &Cache{Dir: dir}
 	eng.ExecFn = fakeExec(&execs)
-	if _, _, err := eng.Run(all); err != nil {
+	if _, _, err := eng.Run(context.Background(), all); err != nil {
 		t.Fatal(err)
 	}
 	store := ArtifactStore(dir)

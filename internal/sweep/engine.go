@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -75,11 +76,20 @@ type Engine struct {
 	Cfg core.Config
 	// Workers bounds Run's concurrency; 0 means GOMAXPROCS.
 	Workers int
-	// Pool, when non-nil, is a shared worker pool Run and RunStream
-	// dispatch jobs to instead of spawning per-call workers, so a
-	// long-lived process can bound concurrency and queue depth globally
-	// across engines and concurrent batches.
+	// Pool, when non-nil, is the shared worker pool Run dispatches work
+	// to instead of spawning per-call workers, so a long-lived process
+	// can bound concurrency and queue depth globally across engines and
+	// concurrent batches.
+	//
+	// Deprecated: pass WithPool to Run instead of poking the field; the
+	// field remains as the default for one release.
 	Pool *Pool
+	// RecordingCache bounds how many recorded benchmark streams the
+	// executor retains (each is ~13 B/instruction); 0 sizes it
+	// automatically from Workers. Batched execution reserves extra slots
+	// for the streams its anchor group replays, so grids never thrash
+	// the cache into re-recording mid-batch. Set before first use.
+	RecordingCache int
 	// Cache, when non-nil, persists outcomes across processes.
 	Cache *Cache
 	// Artifacts, when non-nil, persists intermediate pipeline products
@@ -169,7 +179,7 @@ func (e *Engine) Do(job Job) (*Outcome, Source, error) {
 }
 
 // doKeyed is Do after validation, for callers that already derived the
-// job's key (RunStream hands it to the completion callback, and key
+// job's key (Run hands it to the completion callback, and key
 // derivation marshals the full config — not worth doing twice per job).
 func (e *Engine) doKeyed(key string, job Job) (*Outcome, Source, error) {
 	e.mu.Lock()
@@ -236,17 +246,183 @@ func (e *Engine) execFn() func(Job) (*Outcome, error) {
 	return e.executor().execute
 }
 
-// Run resolves a batch of jobs on a worker pool and returns their
-// outcomes in input order plus a summary of cache behavior. Individual
-// job failures leave a nil outcome at that index; the joined error
-// reports all of them.
-func (e *Engine) Run(jobs []Job) ([]*Outcome, Summary, error) {
-	outs := make([]*Outcome, len(jobs))
-	sum, err := e.RunStream(jobs, func(d JobDone) { outs[d.Index] = d.Outcome })
-	return outs, sum, err
+// RunOption configures one Run call.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	onDone   func(JobDone)
+	pool     *Pool
+	poolSet  bool
+	batch    int
+	batchSet bool
 }
 
-// JobDone reports one finished job to RunStream's callback.
+// WithOnDone streams per-job completions: fn is invoked once per job in
+// completion order, as each finishes. Callbacks are serialized (never
+// concurrent) but run on worker goroutines, so they must not block for
+// long.
+func WithOnDone(fn func(JobDone)) RunOption {
+	return func(rc *runConfig) { rc.onDone = fn }
+}
+
+// WithPool dispatches the call's work onto a shared worker pool instead
+// of per-call workers (nil restores per-call workers even when the
+// engine's deprecated Pool field is set).
+func WithPool(p *Pool) RunOption {
+	return func(rc *runConfig) { rc.pool, rc.poolSet = p, true }
+}
+
+// WithBatching bounds how many jobs one lockstep pass steps together:
+// ready jobs that share a (benchmark, input, window) anchor are grouped
+// and simulated in lockstep from one decoded stream, n lanes at a time.
+// n == 0 disables batching (every job resolves alone); n < 0 or an
+// absent option picks the automatic width. Batched and sequential
+// execution produce byte-identical results, cache entries, and
+// artifacts — the option only trades memory (n live machines) against
+// stream-decode and cache-traffic savings.
+func WithBatching(n int) RunOption {
+	return func(rc *runConfig) { rc.batch, rc.batchSet = n, true }
+}
+
+// autoBatchWidth is the default lockstep width: wide enough to cover
+// the paper's policy grids per benchmark, narrow enough that the live
+// machines' state stays modest.
+const autoBatchWidth = 32
+
+// Run resolves a batch of jobs and returns their outcomes in input
+// order plus a summary of cache behavior. Individual job failures leave
+// a nil outcome at that index; the joined error reports all of them.
+// Options select streaming callbacks (WithOnDone), the worker pool
+// (WithPool), and lockstep batching (WithBatching). A canceled ctx
+// fails jobs that have not started with ctx.Err(); work already in
+// flight completes and is cached normally.
+func (e *Engine) Run(ctx context.Context, jobs []Job, opts ...RunOption) ([]*Outcome, Summary, error) {
+	rc := runConfig{}
+	for _, o := range opts {
+		o(&rc)
+	}
+	pool := e.Pool
+	if rc.poolSet {
+		pool = rc.pool
+	}
+	width := autoBatchWidth
+	if rc.batchSet && rc.batch >= 0 {
+		width = rc.batch
+	}
+
+	outs := make([]*Outcome, len(jobs))
+	srcs := make([]Source, len(jobs))
+	errs := make([]error, len(jobs))
+	exec0, disk0, corrupt0 := e.nExecuted.Load(), e.nDisk.Load(), e.nCorrupt.Load()
+
+	var cbMu sync.Mutex
+	report := func(i int, key string, out *Outcome, src Source, elapsed time.Duration, err error) {
+		outs[i], srcs[i], errs[i] = out, src, err
+		if rc.onDone != nil {
+			d := JobDone{
+				Index:   i,
+				Job:     jobs[i],
+				Key:     key,
+				Outcome: out,
+				Source:  src,
+				Elapsed: elapsed,
+				Err:     err,
+			}
+			cbMu.Lock()
+			rc.onDone(d)
+			cbMu.Unlock()
+		}
+	}
+	do := func(i int) {
+		start := time.Now()
+		var key string
+		var out *Outcome
+		src := SourceMemory // matches Do's label for validation failures
+		err := ctx.Err()
+		if err == nil {
+			err = jobs[i].Validate()
+		}
+		if err == nil {
+			key = Key(e.Cfg, jobs[i])
+			out, src, err = e.doKeyed(key, jobs[i])
+		}
+		report(i, key, out, src, time.Since(start), err)
+	}
+
+	// Partition the batch into schedulable units: anchor groups stepped
+	// in lockstep, and single jobs. The built-in executor is required
+	// for batching — an ExecFn override bypasses lanes entirely.
+	var units []func()
+	if width > 0 && e.ExecFn == nil {
+		groups, singles := planBatches(e.Cfg, jobs)
+		for _, i := range singles {
+			i := i
+			units = append(units, func() { do(i) })
+		}
+		for _, g := range groups {
+			g := g
+			units = append(units, func() { e.runGroup(ctx, jobs, g, width, report) })
+		}
+	} else {
+		for i := range jobs {
+			i := i
+			units = append(units, func() { do(i) })
+		}
+	}
+
+	var wg sync.WaitGroup
+	if pool != nil {
+		for _, u := range units {
+			u := u
+			wg.Add(1)
+			pool.Submit(func() {
+				defer wg.Done()
+				u()
+			})
+		}
+	} else {
+		workers := e.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(units) {
+			workers = len(units)
+		}
+		ch := make(chan func())
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range ch {
+					u()
+				}
+			}()
+		}
+		for _, u := range units {
+			ch <- u
+		}
+		close(ch)
+	}
+	wg.Wait()
+
+	sum := Summary{
+		Jobs:           len(jobs),
+		Executed:       int(e.nExecuted.Load() - exec0),
+		DiskHits:       int(e.nDisk.Load() - disk0),
+		CorruptEntries: int(e.nCorrupt.Load() - corrupt0),
+	}
+	for i := range jobs {
+		switch {
+		case errs[i] != nil:
+			sum.Errors++
+		case srcs[i] == SourceMemory:
+			sum.MemHits++
+		}
+	}
+	return outs, sum, errors.Join(errs...)
+}
+
+// JobDone reports one finished job to Run's WithOnDone callback.
 type JobDone struct {
 	// Index is the job's position in the submitted batch.
 	Index int
@@ -267,96 +443,13 @@ type JobDone struct {
 }
 
 // RunStream resolves a batch of jobs and invokes onDone once per job in
-// completion order, as each finishes — the iterator a long-lived
-// service needs to stream outcomes while the batch is still running,
-// instead of waiting for Run's batch return. Callbacks are serialized
-// (never concurrent) but run on worker goroutines, so they must not
-// block for long. Jobs run on the engine's shared Pool when one is set,
-// otherwise on a per-call pool bounded by Workers. The summary and
-// joined error are exactly Run's.
+// completion order.
+//
+// Deprecated: use Run(ctx, jobs, WithOnDone(onDone)); this wrapper
+// remains for one release.
 func (e *Engine) RunStream(jobs []Job, onDone func(JobDone)) (Summary, error) {
-	srcs := make([]Source, len(jobs))
-	errs := make([]error, len(jobs))
-
-	exec0, disk0, corrupt0 := e.nExecuted.Load(), e.nDisk.Load(), e.nCorrupt.Load()
-	var cbMu sync.Mutex
-	do := func(i int) {
-		start := time.Now()
-		var key string
-		var out *Outcome
-		src := SourceMemory // matches Do's label for validation failures
-		err := jobs[i].Validate()
-		if err == nil {
-			key = Key(e.Cfg, jobs[i])
-			out, src, err = e.doKeyed(key, jobs[i])
-		}
-		srcs[i], errs[i] = src, err
-		if onDone != nil {
-			d := JobDone{
-				Index:   i,
-				Job:     jobs[i],
-				Key:     key,
-				Outcome: out,
-				Source:  src,
-				Elapsed: time.Since(start),
-				Err:     err,
-			}
-			cbMu.Lock()
-			onDone(d)
-			cbMu.Unlock()
-		}
-	}
-
-	var wg sync.WaitGroup
-	if e.Pool != nil {
-		for i := range jobs {
-			i := i
-			wg.Add(1)
-			e.Pool.Submit(func() {
-				defer wg.Done()
-				do(i)
-			})
-		}
-	} else {
-		workers := e.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		if workers > len(jobs) {
-			workers = len(jobs)
-		}
-		ch := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range ch {
-					do(i)
-				}
-			}()
-		}
-		for i := range jobs {
-			ch <- i
-		}
-		close(ch)
-	}
-	wg.Wait()
-
-	sum := Summary{
-		Jobs:           len(jobs),
-		Executed:       int(e.nExecuted.Load() - exec0),
-		DiskHits:       int(e.nDisk.Load() - disk0),
-		CorruptEntries: int(e.nCorrupt.Load() - corrupt0),
-	}
-	for i := range jobs {
-		switch {
-		case errs[i] != nil:
-			sum.Errors++
-		case srcs[i] == SourceMemory:
-			sum.MemHits++
-		}
-	}
-	return sum, errors.Join(errs...)
+	_, sum, err := e.Run(context.Background(), jobs, WithOnDone(onDone))
+	return sum, err
 }
 
 // Merged pairs one job with its cached outcome for merge output.

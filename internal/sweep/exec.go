@@ -26,7 +26,7 @@ import (
 // The executor also keeps a small LRU of recorded dynamic streams: a
 // policy grid simulates the same (benchmark, input) stream once per
 // policy, and regenerating it costs roughly a third of each run. The
-// cache is bounded (a recording is ~25 B/instruction), and a recorded
+// cache is bounded (a packed recording is ~13 B/instruction), and a recorded
 // replay is item-for-item identical to a generating walk, so outcomes
 // — and therefore cache keys and report bytes — are unchanged.
 type executor struct {
@@ -35,9 +35,10 @@ type executor struct {
 	mu       sync.Mutex
 	profiles map[string]*profFlight // keyed by artifact key
 
-	smu     sync.Mutex
-	streams map[string]*streamFlight
-	lru     []string // keys, least recent first
+	smu      sync.Mutex
+	streams  map[string]*streamFlight
+	lru      []string // keys, least recent first
+	reserved int      // extra stream slots claimed by running batches
 }
 
 type profFlight struct {
@@ -47,24 +48,39 @@ type profFlight struct {
 
 type streamFlight struct {
 	done     chan struct{}
-	rec      *isa.Recording
+	rec      *isa.PackedStream
 	recorded bool
 }
 
-// maxStreams bounds retained recordings. Workers process jobs
-// benchmark-major, so at most one stream per worker is typically live;
-// sizing by worker count (plus slack for the train/ref pairs training
-// jobs touch) keeps concurrent job grids from thrashing the cache into
-// repeated re-recordings. Recordings still in flight are never evicted
-// — eviction mid-recording would make concurrent jobs re-record the
-// same stream — so momentary occupancy can exceed the bound by the
-// number of in-flight recordings, which the worker pool already caps.
+// maxStreams bounds retained recordings. The base bound is the
+// engine's RecordingCache knob, defaulting to worker count plus slack:
+// workers process jobs benchmark-major, so at most one stream per
+// worker is typically live, and the slack covers the train/ref pair a
+// training job touches. Running batches additionally reserve the slots
+// their anchor group replays (reserveStreams), so a lockstep batch can
+// never have its own streams evicted under it by concurrent groups.
+// Recordings still in flight are never evicted — eviction mid-recording
+// would make concurrent jobs re-record the same stream — so momentary
+// occupancy can exceed the bound by the number of in-flight recordings,
+// which the worker pool already caps.
 func (x *executor) maxStreams() int {
-	w := x.eng.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+	base := x.eng.RecordingCache
+	if base <= 0 {
+		w := x.eng.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		base = w + 2
 	}
-	return w + 2
+	return base + x.reserved
+}
+
+// reserveStreams adjusts the batch reservation (delta may be negative);
+// callers bracket each lockstep batch with a matching pair.
+func (x *executor) reserveStreams(delta int) {
+	x.smu.Lock()
+	x.reserved += delta
+	x.smu.Unlock()
 }
 
 func newExecutor(e *Engine) *executor {
@@ -82,6 +98,12 @@ func (x *executor) Config() core.Config { return x.eng.Cfg }
 // it on first use (Runtime). Concurrent requests for the same stream
 // share one recording.
 func (x *executor) Feeder(b *workload.Benchmark, ref bool) isa.Feeder {
+	return x.packed(b, ref)
+}
+
+// packed is Feeder with the concrete packed-stream type, which the
+// batch executor needs for lockstep replay.
+func (x *executor) packed(b *workload.Benchmark, ref bool) *isa.PackedStream {
 	in, window := b.Train, b.TrainWindow
 	if ref {
 		in, window = b.Ref, b.RefWindow
@@ -116,7 +138,7 @@ func (x *executor) Feeder(b *workload.Benchmark, ref bool) isa.Feeder {
 	}
 	x.smu.Unlock()
 
-	f.rec = isa.RecordSized(b.Prog, in, window)
+	f.rec = isa.RecordPackedSized(b.Prog, in, window)
 	x.smu.Lock()
 	f.recorded = true
 	x.smu.Unlock()
@@ -157,38 +179,125 @@ func (x *executor) profile(spec ProfileSpec) (*core.Profile, error) {
 // Store damage is never fatal: corrupt entries are counted, surfaced
 // once, and overwritten by the fresh training.
 func (x *executor) resolveProfile(key string, spec ProfileSpec, b *workload.Benchmark, scheme calltree.Scheme) *core.Profile {
-	cfg := x.eng.Cfg
-	if st := x.eng.Artifacts; st != nil {
-		payload, status := st.Load(key, artifact.KindProfile)
-		switch status {
-		case artifact.Hit:
-			prof, err := core.DecodeProfile(payload)
-			if err == nil {
-				// The stored state is delta-independent; rebuild the plan
-				// at this engine's calibrated delta.
-				prof.Plan = core.Replan(prof, cfg.DeltaPct)
-				return prof
-			}
-			x.eng.noteCorrupt(st.EntryPath(key))
-		case artifact.Corrupt:
-			x.eng.noteCorrupt(st.EntryPath(key))
-		}
+	if prof := x.loadStored(key); prof != nil {
+		return prof
 	}
 	_, window := spec.inputWindow(b)
-	prof := core.TrainFeed(cfg, x.Feeder(b, spec.OnRef), window, scheme)
-	if st := x.eng.Artifacts; st != nil {
-		payload, err := core.EncodeProfile(prof)
+	prof := core.TrainFeed(x.eng.Cfg, x.Feeder(b, spec.OnRef), window, scheme)
+	x.persistProfile(key, prof)
+	return prof
+}
+
+// loadStored resolves a profile from the artifact store, replanning at
+// the engine's calibrated delta; nil means miss (or counted corruption).
+func (x *executor) loadStored(key string) *core.Profile {
+	st := x.eng.Artifacts
+	if st == nil {
+		return nil
+	}
+	payload, status := st.Load(key, artifact.KindProfile)
+	switch status {
+	case artifact.Hit:
+		prof, err := core.DecodeProfile(payload)
 		if err == nil {
-			err = st.Put(key, artifact.KindProfile, payload)
+			// The stored state is delta-independent; rebuild the plan
+			// at this engine's calibrated delta.
+			prof.Plan = core.Replan(prof, x.eng.Cfg.DeltaPct)
+			return prof
 		}
-		if err != nil {
-			// Training already succeeded; a persistence failure must not
-			// throw that work away. Keep the profile memoized in process
-			// and warn once.
-			x.eng.warnPersist(err)
+		x.eng.noteCorrupt(st.EntryPath(key))
+	case artifact.Corrupt:
+		x.eng.noteCorrupt(st.EntryPath(key))
+	}
+	return nil
+}
+
+// persistProfile stores a freshly trained profile. Training already
+// succeeded; a persistence failure must not throw that work away, so
+// the profile stays memoized in process and the engine warns once.
+func (x *executor) persistProfile(key string, prof *core.Profile) {
+	st := x.eng.Artifacts
+	if st == nil {
+		return
+	}
+	payload, err := core.EncodeProfile(prof)
+	if err == nil {
+		err = st.Put(key, artifact.KindProfile, payload)
+	}
+	if err != nil {
+		x.eng.warnPersist(err)
+	}
+}
+
+// profileBatch resolves several trained profiles at once, batching the
+// trainings that miss every cache layer: specs sharing one training
+// stream (benchmark, input) train in a single multi-scheme pass
+// (core.TrainFeedBatch) that shares the phase-2 collection run and the
+// shake work across schemes, producing byte-identical artifacts to
+// spec-by-spec training. Specs already memoized, in flight, or stored
+// resolve as x.profile would; invalid specs (unknown benchmark or
+// scheme) are skipped so the per-job path surfaces their error.
+func (x *executor) profileBatch(specs []ProfileSpec) {
+	type claim struct {
+		spec ProfileSpec
+		key  string
+		f    *profFlight
+		b    *workload.Benchmark
+	}
+	var mine []claim
+	x.mu.Lock()
+	for _, spec := range specs {
+		b := workload.ByName(spec.Bench)
+		if _, ok := SchemeByName(spec.Scheme); b == nil || !ok {
+			continue
+		}
+		key := spec.ArtifactKey(x.eng.Cfg)
+		if _, exists := x.profiles[key]; exists {
+			continue
+		}
+		f := &profFlight{done: make(chan struct{})}
+		x.profiles[key] = f
+		mine = append(mine, claim{spec, key, f, b})
+	}
+	x.mu.Unlock()
+
+	// Serve claims from the artifact store; group the rest by training
+	// stream.
+	groups := make(map[string][]int)
+	var order []string
+	for i := range mine {
+		c := &mine[i]
+		if prof := x.loadStored(c.key); prof != nil {
+			c.f.prof = prof
+			close(c.f.done)
+			continue
+		}
+		gk := c.spec.Bench
+		if c.spec.OnRef {
+			gk += "\x00ref"
+		}
+		if _, ok := groups[gk]; !ok {
+			order = append(order, gk)
+		}
+		groups[gk] = append(groups[gk], i)
+	}
+
+	for _, gk := range order {
+		idx := groups[gk]
+		first := &mine[idx[0]]
+		schemes := make([]calltree.Scheme, len(idx))
+		for k, i := range idx {
+			schemes[k], _ = SchemeByName(mine[i].spec.Scheme)
+		}
+		_, window := first.spec.inputWindow(first.b)
+		profs := core.TrainFeedBatch(x.eng.Cfg, x.Feeder(first.b, first.spec.OnRef), window, schemes)
+		for k, i := range idx {
+			c := &mine[i]
+			c.f.prof = profs[k]
+			x.persistProfile(c.key, profs[k])
+			close(c.f.done)
 		}
 	}
-	return prof
 }
 
 // Plan returns the edit plan of a profile at the job's delta (Runtime),

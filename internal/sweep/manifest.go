@@ -1,7 +1,6 @@
 package sweep
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 
@@ -17,6 +16,10 @@ import (
 // benchmarks, all policies, all six schemes) and a single default
 // parameter point, so the zero manifest is the paper's full evaluation.
 type Manifest struct {
+	// Schema is the manifest format version; 0 (omitted) and
+	// ManifestSchema are accepted, anything newer is rejected with a
+	// structured error instead of silently misreading future fields.
+	Schema     int      `json:"schema,omitempty"`
 	Name       string   `json:"name,omitempty"`
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	Policies   []string `json:"policies,omitempty"`
@@ -36,6 +39,11 @@ type Manifest struct {
 	// Configuration overrides; zero values keep core.DefaultConfig().
 	DeltaPct float64 `json:"delta_pct,omitempty"`
 	Seed     int64   `json:"seed,omitempty"`
+	// RecordingCache overrides the engine's recorded-stream cache bound
+	// (Engine.RecordingCache); 0 keeps the automatic sizing. It is an
+	// execution knob, not part of the simulated configuration, so it
+	// never enters cache keys.
+	RecordingCache int `json:"recording_cache,omitempty"`
 	// Topology selects the machine's clock-domain topology by registered
 	// name (arch.TopologyNames); empty means the paper's default
 	// 4-domain split, and naming the default explicitly keys identically
@@ -43,20 +51,24 @@ type Manifest struct {
 	Topology string `json:"topology,omitempty"`
 }
 
-// LoadManifest reads and validates a JSON manifest file.
+// LoadManifest reads and validates a JSON manifest file through the
+// shared validator (ParseManifest + ValidateManifest), so file loading
+// reports the same structured errors API submission does; unwrap with
+// errors.As into *ValidationError for the (code, message, field)
+// triple.
 func LoadManifest(path string) (*Manifest, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: manifest: %w", err)
 	}
-	var m Manifest
-	if err := json.Unmarshal(b, &m); err != nil {
-		return nil, fmt.Errorf("sweep: manifest %s: %w", path, err)
+	m, verr := ParseManifest(b)
+	if verr != nil {
+		return nil, fmt.Errorf("sweep: manifest %s: %w", path, verr)
 	}
-	if _, err := m.Jobs(); err != nil {
-		return nil, err
+	if _, verr := ValidateManifest(m); verr != nil {
+		return nil, fmt.Errorf("sweep: manifest %s: %w", path, verr)
 	}
-	return &m, nil
+	return m, nil
 }
 
 // Config returns the core configuration the manifest's jobs run under.

@@ -66,11 +66,17 @@ func (baselinePolicy) Name() string { return PolicyBaseline }
 
 func (baselinePolicy) CanonicalJob(j Job, cfg core.Config) Job { return clearCommon(j) }
 
-func (baselinePolicy) Run(rt Runtime, j Job, _ []Resolved) (*Outcome, error) {
+func (p baselinePolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	return runLane(p, rt, j, deps)
+}
+
+func (baselinePolicy) OpenLane(rt Runtime, j Job, _ []Resolved) (*Lane, error) {
 	b := workload.ByName(j.Bench)
-	out := &Outcome{}
-	out.Res = core.RunBaselineFeed(rt.Config(), rt.Feeder(b, true), b.RefWindow)
-	return out, nil
+	l := core.NewBaselineLane(rt.Config())
+	return &Lane{Consumer: l.Consumer, Budget: b.RefWindow, Finish: func() (*Outcome, error) {
+		res, _ := l.Finish()
+		return &Outcome{Res: res}, nil
+	}}, nil
 }
 
 // singleClockPolicy runs the globally synchronous comparator at the
@@ -101,16 +107,22 @@ func (singleClockPolicy) ShardAnchor(cfg core.Config, j Job) *Dep {
 	return &Dep{Profile: offlineProfile(j.Bench)}
 }
 
-func (singleClockPolicy) Run(rt Runtime, j Job, _ []Resolved) (*Outcome, error) {
+func (p singleClockPolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	return runLane(p, rt, j, deps)
+}
+
+func (singleClockPolicy) OpenLane(rt Runtime, j Job, _ []Resolved) (*Lane, error) {
 	b := workload.ByName(j.Bench)
 	cfg := rt.Config()
 	mhz := j.MHz
 	if mhz == 0 {
 		mhz = cfg.Sim.BaseMHz
 	}
-	out := &Outcome{}
-	out.Res = core.RunSingleClockFeed(cfg, rt.Feeder(b, true), b.RefWindow, mhz)
-	return out, nil
+	l := core.NewSingleClockLane(cfg, mhz)
+	return &Lane{Consumer: l.Consumer, Budget: b.RefWindow, Finish: func() (*Outcome, error) {
+		res, _ := l.Finish()
+		return &Outcome{Res: res}, nil
+	}}, nil
 }
 
 // offlinePolicy is the off-line oracle: train on the production input
@@ -136,12 +148,17 @@ func (offlinePolicy) ShardAnchor(cfg core.Config, j Job) *Dep {
 	return &Dep{Profile: offlineProfile(j.Bench)}
 }
 
-func (offlinePolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+func (p offlinePolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	return runLane(p, rt, j, deps)
+}
+
+func (offlinePolicy) OpenLane(rt Runtime, j Job, deps []Resolved) (*Lane, error) {
 	b := workload.ByName(j.Bench)
-	out := &Outcome{}
-	out.Res, _ = core.RunEditedFeed(rt.Config(), rt.Feeder(b, true), b.RefWindow,
-		rt.Plan(deps[0].Profile, j.Delta), true)
-	return out, nil
+	l := core.NewEditedLane(rt.Config(), rt.Plan(deps[0].Profile, j.Delta), true)
+	return &Lane{Consumer: l.Consumer, Budget: b.RefWindow, Finish: func() (*Outcome, error) {
+		res, _ := l.Finish()
+		return &Outcome{Res: res}, nil
+	}}, nil
 }
 
 // onlinePolicy simulates the hardware attack/decay controller.
@@ -158,15 +175,21 @@ func (onlinePolicy) CanonicalJob(j Job, cfg core.Config) Job {
 	return j
 }
 
-func (onlinePolicy) Run(rt Runtime, j Job, _ []Resolved) (*Outcome, error) {
+func (p onlinePolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	return runLane(p, rt, j, deps)
+}
+
+func (onlinePolicy) OpenLane(rt Runtime, j Job, _ []Resolved) (*Lane, error) {
 	b := workload.ByName(j.Bench)
 	cfg := rt.Config()
 	if j.Aggressiveness != 0 {
 		cfg.Online.Aggressiveness = j.Aggressiveness
 	}
-	out := &Outcome{}
-	out.Res = core.RunOnlineFeed(cfg, rt.Feeder(b, true), b.RefWindow)
-	return out, nil
+	l := core.NewOnlineLane(cfg)
+	return &Lane{Consumer: l.Consumer, Budget: b.RefWindow, Finish: func() (*Outcome, error) {
+		res, _ := l.Finish()
+		return &Outcome{Res: res}, nil
+	}}, nil
 }
 
 // globalPolicy is the global-DVS comparator: a single-clock machine
@@ -193,13 +216,19 @@ func (globalPolicy) ShardAnchor(cfg core.Config, j Job) *Dep {
 	return &Dep{Job: &Job{Bench: j.Bench, Policy: PolicyOffline}}
 }
 
-func (globalPolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+func (p globalPolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	return runLane(p, rt, j, deps)
+}
+
+func (globalPolicy) OpenLane(rt Runtime, j Job, deps []Resolved) (*Lane, error) {
 	b := workload.ByName(j.Bench)
 	sc, off := deps[0].Outcome, deps[1].Outcome
-	out := &Outcome{}
-	out.GlobalMHz = control.GlobalDVSMHz(sc.Res.TimePs, off.Res.TimePs)
-	out.Res = core.RunSingleClockFeed(rt.Config(), rt.Feeder(b, true), b.RefWindow, out.GlobalMHz)
-	return out, nil
+	mhz := control.GlobalDVSMHz(sc.Res.TimePs, off.Res.TimePs)
+	l := core.NewSingleClockLane(rt.Config(), mhz)
+	return &Lane{Consumer: l.Consumer, Budget: b.RefWindow, Finish: func() (*Outcome, error) {
+		res, _ := l.Finish()
+		return &Outcome{Res: res, GlobalMHz: mhz}, nil
+	}}, nil
 }
 
 // schemePolicy runs the profile-driven edited binary under one of the
@@ -238,11 +267,18 @@ func (p schemePolicy) ShardAnchor(cfg core.Config, j Job) *Dep {
 	return &Dep{Profile: &ProfileSpec{Bench: j.Bench, Scheme: j.Scheme}}
 }
 
-func (schemePolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+func (p schemePolicy) Run(rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	return runLane(p, rt, j, deps)
+}
+
+func (schemePolicy) OpenLane(rt Runtime, j Job, deps []Resolved) (*Lane, error) {
 	b := workload.ByName(j.Bench)
 	plan := rt.Plan(deps[0].Profile, j.Delta)
-	out := &Outcome{}
-	out.Res, out.Stats = core.RunEditedFeed(rt.Config(), rt.Feeder(b, true), b.RefWindow, plan, false)
-	out.StaticReconfig, out.StaticInstr = plan.StaticPoints()
-	return out, nil
+	l := core.NewEditedLane(rt.Config(), plan, false)
+	return &Lane{Consumer: l.Consumer, Budget: b.RefWindow, Finish: func() (*Outcome, error) {
+		out := &Outcome{}
+		out.Res, out.Stats = l.Finish()
+		out.StaticReconfig, out.StaticInstr = plan.StaticPoints()
+		return out, nil
+	}}, nil
 }

@@ -99,6 +99,43 @@ type Runtime interface {
 	Plan(prof *core.Profile, delta float64) *edit.Plan
 }
 
+// Lane is one job's production simulation opened for streaming: the
+// consumer that eats the benchmark's reference stream, the instruction
+// budget it runs under, and the finalization that builds the outcome.
+// Splitting a policy run this way lets the batch executor drive many
+// jobs' lanes from one lockstep replay of the shared decoded stream
+// (isa.PackedStream.FeedLockstep); a sequential Feed through the same
+// consumer computes the identical outcome.
+type Lane struct {
+	Consumer isa.Consumer
+	Budget   int64
+	Finish   func() (*Outcome, error)
+}
+
+// LanePolicy is a Policy whose production run is one budgeted pass over
+// the benchmark's reference stream, split into open/stream/finish so
+// the engine can batch it. All built-in policies implement it; a policy
+// that does not is always executed sequentially via Run.
+type LanePolicy interface {
+	Policy
+	// OpenLane prepares the job's simulation from its resolved
+	// dependencies without consuming any stream.
+	OpenLane(rt Runtime, j Job, deps []Resolved) (*Lane, error)
+}
+
+// runLane executes a lane policy sequentially: open, feed the reference
+// stream under the lane's budget, finish. Policies implement Run with
+// it so the sequential and batched paths share one lane construction.
+func runLane(p LanePolicy, rt Runtime, j Job, deps []Resolved) (*Outcome, error) {
+	ln, err := p.OpenLane(rt, j, deps)
+	if err != nil {
+		return nil, err
+	}
+	b := workload.ByName(j.Bench)
+	rt.Feeder(b, true).Feed(&isa.CountingConsumer{Inner: ln.Consumer, Budget: ln.Budget})
+	return ln.Finish()
+}
+
 // policies is the registry, in registration order (which Policies()
 // exposes as the canonical policy order).
 var policies []Policy

@@ -8,8 +8,8 @@ import (
 
 // Pool is a bounded worker pool multiple engines can share, giving a
 // long-lived process one global concurrency budget and one queue across
-// concurrent batches: RunStream dispatches to the shared pool when
-// Engine.Pool is set instead of spawning per-call workers, so N
+// concurrent batches: Run dispatches to the shared pool when one is
+// passed via WithPool instead of spawning per-call workers, so N
 // concurrent sweeps never run more than the pool's worker count of
 // simulations at once. Queued tasks wait in a buffered channel; Submit
 // blocks once the buffer is full, so a caller that needs admission

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -163,7 +164,7 @@ func TestCacheHitMissCorrupt(t *testing.T) {
 
 	// Cold run: everything misses and executes.
 	e1 := fresh()
-	outs1, sum, err := e1.Run(jobs)
+	outs1, sum, err := e1.Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestCacheHitMissCorrupt(t *testing.T) {
 	}
 
 	// Same engine again: pure in-process memo hits.
-	_, sum, err = e1.Run(jobs)
+	_, sum, err = e1.Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestCacheHitMissCorrupt(t *testing.T) {
 	// A fresh engine (a new process, as far as the cache is concerned)
 	// must be served entirely from disk with identical outcomes.
 	execs.Store(0)
-	outs2, sum, err := fresh().Run(jobs)
+	outs2, sum, err := fresh().Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestCacheHitMissCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	execs.Store(0)
-	_, sum, err = fresh().Run(jobs)
+	_, sum, err = fresh().Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestCacheHitMissCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	execs.Store(0)
-	_, sum, err = fresh().Run(jobs)
+	_, sum, err = fresh().Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestCacheHitMissCorrupt(t *testing.T) {
 		t.Fatalf("key-mismatch run summary: %s", sum)
 	}
 	execs.Store(0)
-	_, sum, err = fresh().Run(jobs)
+	_, sum, err = fresh().Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestMergeShardedMatchesUnsharded(t *testing.T) {
 			e := New(cfg)
 			e.Cache = &Cache{Dir: dir}
 			e.ExecFn = fakeExec(&execs)
-			if _, _, err := e.Run(Shard(cfg, jobs, shards, idx)); err != nil {
+			if _, _, err := e.Run(context.Background(), Shard(cfg, jobs, shards, idx)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -392,7 +393,7 @@ func TestEndToEndCache(t *testing.T) {
 
 	e1 := New(cfg)
 	e1.Cache = &Cache{Dir: dir}
-	outs1, sum, err := e1.Run(jobs)
+	outs1, sum, err := e1.Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestEndToEndCache(t *testing.T) {
 
 	e2 := New(cfg)
 	e2.Cache = &Cache{Dir: dir}
-	outs2, sum, err := e2.Run(jobs)
+	outs2, sum, err := e2.Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -143,7 +144,7 @@ func TestAllTopologiesEndToEnd(t *testing.T) {
 			t.Fatalf("%s: %d jobs, want 3", name, len(jobs))
 		}
 		eng := New(m.Config())
-		outs, sum, err := eng.Run(jobs)
+		outs, sum, err := eng.Run(context.Background(), jobs)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
