@@ -8,6 +8,7 @@
 // Usage:
 //
 //	mcdserved -cache DIR [-addr HOST:PORT] [-parallel K] [-queue N] [-drain-timeout D]
+//	          [-fleet [-lease-ttl D] [-lease-attempts N]]
 //
 // Endpoints:
 //
@@ -15,8 +16,17 @@
 //	GET  /v1/sweeps/{id}         progress snapshot
 //	GET  /v1/sweeps/{id}/stream  NDJSON job completions, live (?from=N resumes)
 //	GET  /v1/sweeps/{id}/results merged results, byte-identical to `mcdsweep merge`
+//	POST /v1/workers             (fleet) register a worker
+//	POST /v1/leases[...]         (fleet) lease grant / heartbeat / completion
+//	GET/PUT /v1/cache/{key}      (fleet) result-cache entry sync
+//	GET/PUT /v1/artifacts/{key}  (fleet) artifact-store entry sync
 //	GET  /healthz                liveness
 //	GET  /metrics                Prometheus text format
+//
+// With -fleet the daemon never executes jobs itself: submitted sweeps
+// are answered from its cache where possible, and the remainder is
+// grouped by dependency anchor and leased to mcdworker processes (see
+// cmd/mcdworker), with heartbeat-based expiry and reassignment.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: new submissions get
 // 503 immediately, admitted sweeps run to completion (bounded by
@@ -48,12 +58,18 @@ func main() {
 	queue := flag.Int("queue", 0, "admission budget: max admitted-but-unfinished jobs (default workers*64, min 1024)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long a graceful shutdown waits for admitted sweeps")
 	leakCheck := flag.Bool("leakcheck", false, "after graceful shutdown, fail (exit 1) if any service goroutine is still alive — CI's no-goroutine-leak assert")
+	fleetMode := flag.Bool("fleet", false, "run as a fleet coordinator: sweeps are leased to registered mcdworker processes instead of executing locally")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "fleet: how long a lease lives without a heartbeat before its anchor group is reassigned")
+	leaseAttempts := flag.Int("lease-attempts", 3, "fleet: grants per anchor group (initial included) before its jobs fail with lease_failed")
 	flag.Parse()
 
 	if *cacheDir == "" {
 		fatal("missing -cache")
 	}
 	srv := serve.NewServer(*cacheDir, *parallel, *queue)
+	if *fleetMode {
+		srv.EnableFleet(serve.FleetConfig{LeaseTTL: *leaseTTL, MaxAttempts: *leaseAttempts})
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -61,8 +77,12 @@ func main() {
 	}
 	// The listening line goes to stdout (and is flushed by Println) so
 	// scripts and tests that start the daemon on :0 can scrape the port.
-	fmt.Printf("mcdserved: listening on http://%s (cache %s, %d workers, queue %d)\n",
-		ln.Addr(), *cacheDir, srv.Workers, srv.QueueDepth)
+	mode := "local execution"
+	if *fleetMode {
+		mode = fmt.Sprintf("fleet coordinator, lease ttl %s", *leaseTTL)
+	}
+	fmt.Printf("mcdserved: listening on http://%s (cache %s, %d workers, queue %d, %s)\n",
+		ln.Addr(), *cacheDir, srv.Workers, srv.QueueDepth, mode)
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

@@ -1,0 +1,81 @@
+// Command mcdworker is one member of an mcdserved fleet: it registers
+// with a coordinator started with -fleet, pulls jobs one anchor group
+// at a time over the versioned wire protocol (internal/serve/wire),
+// runs them on the local sweep engine, heartbeats its lease while
+// working, and syncs the produced result-cache and artifact-store
+// entries back to the coordinator by content-addressed key.
+//
+// Usage:
+//
+//	mcdworker -server URL [-name LABEL] [-cache DIR] [-parallel K]
+//
+// Because a lease is always a whole anchor group (every job that
+// resolves or feeds one training), each (benchmark, scheme, input)
+// profile is trained exactly once fleet-wide, and the entries a worker
+// uploads are byte-identical to what a single-node run would have
+// written.
+//
+// On SIGTERM/SIGINT the worker exits cleanly after abandoning its
+// in-flight lease (the coordinator's heartbeat expiry reassigns the
+// group). Exit status is 0 on graceful shutdown, 1 when the coordinator
+// stays unreachable past the retry budget.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdworker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mcdworker: bye")
+}
+
+func run() error {
+	server := flag.String("server", "", "coordinator base URL, e.g. http://127.0.0.1:8337 (required)")
+	name := flag.String("name", "", "worker label for coordinator logs and metrics (default hostname)")
+	cacheDir := flag.String("cache", "", "local result-cache directory (default a temporary directory, removed on exit)")
+	parallel := flag.Int("parallel", 0, "per-lease execution parallelism (default GOMAXPROCS)")
+	flag.Parse()
+
+	if *server == "" {
+		return fmt.Errorf("missing -server")
+	}
+	if *name == "" {
+		if hn, err := os.Hostname(); err == nil {
+			*name = hn
+		}
+	}
+	dir := *cacheDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mcdworker-cache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	w := &serve.Worker{
+		Server:   *server,
+		Name:     *name,
+		CacheDir: dir,
+		Workers:  *parallel,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mcdworker: "+format+"\n", args...)
+		},
+	}
+	return w.Run(ctx)
+}

@@ -170,6 +170,35 @@ func (s *Store) Put(key, kind string, payload []byte) error {
 	return nil
 }
 
+// Has reports whether a valid entry of the given kind exists under key.
+// Unlike Load it does not count toward the load/hit observables: it is
+// the existence probe fleet synchronization uses to dedup uploads, and
+// sync probes should not skew the training hit ratio.
+func (s *Store) Has(key, kind string) bool {
+	_, status := s.load(key, kind)
+	return status == Hit
+}
+
+// PutRaw validates one serialized store entry (the bytes of an entry
+// file produced by another node's Put) and persists it through Put,
+// returning the entry's key. Put re-encodes the decoded entry with the
+// same compact serialization that produced it, so the stored file is
+// byte-identical to the uploader's; damaged or schema-stale uploads are
+// rejected instead of stored.
+func (s *Store) PutRaw(raw []byte) (string, error) {
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return "", fmt.Errorf("artifact store: entry: %w", err)
+	}
+	if e.Schema != SchemaVersion {
+		return "", fmt.Errorf("artifact store: entry %.12s declares schema %d, this store speaks %d", e.Key, e.Schema, SchemaVersion)
+	}
+	if e.Key == "" || e.Kind == "" || len(e.Payload) == 0 {
+		return "", fmt.Errorf("artifact store: entry %.12s is missing key, kind or payload", e.Key)
+	}
+	return e.Key, s.Put(e.Key, e.Kind, e.Payload)
+}
+
 // Writes reports how many artifacts this store instance has persisted —
 // the observable that fleet-wide train-once tests assert on.
 func (s *Store) Writes() int64 { return s.writes.Load() }

@@ -2,30 +2,30 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
+	"os"
 	"strconv"
+	"time"
 
+	"repro/internal/serve/wire"
 	"repro/internal/sweep"
 )
 
-// apiError is the structured error every endpoint returns on failure:
-// a machine-readable code, a human message (identical to what the CLI
-// prints for the same mistake), and, for manifest validation, the
-// offending field.
+// apiError is the structured error every endpoint returns on failure —
+// wire.Error (a machine-readable code, a human message identical to
+// what the CLI prints for the same mistake, and the offending field)
+// plus the HTTP transport details.
 type apiError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	Field   string `json:"field,omitempty"`
+	Code    string
+	Message string
+	Field   string
 
 	status     int
 	retryAfter int
-}
-
-// errorBody is the wire shape: {"error": {...}}.
-type errorBody struct {
-	Err apiError `json:"error"`
 }
 
 // fromValidation maps the shared validator's structured error onto the
@@ -49,13 +49,40 @@ func writeError(w http.ResponseWriter, e *apiError) {
 		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
 	}
 	w.WriteHeader(e.status)
-	json.NewEncoder(w).Encode(errorBody{Err: *e})
+	json.NewEncoder(w).Encode(wire.ErrorBody{Err: wire.Error{Code: e.Code, Message: e.Message, Field: e.Field}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+// maxFrameBytes bounds one protocol frame (registration, lease
+// request, completion report); result payloads travel through the
+// cache-sync endpoints, not frames, so frames stay small.
+const maxFrameBytes = 1 << 20
+
+// readFrame decodes one strict, versioned protocol frame from the
+// request body into v, answering the structured error itself when the
+// frame is oversized, malformed, carries unknown fields, or declares a
+// protocol version this server does not speak.
+func readFrame(w http.ResponseWriter, req *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxFrameBytes+1))
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Message: err.Error()})
+		return false
+	}
+	if len(body) > maxFrameBytes {
+		writeError(w, &apiError{status: http.StatusRequestEntityTooLarge, Code: wire.CodeBadRequest,
+			Message: fmt.Sprintf("frame exceeds %d bytes", maxFrameBytes)})
+		return false
+	}
+	if werr := wire.DecodeStrict(body, v); werr != nil {
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: werr.Code, Message: werr.Message, Field: werr.Field})
+		return false
+	}
+	return true
 }
 
 // validateManifest parses and validates a submission body through the
@@ -77,18 +104,36 @@ func validateManifest(body []byte) (*sweep.Manifest, []sweep.Job, *apiError) {
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/sweeps              submit a manifest; 202 + Status (200 when joining an existing sweep)
-//	GET  /v1/sweeps/{id}         progress snapshot
-//	GET  /v1/sweeps/{id}/stream  NDJSON job completions (?from=N resumes), terminated by {"done":true,...}
-//	GET  /v1/sweeps/{id}/results merged results, byte-identical to `mcdsweep merge`
-//	GET  /healthz                liveness + drain state
-//	GET  /metrics                Prometheus text format
+//	POST /v1/sweeps                    submit a manifest; 202 + Status (200 when joining an existing sweep)
+//	GET  /v1/sweeps/{id}               progress snapshot
+//	GET  /v1/sweeps/{id}/stream        NDJSON job completions (?from=N resumes), terminated by {"done":true,...}
+//	GET  /v1/sweeps/{id}/results       merged results, byte-identical to `mcdsweep merge`
+//	POST /v1/workers                   register a fleet worker (coordinator mode)
+//	POST /v1/leases                    request the next anchor group (long poll)
+//	POST /v1/leases/{id}/heartbeat     keep a lease alive
+//	POST /v1/leases/{id}/complete      report a lease's jobs done
+//	GET/PUT /v1/cache/{key}            fetch/upload one result-cache entry by content-addressed key
+//	GET/PUT /v1/artifacts/{key}        fetch/upload one artifact-store entry by content-addressed key
+//	GET  /healthz                      liveness + drain state
+//	GET  /metrics                      Prometheus text format
+//
+// Every request and response body is a versioned wire frame (see
+// internal/serve/wire); the fleet endpoints answer fleet_disabled on a
+// daemon not started as a coordinator.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /v1/workers", s.handleRegister)
+	mux.HandleFunc("POST /v1/leases", s.handleLease)
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleComplete)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleGetCache)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handlePutCache)
+	mux.HandleFunc("GET /v1/artifacts/{key}", s.handleGetArtifact)
+	mux.HandleFunc("PUT /v1/artifacts/{key}", s.handlePutArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -102,7 +147,7 @@ const maxManifestBytes = 1 << 20
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(req.Body, maxManifestBytes+1))
 	if err != nil {
-		writeError(w, &apiError{status: http.StatusBadRequest, Code: "bad_request", Message: err.Error()})
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Message: err.Error()})
 		return
 	}
 	if len(body) > maxManifestBytes {
@@ -138,12 +183,6 @@ func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, r.status())
 }
 
-// streamEnd is the NDJSON stream's terminal line.
-type streamEnd struct {
-	Done   bool   `json:"done"`
-	Status Status `json:"status"`
-}
-
 func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 	r := s.sweepByID(req.PathValue("id"))
 	if r == nil {
@@ -155,7 +194,7 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 	if q := req.URL.Query().Get("from"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 0 {
-			writeError(w, &apiError{status: http.StatusBadRequest, Code: "bad_request",
+			writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest,
 				Message: fmt.Sprintf("invalid from=%q", q)})
 			return
 		}
@@ -178,7 +217,7 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 			flusher.Flush()
 		}
 		if done {
-			enc.Encode(streamEnd{Done: true, Status: r.status()})
+			enc.Encode(wire.StreamEnd{Versioned: wire.Stamp(), Done: true, Status: r.status()})
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -224,6 +263,241 @@ func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
 	w.Write(b)
 }
 
+// fleetOr404 returns the coordinator state, answering the structured
+// fleet_disabled error when this daemon was not started with -fleet.
+func (s *Server) fleetOr404(w http.ResponseWriter) *fleet {
+	if s.fleetState == nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: wire.CodeFleetDisabled,
+			Message: "this daemon is not a fleet coordinator; start it with -fleet"})
+		return nil
+	}
+	return s.fleetState
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, req *http.Request) {
+	f := s.fleetOr404(w)
+	if f == nil {
+		return
+	}
+	var rr wire.RegisterRequest
+	if !readFrame(w, req, &rr) {
+		return
+	}
+	writeJSON(w, http.StatusOK, f.register(rr.Name))
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, req *http.Request) {
+	f := s.fleetOr404(w)
+	if f == nil {
+		return
+	}
+	var lr wire.LeaseRequest
+	if !readFrame(w, req, &lr) {
+		return
+	}
+	l, apiErr := f.grant(req.Context().Done(), lr.WorkerID, time.Duration(lr.WaitMS)*time.Millisecond)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.LeaseResponse{Versioned: wire.Stamp(), Lease: l})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	f := s.fleetOr404(w)
+	if f == nil {
+		return
+	}
+	var hr wire.HeartbeatRequest
+	if !readFrame(w, req, &hr) {
+		return
+	}
+	ttl, apiErr := f.heartbeat(req.PathValue("id"), hr.WorkerID)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.HeartbeatResponse{Versioned: wire.Stamp(), DeadlineMS: ttl.Milliseconds()})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, req *http.Request) {
+	f := s.fleetOr404(w)
+	if f == nil {
+		return
+	}
+	var cr wire.CompleteRequest
+	if !readFrame(w, req, &cr) {
+		return
+	}
+	if apiErr := f.complete(req.PathValue("id"), cr.WorkerID, cr.Jobs); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CompleteResponse{Versioned: wire.Stamp()})
+}
+
+// validKey reports whether key is a well-formed content-addressed key
+// (64 lowercase hex characters) — the guard that keeps the sync
+// endpoints from ever touching a path outside their fan-out dirs.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func badKey(w http.ResponseWriter, key string) {
+	writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Field: "key",
+		Message: fmt.Sprintf("%.16q is not a content-addressed key (64 hex characters)", key)})
+}
+
+// maxEntryBytes bounds one uploaded cache or artifact entry.
+const maxEntryBytes = 1 << 26
+
+// serveEntryFile streams one content-addressed entry file verbatim —
+// the stored bytes are already the canonical serialization, so the
+// download side of sync is a plain file read.
+func serveEntryFile(w http.ResponseWriter, path, key string) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		status, code := http.StatusInternalServerError, "entry_unreadable"
+		if errors.Is(err, fs.ErrNotExist) {
+			status, code = http.StatusNotFound, "unknown_key"
+		}
+		writeError(w, &apiError{status: status, Code: code,
+			Message: fmt.Sprintf("entry %.12s: %v", key, err)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+func readEntryBody(w http.ResponseWriter, req *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxEntryBytes+1))
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Message: err.Error()})
+		return nil, false
+	}
+	if len(body) > maxEntryBytes {
+		writeError(w, &apiError{status: http.StatusRequestEntityTooLarge, Code: "entry_too_large",
+			Message: fmt.Sprintf("entry exceeds %d bytes", maxEntryBytes)})
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handleGetCache(w http.ResponseWriter, req *http.Request) {
+	if s.fleetOr404(w) == nil {
+		return
+	}
+	key := req.PathValue("key")
+	if !validKey(key) {
+		badKey(w, key)
+		return
+	}
+	serveEntryFile(w, s.cache.EntryPath(key), key)
+}
+
+func (s *Server) handlePutCache(w http.ResponseWriter, req *http.Request) {
+	f := s.fleetOr404(w)
+	if f == nil {
+		return
+	}
+	key := req.PathValue("key")
+	if !validKey(key) {
+		badKey(w, key)
+		return
+	}
+	body, ok := readEntryBody(w, req)
+	if !ok {
+		return
+	}
+	// Serialize uploads so concurrent workers racing on one key settle
+	// to exactly one write; an entry the coordinator already holds is
+	// byte-identical by construction (deterministic serialization of
+	// content-addressed state), so re-uploads are acknowledged without
+	// touching disk.
+	f.upMu.Lock()
+	defer f.upMu.Unlock()
+	if _, exists := s.cache.Get(key); !exists {
+		if err := s.cache.PutRaw(key, body); err != nil {
+			writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Message: err.Error()})
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleGetArtifact(w http.ResponseWriter, req *http.Request) {
+	if s.fleetOr404(w) == nil {
+		return
+	}
+	key := req.PathValue("key")
+	if !validKey(key) {
+		badKey(w, key)
+		return
+	}
+	serveEntryFile(w, s.artifacts.EntryPath(key), key)
+}
+
+func (s *Server) handlePutArtifact(w http.ResponseWriter, req *http.Request) {
+	f := s.fleetOr404(w)
+	if f == nil {
+		return
+	}
+	key := req.PathValue("key")
+	if !validKey(key) {
+		badKey(w, key)
+		return
+	}
+	body, ok := readEntryBody(w, req)
+	if !ok {
+		return
+	}
+	declared, kind, err := artifactEntryInfo(body)
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if declared != key {
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Field: "key",
+			Message: fmt.Sprintf("entry declares key %.12s, URL names %.12s", declared, key)})
+		return
+	}
+	// Same dedup discipline as the cache side: exactly one write per
+	// key, so the store's write counter keeps meaning "trainings
+	// persisted fleet-wide" (the train-once observable).
+	f.upMu.Lock()
+	defer f.upMu.Unlock()
+	if !s.artifacts.Has(key, kind) {
+		if _, err := s.artifacts.PutRaw(body); err != nil {
+			writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Message: err.Error()})
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// artifactEntryInfo peeks at a serialized artifact entry's declared key
+// and kind (full validation happens in the store's PutRaw).
+func artifactEntryInfo(raw []byte) (key, kind string, err error) {
+	var e struct {
+		Key  string `json:"key"`
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return "", "", fmt.Errorf("artifact entry: %w", err)
+	}
+	return e.Key, e.Kind, nil
+}
+
 // healthz is the liveness body.
 type healthz struct {
 	OK       bool    `json:"ok"`
@@ -244,6 +518,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
+	var fg fleetGauges
+	if s.fleetState != nil {
+		fg = s.fleetState.gauges()
+	}
 	s.metrics.render(w, poolGauges{
 		queued:        s.pool.Queued(),
 		running:       s.pool.Running(),
@@ -253,5 +531,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		artifactLoads: s.artifacts.Loads(),
 		artifactHits:  s.artifacts.Hits(),
 		artifactW:     s.artifacts.Writes(),
-	})
+	}, fg)
 }

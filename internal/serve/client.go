@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
+
+	"repro/internal/serve/wire"
 )
 
 // Client talks to a running mcdserved daemon. The zero HTTP client is
@@ -58,7 +62,7 @@ func (e *APIError) Error() string {
 // error when the body is not the structured shape).
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	var eb errorBody
+	var eb wire.ErrorBody
 	if err := json.Unmarshal(body, &eb); err == nil && eb.Err.Code != "" {
 		ae := &APIError{
 			StatusCode: resp.StatusCode,
@@ -74,6 +78,19 @@ func decodeError(resp *http.Response) error {
 	return fmt.Errorf("server: HTTP %d: %.200s", resp.StatusCode, body)
 }
 
+// decodeFrame reads a 200 response's body and strict-decodes it as one
+// versioned wire frame.
+func decodeFrame(resp *http.Response, what string, v any) error {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16*1024*1024))
+	if err != nil {
+		return fmt.Errorf("server: %s response: %w", what, err)
+	}
+	if werr := wire.DecodeStrict(body, v); werr != nil {
+		return fmt.Errorf("server: %s response: %w", what, werr)
+	}
+	return nil
+}
+
 // Submit posts a raw manifest (the same JSON file mcdsweep takes) and
 // returns the sweep's status snapshot. Submitting work the server
 // already knows joins the existing sweep.
@@ -87,8 +104,8 @@ func (c *Client) Submit(manifest []byte) (*Status, error) {
 		return nil, decodeError(resp)
 	}
 	var st Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, fmt.Errorf("server: submit response: %w", err)
+	if err := decodeFrame(resp, "submit", &st); err != nil {
+		return nil, err
 	}
 	return &st, nil
 }
@@ -104,8 +121,8 @@ func (c *Client) Status(id string) (*Status, error) {
 		return nil, decodeError(resp)
 	}
 	var st Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return nil, fmt.Errorf("server: status response: %w", err)
+	if err := decodeFrame(resp, "status", &st); err != nil {
+		return nil, err
 	}
 	return &st, nil
 }
@@ -131,7 +148,7 @@ func (c *Client) Follow(id string, from int, onEvent func(Event)) (*Status, erro
 			continue
 		}
 		// The terminal line is {"done":true,"status":{...}}; every other
-		// line is an Event.
+		// line is an Event. Probe leniently, then decode strictly.
 		var probe struct {
 			Done bool `json:"done"`
 		}
@@ -139,16 +156,16 @@ func (c *Client) Follow(id string, from int, onEvent func(Event)) (*Status, erro
 			return nil, fmt.Errorf("server: stream line: %w", err)
 		}
 		if probe.Done {
-			var end streamEnd
-			if err := json.Unmarshal(line, &end); err != nil {
-				return nil, fmt.Errorf("server: stream end: %w", err)
+			var end wire.StreamEnd
+			if werr := wire.DecodeStrict(line, &end); werr != nil {
+				return nil, fmt.Errorf("server: stream end: %w", werr)
 			}
 			return &end.Status, nil
 		}
 		if onEvent != nil {
 			var ev Event
-			if err := json.Unmarshal(line, &ev); err != nil {
-				return nil, fmt.Errorf("server: stream event: %w", err)
+			if werr := wire.DecodeStrict(line, &ev); werr != nil {
+				return nil, fmt.Errorf("server: stream event: %w", werr)
 			}
 			onEvent(ev)
 		}
@@ -195,4 +212,144 @@ func (c *Client) Healthz() error {
 		return decodeError(resp)
 	}
 	return nil
+}
+
+// postFrame sends one versioned request frame and strict-decodes the
+// response frame into out.
+func (c *Client) postFrame(ctx context.Context, path, what string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("server: %s request: %w", what, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return decodeFrame(resp, what, out)
+}
+
+// RegisterWorker announces a worker to a fleet coordinator and returns
+// its assigned identity plus the fleet's timing contract.
+func (c *Client) RegisterWorker(ctx context.Context, name string) (*wire.RegisterResponse, error) {
+	var rr wire.RegisterResponse
+	err := c.postFrame(ctx, "/v1/workers", "register",
+		wire.RegisterRequest{Versioned: wire.Stamp(), Name: name}, &rr)
+	if err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+// RequestLease asks the coordinator for the next anchor group, holding
+// the request up to wait (long poll). A nil lease with a nil error
+// means the queue stayed empty.
+func (c *Client) RequestLease(ctx context.Context, workerID string, wait time.Duration) (*wire.Lease, error) {
+	var lr wire.LeaseResponse
+	err := c.postFrame(ctx, "/v1/leases", "lease",
+		wire.LeaseRequest{Versioned: wire.Stamp(), WorkerID: workerID, WaitMS: wait.Milliseconds()}, &lr)
+	if err != nil {
+		return nil, err
+	}
+	return lr.Lease, nil
+}
+
+// Heartbeat keeps a lease alive and returns its renewed remaining
+// lifetime. A lease the coordinator already expired reports an APIError
+// with code wire.CodeLeaseExpired — the signal to abandon the work.
+func (c *Client) Heartbeat(ctx context.Context, leaseID, workerID string) (time.Duration, error) {
+	var hr wire.HeartbeatResponse
+	err := c.postFrame(ctx, "/v1/leases/"+leaseID+"/heartbeat", "heartbeat",
+		wire.HeartbeatRequest{Versioned: wire.Stamp(), WorkerID: workerID}, &hr)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(hr.DeadlineMS) * time.Millisecond, nil
+}
+
+// CompleteLease reports a lease's jobs done. Every successful job's
+// result entry must already be uploaded (PutCacheEntry), or the
+// coordinator rejects the completion with incomplete_upload.
+func (c *Client) CompleteLease(ctx context.Context, leaseID, workerID string, jobs []wire.JobResult) error {
+	var cr wire.CompleteResponse
+	return c.postFrame(ctx, "/v1/leases/"+leaseID+"/complete", "complete",
+		wire.CompleteRequest{Versioned: wire.Stamp(), WorkerID: workerID, Jobs: jobs}, &cr)
+}
+
+// getEntry fetches one content-addressed entry file; ok=false with a
+// nil error is a clean miss (the coordinator does not have the key).
+func (c *Client) getEntry(ctx context.Context, path string) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err := decodeError(resp)
+		// A 404 naming the key is a clean miss; any other 404 (e.g.
+		// fleet_disabled on a non-coordinator) is a real error.
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound && ae.Code == "unknown_key" {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// putEntry uploads one content-addressed entry file.
+func (c *Client) putEntry(ctx context.Context, path string, raw []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(path), bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// GetCacheEntry fetches one result-cache entry's canonical file bytes
+// by key; ok=false means the coordinator does not have it.
+func (c *Client) GetCacheEntry(ctx context.Context, key string) ([]byte, bool, error) {
+	return c.getEntry(ctx, "/v1/cache/"+key)
+}
+
+// PutCacheEntry uploads one result-cache entry's canonical file bytes.
+func (c *Client) PutCacheEntry(ctx context.Context, key string, raw []byte) error {
+	return c.putEntry(ctx, "/v1/cache/"+key, raw)
+}
+
+// GetArtifact fetches one artifact-store entry's canonical file bytes
+// by key; ok=false means the coordinator does not have it.
+func (c *Client) GetArtifact(ctx context.Context, key string) ([]byte, bool, error) {
+	return c.getEntry(ctx, "/v1/artifacts/"+key)
+}
+
+// PutArtifact uploads one artifact-store entry's canonical file bytes.
+func (c *Client) PutArtifact(ctx context.Context, key string, raw []byte) error {
+	return c.putEntry(ctx, "/v1/artifacts/"+key, raw)
 }

@@ -100,7 +100,7 @@ type poolGauges struct {
 
 // render writes the Prometheus text exposition. Hand-rolled on purpose:
 // the format is four line shapes, not worth a dependency.
-func (m *metrics) render(w io.Writer, pool poolGauges) {
+func (m *metrics) render(w io.Writer, pool poolGauges, fg fleetGauges) {
 	executed := m.jobsExecuted.Load()
 	disk := m.jobsDisk.Load()
 	mem := m.jobsMem.Load()
@@ -167,6 +167,36 @@ func (m *metrics) render(w io.Writer, pool poolGauges) {
 	fmt.Fprintf(w, "mcdserved_sweeps_total{outcome=\"rejected\"} %d\n", m.sweepsRejected.Load())
 	fmt.Fprintf(w, "# HELP mcdserved_sweeps_completed_total Sweeps run to completion.\n")
 	fmt.Fprintf(w, "# TYPE mcdserved_sweeps_completed_total counter\nmcdserved_sweeps_completed_total %d\n", m.sweepsCompleted.Load())
+
+	if fg.enabled {
+		fmt.Fprintf(w, "# HELP mcdserved_fleet_workers Registered fleet workers.\n")
+		fmt.Fprintf(w, "# TYPE mcdserved_fleet_workers gauge\nmcdserved_fleet_workers %d\n", fg.workers)
+		fmt.Fprintf(w, "# HELP mcdserved_fleet_leases_active Leases currently granted and within their TTL.\n")
+		fmt.Fprintf(w, "# TYPE mcdserved_fleet_leases_active gauge\nmcdserved_fleet_leases_active %d\n", fg.leasesActive)
+		fmt.Fprintf(w, "# HELP mcdserved_fleet_leases_total Lease lifecycle events: granted, completed, expired (missed heartbeats), reassigned (requeued after expiry).\n")
+		fmt.Fprintf(w, "# TYPE mcdserved_fleet_leases_total counter\n")
+		fmt.Fprintf(w, "mcdserved_fleet_leases_total{event=\"granted\"} %d\n", fg.granted)
+		fmt.Fprintf(w, "mcdserved_fleet_leases_total{event=\"completed\"} %d\n", fg.completed)
+		fmt.Fprintf(w, "mcdserved_fleet_leases_total{event=\"expired\"} %d\n", fg.expired)
+		fmt.Fprintf(w, "mcdserved_fleet_leases_total{event=\"reassigned\"} %d\n", fg.reassigned)
+		fmt.Fprintf(w, "# HELP mcdserved_fleet_failed_groups_total Anchor groups failed after exhausting lease reassignment attempts.\n")
+		fmt.Fprintf(w, "# TYPE mcdserved_fleet_failed_groups_total counter\nmcdserved_fleet_failed_groups_total %d\n", fg.failed)
+		fmt.Fprintf(w, "# HELP mcdserved_fleet_worker_heartbeat_age_seconds Seconds since each worker was last heard from.\n")
+		fmt.Fprintf(w, "# TYPE mcdserved_fleet_worker_heartbeat_age_seconds gauge\n")
+		for _, wk := range fg.perWorker {
+			fmt.Fprintf(w, "mcdserved_fleet_worker_heartbeat_age_seconds{worker=%q,name=%q} %g\n", wk.id, wk.name, wk.ageS)
+		}
+		fmt.Fprintf(w, "# HELP mcdserved_fleet_worker_jobs_total Jobs completed per worker.\n")
+		fmt.Fprintf(w, "# TYPE mcdserved_fleet_worker_jobs_total counter\n")
+		for _, wk := range fg.perWorker {
+			fmt.Fprintf(w, "mcdserved_fleet_worker_jobs_total{worker=%q,name=%q} %d\n", wk.id, wk.name, wk.jobsDone)
+		}
+		fmt.Fprintf(w, "# HELP mcdserved_fleet_worker_active_leases Leases each worker currently holds.\n")
+		fmt.Fprintf(w, "# TYPE mcdserved_fleet_worker_active_leases gauge\n")
+		for _, wk := range fg.perWorker {
+			fmt.Fprintf(w, "mcdserved_fleet_worker_active_leases{worker=%q,name=%q} %d\n", wk.id, wk.name, wk.active)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP mcdserved_job_latency_seconds Per-policy job resolution latency (dependency work included).\n")
 	fmt.Fprintf(w, "# TYPE mcdserved_job_latency_seconds histogram\n")

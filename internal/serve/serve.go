@@ -8,7 +8,7 @@
 // The service adds three things the one-shot CLI does not have:
 //
 //   - Admission control and backpressure. All sweeps share one bounded
-//     worker pool (sweep.Pool) and one job-slot budget; a submission
+//     worker pool (sweep.WorkerPool) and one job-slot budget; a submission
 //     that would overflow the budget is rejected with 429 and a
 //     Retry-After estimate instead of queueing unboundedly.
 //
@@ -42,6 +42,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/serve/wire"
 	"repro/internal/sweep"
 )
 
@@ -64,9 +65,14 @@ type Server struct {
 	// the simulator).
 	ExecFn func(sweep.Job) (*sweep.Outcome, error)
 
-	pool      *sweep.Pool
+	pool      *sweep.WorkerPool
 	cache     *sweep.Cache
 	artifacts *artifact.Store
+
+	// fleetState is non-nil once EnableFleet turned this server into a
+	// fleet coordinator: sweeps dispatch to leased remote workers
+	// instead of the local pool.
+	fleetState *fleet
 
 	mu      sync.Mutex
 	engines map[string]*sweep.Engine // by configKey
@@ -95,7 +101,7 @@ func NewServer(cacheDir string, workers, queueDepth int) *Server {
 		CacheDir:   cacheDir,
 		Workers:    workers,
 		QueueDepth: queueDepth,
-		pool:       sweep.NewPool(workers, queueDepth),
+		pool:       sweep.NewWorkerPool(workers, queueDepth),
 		cache:      &sweep.Cache{Dir: cacheDir},
 		artifacts:  sweep.ArtifactStore(cacheDir),
 		engines:    make(map[string]*sweep.Engine),
@@ -105,47 +111,23 @@ func NewServer(cacheDir string, workers, queueDepth int) *Server {
 	return s
 }
 
-// Sweep states reported by Status.
+// Sweep states reported by Status (aliases of the wire package's — the
+// protocol owns the vocabulary, the service re-exports it).
 const (
-	StateRunning  = "running"
-	StateComplete = "complete"
-	StateFailed   = "failed"
+	StateRunning  = wire.StateRunning
+	StateComplete = wire.StateComplete
+	StateFailed   = wire.StateFailed
 )
 
 // Status is one sweep's progress snapshot: submission response, status
-// endpoint body, and the terminal stream line's payload.
-type Status struct {
-	ID   string `json:"id"`
-	Name string `json:"name,omitempty"`
-	Jobs int    `json:"jobs"`
-	Done int    `json:"done"`
-	// State is running until every job resolved; then complete, or
-	// failed when any job errored.
-	State string `json:"state"`
-	// Summary is built from this sweep's own job completions (one count
-	// per batch job, by answering layer), so concurrent sweeps sharing
-	// an engine never contaminate each other's counters and Executed is
-	// zero iff none of this sweep's jobs needed simulation. Dependency
-	// work a job triggered inline is inside that job's latency and the
-	// /metrics counters, not broken out here (a local `mcdsweep run`,
-	// which owns its engine, does count dependency executions). Present
-	// once the sweep is done.
-	Summary *sweep.Summary `json:"summary,omitempty"`
-	Error   string         `json:"error,omitempty"`
-}
+// endpoint body, and the terminal stream line's payload. The concrete
+// type lives in the wire package so coordinator, worker and client
+// cannot drift apart on its shape.
+type Status = wire.Status
 
 // Event is one completed job as it appears on the NDJSON stream, in
-// completion order. Seq is the event's position in the sweep's stream
-// (dense from 0), so a dropped connection resumes with ?from=seq.
-type Event struct {
-	Seq     int            `json:"seq"`
-	Job     sweep.Job      `json:"job"`
-	Key     string         `json:"key"`
-	Source  string         `json:"source"`
-	Elapsed int64          `json:"elapsed_ns"`
-	Error   string         `json:"error,omitempty"`
-	Outcome *sweep.Outcome `json:"outcome,omitempty"`
-}
+// completion order (wire.Event re-exported; see Status).
+type Event = wire.Event
 
 // sweepRun is one registered sweep: its jobs, completion-ordered events,
 // and a broadcast channel streamers wait on.
@@ -181,11 +163,12 @@ func newSweepRun(id string, m *sweep.Manifest, cfg core.Config, jobs []sweep.Job
 // append records one finished job and wakes streamers.
 func (r *sweepRun) append(d sweep.JobDone) {
 	ev := Event{
-		Job:     d.Job,
-		Key:     d.Key,
-		Source:  d.Source.String(),
-		Elapsed: d.Elapsed.Nanoseconds(),
-		Outcome: d.Outcome,
+		Versioned: wire.Stamp(),
+		Job:       d.Job,
+		Key:       d.Key,
+		Source:    d.Source.String(),
+		Elapsed:   d.Elapsed.Nanoseconds(),
+		Outcome:   d.Outcome,
 	}
 	if d.Err != nil {
 		ev.Error = d.Err.Error()
@@ -231,11 +214,12 @@ func (r *sweepRun) status() Status {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := Status{
-		ID:    r.id,
-		Name:  r.name,
-		Jobs:  len(r.jobs),
-		Done:  len(r.events),
-		State: StateRunning,
+		Versioned: wire.Stamp(),
+		ID:        r.id,
+		Name:      r.name,
+		Jobs:      len(r.jobs),
+		Done:      len(r.events),
+		State:     StateRunning,
 	}
 	if r.done {
 		st.State = StateComplete
@@ -395,12 +379,17 @@ func (s *Server) retryAfter(pending int64) int {
 	}
 }
 
-// runSweep executes one sweep on the shared pool, feeding its event log
+// runSweep executes one sweep on the shared pool (or, on a fleet
+// coordinator, dispatches it to leased workers), feeding its event log
 // and the server metrics as each job completes. The per-sweep summary
 // is tallied from this sweep's own completions — Run's summary reports
 // engine-wide counter deltas, which concurrent sweeps sharing an engine
 // would cross-attribute.
 func (s *Server) runSweep(r *sweepRun) {
+	if s.fleetState != nil {
+		s.runSweepFleet(r)
+		return
+	}
 	defer s.wg.Done()
 	eng := s.engine(r.cfg, r.recCache)
 	var sum sweep.Summary
@@ -469,6 +458,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	if !already {
 		s.pool.Close()
+		if s.fleetState != nil {
+			s.fleetState.stopExpiry()
+		}
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDecodeStrictRoundTrip(t *testing.T) {
+	in := LeaseRequest{Versioned: Stamp(), WorkerID: "wk-1", WaitMS: 250}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out LeaseRequest
+	if werr := DecodeStrict(b, &out); werr != nil {
+		t.Fatalf("round trip: %v", werr)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeStrictRejectsUnknownField(t *testing.T) {
+	var rr RegisterRequest
+	werr := DecodeStrict([]byte(`{"proto":1,"name":"a","worker_count":4}`), &rr)
+	if werr == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if werr.Code != CodeBadRequest {
+		t.Fatalf("code = %s, want %s", werr.Code, CodeBadRequest)
+	}
+	if !strings.Contains(werr.Message, "worker_count") {
+		t.Fatalf("message does not name the unknown field: %s", werr.Message)
+	}
+}
+
+func TestDecodeStrictRejectsWrongProto(t *testing.T) {
+	for _, body := range []string{
+		`{"proto":2,"name":"a"}`, // future version
+		`{"name":"a"}`,           // absent version
+	} {
+		var rr RegisterRequest
+		werr := DecodeStrict([]byte(body), &rr)
+		if werr == nil {
+			t.Fatalf("%s accepted", body)
+		}
+		if werr.Code != CodeProtoUnsupported {
+			t.Fatalf("%s: code = %s, want %s", body, werr.Code, CodeProtoUnsupported)
+		}
+		if werr.Field != "proto" {
+			t.Fatalf("%s: field = %q, want proto", body, werr.Field)
+		}
+	}
+}
+
+func TestDecodeStrictRejectsMalformedJSON(t *testing.T) {
+	var st Status
+	if werr := DecodeStrict([]byte(`{"proto":1,`), &st); werr == nil || werr.Code != CodeBadRequest {
+		t.Fatalf("malformed JSON: %v", werr)
+	}
+}
+
+func TestErrorRendersCodeAndField(t *testing.T) {
+	e := &Error{Code: CodeBadRequest, Message: "no such knob", Field: "benchmarks"}
+	s := e.Error()
+	for _, want := range []string{"no such knob", CodeBadRequest, "benchmarks"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("error %q is missing %q", s, want)
+		}
+	}
+}

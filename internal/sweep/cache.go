@@ -79,6 +79,27 @@ func (c *Cache) Get(key string) (*Outcome, bool) {
 	return out, status == LoadHit
 }
 
+// PutRaw validates one serialized cache entry (the bytes of an entry
+// file produced by another node's Put) against key and persists it
+// through Put. Because Put re-encodes the decoded entry with the same
+// deterministic serialization that produced it, the stored file is
+// byte-identical to the uploader's — the property fleet-synced caches
+// rely on — while a truncated or mismatched upload is rejected instead
+// of stored.
+func (c *Cache) PutRaw(key string, raw []byte) error {
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return fmt.Errorf("sweep cache: entry for %.12s: %w", key, err)
+	}
+	if e.Key != key {
+		return fmt.Errorf("sweep cache: entry declares key %.12s, expected %.12s", e.Key, key)
+	}
+	if e.Outcome == nil {
+		return fmt.Errorf("sweep cache: entry %.12s has no outcome", key)
+	}
+	return c.Put(e.Key, e.Job, e.Outcome)
+}
+
 // Put atomically persists an outcome under key.
 func (c *Cache) Put(key string, job Job, out *Outcome) error {
 	dir := filepath.Dir(c.path(key))

@@ -76,14 +76,6 @@ type Engine struct {
 	Cfg core.Config
 	// Workers bounds Run's concurrency; 0 means GOMAXPROCS.
 	Workers int
-	// Pool, when non-nil, is the shared worker pool Run dispatches work
-	// to instead of spawning per-call workers, so a long-lived process
-	// can bound concurrency and queue depth globally across engines and
-	// concurrent batches.
-	//
-	// Deprecated: pass WithPool to Run instead of poking the field; the
-	// field remains as the default for one release.
-	Pool *Pool
 	// RecordingCache bounds how many recorded benchmark streams the
 	// executor retains (each is ~13 B/instruction); 0 sizes it
 	// automatically from Workers. Batched execution reserves extra slots
@@ -251,7 +243,7 @@ type RunOption func(*runConfig)
 
 type runConfig struct {
 	onDone   func(JobDone)
-	pool     *Pool
+	pool     *WorkerPool
 	poolSet  bool
 	batch    int
 	batchSet bool
@@ -266,9 +258,9 @@ func WithOnDone(fn func(JobDone)) RunOption {
 }
 
 // WithPool dispatches the call's work onto a shared worker pool instead
-// of per-call workers (nil restores per-call workers even when the
-// engine's deprecated Pool field is set).
-func WithPool(p *Pool) RunOption {
+// of per-call workers (nil, or an absent option, keeps per-call
+// workers).
+func WithPool(p *WorkerPool) RunOption {
 	return func(rc *runConfig) { rc.pool, rc.poolSet = p, true }
 }
 
@@ -301,7 +293,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts ...RunOption) ([]*Out
 	for _, o := range opts {
 		o(&rc)
 	}
-	pool := e.Pool
+	var pool *WorkerPool
 	if rc.poolSet {
 		pool = rc.pool
 	}
@@ -440,16 +432,6 @@ type JobDone struct {
 	Elapsed time.Duration
 	// Err is the job's resolution error, if any.
 	Err error
-}
-
-// RunStream resolves a batch of jobs and invokes onDone once per job in
-// completion order.
-//
-// Deprecated: use Run(ctx, jobs, WithOnDone(onDone)); this wrapper
-// remains for one release.
-func (e *Engine) RunStream(jobs []Job, onDone func(JobDone)) (Summary, error) {
-	_, sum, err := e.Run(context.Background(), jobs, WithOnDone(onDone))
-	return sum, err
 }
 
 // Merged pairs one job with its cached outcome for merge output.

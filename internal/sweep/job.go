@@ -197,6 +197,15 @@ func shardKey(cfg core.Config, j Job) string {
 	return Key(cfg, j)
 }
 
+// AnchorKey returns the key a job is placement-assigned by — its
+// policy's shard anchor followed transitively (job → dependency job →
+// trained profile's artifact key), or the job's own key when it has no
+// anchor. It is the grouping unit shared by static sharding (Shard) and
+// fleet lease assignment: all jobs with equal anchor keys resolve (or
+// feed) the same training, so a scheduler that never splits an anchor
+// group trains each profile exactly once.
+func AnchorKey(cfg core.Config, j Job) string { return shardKey(cfg, j) }
+
 // Shard returns the subset of jobs owned by shard index out of shards
 // total, assigned by stable anchor-key hash: every job belongs to
 // exactly one shard, and the assignment depends only on (config, job),

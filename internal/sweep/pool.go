@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 )
 
-// Pool is a bounded worker pool multiple engines can share, giving a
+// WorkerPool is a bounded worker pool multiple engines can share, giving a
 // long-lived process one global concurrency budget and one queue across
 // concurrent batches: Run dispatches to the shared pool when one is
 // passed via WithPool instead of spawning per-call workers, so N
@@ -20,7 +20,7 @@ import (
 // job's prerequisites inline on the worker already running it, and a
 // singleflight wait always waits on a flight owned by another running
 // worker, so every blocked task has a running owner making progress.
-type Pool struct {
+type WorkerPool struct {
 	tasks   chan func()
 	wg      sync.WaitGroup
 	running atomic.Int64
@@ -43,17 +43,17 @@ func DefaultQueueDepth(workers int) int {
 	return d
 }
 
-// NewPool starts a pool of workers goroutines (GOMAXPROCS when <= 0)
+// NewWorkerPool starts a pool of workers goroutines (GOMAXPROCS when <= 0)
 // whose queue holds up to capacity waiting tasks (DefaultQueueDepth
 // when <= 0).
-func NewPool(workers, capacity int) *Pool {
+func NewWorkerPool(workers, capacity int) *WorkerPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if capacity <= 0 {
 		capacity = DefaultQueueDepth(workers)
 	}
-	p := &Pool{tasks: make(chan func(), capacity)}
+	p := &WorkerPool{tasks: make(chan func(), capacity)}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
 		go func() {
@@ -72,22 +72,22 @@ func NewPool(workers, capacity int) *Pool {
 // Submit enqueues one task, blocking while the queue is full. Submitting
 // after Close panics (programming error: the owner drains batches before
 // closing the pool).
-func (p *Pool) Submit(f func()) { p.tasks <- f }
+func (p *WorkerPool) Submit(f func()) { p.tasks <- f }
 
 // Queued reports how many tasks are waiting in the queue, not yet
 // started — the service's queue-depth gauge.
-func (p *Pool) Queued() int { return len(p.tasks) }
+func (p *WorkerPool) Queued() int { return len(p.tasks) }
 
 // Running reports how many tasks are executing right now.
-func (p *Pool) Running() int { return int(p.running.Load()) }
+func (p *WorkerPool) Running() int { return int(p.running.Load()) }
 
 // Completed reports how many tasks have finished over the pool's
 // lifetime.
-func (p *Pool) Completed() int64 { return p.done.Load() }
+func (p *WorkerPool) Completed() int64 { return p.done.Load() }
 
 // Close stops accepting tasks and waits for every queued and running
 // one to finish.
-func (p *Pool) Close() {
+func (p *WorkerPool) Close() {
 	close(p.tasks)
 	p.wg.Wait()
 }
