@@ -12,6 +12,11 @@
 // policies under every topology named by -topologies and renders a
 // slowdown/energy comparison table. -topology switches the machine model
 // every other section simulates.
+//
+// With -cache, outcomes persist to a sweep cache directory shared with
+// mcdsweep, including its columnar segment layer (DIR/segments): a warm
+// report resolves its whole grid from a few segment reads, and output
+// is byte-identical regardless of which cache layer answered.
 package main
 
 import (

@@ -8,7 +8,7 @@
 //	mcdsweep enum  -manifest m.json [-shards N -shard I]
 //	mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
 //	mcdsweep run   -manifest m.json -server URL
-//	mcdsweep merge -manifest m.json -cache DIR [-o out.json]
+//	mcdsweep merge -manifest m.json -cache DIR [-o out.json] [-oracle]
 //	mcdsweep merge -manifest m.json -server URL [-o out.json]
 //	mcdsweep prune -manifest m.json -cache DIR [-rm]
 //
@@ -38,11 +38,21 @@
 // executes each training, and each shared dependency run, exactly once;
 // then merge: the merged output is byte-identical to an unsharded run's.
 //
+// merge streams results from the cache directory's columnar segment
+// layer (DIR/segments), falling back to the per-job JSON entries for
+// any key segments do not cover; -oracle forces the JSON-only
+// materialized path, whose output merge is byte-identical to. run
+// seals completed jobs into segments as it goes, so a warm cache
+// merges from a handful of segment reads instead of one file per job.
+//
 // prune garbage-collects cache and artifact entries not reachable from
-// the manifest's jobs (including their dependency closure). It is a dry
-// run by default, listing what it would delete; -rm deletes. Long-lived
-// shared cache directories otherwise grow without bound as
-// configurations and grids evolve.
+// the manifest's jobs (including their dependency closure), and
+// compacts the segment layer: segments whose rows are all reachable are
+// kept, the rest have their live rows rewritten into a fresh segment.
+// It is a dry run by default, listing what it would delete and the
+// reclaimable bytes per segment; -rm deletes. Long-lived shared cache
+// directories otherwise grow without bound as configurations and grids
+// evolve.
 package main
 
 import (
@@ -52,7 +62,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -76,7 +88,8 @@ func main() {
 	parallel := fs.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
 	recCache := fs.Int("recording-cache", 0, "recorded-stream cache entries (overrides the manifest's recording_cache; default auto-sized)")
 	out := fs.String("o", "", "merge output file (default stdout)")
-	rm := fs.Bool("rm", false, "prune: actually delete unreachable entries (default: dry run)")
+	oracle := fs.Bool("oracle", false, "merge: read the per-job JSON cache only, bypassing columnar segments (the byte-identity oracle path)")
+	rm := fs.Bool("rm", false, "prune: actually delete unreachable entries and compact segments (default: dry run)")
 	server := fs.String("server", "", "mcdserved base URL (e.g. http://127.0.0.1:8337); run submits and waits instead of executing locally, merge fetches the served results")
 	fs.Parse(args)
 
@@ -94,9 +107,9 @@ func main() {
 	// always reassembles the full manifest from the cache.
 	switch cmd {
 	case "enum":
-		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server", *recCache != 0, "-recording-cache")
+		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server", *recCache != 0, "-recording-cache", *oracle, "-oracle")
 	case "run":
-		rejectFlags(cmd, *out != "", "-o", *rm, "-rm")
+		rejectFlags(cmd, *out != "", "-o", *rm, "-rm", *oracle, "-oracle")
 		if *server != "" {
 			// The daemon owns its cache directory, worker pool and shard
 			// placement; client mode only submits and waits.
@@ -106,10 +119,10 @@ func main() {
 	case "merge":
 		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm", *recCache != 0, "-recording-cache")
 		if *server != "" {
-			rejectFlags(cmd+" -server", *cacheDir != "", "-cache")
+			rejectFlags(cmd+" -server", *cacheDir != "", "-cache", *oracle, "-oracle")
 		}
 	case "prune":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server", *recCache != 0, "-recording-cache")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server", *recCache != 0, "-recording-cache", *oracle, "-oracle")
 	}
 	m, err := sweep.LoadManifest(*manifestPath)
 	if err != nil {
@@ -149,6 +162,7 @@ func main() {
 		eng.RecordingCache = recordingCache(m, *recCache)
 		eng.Cache = &sweep.Cache{Dir: *cacheDir}
 		eng.Artifacts = sweep.ArtifactStore(*cacheDir)
+		eng.Segments = sweep.SegmentStoreFor(*cacheDir)
 		mine := sweep.Shard(cfg, jobs, *shards, *shard)
 		_, sum, err := eng.Run(context.Background(), mine)
 		summary := struct {
@@ -164,22 +178,32 @@ func main() {
 		}
 
 	case "merge":
-		var b []byte
 		if *server != "" {
-			b = mergeRemote(*server, *manifestPath)
-		} else {
-			if *cacheDir == "" {
-				fatal("merge requires -cache")
-			}
-			var err error
-			b, err = sweep.MergeBytes(cfg, jobs, &sweep.Cache{Dir: *cacheDir})
+			writeMergeOutput(*out, mergeRemote(*server, *manifestPath))
+			return
+		}
+		if *cacheDir == "" {
+			fatal("merge requires -cache")
+		}
+		if *oracle {
+			// The oracle path: per-job JSON only, materialized in memory
+			// — the serialization every other merge surface must match
+			// byte for byte.
+			b, err := sweep.MergeBytes(cfg, jobs, &sweep.Cache{Dir: *cacheDir})
 			if err != nil {
 				fatal(err.Error())
 			}
+			writeMergeOutput(*out, b)
+			return
 		}
-		if *out == "" {
-			os.Stdout.Write(b)
-		} else if err := os.WriteFile(*out, b, 0o644); err != nil {
+		// Default path: verify completeness up front, then stream rows
+		// from the columnar segments (JSON fallback per key) without
+		// materializing the result set.
+		src := sweep.SourceFor(*cacheDir)
+		if err := sweep.MergeCheck(cfg, jobs, src); err != nil {
+			fatal(err.Error())
+		}
+		if err := streamMerge(*out, cfg, jobs, src); err != nil {
 			fatal(err.Error())
 		}
 
@@ -200,17 +224,40 @@ func main() {
 			bytes += sweep.EntrySize(*cacheDir, rel)
 			fmt.Println(rel)
 		}
+		segs, err := sweep.SegmentStats(*cacheDir, results)
+		if err != nil {
+			fatal(err.Error())
+		}
+		var segReclaim int64
+		var segDoomed int
+		for _, st := range segs {
+			segReclaim += st.Reclaimable
+			if st.Corrupt || st.Live < st.Rows {
+				segDoomed++
+			}
+			note := ""
+			if st.Corrupt {
+				note = " corrupt"
+			}
+			fmt.Fprintf(os.Stderr, "segment %s: rows=%d live=%d bytes=%d reclaimable=%d%s\n",
+				st.Rel, st.Rows, st.Live, st.Bytes, st.Reclaimable, note)
+		}
 		if !*rm {
 			fmt.Fprintf(os.Stderr,
-				"prune (dry run): %d unreachable entries, %d bytes; %d result keys and %d artifact keys reachable; rerun with -rm to delete\n",
-				len(unreachable), bytes, len(results), len(artifacts))
+				"prune (dry run): %d unreachable entries, %d bytes; %d of %d segments compactable, ~%d bytes reclaimable; %d result keys and %d artifact keys reachable; rerun with -rm to delete\n",
+				len(unreachable), bytes, segDoomed, len(segs), segReclaim, len(results), len(artifacts))
 			return
 		}
 		removed, freed, err := sweep.Prune(*cacheDir, unreachable)
 		if err != nil {
 			fatal(err.Error())
 		}
-		fmt.Fprintf(os.Stderr, "prune: removed %d entries, freed %d bytes\n", removed, freed)
+		segRemoved, segFreed, err := sweep.CompactSegments(*cacheDir, results)
+		if err != nil {
+			fatal(err.Error())
+		}
+		fmt.Fprintf(os.Stderr, "prune: removed %d entries, freed %d bytes; compacted %d segments, freed %d bytes\n",
+			removed, freed, segRemoved, segFreed)
 	}
 }
 
@@ -280,6 +327,50 @@ func mergeRemote(server, manifestPath string) []byte {
 		fatal(err.Error())
 	}
 	return b
+}
+
+// writeMergeOutput delivers already-materialized merge bytes (remote or
+// oracle mode) to stdout or -o.
+func writeMergeOutput(out string, b []byte) {
+	if out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		fatal(err.Error())
+	}
+}
+
+// streamMerge writes the streaming merge to stdout or, for -o, through
+// a temp file + rename so a mid-stream failure never leaves a partial
+// output file behind.
+func streamMerge(out string, cfg core.Config, jobs []sweep.Job, src sweep.MergeSource) error {
+	if out == "" {
+		return sweep.MergeTo(os.Stdout, cfg, jobs, src)
+	}
+	dir := filepath.Dir(out)
+	tmp, err := os.CreateTemp(dir, filepath.Base(out)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := sweep.MergeTo(tmp, cfg, jobs, src); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), out); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func usage() {

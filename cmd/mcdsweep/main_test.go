@@ -117,3 +117,103 @@ func TestRunAndMergeWithTopology(t *testing.T) {
 		t.Errorf("merge output incomplete: %.200s", merged)
 	}
 }
+
+// TestMergeColumnarMatchesOracle is the CLI-level byte-identity check:
+// the default (segment-streaming) merge and the -oracle (JSON-only)
+// merge must emit identical bytes, the warm run must report segment
+// hits, and the segments must keep answering after the JSON entries are
+// deleted.
+func TestMergeColumnarMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark")
+	}
+	path := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline","online","single_clock"]}`)
+	cache := t.TempDir()
+	_, stderr, code := runCLI(t, "run", "-manifest", path, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, stderr)
+	}
+	merged, stderr, code := runCLI(t, "merge", "-manifest", path, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("merge failed (%d): %s", code, stderr)
+	}
+	oracle, stderr, code := runCLI(t, "merge", "-manifest", path, "-cache", cache, "-oracle")
+	if code != 0 {
+		t.Fatalf("merge -oracle failed (%d): %s", code, stderr)
+	}
+	if merged != oracle {
+		t.Fatal("columnar merge differs from JSON oracle")
+	}
+	// The warm run is answered by the segment layer.
+	stdout, _, code := runCLI(t, "run", "-manifest", path, "-cache", cache)
+	if code != 0 || !strings.Contains(stdout, `"segment_hits":3`) || !strings.Contains(stdout, `"executed":0`) {
+		t.Errorf("warm run summary = %s, want 3 segment hits, 0 executed", stdout)
+	}
+	// Drop the per-job JSON layer: segments alone still reproduce the
+	// oracle's bytes.
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != "segments" && e.Name() != "artifacts" {
+			if err := os.RemoveAll(filepath.Join(cache, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	segOnly, stderr, code := runCLI(t, "merge", "-manifest", path, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("segments-only merge failed (%d): %s", code, stderr)
+	}
+	if segOnly != oracle {
+		t.Fatal("segments-only merge differs from JSON oracle")
+	}
+	// -oracle now fails: the JSON layer is gone, and the oracle path
+	// must not silently fall back to segments.
+	if _, _, code := runCLI(t, "merge", "-manifest", path, "-cache", cache, "-oracle"); code == 0 {
+		t.Fatal("merge -oracle succeeded without JSON entries")
+	}
+}
+
+// TestPruneCompactsSegments covers the prune satellite: a shrunk
+// manifest makes some segment rows unreachable; the dry run reports
+// reclaimable bytes per segment, -rm compacts, and the surviving rows
+// still merge byte-identically to the JSON oracle.
+func TestPruneCompactsSegments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark")
+	}
+	full := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline","online"]}`)
+	shrunk := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline"]}`)
+	cache := t.TempDir()
+	if _, stderr, code := runCLI(t, "run", "-manifest", full, "-cache", cache); code != 0 {
+		t.Fatalf("run failed: %s", stderr)
+	}
+	_, stderr, code := runCLI(t, "prune", "-manifest", shrunk, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("prune dry run failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "segment segments/seg-") || !strings.Contains(stderr, "reclaimable=") {
+		t.Errorf("dry run did not report per-segment reclaimable bytes: %s", stderr)
+	}
+	if !strings.Contains(stderr, "dry run") {
+		t.Errorf("prune deleted without -rm: %s", stderr)
+	}
+	_, stderr, code = runCLI(t, "prune", "-manifest", shrunk, "-cache", cache, "-rm")
+	if code != 0 || !strings.Contains(stderr, "compacted") {
+		t.Fatalf("prune -rm failed (%d): %s", code, stderr)
+	}
+	merged, stderr, code := runCLI(t, "merge", "-manifest", shrunk, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("post-compaction merge failed: %s", stderr)
+	}
+	oracle, _, code := runCLI(t, "merge", "-manifest", shrunk, "-cache", cache, "-oracle")
+	if code != 0 || merged != oracle {
+		t.Fatal("post-compaction merge differs from JSON oracle")
+	}
+	// The pruned job really is gone from both layers.
+	if _, _, code := runCLI(t, "merge", "-manifest", full, "-cache", cache); code == 0 {
+		t.Fatal("pruned sweep still merges")
+	}
+}

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/calltree"
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 // quickRunner restricts the suite to a small diverse subset so the tests
@@ -154,5 +157,40 @@ func TestSweepShortensWithSmallDelta(t *testing.T) {
 	}
 	if !strings.Contains(Figure11(off, lf, on), "L+F:") {
 		t.Error("figure 11 missing series")
+	}
+}
+
+// TestReportIdenticalAcrossCacheLayers renders the same figure from a
+// cold cache, from the warm columnar segments, and from segments alone
+// (JSON entries deleted): the report must not change by a byte based on
+// which storage layer answered.
+func TestReportIdenticalAcrossCacheLayers(t *testing.T) {
+	dir := t.TempDir()
+	render := func() string {
+		r := NewRunner(core.DefaultConfig())
+		r.Names = []string{"g721_decode"}
+		r.CacheDir = dir
+		return r.Figure4()
+	}
+	cold := render()
+	warm := render()
+	if cold != warm {
+		t.Fatal("warm report differs from cold report")
+	}
+	// Remove the per-job JSON entries, keeping segments and artifacts:
+	// the report must come out identical from the columnar layer alone.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != sweep.SegmentSubdir && e.Name() != "artifacts" {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if segOnly := render(); segOnly != cold {
+		t.Fatal("segments-only report differs from JSON-backed report")
 	}
 }

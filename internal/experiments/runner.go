@@ -86,6 +86,10 @@ func (r *Runner) Engine() *sweep.Engine {
 		if r.CacheDir != "" {
 			r.eng.Cache = &sweep.Cache{Dir: r.CacheDir}
 			r.eng.Artifacts = sweep.ArtifactStore(r.CacheDir)
+			// The columnar layer: a warm report generation resolves its
+			// whole grid from a few segment reads instead of one JSON
+			// decode per job.
+			r.eng.Segments = sweep.SegmentStoreFor(r.CacheDir)
 		}
 	})
 	return r.eng

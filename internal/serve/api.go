@@ -113,6 +113,7 @@ func validateManifest(body []byte) (*sweep.Manifest, []sweep.Job, *apiError) {
 //	POST /v1/leases/{id}/heartbeat     keep a lease alive
 //	POST /v1/leases/{id}/complete      report a lease's jobs done
 //	GET/PUT /v1/cache/{key}            fetch/upload one result-cache entry by content-addressed key
+//	PUT  /v1/segments                  upload one columnar result segment (a whole lease's rows in one request)
 //	GET/PUT /v1/artifacts/{key}        fetch/upload one artifact-store entry by content-addressed key
 //	GET  /healthz                      liveness + drain state
 //	GET  /metrics                      Prometheus text format
@@ -132,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleComplete)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleGetCache)
 	mux.HandleFunc("PUT /v1/cache/{key}", s.handlePutCache)
+	mux.HandleFunc("PUT /v1/segments", s.handlePutSegment)
 	mux.HandleFunc("GET /v1/artifacts/{key}", s.handleGetArtifact)
 	mux.HandleFunc("PUT /v1/artifacts/{key}", s.handlePutArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -249,18 +251,35 @@ func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
 			Message: fmt.Sprintf("sweep %s failed: %s", r.id, st.Error)})
 		return
 	}
-	// Reassemble from the persistent cache through the one canonical
-	// merge serialization, so served bytes are identical to the CLI's
-	// merge output by construction.
-	b, err := sweep.MergeBytes(r.cfg, r.jobs, s.cache)
-	if err != nil {
+	format := req.URL.Query().Get("format")
+	if format != "" && format != "ndjson" {
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Field: "format",
+			Message: fmt.Sprintf("unknown format %q (only \"ndjson\")", format)})
+		return
+	}
+	// Reassemble from the persistent cache — columnar segments first,
+	// per-job JSON as fallback — streaming row by row, so the daemon's
+	// memory stays bounded however large the sweep. The default document
+	// goes through the one canonical merge serialization, so served
+	// bytes are identical to the CLI's merge output by construction; the
+	// completeness check runs before any output so an incomplete cache
+	// is still a clean structured error.
+	s.segments.Refresh()
+	src := sweep.MergeSource{Cache: s.cache, Segments: s.segments}
+	if err := sweep.MergeCheck(r.cfg, r.jobs, src); err != nil {
 		writeError(w, &apiError{status: http.StatusInternalServerError, Code: "merge_failed",
 			Message: err.Error()})
 		return
 	}
+	if format == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		sweep.MergeNDJSON(w, r.cfg, r.jobs, src)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	w.Write(b)
+	sweep.MergeTo(w, r.cfg, r.jobs, src)
 }
 
 // fleetOr404 returns the coordinator state, answering the structured
@@ -431,6 +450,50 @@ func (s *Server) handlePutCache(w http.ResponseWriter, req *http.Request) {
 			writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest, Message: err.Error()})
 			return
 		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePutSegment ingests one columnar segment — the worker's whole
+// lease result set in a single request. The coordinator re-encodes
+// every row through its own codec: each row lands in the JSON cache via
+// Cache.Put (so the stored entry is byte-identical to the one the
+// worker's local cache holds — the same deterministic serialization of
+// the same key/job/outcome) and in the coordinator's own segment layer
+// via Append. A damaged upload is rejected whole by the segment
+// checksums before anything is written.
+func (s *Server) handlePutSegment(w http.ResponseWriter, req *http.Request) {
+	f := s.fleetOr404(w)
+	if f == nil {
+		return
+	}
+	body, ok := readEntryBody(w, req)
+	if !ok {
+		return
+	}
+	rows, err := sweep.DecodeSegmentRows(body)
+	if err != nil {
+		writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest,
+			Message: fmt.Sprintf("segment: %v", err)})
+		return
+	}
+	// Same single-writer discipline as the per-key upload endpoints.
+	f.upMu.Lock()
+	defer f.upMu.Unlock()
+	for _, m := range rows {
+		if _, exists := s.cache.Get(m.Key); exists {
+			continue
+		}
+		if err := s.cache.Put(m.Key, m.Job, m.Outcome); err != nil {
+			writeError(w, &apiError{status: http.StatusInternalServerError, Code: "entry_unwritable",
+				Message: fmt.Sprintf("entry %.12s: %v", m.Key, err)})
+			return
+		}
+	}
+	if err := s.segments.Append(rows); err != nil {
+		writeError(w, &apiError{status: http.StatusInternalServerError, Code: "entry_unwritable",
+			Message: fmt.Sprintf("segment: %v", err)})
+		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

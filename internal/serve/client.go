@@ -343,6 +343,27 @@ func (c *Client) PutCacheEntry(ctx context.Context, key string, raw []byte) erro
 	return c.putEntry(ctx, "/v1/cache/"+key, raw)
 }
 
+// PutSegment uploads one columnar result segment (raw segment-file
+// bytes); the coordinator decodes it, writes any missing canonical JSON
+// entries, and appends the rows to its own segment layer.
+func (c *Client) PutSegment(ctx context.Context, raw []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url("/v1/segments"), bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
 // GetArtifact fetches one artifact-store entry's canonical file bytes
 // by key; ok=false means the coordinator does not have it.
 func (c *Client) GetArtifact(ctx context.Context, key string) ([]byte, bool, error) {

@@ -593,6 +593,17 @@ func (s *Server) runSweepFleet(r *sweepRun) {
 			continue
 		}
 		key := sweep.Key(r.cfg, job)
+		// The columnar layer answers first: one O(1) in-memory lookup
+		// against segments synced by workers (or sealed by local runs)
+		// instead of a JSON decode per job.
+		if out, ok := s.segments.Get(key); ok {
+			mu.Lock()
+			sum.SegmentHits++
+			mu.Unlock()
+			complete(sweep.JobDone{Index: i, Job: job, Key: key, Outcome: out,
+				Source: sweep.SourceDisk, Elapsed: time.Since(start)})
+			continue
+		}
 		out, st := s.cache.Load(key)
 		switch st {
 		case sweep.LoadHit:

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -333,5 +335,99 @@ func TestFleetStrictFrames(t *testing.T) {
 	// Lease traffic from a worker that never registered.
 	if _, err := c.Heartbeat(ctx, "ls-1", "wk-404"); !errors.As(err, &ae) || ae.Code != wire.CodeUnknownWorker {
 		t.Fatalf("unknown worker: %v, want %s", err, wire.CodeUnknownWorker)
+	}
+}
+
+// TestFleetSegmentSyncByteIdentity runs a sweep through a one-worker
+// fleet and asserts the segment-based result sync is invisible at the
+// byte level: the coordinator holds at least one synced segment, every
+// canonical JSON entry it re-derived from that segment is byte-identical
+// to one written by a local run of the same deterministic executor, and
+// a merge answered by the coordinator's segments alone (JSON fanout
+// directories deleted) matches the JSON-oracle MergeBytes exactly.
+func TestFleetSegmentSyncByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	_, c := fleetServer(t, dir, FleetConfig{LeaseTTL: 5 * time.Second, Poll: 50 * time.Millisecond})
+	fake := &fakeExec{}
+	startFleetWorker(t, c.BaseURL, "worker-a", fake)
+
+	m := sweep.Manifest{Name: "seg-sync", Benchmarks: workload.Names()[0:3], Policies: []string{"baseline", "online"}}
+	st := waitStatus(t, runManifestAsync(t, c, m), 30*time.Second)
+	if st.State != StateComplete {
+		t.Fatalf("state %s (%s)", st.State, st.Error)
+	}
+
+	segs, err := os.ReadDir(filepath.Join(dir, sweep.SegmentSubdir))
+	if err != nil {
+		t.Fatalf("coordinator segment dir: %v", err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("worker completed a lease but the coordinator holds no synced segment")
+	}
+
+	// Oracle: write the same outcomes through the canonical JSON path
+	// locally, with an independent executor instance.
+	cfg := m.Config()
+	jobs, err := m.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleFn := (&fakeExec{}).fn(func(j sweep.Job) string { return sweep.Key(cfg, j) })
+	oracle := &sweep.Cache{Dir: t.TempDir()}
+	for _, j := range jobs {
+		out, err := oracleFn(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Put(sweep.Key(cfg, j), j, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := sweep.MergeBytes(cfg, jobs, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Entry-level identity: the coordinator re-encoded each synced row
+	// through the same deterministic serialization.
+	coord := &sweep.Cache{Dir: dir}
+	for _, j := range jobs {
+		k := sweep.Key(cfg, j)
+		got, err := os.ReadFile(coord.EntryPath(k))
+		if err != nil {
+			t.Fatalf("coordinator entry %.12s: %v", k, err)
+		}
+		wantEntry, err := os.ReadFile(oracle.EntryPath(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantEntry) {
+			t.Fatalf("coordinator entry %.12s differs from local oracle entry", k)
+		}
+	}
+
+	// Merge-level identity from segments alone: remove the coordinator's
+	// JSON fanout directories and stream the merge from its segment layer.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != sweep.SegmentSubdir && e.Name() != "artifacts" {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	src := sweep.SourceFor(dir)
+	if err := sweep.MergeCheck(cfg, jobs, src); err != nil {
+		t.Fatalf("merge check over segments alone: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := sweep.MergeTo(&buf, cfg, jobs, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("segment-only merge differs from JSON oracle:\nseg:    %.200s\noracle: %.200s", buf.Bytes(), want)
 	}
 }

@@ -68,6 +68,7 @@ type Server struct {
 	pool      *sweep.WorkerPool
 	cache     *sweep.Cache
 	artifacts *artifact.Store
+	segments  *sweep.SegmentStore
 
 	// fleetState is non-nil once EnableFleet turned this server into a
 	// fleet coordinator: sweeps dispatch to leased remote workers
@@ -104,6 +105,7 @@ func NewServer(cacheDir string, workers, queueDepth int) *Server {
 		pool:       sweep.NewWorkerPool(workers, queueDepth),
 		cache:      &sweep.Cache{Dir: cacheDir},
 		artifacts:  sweep.ArtifactStore(cacheDir),
+		segments:   sweep.SegmentStoreFor(cacheDir),
 		engines:    make(map[string]*sweep.Engine),
 		sweeps:     make(map[string]*sweepRun),
 	}
@@ -282,6 +284,7 @@ func (s *Server) engine(cfg core.Config, recCache int) *sweep.Engine {
 	e.RecordingCache = recCache
 	e.Cache = s.cache
 	e.Artifacts = s.artifacts
+	e.Segments = s.segments
 	e.ExecFn = s.ExecFn
 	s.engines[key] = e
 	return e
@@ -414,6 +417,10 @@ func (s *Server) runSweep(r *sweepRun) {
 	// land on either, but it is a damage signal — what matters is that
 	// a damaged shared directory is never silent, here or in /metrics.
 	sum.CorruptEntries = engSum.CorruptEntries
+	// Same for segment hits: JobDone reports SourceDisk for both cache
+	// layers (a segment hit is a disk hit), so the columnar subset is
+	// only known engine-wide.
+	sum.SegmentHits = engSum.SegmentHits
 	s.metrics.corruptEntries.Add(int64(engSum.CorruptEntries))
 	r.finish(sum, err)
 	s.metrics.sweepsCompleted.Add(1)

@@ -49,6 +49,7 @@ type Worker struct {
 	client  *Client
 	cache   *sweep.Cache
 	store   *artifact.Store
+	segs    *sweep.SegmentStore
 	engines map[string]*sweep.Engine
 	reg     *wire.RegisterResponse
 }
@@ -91,6 +92,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	w.client = &Client{BaseURL: w.Server, HTTP: w.HTTP}
 	w.cache = &sweep.Cache{Dir: w.CacheDir}
 	w.store = sweep.ArtifactStore(w.CacheDir)
+	w.segs = sweep.SegmentStoreFor(w.CacheDir)
 	w.engines = make(map[string]*sweep.Engine)
 
 	if err := w.register(ctx); err != nil || ctx.Err() != nil {
@@ -182,6 +184,7 @@ func (w *Worker) engine(cfg core.Config, recCache int) *sweep.Engine {
 	e.RecordingCache = recCache
 	e.Cache = w.cache
 	e.Artifacts = w.store
+	e.Segments = w.segs
 	e.ExecFn = w.ExecFn
 	w.engines[key] = e
 	return e
@@ -306,16 +309,30 @@ func (w *Worker) processLease(ctx context.Context, l *wire.Lease) error {
 			return fmt.Errorf("upload artifact %.12s: %w", k, err)
 		}
 	}
+	// Results ship as one columnar segment instead of one PUT per key:
+	// the coordinator decodes it, re-derives any missing canonical JSON
+	// entries through the same deterministic serialization, and appends
+	// the rows to its own segment layer — so synced bytes stay
+	// byte-identical to a local run while the sync itself is one
+	// round-trip per lease.
+	var rows []sweep.Merged
 	for _, k := range append(append([]string(nil), l.JobKeys...), l.DepKeys...) {
 		if remote[k] {
 			continue
 		}
-		b, err := os.ReadFile(w.cache.EntryPath(k))
-		if err != nil {
+		job, out, ok := w.cache.Entry(k)
+		if !ok {
 			continue // the job failed; its result reports the error instead
 		}
-		if err := w.client.PutCacheEntry(leaseCtx, k, b); err != nil {
-			return fmt.Errorf("upload result %.12s: %w", k, err)
+		rows = append(rows, sweep.Merged{Key: k, Job: job, Outcome: out})
+	}
+	if len(rows) > 0 {
+		seg, err := sweep.EncodeSegment(rows)
+		if err != nil {
+			return fmt.Errorf("encode result segment: %w", err)
+		}
+		if err := w.client.PutSegment(leaseCtx, seg); err != nil {
+			return fmt.Errorf("upload result segment (%d row(s)): %w", len(rows), err)
 		}
 	}
 

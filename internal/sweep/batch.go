@@ -143,11 +143,17 @@ func (e *Engine) runWave(ctx context.Context, jobs []Job, idxs []int, width int,
 	// executes.
 	var pending []*laneJob
 	for _, o := range owned {
+		if out, ok := e.segmentLookup(o.key); ok {
+			e.finishFlight(o, out, SourceDisk)
+			report(o.idx, o.key, out, SourceDisk, time.Since(start), nil)
+			continue
+		}
 		if e.Cache != nil {
 			out, status := e.Cache.Load(o.key)
 			switch status {
 			case LoadHit:
 				e.nDisk.Add(1)
+				e.bufferSegRow(o.key, jobs[o.idx], out)
 				e.finishFlight(o, out, SourceDisk)
 				report(o.idx, o.key, out, SourceDisk, time.Since(start), nil)
 				continue
@@ -185,6 +191,8 @@ func (e *Engine) runWave(ctx context.Context, jobs []Job, idxs []int, width int,
 					// Same contract as the sequential path: never throw
 					// finished work away over a persistence failure.
 					e.warnPersist(err)
+				} else {
+					e.bufferSegRow(o.key, jobs[o.idx], out)
 				}
 			}
 			e.finishFlight(o, out, SourceExecuted)

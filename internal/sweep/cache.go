@@ -79,6 +79,22 @@ func (c *Cache) Get(key string) (*Outcome, bool) {
 	return out, status == LoadHit
 }
 
+// Entry loads the full entry stored under key — job and outcome — for
+// callers that re-encode entries elsewhere (segment building needs the
+// job, not just the outcome, so re-materialized JSON stays
+// byte-identical). Damaged entries report ok=false like Get.
+func (c *Cache) Entry(key string) (Job, *Outcome, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Job{}, nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != key || e.Outcome == nil {
+		return Job{}, nil, false
+	}
+	return e.Job, e.Outcome, true
+}
+
 // PutRaw validates one serialized cache entry (the bytes of an entry
 // file produced by another node's Put) against key and persists it
 // through Put. Because Put re-encodes the decoded entry with the same

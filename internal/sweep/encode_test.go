@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// encodeOracle is what the direct encoder must reproduce: MarshalIndent
+// with MergeTo's row prefix for the indented form, plain Marshal for the
+// compact form.
+func encodeOracle(t *testing.T, m Merged, indent bool) []byte {
+	t.Helper()
+	var b []byte
+	var err error
+	if indent {
+		b, err = json.MarshalIndent(m, " ", " ")
+	} else {
+		b, err = json.Marshal(m)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func checkEncode(t *testing.T, label string, m Merged) {
+	t.Helper()
+	for _, indent := range []bool{true, false} {
+		got, err := appendMerged(nil, m, " ", indent)
+		if err != nil {
+			t.Fatalf("%s (indent=%v): %v", label, indent, err)
+		}
+		want := encodeOracle(t, m, indent)
+		if string(got) != string(want) {
+			t.Errorf("%s (indent=%v):\ngot:  %s\nwant: %s", label, indent, got, want)
+		}
+	}
+}
+
+// TestAppendMergedAdversarial feeds the direct encoder the values that
+// distinguish stdlib JSON encoding from a naive reimplementation: float
+// format switchovers, negative zero, HTML-escaped and invalid-UTF-8
+// strings, nil-vs-empty slices, and every omitempty boundary.
+func TestAppendMergedAdversarial(t *testing.T) {
+	floats := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, -0.1, 1.0 / 3.0,
+		1e-6, 9.999999e-7, 1e-7, -1e-7, // 'f'/'e' switch at 1e-6
+		1e20, 9.99e20, 1e21, -1e21, 2.5e21, // 'f'/'e' switch at 1e21
+		1e-9, 1e-100, 1e100, // exponent cleanup (e-09 → e-9)
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		123456789.123456789, 42,
+	}
+	strs := []string{
+		"", "plain", "with space", `quote"back\slash`,
+		"<html>&amp;", "tab\tnewline\ncr\r", "ctrl\x00\x01\x1f",
+		"bell\bformfeed\f", "unicode é ☃ 漢字",
+		"invalid\xff\xfeutf8", "line\u2028para\u2029sep",
+	}
+
+	for i, f := range floats {
+		m := Merged{Key: "k", Job: Job{Bench: "b", Policy: "p", Delta: f}}
+		m.Outcome = &Outcome{}
+		m.Outcome.Res.EnergyPJ = f
+		m.Outcome.Res.DomainPJ = []float64{f, -f}
+		m.Outcome.Stats.OverheadPct = f
+		checkEncode(t, "float "+strings.TrimSpace(string(rune('A'+i%26))), m)
+	}
+	for _, s := range strs {
+		m := Merged{Key: s, Job: Job{Bench: s, Policy: "p", Scheme: s}}
+		checkEncode(t, "string "+s, m)
+	}
+
+	// Structural edges: nil outcome, nil vs empty slices, omitempty
+	// boundaries on every optional field.
+	checkEncode(t, "nil outcome", Merged{Key: "k", Job: Job{Bench: "b", Policy: "p"}})
+	empty := &Outcome{}
+	empty.Res.DomainPJ = []float64{}
+	empty.Res.AvgMHz = []float64{}
+	checkEncode(t, "empty slices", Merged{Key: "k", Job: Job{Bench: "b", Policy: "p"}, Outcome: empty})
+	full := &Outcome{GlobalMHz: 7, StaticReconfig: 8, StaticInstr: 9}
+	full.Res.DomainPJ = []float64{1}
+	checkEncode(t, "omitempty all set", Merged{
+		Key:     "k",
+		Job:     Job{Bench: "b", Policy: "p", Scheme: "s", Delta: 1.5, Aggressiveness: 0.5, MHz: 250},
+		Outcome: full,
+	})
+
+	// NaN and infinities must error like stdlib, not emit bytes.
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		m := Merged{Key: "k", Job: Job{Bench: "b", Policy: "p"}}
+		m.Outcome = &Outcome{}
+		m.Outcome.Res.EnergyPJ = bad
+		if _, err := appendMerged(nil, m, " ", true); err == nil {
+			t.Errorf("float %v: want error, got none", bad)
+		}
+		if _, err := json.Marshal(m); err == nil {
+			t.Errorf("float %v: stdlib accepted it; update the encoder", bad)
+		}
+	}
+}
+
+// TestAppendMergedRandomized cross-checks the direct encoder against the
+// stdlib on pseudo-random rows (fixed seed): random bit patterns for
+// floats (non-NaN/Inf), random printable-and-not strings, random slice
+// shapes.
+func TestAppendMergedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randFloat := func() float64 {
+		for {
+			f := math.Float64frombits(rng.Uint64())
+			if !math.IsNaN(f) && !math.IsInf(f, 0) {
+				return f
+			}
+		}
+	}
+	randStr := func() string {
+		n := rng.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		return string(b)
+	}
+	randFloats := func() []float64 {
+		switch rng.Intn(4) {
+		case 0:
+			return nil
+		case 1:
+			return []float64{}
+		default:
+			out := make([]float64, 1+rng.Intn(5))
+			for i := range out {
+				out[i] = randFloat()
+			}
+			return out
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		m := Merged{
+			Key: randStr(),
+			Job: Job{
+				Bench:          randStr(),
+				Policy:         randStr(),
+				Scheme:         randStr(),
+				Delta:          randFloat(),
+				Aggressiveness: randFloat(),
+				MHz:            rng.Intn(3) * rng.Intn(1000),
+			},
+		}
+		if rng.Intn(8) != 0 {
+			o := &Outcome{
+				GlobalMHz:      rng.Intn(2) * rng.Intn(1000),
+				StaticReconfig: rng.Intn(2) * rng.Intn(1000),
+				StaticInstr:    rng.Intn(2) * rng.Intn(1000),
+			}
+			o.Res.Instructions = rng.Int63() - rng.Int63()
+			o.Res.TimePs = rng.Int63() - rng.Int63()
+			o.Res.EnergyPJ = randFloat()
+			o.Res.DomainPJ = randFloats()
+			o.Res.AvgMHz = randFloats()
+			o.Res.SyncCrossings = rng.Int63() - rng.Int63()
+			o.Res.SyncPenalties = rng.Int63() - rng.Int63()
+			o.Res.Mispredicts = rng.Int63() - rng.Int63()
+			o.Res.MispredictRate = randFloat()
+			o.Res.IL1MissRate = randFloat()
+			o.Res.DL1MissRate = randFloat()
+			o.Res.L2MissRate = randFloat()
+			o.Stats.DynReconfig = rng.Int63() - rng.Int63()
+			o.Stats.DynInstr = rng.Int63() - rng.Int63()
+			o.Stats.OverheadCycles = rng.Int63() - rng.Int63()
+			o.Stats.OverheadPct = randFloat()
+			m.Outcome = o
+		}
+		checkEncode(t, "random row", m)
+		if t.Failed() {
+			t.Fatalf("first mismatch at iteration %d", i)
+		}
+	}
+}

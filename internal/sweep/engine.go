@@ -53,9 +53,13 @@ func (s Source) String() string {
 // schema, or stored under a mismatched key); each was treated as a miss
 // and overwritten, and the first offending path was logged.
 type Summary struct {
-	Jobs           int `json:"jobs"`
-	MemHits        int `json:"mem_hits"`
-	DiskHits       int `json:"disk_hits"`
+	Jobs     int `json:"jobs"`
+	MemHits  int `json:"mem_hits"`
+	DiskHits int `json:"disk_hits"`
+	// SegmentHits counts the subset of DiskHits served from the columnar
+	// segment layer (no JSON decode); every segment hit is also a disk
+	// hit, so existing disk-hit accounting is unchanged by segments.
+	SegmentHits    int `json:"segment_hits"`
 	Executed       int `json:"executed"`
 	Errors         int `json:"errors"`
 	CorruptEntries int `json:"corrupt_entries"`
@@ -63,8 +67,8 @@ type Summary struct {
 
 // String renders the summary as one log-friendly line.
 func (s Summary) String() string {
-	return fmt.Sprintf("jobs=%d mem_hits=%d disk_hits=%d executed=%d errors=%d corrupt_entries=%d",
-		s.Jobs, s.MemHits, s.DiskHits, s.Executed, s.Errors, s.CorruptEntries)
+	return fmt.Sprintf("jobs=%d mem_hits=%d disk_hits=%d segment_hits=%d executed=%d errors=%d corrupt_entries=%d",
+		s.Jobs, s.MemHits, s.DiskHits, s.SegmentHits, s.Executed, s.Errors, s.CorruptEntries)
 }
 
 // Engine executes sweep jobs against one configuration with in-process
@@ -89,6 +93,14 @@ type Engine struct {
 	// directory trains each profile once total and threshold sweeps
 	// replan from stored histograms instead of retraining.
 	Artifacts *artifact.Store
+	// Segments, when non-nil, layers the columnar result store over the
+	// JSON cache: lookups consult segments first (one decoded column set
+	// answers thousands of keys), completed and JSON-served rows are
+	// buffered per Run and sealed into one new segment when the batch
+	// ends. Segments are derived data — the JSON cache remains the
+	// canonical byte-identity oracle and answers whenever a segment is
+	// absent or damaged.
+	Segments *SegmentStore
 	// ExecFn overrides the built-in policy executor (tests use this to
 	// count executions without running the simulator).
 	ExecFn func(Job) (*Outcome, error)
@@ -102,9 +114,15 @@ type Engine struct {
 	// worker (or nested Do) got there first.
 	nExecuted   atomic.Int64
 	nDisk       atomic.Int64
+	nSegment    atomic.Int64
 	nCorrupt    atomic.Int64
 	warnOnce    sync.Once
 	corruptOnce sync.Once
+
+	// segMu guards segBuf, the rows waiting to be sealed into the next
+	// segment file when the current Run finishes.
+	segMu  sync.Mutex
+	segBuf []Merged
 
 	mu     sync.Mutex
 	flight map[string]*flight
@@ -204,11 +222,17 @@ func (e *Engine) doKeyed(key string, job Job) (*Outcome, Source, error) {
 }
 
 func (e *Engine) resolve(key string, job Job) (*Outcome, Source, error) {
+	if out, ok := e.segmentLookup(key); ok {
+		return out, SourceDisk, nil
+	}
 	if e.Cache != nil {
 		out, status := e.Cache.Load(key)
 		switch status {
 		case LoadHit:
 			e.nDisk.Add(1)
+			// Backfill: a JSON-only cache grows its segment layer over
+			// one warm run, no separate conversion pass needed.
+			e.bufferSegRow(key, job, out)
 			return out, SourceDisk, nil
 		case LoadCorrupt:
 			e.noteCorrupt(e.Cache.EntryPath(key))
@@ -226,9 +250,60 @@ func (e *Engine) resolve(key string, job Job) (*Outcome, Source, error) {
 			// away. Keep the outcome memoized in process and warn once
 			// — a later merge will name any jobs that never landed.
 			e.warnPersist(err)
+		} else {
+			// Only rows the canonical JSON layer accepted enter the
+			// segment layer: segments must stay a strict subset of the
+			// oracle, never ahead of it.
+			e.bufferSegRow(key, job, out)
 		}
 	}
 	return out, SourceExecuted, nil
+}
+
+// segmentLookup consults the columnar layer. A segment hit counts as a
+// disk hit too (it is one — just a cheaper decode), so disk-hit
+// assertions and summaries are unaffected by whether segments exist.
+func (e *Engine) segmentLookup(key string) (*Outcome, bool) {
+	if e.Segments == nil {
+		return nil, false
+	}
+	out, ok := e.Segments.Get(key)
+	if ok {
+		e.nSegment.Add(1)
+		e.nDisk.Add(1)
+	}
+	return out, ok
+}
+
+// bufferSegRow queues one completed row for the columnar layer; Run
+// seals the batch's buffered rows into one segment file when it ends.
+func (e *Engine) bufferSegRow(key string, job Job, out *Outcome) {
+	if e.Segments == nil {
+		return
+	}
+	e.segMu.Lock()
+	e.segBuf = append(e.segBuf, Merged{Key: key, Job: job, Outcome: out})
+	e.segMu.Unlock()
+}
+
+// flushSegments seals the buffered rows into one new segment file
+// (rows already indexed are skipped inside Append). Persistence
+// failures warn once, like JSON cache writes: the canonical entries
+// are already on disk, a missing segment only costs speed.
+func (e *Engine) flushSegments() {
+	if e.Segments == nil {
+		return
+	}
+	e.segMu.Lock()
+	rows := e.segBuf
+	e.segBuf = nil
+	e.segMu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+	if err := e.Segments.Append(rows); err != nil {
+		e.warnPersist(err)
+	}
 }
 
 func (e *Engine) execFn() func(Job) (*Outcome, error) {
@@ -306,6 +381,11 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts ...RunOption) ([]*Out
 	srcs := make([]Source, len(jobs))
 	errs := make([]error, len(jobs))
 	exec0, disk0, corrupt0 := e.nExecuted.Load(), e.nDisk.Load(), e.nCorrupt.Load()
+	seg0 := e.nSegment.Load()
+	var segCorrupt0 int64
+	if e.Segments != nil {
+		segCorrupt0 = e.Segments.CorruptRows()
+	}
 
 	var cbMu sync.Mutex
 	report := func(i int, key string, out *Outcome, src Source, elapsed time.Duration, err error) {
@@ -396,12 +476,17 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts ...RunOption) ([]*Out
 		close(ch)
 	}
 	wg.Wait()
+	e.flushSegments()
 
 	sum := Summary{
 		Jobs:           len(jobs),
 		Executed:       int(e.nExecuted.Load() - exec0),
 		DiskHits:       int(e.nDisk.Load() - disk0),
+		SegmentHits:    int(e.nSegment.Load() - seg0),
 		CorruptEntries: int(e.nCorrupt.Load() - corrupt0),
+	}
+	if e.Segments != nil {
+		sum.CorruptEntries += int(e.Segments.CorruptRows() - segCorrupt0)
 	}
 	for i := range jobs {
 		switch {
