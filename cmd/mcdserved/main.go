@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	mcdserved -cache DIR [-addr HOST:PORT] [-parallel K] [-queue N] [-drain-timeout D]
-//	          [-fleet [-lease-ttl D] [-lease-attempts N]]
+//	mcdserved -cache DIR [-addr HOST:PORT] [-parallel K] [-train-workers P] [-queue N]
+//	          [-drain-timeout D] [-fleet [-lease-ttl D] [-lease-attempts N]]
 //
 // Endpoints:
 //
@@ -55,6 +55,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8337", "listen address (use :0 for an ephemeral port; the chosen address is printed)")
 	cacheDir := flag.String("cache", "", "persistent result cache directory, shared with mcdsweep (required)")
 	parallel := flag.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
+	trainWorkers := flag.Int("train-workers", 0, "intra-job training parallelism — overrides any manifest's train_workers; default GOMAXPROCS; results are bit-identical at every setting")
 	queue := flag.Int("queue", 0, "admission budget: max admitted-but-unfinished jobs (default workers*64, min 1024)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "how long a graceful shutdown waits for admitted sweeps")
 	leakCheck := flag.Bool("leakcheck", false, "after graceful shutdown, fail (exit 1) if any service goroutine is still alive — CI's no-goroutine-leak assert")
@@ -66,7 +67,11 @@ func main() {
 	if *cacheDir == "" {
 		fatal("missing -cache")
 	}
+	if *trainWorkers < 0 {
+		fatal("-train-workers must be >= 0")
+	}
 	srv := serve.NewServer(*cacheDir, *parallel, *queue)
+	srv.TrainWorkers = *trainWorkers
 	if *fleetMode {
 		srv.EnableFleet(serve.FleetConfig{LeaseTTL: *leaseTTL, MaxAttempts: *leaseAttempts})
 	}

@@ -87,6 +87,7 @@ func main() {
 	shard := fs.Int("shard", 0, "this process's shard index, 0-based")
 	parallel := fs.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
 	recCache := fs.Int("recording-cache", 0, "recorded-stream cache entries (overrides the manifest's recording_cache; default auto-sized)")
+	trainWorkers := fs.Int("train-workers", 0, "intra-job training parallelism — segment-shake workers and concurrent batched collection (overrides the manifest's train_workers; default GOMAXPROCS; results are bit-identical at every setting)")
 	out := fs.String("o", "", "merge output file (default stdout)")
 	oracle := fs.Bool("oracle", false, "merge: read the per-job JSON cache only, bypassing columnar segments (the byte-identity oracle path)")
 	rm := fs.Bool("rm", false, "prune: actually delete unreachable entries and compact segments (default: dry run)")
@@ -102,27 +103,31 @@ func main() {
 	if *recCache < 0 {
 		fatal(fmt.Sprintf("invalid -recording-cache %d", *recCache))
 	}
+	if *trainWorkers < 0 {
+		fatal(fmt.Sprintf("invalid -train-workers %d", *trainWorkers))
+	}
 	// Reject flags the subcommand ignores rather than silently dropping
 	// them: a shard-scoped merge, for example, is not a thing — merge
 	// always reassembles the full manifest from the cache.
 	switch cmd {
 	case "enum":
-		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server", *recCache != 0, "-recording-cache", *oracle, "-oracle")
+		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers", *oracle, "-oracle")
 	case "run":
 		rejectFlags(cmd, *out != "", "-o", *rm, "-rm", *oracle, "-oracle")
 		if *server != "" {
 			// The daemon owns its cache directory, worker pool and shard
 			// placement; client mode only submits and waits.
 			rejectFlags(cmd+" -server", *cacheDir != "", "-cache", *shards != 1, "-shards",
-				*shard != 0, "-shard", *parallel != 0, "-parallel", *recCache != 0, "-recording-cache")
+				*shard != 0, "-shard", *parallel != 0, "-parallel", *recCache != 0, "-recording-cache",
+				*trainWorkers != 0, "-train-workers")
 		}
 	case "merge":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm", *recCache != 0, "-recording-cache")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers")
 		if *server != "" {
 			rejectFlags(cmd+" -server", *cacheDir != "", "-cache", *oracle, "-oracle")
 		}
 	case "prune":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server", *recCache != 0, "-recording-cache", *oracle, "-oracle")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers", *oracle, "-oracle")
 	}
 	m, err := sweep.LoadManifest(*manifestPath)
 	if err != nil {
@@ -157,12 +162,18 @@ func main() {
 		if *cacheDir == "" {
 			fatal("run requires -cache")
 		}
+		if *trainWorkers > 0 {
+			// Like recording_cache, an execution knob: flag wins over the
+			// manifest, and it never enters cache keys.
+			cfg.TrainWorkers = *trainWorkers
+		}
 		eng := sweep.New(cfg)
 		eng.Workers = *parallel
 		eng.RecordingCache = recordingCache(m, *recCache)
 		eng.Cache = &sweep.Cache{Dir: *cacheDir}
 		eng.Artifacts = sweep.ArtifactStore(*cacheDir)
 		eng.Segments = sweep.SegmentStoreFor(*cacheDir)
+		eng.Streams = sweep.StreamStoreFor(*cacheDir)
 		mine := sweep.Shard(cfg, jobs, *shards, *shard)
 		_, sum, err := eng.Run(context.Background(), mine)
 		summary := struct {
@@ -211,18 +222,29 @@ func main() {
 		if *cacheDir == "" {
 			fatal("prune requires -cache")
 		}
-		results, artifacts, err := sweep.Reachable(cfg, jobs)
+		results, artifacts, streams, err := sweep.Reachable(cfg, jobs)
 		if err != nil {
 			fatal(err.Error())
 		}
-		unreachable, err := sweep.Unreachable(*cacheDir, results, artifacts)
+		unreachable, err := sweep.Unreachable(*cacheDir, results, artifacts, streams)
 		if err != nil {
 			fatal(err.Error())
 		}
 		var bytes int64
+		var streamDoomed int
+		var streamDoomedBytes int64
 		for _, rel := range unreachable {
-			bytes += sweep.EntrySize(*cacheDir, rel)
+			sz := sweep.EntrySize(*cacheDir, rel)
+			bytes += sz
+			if filepath.Dir(filepath.Dir(rel)) == "streams" {
+				streamDoomed++
+				streamDoomedBytes += sz
+			}
 			fmt.Println(rel)
+		}
+		streamCount, streamBytes, err := sweep.StreamStats(*cacheDir)
+		if err != nil {
+			fatal(err.Error())
 		}
 		segs, err := sweep.SegmentStats(*cacheDir, results)
 		if err != nil {
@@ -244,8 +266,8 @@ func main() {
 		}
 		if !*rm {
 			fmt.Fprintf(os.Stderr,
-				"prune (dry run): %d unreachable entries, %d bytes; %d of %d segments compactable, ~%d bytes reclaimable; %d result keys and %d artifact keys reachable; rerun with -rm to delete\n",
-				len(unreachable), bytes, segDoomed, len(segs), segReclaim, len(results), len(artifacts))
+				"prune (dry run): %d unreachable entries, %d bytes; %d of %d segments compactable, ~%d bytes reclaimable; streams: %d entries, %d bytes, %d unreachable (%d bytes); %d result keys, %d artifact keys and %d stream keys reachable; rerun with -rm to delete\n",
+				len(unreachable), bytes, segDoomed, len(segs), segReclaim, streamCount, streamBytes, streamDoomed, streamDoomedBytes, len(results), len(artifacts), len(streams))
 			return
 		}
 		removed, freed, err := sweep.Prune(*cacheDir, unreachable)

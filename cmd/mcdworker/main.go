@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	mcdworker -server URL [-name LABEL] [-cache DIR] [-parallel K]
+//	mcdworker -server URL [-name LABEL] [-cache DIR] [-parallel K] [-train-workers P]
 //
 // Because a lease is always a whole anchor group (every job that
 // resolves or feeds one training), each (benchmark, scheme, input)
@@ -45,10 +45,14 @@ func run() error {
 	name := flag.String("name", "", "worker label for coordinator logs and metrics (default hostname)")
 	cacheDir := flag.String("cache", "", "local result-cache directory (default a temporary directory, removed on exit)")
 	parallel := flag.Int("parallel", 0, "per-lease execution parallelism (default GOMAXPROCS)")
+	trainWorkers := flag.Int("train-workers", 0, "intra-job training parallelism — worker-local, leases never carry the knob; default GOMAXPROCS; results are bit-identical at every setting")
 	flag.Parse()
 
 	if *server == "" {
 		return fmt.Errorf("missing -server")
+	}
+	if *trainWorkers < 0 {
+		return fmt.Errorf("-train-workers must be >= 0")
 	}
 	if *name == "" {
 		if hn, err := os.Hostname(); err == nil {
@@ -69,10 +73,11 @@ func run() error {
 	defer stop()
 
 	w := &serve.Worker{
-		Server:   *server,
-		Name:     *name,
-		CacheDir: dir,
-		Workers:  *parallel,
+		Server:       *server,
+		Name:         *name,
+		CacheDir:     dir,
+		Workers:      *parallel,
+		TrainWorkers: *trainWorkers,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "mcdworker: "+format+"\n", args...)
 		},

@@ -23,6 +23,8 @@
 package core
 
 import (
+	"runtime"
+
 	"repro/internal/calltree"
 	"repro/internal/control"
 	"repro/internal/edit"
@@ -53,6 +55,24 @@ type Config struct {
 	MaxEvents int
 	// Online configures the attack/decay comparator.
 	Online control.AttackDecayConfig
+	// TrainWorkers bounds the training pipeline's intra-job parallelism:
+	// segment shakes fan out over up to TrainWorkers private runners, and
+	// batched multi-scheme training profiles and collects per scheme
+	// concurrently (see DESIGN.md §12). 0 means GOMAXPROCS; 1 forces the
+	// fully synchronous path. Every setting produces bit-identical
+	// profiles — ordered reduction erases scheduling timing — so this is
+	// an execution knob, not part of the simulated configuration: it is
+	// excluded from JSON encodings and therefore from result-cache keys,
+	// artifact keys, and the serving layer's engine keys.
+	TrainWorkers int `json:"-"`
+}
+
+// trainWorkers resolves the training-parallelism knob.
+func (c *Config) trainWorkers() int {
+	if c.TrainWorkers > 0 {
+		return c.TrainWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig returns the paper-calibrated configuration.
@@ -93,27 +113,32 @@ func TrainFeed(cfg Config, src isa.Feeder, window int64, scheme calltree.Scheme)
 
 	// Phase 2: full-speed simulated run with DAG collection + shaker.
 	// The shaker's per-domain power factors follow the topology unless
-	// the configuration already covers its scalable domains.
+	// the configuration already covers its scalable domains. Segment
+	// shakes fan out over the training pool; the Seq delivers histograms
+	// in submission order, so the reduction below sees exactly the
+	// sequence a serial run would (with TrainWorkers <= 1 the pool is
+	// synchronous and this is the serial run).
 	hists := make(map[*calltree.Node]*shaker.DomainHists)
-	shk := shaker.NewRunner(shaker.ConfigFor(cfg.Shaker, topo))
+	pool := shaker.NewPool(shaker.ConfigFor(cfg.Shaker, topo), cfg.trainWorkers())
+	defer pool.Close()
+	seq := pool.NewSeq()
 	collector := trace.NewCollector(tree, cfg.MaxInstances, cfg.MaxEvents, func(seg *trace.Segment) {
-		h := shk.Run(seg)
-		if prev, ok := hists[seg.Node]; ok {
-			prev.Add(&h)
-		} else {
-			hc := h
-			hists[seg.Node] = &hc
-		}
+		node := seg.Node
+		seq.Shake(seg, nil, func(h *shaker.DomainHists) {
+			addHists(hists, node, h)
+		})
 	})
 	collector.SetTopology(topo)
-	// The shaker reduces each segment synchronously in the callback, so
-	// the collector can reuse one event arena for the whole run.
+	// Segments handed to the pool are deep-copied before the callback
+	// returns (and reduced inline when the pool is synchronous), so the
+	// collector can reuse one event arena for the whole run.
 	collector.RecycleSegments = true
 	m := sim.New(cfg.Sim)
 	m.SetTracer(collector)
 	m.SetMarkerSink(collector)
 	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
 	collector.Close()
+	seq.Close()
 
 	prof := &Profile{Scheme: scheme, Tree: tree, Hists: hists}
 	prof.Plan = Replan(prof, cfg.DeltaPct)

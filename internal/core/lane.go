@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/calltree"
 	"repro/internal/control"
@@ -114,51 +116,101 @@ func NewEditedLane(cfg Config, plan *edit.Plan, oracle bool) *Lane {
 //
 // Phase 1 (call-tree profiling) and phases 3-4 (thresholding and plan
 // construction) stay per-scheme; they are scheme-dependent and cheap.
+//
+// With cfg.TrainWorkers > 1 the batch also runs internally parallel:
+// phase-1 profiling passes run concurrently (each replays the source
+// independently — Feeders are stateless), the one phase-2 machine pass
+// fans its trace to per-scheme collector goroutines through shared
+// read-only record blocks, and every collector fans its segment shakes
+// over one bounded shaker pool. Each collector drains its shakes in
+// strict submission order (shaker.Seq), so every worker count —
+// including 1, which collapses to the fully serial path — produces
+// bit-identical profiles.
 func TrainFeedBatch(cfg Config, src isa.Feeder, window int64, schemes []calltree.Scheme) []*Profile {
 	if len(schemes) == 1 {
 		return []*Profile{TrainFeed(cfg, src, window, schemes[0])}
 	}
 	topo := cfg.Sim.Topo()
-	shk := shaker.NewRunner(shaker.ConfigFor(cfg.Shaker, topo))
-	memo := make(map[segKey]*shaker.DomainHists)
+	workers := cfg.trainWorkers()
+	pool := shaker.NewPool(shaker.ConfigFor(cfg.Shaker, topo), workers)
+	defer pool.Close()
+	memo := newShakeMemo()
 	profs := make([]*Profile, len(schemes))
 	collectors := make([]*trace.Collector, len(schemes))
-	for i, scheme := range schemes {
-		// Phase 1 per scheme.
+	seqs := make([]*shaker.Seq, len(schemes))
+
+	// Phase 1 per scheme, fanned over the worker budget.
+	build := func(i int) {
+		scheme := schemes[i]
 		tree := profiler.ProfileFeed(src, window, scheme)
 		hists := make(map[*calltree.Node]*shaker.DomainHists)
+		seq := pool.NewSeq()
 		collector := trace.NewCollector(tree, cfg.MaxInstances, cfg.MaxEvents, func(seg *trace.Segment) {
-			k, hashable := segmentKey(seg)
-			if hashable {
-				if h, ok := memo[k]; ok {
-					addHists(hists, seg, h.Clone())
-					return
-				}
-			}
-			h := shk.Run(seg)
-			if hashable {
-				// The memo owns its copy: the per-node entry below is
-				// accumulated into by later segments of the same node.
-				memo[k] = h.Clone()
-			}
-			addHists(hists, seg, &h)
+			memo.submit(seq, seg, hists)
 		})
 		collector.SetTopology(topo)
-		// Segments are reduced synchronously in the callback, so each
-		// collector can reuse one event arena for the whole run.
+		// Segments handed to the pool are deep-copied before the callback
+		// returns (and reduced inline when the pool is synchronous), so
+		// each collector can reuse one event arena for the whole run.
 		collector.RecycleSegments = true
 		profs[i] = &Profile{Scheme: scheme, Tree: tree, Hists: hists}
 		collectors[i] = collector
+		seqs[i] = seq
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range schemes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				build(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range schemes {
+			build(i)
+		}
 	}
 
-	// Phase 2, once: one machine pass fanned to every collector.
-	tee := &teeObserver{sinks: collectors}
-	m := sim.New(cfg.Sim)
-	m.SetTracer(tee)
-	m.SetMarkerSink(tee)
-	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
-	for _, c := range collectors {
-		c.Close()
+	// Phase 2, once: one machine pass fanned to every collector. The
+	// parallel fan-out ships the identical record sequence to per-scheme
+	// lanes; each lane replays it into its collector in order, so every
+	// collector sees exactly the stream the serial tee delivers.
+	if workers > 1 {
+		tee := newFanTee(len(schemes))
+		var wg sync.WaitGroup
+		for i := range schemes {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tee.replayLane(i, collectors[i])
+				// Close on the lane goroutine: the collector flushes its
+				// open segments into the Seq, which then drains pending
+				// shakes in submission order.
+				collectors[i].Close()
+				seqs[i].Close()
+			}(i)
+		}
+		m := sim.New(cfg.Sim)
+		m.SetTracer(tee)
+		m.SetMarkerSink(tee)
+		src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
+		tee.finish()
+		wg.Wait()
+	} else {
+		tee := &teeObserver{sinks: collectors}
+		m := sim.New(cfg.Sim)
+		m.SetTracer(tee)
+		m.SetMarkerSink(tee)
+		src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
+		for i, c := range collectors {
+			c.Close()
+			seqs[i].Close()
+		}
 	}
 
 	for _, prof := range profs {
@@ -170,12 +222,68 @@ func TrainFeedBatch(cfg Config, src isa.Feeder, window int64, schemes []calltree
 // addHists accumulates shaken histograms into the per-node table with
 // the same aliasing rule TrainFeed uses: the first entry for a node
 // takes ownership of h, later segments add into it.
-func addHists(hists map[*calltree.Node]*shaker.DomainHists, seg *trace.Segment, h *shaker.DomainHists) {
-	if prev, ok := hists[seg.Node]; ok {
+func addHists(hists map[*calltree.Node]*shaker.DomainHists, node *calltree.Node, h *shaker.DomainHists) {
+	if prev, ok := hists[node]; ok {
 		prev.Add(h)
 	} else {
-		hists[seg.Node] = h
+		hists[node] = h
 	}
+}
+
+// shakeMemo dedupes shaking across the schemes of one batch. Each entry
+// is published by the worker that shakes the segment first — before any
+// ordered delivery — so a consumer that hits the memo waits only on the
+// shake itself, never on another consumer's drain (consumer→worker
+// edges only: deadlock-free by construction).
+type shakeMemo struct {
+	mu sync.Mutex
+	m  map[segKey]*memoEntry
+}
+
+type memoEntry struct {
+	done chan struct{}
+	// h is the memo's own clone, immutable once done closes.
+	h *shaker.DomainHists
+}
+
+func newShakeMemo() *shakeMemo {
+	return &shakeMemo{m: make(map[segKey]*memoEntry)}
+}
+
+// submit routes one collected segment: memo hits splice an ordered
+// wait-and-clone into the consumer's reduction; misses shake on the
+// pool, publishing the memo entry from the computing worker.
+func (mm *shakeMemo) submit(seq *shaker.Seq, seg *trace.Segment, hists map[*calltree.Node]*shaker.DomainHists) {
+	node := seg.Node
+	k, hashable := segmentKey(seg)
+	if !hashable {
+		seq.Shake(seg, nil, func(h *shaker.DomainHists) {
+			addHists(hists, node, h)
+		})
+		return
+	}
+	mm.mu.Lock()
+	e, hit := mm.m[k]
+	if !hit {
+		e = &memoEntry{done: make(chan struct{})}
+		mm.m[k] = e
+	}
+	mm.mu.Unlock()
+	if hit {
+		seq.Ordered(func() {
+			<-e.done
+			addHists(hists, node, e.h.Clone())
+		})
+		return
+	}
+	seq.Shake(seg, func(h *shaker.DomainHists) {
+		// The memo owns its copy: the per-node entry delivered below is
+		// accumulated into by later segments of the same node.
+		e.h = h.Clone()
+		close(e.done)
+	}, func(h *shaker.DomainHists) {
+		addHists(hists, node, h)
+	})
 }
 
 // segKey is a 128-bit content hash of a segment's events rebased to
@@ -221,6 +329,117 @@ func segmentKey(seg *trace.Segment) (segKey, bool) {
 		}
 	}
 	return segKey{lo, hi}, true
+}
+
+// Parallel phase-2 fan-out: the machine pass appends each trace/marker
+// record to a block; full blocks ship to every lane's channel, where a
+// per-scheme goroutine replays them into its collector. Blocks are
+// shared read-only across lanes and recycled through a free channel
+// once the last lane releases them (the channel handoff publishes the
+// release to the producer), so steady-state fan-out allocates nothing
+// and total buffering is bounded at fanBlocks blocks.
+const (
+	fanBlockLen = 1024
+	fanBlocks   = 8
+)
+
+// fanRec is one machine observation, captured by value so lanes can
+// replay it after the machine has moved on.
+type fanRec struct {
+	seq    int64
+	now    int64
+	ins    isa.Instr
+	tm     sim.Times
+	m      isa.Marker
+	marker bool
+}
+
+type fanBlock struct {
+	recs [fanBlockLen]fanRec
+	n    int
+	left atomic.Int32
+}
+
+// fanTee implements sim.Tracer and sim.MarkerSink on the machine side.
+type fanTee struct {
+	lanes []chan *fanBlock
+	free  chan *fanBlock
+	cur   *fanBlock
+}
+
+func newFanTee(nLanes int) *fanTee {
+	t := &fanTee{free: make(chan *fanBlock, fanBlocks)}
+	for i := 0; i < fanBlocks; i++ {
+		t.free <- &fanBlock{}
+	}
+	for i := 0; i < nLanes; i++ {
+		t.lanes = append(t.lanes, make(chan *fanBlock, fanBlocks))
+	}
+	t.cur = <-t.free
+	return t
+}
+
+func (t *fanTee) slot() *fanRec {
+	if t.cur.n == fanBlockLen {
+		t.flush()
+	}
+	r := &t.cur.recs[t.cur.n]
+	t.cur.n++
+	return r
+}
+
+func (t *fanTee) flush() {
+	b := t.cur
+	if b.n == 0 {
+		return
+	}
+	b.left.Store(int32(len(t.lanes)))
+	for _, ch := range t.lanes {
+		ch <- b
+	}
+	t.cur = <-t.free
+	t.cur.n = 0
+}
+
+func (t *fanTee) Trace(seq int64, ins *isa.Instr, tm *sim.Times) {
+	r := t.slot()
+	r.marker = false
+	r.seq = seq
+	r.ins = *ins
+	r.tm = *tm
+}
+
+func (t *fanTee) MachineMarker(m isa.Marker, now int64) {
+	r := t.slot()
+	r.marker = true
+	r.m = m
+	r.now = now
+}
+
+// finish flushes the partial block and closes the lanes.
+func (t *fanTee) finish() {
+	t.flush()
+	for _, ch := range t.lanes {
+		close(ch)
+	}
+}
+
+// replayLane drains lane i's blocks into c, preserving the machine's
+// exact trace/marker interleaving, and returns when the tee finishes.
+func (t *fanTee) replayLane(i int, c *trace.Collector) {
+	for b := range t.lanes[i] {
+		for k := 0; k < b.n; k++ {
+			r := &b.recs[k]
+			if r.marker {
+				c.MachineMarker(r.m, r.now)
+			} else {
+				c.Trace(r.seq, &r.ins, &r.tm)
+			}
+		}
+		if b.left.Add(-1) == 0 {
+			t.free <- b
+		}
+	}
 }
 
 // teeObserver fans one machine's trace and marker streams to several

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/calltree"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// builtinTopologies are the four registered domain layouts; the
+// parallel-identity contract must hold on every one, since the shaker's
+// per-domain power factors (and so its float accumulation) follow the
+// topology.
+var builtinTopologies = []string{"paper4", "sync1", "fe-be2", "fine6"}
+
+// encodeAt trains one profile at the given worker count and returns its
+// portable encoding — the exact bytes the artifact store would persist.
+func encodeAt(t *testing.T, b *workload.Benchmark, topo string, workers int, scheme calltree.Scheme) []byte {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Sim.Topology = topo
+	cfg.TrainWorkers = workers
+	prof := TrainFeed(cfg, isa.RecordPacked(b.Prog, b.Train), b.TrainWindow, scheme)
+	enc, err := EncodeProfile(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestTrainFeedParallelBitIdentical is the tentpole determinism
+// contract: training with a fanned-out shake pool must produce profiles
+// byte-identical to the serial run, on every topology. These bytes are
+// what the artifact store persists, so any drift would fork the cache by
+// worker count.
+func TestTrainFeedParallelBitIdentical(t *testing.T) {
+	b := workload.ByName("g721_decode")
+	if b == nil {
+		t.Fatal("benchmark g721_decode not in suite")
+	}
+	for _, topo := range builtinTopologies {
+		serial := encodeAt(t, b, topo, 1, calltree.LF)
+		for _, workers := range []int{2, 8} {
+			par := encodeAt(t, b, topo, workers, calltree.LF)
+			if !bytes.Equal(serial, par) {
+				t.Errorf("topology %s: profile encoding at %d workers differs from serial", topo, workers)
+			}
+		}
+	}
+}
+
+// TestTrainFeedBatchParallelBitIdentical covers the batched path: all
+// six schemes trained concurrently (per-scheme lanes off one fanned-out
+// stream, memoized segment shakes) must match the serial batch
+// byte-for-byte, scheme by scheme.
+func TestTrainFeedBatchParallelBitIdentical(t *testing.T) {
+	b := workload.ByName("g721_decode")
+	if b == nil {
+		t.Fatal("benchmark g721_decode not in suite")
+	}
+	schemes := calltree.Schemes()
+	src := isa.RecordPacked(b.Prog, b.Train)
+
+	batchAt := func(workers int) [][]byte {
+		cfg := DefaultConfig()
+		cfg.TrainWorkers = workers
+		profs := TrainFeedBatch(cfg, src, b.TrainWindow, schemes)
+		if len(profs) != len(schemes) {
+			t.Fatalf("TrainFeedBatch(%d workers) returned %d profiles, want %d", workers, len(profs), len(schemes))
+		}
+		out := make([][]byte, len(profs))
+		for i, p := range profs {
+			enc, err := EncodeProfile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = enc
+		}
+		return out
+	}
+
+	serial := batchAt(1)
+	par := batchAt(8)
+	for i, scheme := range schemes {
+		if !bytes.Equal(serial[i], par[i]) {
+			t.Errorf("scheme %s: batched profile at 8 workers differs from serial", scheme.Name)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Packed-stream serialization: a flat little-endian dump of the
+// struct-of-arrays fields, so an on-disk stream cache costs the same
+// ~13 bytes per instruction the in-memory form does and decoding is a
+// handful of bulk copies. The layout is length-prefixed per section and
+// closed by a CRC32 (IEEE) of everything before it; any truncation,
+// bit-flip, or inconsistent section length fails DecodePacked with an
+// error instead of replaying garbage. The trailing magic byte versions
+// the layout.
+var packedMagic = [8]byte{'m', 'c', 'd', 'p', 'k', 's', 't', 1}
+
+// EncodePacked serializes the stream. Encoding the same stream always
+// yields the same bytes: every section is a deterministic dump and the
+// rare freqs side table is sorted by instruction index.
+func EncodePacked(s *PackedStream) []byte {
+	n := len(s.class)
+	size := len(packedMagic) + 8 + // magic, nInstr
+		n*(1+4+4+2+2) + // class, pc, addr, src1, src2
+		8 + 8*len(s.taken) + // taken word count + words
+		8 + len(s.markers)*(1+4+4+8) + // marker count + kind/id/site/pos
+		8 + // freqs count
+		4 // crc
+	var freqIdx []int64
+	for i, f := range s.freqs {
+		freqIdx = append(freqIdx, i)
+		size += 8 + 4 + 2*len(f)
+	}
+	sort.Slice(freqIdx, func(a, b int) bool { return freqIdx[a] < freqIdx[b] })
+
+	b := make([]byte, 0, size)
+	b = append(b, packedMagic[:]...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(n))
+	for _, c := range s.class {
+		b = append(b, byte(c))
+	}
+	for _, v := range s.pc {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	for _, v := range s.addr {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	for _, v := range s.src1 {
+		b = binary.LittleEndian.AppendUint16(b, v)
+	}
+	for _, v := range s.src2 {
+		b = binary.LittleEndian.AppendUint16(b, v)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(s.taken)))
+	for _, v := range s.taken {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(s.markers)))
+	for _, m := range s.markers {
+		b = append(b, byte(m.Kind))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.ID))
+		b = binary.LittleEndian.AppendUint32(b, uint32(m.Site))
+	}
+	for _, p := range s.markerPos {
+		b = binary.LittleEndian.AppendUint64(b, uint64(p))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(freqIdx)))
+	for _, i := range freqIdx {
+		f := s.freqs[i]
+		b = binary.LittleEndian.AppendUint64(b, uint64(i))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f)))
+		for _, v := range f {
+			b = binary.LittleEndian.AppendUint16(b, v)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b
+}
+
+// packedReader is a bounds-checked cursor over an encoded stream.
+type packedReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *packedReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("isa: packed stream truncated at %s (offset %d of %d)", what, r.pos, len(r.b))
+	}
+}
+
+func (r *packedReader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.pos < n {
+		r.fail(what)
+		return nil
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *packedReader) u64(what string) uint64 {
+	if b := r.take(8, what); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+// count reads a u64 section length and rejects values that could not
+// fit in the remaining bytes at width bytes per element, so corrupt
+// lengths fail cleanly instead of attempting huge allocations.
+func (r *packedReader) count(width int, what string) int {
+	v := r.u64(what)
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.b)-r.pos)/uint64(width) {
+		r.fail(what)
+		return 0
+	}
+	return int(v)
+}
+
+// DecodePacked deserializes EncodePacked's output. The decoded stream
+// replays item-for-item identically to the stream that was encoded.
+func DecodePacked(b []byte) (*PackedStream, error) {
+	if len(b) < len(packedMagic)+8+4 {
+		return nil, fmt.Errorf("isa: packed stream too short (%d bytes)", len(b))
+	}
+	if string(b[:len(packedMagic)]) != string(packedMagic[:]) {
+		return nil, fmt.Errorf("isa: bad packed stream magic %q", b[:len(packedMagic)])
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("isa: packed stream checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	r := &packedReader{b: body, pos: len(packedMagic)}
+	n := r.count(1, "instruction count")
+	s := &PackedStream{}
+	if cls := r.take(n, "classes"); cls != nil {
+		s.class = make([]Class, n)
+		for i, c := range cls {
+			if Class(c) >= NumClasses {
+				return nil, fmt.Errorf("isa: packed stream: invalid class %d at instruction %d", c, i)
+			}
+			s.class[i] = Class(c)
+		}
+	}
+	if b := r.take(4*n, "pc"); b != nil {
+		s.pc = make([]uint32, n)
+		for i := range s.pc {
+			s.pc[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+	}
+	if b := r.take(4*n, "addr"); b != nil {
+		s.addr = make([]uint32, n)
+		for i := range s.addr {
+			s.addr[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+	}
+	if b := r.take(2*n, "src1"); b != nil {
+		s.src1 = make([]uint16, n)
+		for i := range s.src1 {
+			s.src1[i] = binary.LittleEndian.Uint16(b[2*i:])
+		}
+	}
+	if b := r.take(2*n, "src2"); b != nil {
+		s.src2 = make([]uint16, n)
+		for i := range s.src2 {
+			s.src2[i] = binary.LittleEndian.Uint16(b[2*i:])
+		}
+	}
+	nTaken := r.count(8, "taken word count")
+	if r.err == nil && nTaken != (n+63)/64 {
+		return nil, fmt.Errorf("isa: packed stream: %d taken words for %d instructions (want %d)", nTaken, n, (n+63)/64)
+	}
+	if b := r.take(8*nTaken, "taken"); b != nil {
+		s.taken = make([]uint64, nTaken)
+		for i := range s.taken {
+			s.taken[i] = binary.LittleEndian.Uint64(b[8*i:])
+		}
+	}
+	nm := r.count(1+4+4+8, "marker count")
+	s.markers = make([]Marker, nm)
+	for i := range s.markers {
+		if b := r.take(9, "marker"); b != nil {
+			s.markers[i] = Marker{
+				Kind: MarkerKind(b[0]),
+				ID:   int32(binary.LittleEndian.Uint32(b[1:5])),
+				Site: int32(binary.LittleEndian.Uint32(b[5:9])),
+			}
+		}
+	}
+	s.markerPos = make([]int64, nm)
+	prev := int64(0)
+	for i := range s.markerPos {
+		p := int64(r.u64("marker position"))
+		if r.err == nil && (p < prev || p > int64(n)) {
+			return nil, fmt.Errorf("isa: packed stream: marker position %d out of order (prev %d, %d instructions)", p, prev, n)
+		}
+		s.markerPos[i] = p
+		prev = p
+	}
+	nf := r.count(8+4, "freqs count")
+	if nf > 0 {
+		s.freqs = make(map[int64][]uint16, nf)
+		prevIdx := int64(-1)
+		for k := 0; k < nf; k++ {
+			idx := int64(r.u64("freqs index"))
+			fn := 0
+			if b := r.take(4, "freqs length"); b != nil {
+				v := binary.LittleEndian.Uint32(b)
+				if uint64(v) > uint64(len(r.b)-r.pos)/2 {
+					r.fail("freqs length")
+				}
+				fn = int(v)
+			}
+			if r.err != nil {
+				break
+			}
+			if idx <= prevIdx || idx >= int64(n) {
+				return nil, fmt.Errorf("isa: packed stream: freqs index %d out of order (prev %d, %d instructions)", idx, prevIdx, n)
+			}
+			prevIdx = idx
+			f := make([]uint16, fn)
+			for i := range f {
+				if b := r.take(2, "freqs"); b != nil {
+					f[i] = binary.LittleEndian.Uint16(b)
+				}
+			}
+			s.freqs[idx] = f
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("isa: packed stream: %d trailing bytes", len(body)-r.pos)
+	}
+	if len(s.markers) == 0 {
+		s.markers, s.markerPos = nil, nil
+	}
+	if len(s.class) == 0 {
+		s.class, s.pc, s.addr, s.src1, s.src2, s.taken = nil, nil, nil, nil, nil, nil
+	}
+	return s, nil
+}

@@ -67,6 +67,19 @@ func CompareOpts(baseline, current *Report, threshold float64, wallClock bool) (
 	if threshold < 0 {
 		return nil, fmt.Errorf("perf: negative threshold %v", threshold)
 	}
+	// Wall-clock gating across differing parallelism environments is
+	// noise, not measurement: the parallel-training scenarios scale with
+	// cores, so a baseline recorded at one width cannot certify a run at
+	// another. Only refuse when both reports carry the field — pre-knob
+	// baselines (zero value) still compare, as do allocation-only gates.
+	if wallClock {
+		if baseline.CPUs > 0 && current.CPUs > 0 && baseline.CPUs != current.CPUs {
+			return nil, fmt.Errorf("perf: wall-clock gate across differing environments (baseline %d CPUs, current %d); rerun the baseline on this machine or gate with -allocs-only", baseline.CPUs, current.CPUs)
+		}
+		if baseline.GOMAXPROCS > 0 && current.GOMAXPROCS > 0 && baseline.GOMAXPROCS != current.GOMAXPROCS {
+			return nil, fmt.Errorf("perf: wall-clock gate across differing environments (baseline GOMAXPROCS %d, current %d); rerun the baseline at this setting or gate with -allocs-only", baseline.GOMAXPROCS, current.GOMAXPROCS)
+		}
+	}
 	var deltas []Delta
 	for _, base := range baseline.Scenarios {
 		cur := current.Find(base.Name)

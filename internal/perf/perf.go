@@ -54,14 +54,19 @@ type Result struct {
 
 // Report is the machine-readable output of one harness invocation.
 type Report struct {
-	Schema    int      `json:"schema"`
-	Label     string   `json:"label,omitempty"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	CreatedAt string   `json:"created_at,omitempty"`
-	Scenarios []Result `json:"scenarios"`
+	Schema    int    `json:"schema"`
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS records the parallelism the report was measured under.
+	// Wall-clock comparisons across differing parallelism environments are
+	// meaningless for the parallel-training scenarios, so CompareOpts
+	// refuses them (omitempty keeps pre-knob reports loading unchanged).
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	CreatedAt  string   `json:"created_at,omitempty"`
+	Scenarios  []Result `json:"scenarios"`
 }
 
 // Find returns the result for a named scenario, or nil.
@@ -129,13 +134,14 @@ func RunAll(names []string, label string) (*Report, error) {
 	}
 	workload.Suite()
 	rep := &Report{
-		Schema:    SchemaVersion,
-		Label:     label,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Schema:     SchemaVersion,
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, s := range scens {
 		res, err := Measure(s)

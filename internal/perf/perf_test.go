@@ -226,3 +226,42 @@ func TestSimThroughputScenario(t *testing.T) {
 		t.Fatalf("derived metrics not computed: %+v", r)
 	}
 }
+
+// TestCompareRefusesMismatchedEnvironment: a wall-clock gate across
+// reports measured at different core counts or GOMAXPROCS is noise (the
+// parallel-training scenarios scale with width), so Compare must refuse
+// it outright — while the allocs-only gate, being hardware-independent,
+// still works, and pre-knob reports without the field still compare.
+func TestCompareRefusesMismatchedEnvironment(t *testing.T) {
+	base := sampleReport("base", res("a", 100, 0.5))
+	cur := sampleReport("cur", res("a", 100, 0.5))
+
+	cur.CPUs = 8
+	if _, err := Compare(base, cur, 0.15); err == nil {
+		t.Error("wall-clock gate across differing CPU counts must error")
+	}
+	if _, err := CompareOpts(base, cur, 0.15, false); err != nil {
+		t.Errorf("allocs-only gate must ignore CPU mismatch: %v", err)
+	}
+
+	cur.CPUs = base.CPUs
+	base.GOMAXPROCS, cur.GOMAXPROCS = 4, 8
+	if _, err := Compare(base, cur, 0.15); err == nil {
+		t.Error("wall-clock gate across differing GOMAXPROCS must error")
+	}
+	if _, err := CompareOpts(base, cur, 0.15, false); err != nil {
+		t.Errorf("allocs-only gate must ignore GOMAXPROCS mismatch: %v", err)
+	}
+
+	// A zero-valued side (a report from before the field existed) is
+	// not a mismatch.
+	base.GOMAXPROCS = 0
+	if _, err := Compare(base, cur, 0.15); err != nil {
+		t.Errorf("pre-knob baseline must still compare: %v", err)
+	}
+
+	base.GOMAXPROCS, cur.GOMAXPROCS = 8, 8
+	if _, err := Compare(base, cur, 0.15); err != nil {
+		t.Errorf("matched environments must compare: %v", err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"repro/internal/calltree"
 	"repro/internal/core"
@@ -57,6 +59,20 @@ const (
 	// clocks, resource→domain indirection) are tracked separately from
 	// the default-topology loop.
 	SimThroughput2Dom = "sim-throughput-2dom"
+	// TrainParallel trains one benchmark under all six calltree schemes
+	// through the engine's batched path with TrainWorkers = GOMAXPROCS:
+	// segment shakes fan out over the worker pool and the six schemes
+	// profile and collect concurrently off one fanned-out stream. On a
+	// multi-core machine this is the training wall the parallel pipeline
+	// collapses; at GOMAXPROCS=1 it measures the synchronous path's
+	// parity with train-pipeline.
+	TrainParallel = "train-parallel"
+	// StreamCacheCold runs an untrained grid against a cold result cache
+	// but a warm packed-stream store: every job loads its ~13 B/instr
+	// recorded stream from disk instead of re-running the generating
+	// walk — the cold-daemon / fleet-worker startup case the stream
+	// cache accelerates.
+	StreamCacheCold = "stream-cache-cold"
 )
 
 // smokeBenches is the bench-smoke subset, mirroring bench_test.go's
@@ -104,7 +120,13 @@ func init() {
 		Desc: "wide one-anchor untrained grid through lockstep batching, cold disk cache",
 		Run:  runBatchThroughput,
 	})
+	Register(Scenario{
+		Name: TrainParallel,
+		Desc: "batched six-scheme training on gzip with TrainWorkers = GOMAXPROCS",
+		Run:  runTrainParallel,
+	})
 	registerSweepWarmArtifacts()
+	registerStreamCacheCold()
 }
 
 func runSimThroughput(topology string) (int64, error) {
@@ -266,6 +288,93 @@ func runBatchThroughput() (int64, error) {
 		instrs += o.Res.Instructions
 	}
 	return instrs, nil
+}
+
+func runTrainParallel() (int64, error) {
+	cfg := core.DefaultConfig()
+	cfg.TrainWorkers = runtime.GOMAXPROCS(0)
+	eng := sweep.New(cfg)
+	var jobs []sweep.Job
+	for _, s := range calltree.Schemes() {
+		jobs = append(jobs, sweep.Job{Bench: "gzip", Policy: sweep.PolicyScheme, Scheme: s.Name})
+	}
+	outs, _, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		return 0, err
+	}
+	var instrs int64
+	for _, o := range outs {
+		instrs += o.Res.Instructions
+	}
+	return instrs, nil
+}
+
+// streamCacheBenches is the stream-cache-cold subset: an integer codec
+// and a branchy compressor under every untrained policy, so stream
+// replay (not training or controller work) dominates the measurement.
+var streamCacheBenches = []string{"adpcm_decode", "gzip"}
+
+func streamCacheJobs() []sweep.Job {
+	var jobs []sweep.Job
+	for _, n := range streamCacheBenches {
+		jobs = append(jobs,
+			sweep.Job{Bench: n, Policy: sweep.PolicyBaseline},
+			sweep.Job{Bench: n, Policy: sweep.PolicySingleClock},
+			sweep.Job{Bench: n, Policy: sweep.PolicyOnline},
+		)
+	}
+	return jobs
+}
+
+func registerStreamCacheCold() {
+	var cacheDir string
+	Register(Scenario{
+		Name: StreamCacheCold,
+		Desc: fmt.Sprintf("untrained policies on %v, cold result cache, warm packed-stream store", streamCacheBenches),
+		Setup: func() (func(), error) {
+			dir, err := os.MkdirTemp("", "mcdperf-streams-*")
+			if err != nil {
+				return nil, err
+			}
+			cacheDir = dir
+			// Warm the stream store untimed with a throwaway engine run,
+			// exactly as a prior daemon or sweep would have left it; the
+			// result entries it writes are discarded with the temp dir
+			// below so Run's result cache is its own cold directory.
+			warm := filepath.Join(dir, "warmup-results")
+			eng := sweep.New(core.DefaultConfig())
+			eng.Cache = &sweep.Cache{Dir: warm}
+			eng.Streams = sweep.StreamStoreFor(dir)
+			if _, _, err := eng.Run(context.Background(), streamCacheJobs()); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			os.RemoveAll(warm)
+			return func() { os.RemoveAll(dir) }, nil
+		},
+		Run: func() (int64, error) {
+			resultDir, err := os.MkdirTemp("", "mcdperf-streams-results-*")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(resultDir)
+			eng := sweep.New(core.DefaultConfig())
+			eng.Cache = &sweep.Cache{Dir: resultDir}
+			eng.Streams = sweep.StreamStoreFor(cacheDir)
+			outs, sum, err := eng.Run(context.Background(), streamCacheJobs())
+			if err != nil {
+				return 0, err
+			}
+			if sum.StreamHits == 0 {
+				return 0, fmt.Errorf("stream-cache-cold: no stream hits (store not warmed?)")
+			}
+			var instrs int64
+			for _, o := range outs {
+				instrs += o.Res.Instructions
+			}
+			return instrs, nil
+		},
+	})
 }
 
 func runSweepThroughput() (int64, error) {

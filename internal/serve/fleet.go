@@ -279,7 +279,7 @@ func (f *fleet) wireLease(l *lease) *wire.Lease {
 	}
 	// Reachable cannot fail here: every grouped job already passed
 	// validation at submission.
-	if results, artifacts, err := sweep.Reachable(g.cfg, jobs); err == nil {
+	if results, artifacts, _, err := sweep.Reachable(g.cfg, jobs); err == nil {
 		for k := range results {
 			if !own[k] {
 				wl.DepKeys = append(wl.DepKeys, k)

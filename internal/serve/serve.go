@@ -64,11 +64,19 @@ type Server struct {
 	// server creates (tests use it to count executions without running
 	// the simulator).
 	ExecFn func(sweep.Job) (*sweep.Outcome, error)
+	// TrainWorkers, when positive, pins intra-job training parallelism
+	// on every engine the server creates, overriding manifest
+	// train_workers values — the daemon operator owns the machine's
+	// resource budget. 0 defers to the manifest (then GOMAXPROCS).
+	// Results are bit-identical at every setting, so this never affects
+	// what a sweep returns.
+	TrainWorkers int
 
 	pool      *sweep.WorkerPool
 	cache     *sweep.Cache
 	artifacts *artifact.Store
 	segments  *sweep.SegmentStore
+	streams   *sweep.StreamStore
 
 	// fleetState is non-nil once EnableFleet turned this server into a
 	// fleet coordinator: sweeps dispatch to leased remote workers
@@ -106,6 +114,7 @@ func NewServer(cacheDir string, workers, queueDepth int) *Server {
 		cache:      &sweep.Cache{Dir: cacheDir},
 		artifacts:  sweep.ArtifactStore(cacheDir),
 		segments:   sweep.SegmentStoreFor(cacheDir),
+		streams:    sweep.StreamStoreFor(cacheDir),
 		engines:    make(map[string]*sweep.Engine),
 		sweeps:     make(map[string]*sweepRun),
 	}
@@ -274,6 +283,12 @@ func SweepID(cfg core.Config, jobs []sweep.Job) string {
 // recorded-stream cache when this call creates the engine; later sweeps
 // joining the same configuration keep the creator's sizing.
 func (s *Server) engine(cfg core.Config, recCache int) *sweep.Engine {
+	if s.TrainWorkers > 0 {
+		cfg.TrainWorkers = s.TrainWorkers
+	}
+	// configKey hashes cfg's JSON encoding, which excludes TrainWorkers
+	// (an execution knob): manifests differing only in train_workers
+	// share one engine, keeping the exactly-once dedup intact.
 	key := configKey(cfg)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -285,6 +300,7 @@ func (s *Server) engine(cfg core.Config, recCache int) *sweep.Engine {
 	e.Cache = s.cache
 	e.Artifacts = s.artifacts
 	e.Segments = s.segments
+	e.Streams = s.streams
 	e.ExecFn = s.ExecFn
 	s.engines[key] = e
 	return e

@@ -35,6 +35,13 @@ type Worker struct {
 	// Workers bounds each lease's execution concurrency; 0 means
 	// GOMAXPROCS.
 	Workers int
+	// TrainWorkers bounds intra-job training parallelism on this
+	// worker's engines. The lease's configuration does not carry the
+	// knob (it is execution-local, excluded from the config's JSON
+	// encoding and every cache key), so each worker governs its own
+	// setting; 0 means GOMAXPROCS. Results are bit-identical at every
+	// setting, which is what keeps fleet-synced bytes stable.
+	TrainWorkers int
 	// ExecFn, when non-nil, overrides job execution (tests).
 	ExecFn func(sweep.Job) (*sweep.Outcome, error)
 	// HTTP overrides the transport; nil uses http.DefaultClient.
@@ -50,6 +57,7 @@ type Worker struct {
 	cache   *sweep.Cache
 	store   *artifact.Store
 	segs    *sweep.SegmentStore
+	streams *sweep.StreamStore
 	engines map[string]*sweep.Engine
 	reg     *wire.RegisterResponse
 }
@@ -93,6 +101,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	w.cache = &sweep.Cache{Dir: w.CacheDir}
 	w.store = sweep.ArtifactStore(w.CacheDir)
 	w.segs = sweep.SegmentStoreFor(w.CacheDir)
+	w.streams = sweep.StreamStoreFor(w.CacheDir)
 	w.engines = make(map[string]*sweep.Engine)
 
 	if err := w.register(ctx); err != nil || ctx.Err() != nil {
@@ -175,6 +184,9 @@ func (w *Worker) register(ctx context.Context) error {
 // engine returns the worker's engine for a configuration, creating it
 // on first use (one lease runs at a time, so no locking).
 func (w *Worker) engine(cfg core.Config, recCache int) *sweep.Engine {
+	if w.TrainWorkers > 0 {
+		cfg.TrainWorkers = w.TrainWorkers
+	}
 	key := configKey(cfg)
 	if e, ok := w.engines[key]; ok {
 		return e
@@ -185,6 +197,7 @@ func (w *Worker) engine(cfg core.Config, recCache int) *sweep.Engine {
 	e.Cache = w.cache
 	e.Artifacts = w.store
 	e.Segments = w.segs
+	e.Streams = w.streams
 	e.ExecFn = w.ExecFn
 	w.engines[key] = e
 	return e

@@ -1,0 +1,191 @@
+package shaker
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Pool fans independent segment shakes over a bounded set of workers,
+// each owning a private Runner (Runner scratch is not concurrency-safe).
+// Segments are independent fixed-points, so timing cannot change any
+// histogram bit; determinism is preserved by Seq, which delivers results
+// to its consumer in strict submission order. A Pool built with
+// workers <= 1 has no goroutines at all: every Seq shakes inline on the
+// caller's goroutine, byte- and allocation-equivalent to calling
+// Runner.Run directly.
+type Pool struct {
+	cfg     Config
+	workers int
+	tasks   chan *shakeTask
+	wg      sync.WaitGroup
+}
+
+// shakeTask is one submitted segment. seg is a private deep copy owned
+// by the task (the submitting collector recycles the original's storage
+// as soon as the OnSegment callback returns). h is the worker's result,
+// published before done closes.
+type shakeTask struct {
+	seg     trace.Segment
+	edges   []int32 // backing array of seg's Out lists, recycled at drain
+	publish func(*DomainHists)
+	h       *DomainHists
+	done    chan struct{}
+}
+
+// NewPool starts a shake pool. workers <= 0 means GOMAXPROCS; workers
+// == 1 (or a 1-proc environment) yields the synchronous pool described
+// above. Close must be called to release the workers.
+func NewPool(cfg Config, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{cfg: cfg, workers: workers}
+	if workers <= 1 {
+		return p
+	}
+	p.tasks = make(chan *shakeTask, 2*workers)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			r := NewRunner(p.cfg)
+			for t := range p.tasks {
+				h := r.Run(&t.seg)
+				t.h = &h
+				if t.publish != nil {
+					// Publish runs on the worker, before done closes, so
+					// anything waiting on done (memo readers) observes the
+					// published copy — and before the owned result is
+					// handed to the consumer, which may mutate it.
+					t.publish(&h)
+				}
+				close(t.done)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool's effective worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers. Every Seq must be Closed (drained) first.
+func (p *Pool) Close() {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+}
+
+// Seq submits shakes to a Pool on behalf of one consumer and runs the
+// consumer's callbacks in exactly the order Shake/Ordered were called,
+// on the consumer's own goroutine. It is not safe for concurrent use;
+// one Pool serves any number of Seqs (one per consumer goroutine).
+//
+// The determinism argument: a segment's histogram is a pure function of
+// its event bytes, so fanning shakes out cannot change any result bit —
+// only completion timing. Seq erases that timing by buffering pending
+// results and draining them strictly in submission order, so the
+// consumer's reduction (which may be order-sensitive, e.g. float
+// accumulation) sees the exact sequence a serial run would produce.
+type Seq struct {
+	p       *Pool
+	r       *Runner // synchronous-pool runner, lazily built
+	pending []seqEntry
+	free    []segStorage
+}
+
+type seqEntry struct {
+	t      *shakeTask
+	onDone func(*DomainHists)
+	fn     func() // Ordered entry when t == nil
+}
+
+// segStorage is recycled deep-copy storage: the event array plus the
+// flattened Out edge backing.
+type segStorage struct {
+	events []trace.Event
+	edges  []int32
+}
+
+// NewSeq returns a submission sequence bound to the pool.
+func (p *Pool) NewSeq() *Seq { return &Seq{p: p} }
+
+// maxPending bounds buffered (in-flight or undelivered) entries per
+// Seq; beyond it, Shake and Ordered drain the oldest entry first. The
+// bound also caps deep-copy storage: at most maxPending segment copies
+// exist per consumer.
+func (s *Seq) maxPending() int { return 2*s.p.workers + 2 }
+
+// Shake submits one segment. publish, when non-nil, runs on the
+// computing worker as soon as the histogram exists (before any ordered
+// delivery — memo publication uses this so other consumers wait only on
+// the shake, never on this consumer's drain). onDone receives the owned
+// result at this call's submission-order position, on the consumer's
+// goroutine; the consumer may retain and mutate it. On a synchronous
+// pool everything runs inline and seg is not copied.
+func (s *Seq) Shake(seg *trace.Segment, publish, onDone func(*DomainHists)) {
+	if s.p.tasks == nil {
+		if s.r == nil {
+			s.r = NewRunner(s.p.cfg)
+		}
+		h := s.r.Run(seg)
+		if publish != nil {
+			publish(&h)
+		}
+		onDone(&h)
+		return
+	}
+	var st segStorage
+	if n := len(s.free); n > 0 {
+		st, s.free = s.free[n-1], s.free[:n-1]
+	}
+	t := &shakeTask{publish: publish, done: make(chan struct{})}
+	t.seg.Events = st.events
+	t.edges = trace.CloneSegmentInto(&t.seg, st.edges, seg)
+	if len(s.pending) >= s.maxPending() {
+		s.drainOne()
+	}
+	s.pending = append(s.pending, seqEntry{t: t, onDone: onDone})
+	s.p.tasks <- t
+}
+
+// Ordered runs fn at this call's submission-order position — after
+// every earlier Shake's onDone and before every later one. Memo hits
+// use it to splice a wait-and-clone into the reduction order without
+// submitting a shake.
+func (s *Seq) Ordered(fn func()) {
+	if s.p.tasks == nil {
+		fn()
+		return
+	}
+	if len(s.pending) >= s.maxPending() {
+		s.drainOne()
+	}
+	s.pending = append(s.pending, seqEntry{fn: fn})
+}
+
+// drainOne delivers the oldest pending entry.
+func (s *Seq) drainOne() {
+	e := s.pending[0]
+	s.pending[0] = seqEntry{}
+	s.pending = s.pending[:copy(s.pending, s.pending[1:])]
+	if e.t == nil {
+		e.fn()
+		return
+	}
+	<-e.t.done
+	e.onDone(e.t.h)
+	s.free = append(s.free, segStorage{events: e.t.seg.Events[:0], edges: e.t.edges[:0]})
+}
+
+// Close drains every pending entry in order. The Seq is reusable
+// afterwards, but typical consumers Close once, after their collector
+// has emitted its last segment.
+func (s *Seq) Close() {
+	for len(s.pending) > 0 {
+		s.drainOne()
+	}
+}

@@ -1,0 +1,210 @@
+package shaker
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// testSegments builds a varied batch of segments: chains with differing
+// slack, a branchy diamond, and an empty one, so the identity checks
+// cover more than one shake shape.
+func testSegments(n int) []*trace.Segment {
+	var segs []*trace.Segment
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			segs = append(segs, chainSegment(30+i, 1000, int64(i%7)*500))
+		case 1:
+			segs = append(segs, chainSegment(10, 800+int64(i)*10, 3000))
+		case 2:
+			seg := &trace.Segment{Events: []trace.Event{
+				{Domain: arch.FrontEnd, Start: 0, End: 1000, Out: []int32{2}},
+				{Domain: arch.FP, Start: 0, End: 1200, Out: []int32{2}},
+				{Domain: arch.Integer, Start: 5000 + int64(i)*100, End: 6000 + int64(i)*100, Out: []int32{3}},
+				{Domain: arch.Memory, Start: 9000, End: 9900},
+			}}
+			segs = append(segs, seg)
+		default:
+			segs = append(segs, &trace.Segment{})
+		}
+	}
+	return segs
+}
+
+func histsEqual(a, b *DomainHists) bool {
+	if len(*a) != len(*b) {
+		return false
+	}
+	for d := range *a {
+		for i := range (*a)[d].Bins {
+			if (*a)[d].Bins[i] != (*b)[d].Bins[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// shakeAll runs every segment through a pool of the given width and
+// returns the per-segment results in submission order plus the running
+// ordered reduction (which is float-accumulation order sensitive — the
+// property the Seq exists to preserve).
+func shakeAll(t *testing.T, segs []*trace.Segment, workers int) ([]*DomainHists, *DomainHists) {
+	t.Helper()
+	p := NewPool(DefaultConfig(), workers)
+	defer p.Close()
+	s := p.NewSeq()
+	out := make([]*DomainHists, len(segs))
+	sum := make(DomainHists, arch.NumScalable)
+	for i, seg := range segs {
+		i := i
+		s.Shake(seg, nil, func(h *DomainHists) {
+			out[i] = h.Clone()
+			sum.Add(h)
+		})
+	}
+	s.Close()
+	return out, &sum
+}
+
+func TestParallelMatchesSerialBitExact(t *testing.T) {
+	segs := testSegments(64)
+	serial, serialSum := shakeAll(t, testSegments(64), 1)
+	for _, workers := range []int{2, 4, 8} {
+		par, parSum := shakeAll(t, segs, workers)
+		for i := range serial {
+			if !histsEqual(serial[i], par[i]) {
+				t.Fatalf("workers=%d: segment %d histogram differs from serial", workers, i)
+			}
+		}
+		if !histsEqual(serialSum, parSum) {
+			t.Fatalf("workers=%d: ordered reduction differs from serial", workers)
+		}
+	}
+}
+
+func TestSeqDeliversInSubmissionOrder(t *testing.T) {
+	segs := testSegments(40)
+	p := NewPool(DefaultConfig(), 8)
+	defer p.Close()
+	s := p.NewSeq()
+	var order []int
+	for i, seg := range segs {
+		i := i
+		if i%3 == 2 {
+			// Splice ordered-only entries between shakes, as memo hits do.
+			s.Ordered(func() { order = append(order, i) })
+			continue
+		}
+		s.Shake(seg, nil, func(*DomainHists) { order = append(order, i) })
+	}
+	s.Close()
+	if len(order) != len(segs) {
+		t.Fatalf("delivered %d callbacks, want %d", len(order), len(segs))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("delivery order[%d] = %d (full order %v)", i, got, order)
+		}
+	}
+}
+
+func TestShakeCopiesSegmentBeforeReturn(t *testing.T) {
+	// The collector recycles segment storage as soon as its callback
+	// returns; the pool must have deep-copied by then. Clobber each
+	// segment (events and Out edges) right after Shake and check results
+	// against an untouched serial run.
+	segs := testSegments(32)
+	want, _ := shakeAll(t, testSegments(32), 1)
+
+	p := NewPool(DefaultConfig(), 4)
+	defer p.Close()
+	s := p.NewSeq()
+	got := make([]*DomainHists, len(segs))
+	for i, seg := range segs {
+		i := i
+		s.Shake(seg, nil, func(h *DomainHists) { got[i] = h.Clone() })
+		for j := range seg.Events {
+			seg.Events[j] = trace.Event{Domain: arch.Integer, Start: 1, End: 2}
+			seg.Events[j].Out = nil
+		}
+		seg.Events = seg.Events[:0]
+	}
+	s.Close()
+	for i := range want {
+		if !histsEqual(want[i], got[i]) {
+			t.Fatalf("segment %d result corrupted by post-Shake storage reuse", i)
+		}
+	}
+}
+
+func TestPublishRunsBeforeOrderedDelivery(t *testing.T) {
+	// publish must observe the histogram on the computing worker before
+	// done closes — memo readers wait on it from other consumers. Check
+	// the published snapshot matches the delivered result bit for bit,
+	// and that mutating the owned result afterwards does not touch it.
+	segs := testSegments(16)
+	p := NewPool(DefaultConfig(), 4)
+	defer p.Close()
+	s := p.NewSeq()
+	published := make([]*DomainHists, len(segs))
+	for i, seg := range segs {
+		i := i
+		s.Shake(seg,
+			func(h *DomainHists) { published[i] = h.Clone() },
+			func(h *DomainHists) {
+				if published[i] == nil {
+					t.Errorf("segment %d: onDone ran before publish", i)
+					return
+				}
+				if !histsEqual(published[i], h) {
+					t.Errorf("segment %d: published snapshot differs from owned result", i)
+				}
+				(*h)[arch.Integer].Bins[0] += 1e9 // owned: must not leak into the snapshot
+			})
+	}
+	s.Close()
+	want, _ := shakeAll(t, testSegments(16), 1)
+	for i := range want {
+		if !histsEqual(want[i], published[i]) {
+			t.Fatalf("segment %d: published snapshot shares storage with the owned result", i)
+		}
+	}
+}
+
+func TestSynchronousPoolHasNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(DefaultConfig(), 1)
+	s := p.NewSeq()
+	ran := false
+	s.Shake(chainSegment(10, 1000, 500), nil, func(h *DomainHists) { ran = true })
+	if !ran {
+		t.Fatal("synchronous pool did not run onDone inline")
+	}
+	ordered := false
+	s.Ordered(func() { ordered = true })
+	if !ordered {
+		t.Fatal("synchronous pool did not run Ordered inline")
+	}
+	s.Close()
+	p.Close()
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("synchronous pool spawned goroutines (%d -> %d)", before, after)
+	}
+}
+
+func TestPoolWorkerDefaults(t *testing.T) {
+	p := NewPool(DefaultConfig(), 0)
+	defer p.Close()
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	p3 := NewPool(DefaultConfig(), 3)
+	defer p3.Close()
+	if p3.Workers() != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/calltree"
 	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 // countEntries returns the number of content-addressed entry files in a
@@ -310,7 +311,7 @@ func TestReachable(t *testing.T) {
 		{Bench: "mcf", Policy: PolicyGlobal},
 		{Bench: "mcf", Policy: PolicyScheme, Scheme: "L+F", Delta: 2},
 	}
-	results, artifacts, err := Reachable(cfg, jobs)
+	results, artifacts, streams, err := Reachable(cfg, jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,8 +344,23 @@ func TestReachable(t *testing.T) {
 			t.Errorf("artifact closure missing %s", k[:12])
 		}
 	}
+	// Two streams back the closure: mcf's reference stream (every
+	// production run) and its training stream (the L+F profile).
+	b := workload.ByName("mcf")
+	wantStreams := map[string]bool{
+		StreamKey(b, true):  true,
+		StreamKey(b, false): true,
+	}
+	if len(streams) != len(wantStreams) {
+		t.Errorf("reachable streams = %d keys, want %d", len(streams), len(wantStreams))
+	}
+	for k := range wantStreams {
+		if !streams[k] {
+			t.Errorf("stream closure missing %s", k[:12])
+		}
+	}
 
-	if _, _, err := Reachable(cfg, []Job{{Bench: "mcf", Policy: "nope"}}); err == nil {
+	if _, _, _, err := Reachable(cfg, []Job{{Bench: "mcf", Policy: "nope"}}); err == nil {
 		t.Error("invalid job not rejected")
 	}
 }
@@ -381,11 +397,11 @@ func TestPruneUnreachable(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	results, artifacts, err := Reachable(cfg, keep)
+	results, artifacts, streams, err := Reachable(cfg, keep)
 	if err != nil {
 		t.Fatal(err)
 	}
-	unreachable, err := Unreachable(dir, results, artifacts)
+	unreachable, err := Unreachable(dir, results, artifacts, streams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +427,7 @@ func TestPruneUnreachable(t *testing.T) {
 		t.Errorf("prune removed reachable artifact (status %v)", st)
 	}
 	// Idempotent: nothing unreachable remains.
-	left, err := Unreachable(dir, results, artifacts)
+	left, err := Unreachable(dir, results, artifacts, streams)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,7 +59,10 @@ type Summary struct {
 	// SegmentHits counts the subset of DiskHits served from the columnar
 	// segment layer (no JSON decode); every segment hit is also a disk
 	// hit, so existing disk-hit accounting is unchanged by segments.
-	SegmentHits    int `json:"segment_hits"`
+	SegmentHits int `json:"segment_hits"`
+	// StreamHits counts benchmark streams loaded from the on-disk
+	// packed-stream cache instead of re-recorded by a generating walk.
+	StreamHits     int `json:"stream_hits,omitempty"`
 	Executed       int `json:"executed"`
 	Errors         int `json:"errors"`
 	CorruptEntries int `json:"corrupt_entries"`
@@ -67,8 +70,8 @@ type Summary struct {
 
 // String renders the summary as one log-friendly line.
 func (s Summary) String() string {
-	return fmt.Sprintf("jobs=%d mem_hits=%d disk_hits=%d segment_hits=%d executed=%d errors=%d corrupt_entries=%d",
-		s.Jobs, s.MemHits, s.DiskHits, s.SegmentHits, s.Executed, s.Errors, s.CorruptEntries)
+	return fmt.Sprintf("jobs=%d mem_hits=%d disk_hits=%d segment_hits=%d stream_hits=%d executed=%d errors=%d corrupt_entries=%d",
+		s.Jobs, s.MemHits, s.DiskHits, s.SegmentHits, s.StreamHits, s.Executed, s.Errors, s.CorruptEntries)
 }
 
 // Engine executes sweep jobs against one configuration with in-process
@@ -101,6 +104,14 @@ type Engine struct {
 	// canonical byte-identity oracle and answers whenever a segment is
 	// absent or damaged.
 	Segments *SegmentStore
+	// Streams, when non-nil, persists recorded packed benchmark streams
+	// across processes (the streams/ subdirectory of a shared cache
+	// directory): a cold engine loads ~13 B/instruction entries instead
+	// of re-running the generating walks. Streams are keyed by benchmark
+	// spec + input only — the walk is configuration-independent — so one
+	// store serves every config and topology. Corrupt entries count into
+	// Summary.CorruptEntries and are rewritten from a fresh walk.
+	Streams *StreamStore
 	// ExecFn overrides the built-in policy executor (tests use this to
 	// count executions without running the simulator).
 	ExecFn func(Job) (*Outcome, error)
@@ -115,6 +126,7 @@ type Engine struct {
 	nExecuted   atomic.Int64
 	nDisk       atomic.Int64
 	nSegment    atomic.Int64
+	nStream     atomic.Int64
 	nCorrupt    atomic.Int64
 	warnOnce    sync.Once
 	corruptOnce sync.Once
@@ -381,7 +393,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts ...RunOption) ([]*Out
 	srcs := make([]Source, len(jobs))
 	errs := make([]error, len(jobs))
 	exec0, disk0, corrupt0 := e.nExecuted.Load(), e.nDisk.Load(), e.nCorrupt.Load()
-	seg0 := e.nSegment.Load()
+	seg0, stream0 := e.nSegment.Load(), e.nStream.Load()
 	var segCorrupt0 int64
 	if e.Segments != nil {
 		segCorrupt0 = e.Segments.CorruptRows()
@@ -483,6 +495,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts ...RunOption) ([]*Out
 		Executed:       int(e.nExecuted.Load() - exec0),
 		DiskHits:       int(e.nDisk.Load() - disk0),
 		SegmentHits:    int(e.nSegment.Load() - seg0),
+		StreamHits:     int(e.nStream.Load() - stream0),
 		CorruptEntries: int(e.nCorrupt.Load() - corrupt0),
 	}
 	if e.Segments != nil {

@@ -138,12 +138,37 @@ func (x *executor) packed(b *workload.Benchmark, ref bool) *isa.PackedStream {
 	}
 	x.smu.Unlock()
 
-	f.rec = isa.RecordPackedSized(b.Prog, in, window)
+	f.rec = x.resolveStream(b, in, window, ref)
 	x.smu.Lock()
 	f.recorded = true
 	x.smu.Unlock()
 	close(f.done)
 	return f.rec
+}
+
+// resolveStream materializes one benchmark input's packed stream: the
+// on-disk stream store when the engine has one (corrupt entries are
+// counted and treated as misses), else a fresh generating walk, which
+// is then persisted so the next cold process loads instead of walking.
+func (x *executor) resolveStream(b *workload.Benchmark, in isa.Input, window int64, ref bool) *isa.PackedStream {
+	st := x.eng.Streams
+	if st == nil {
+		return isa.RecordPackedSized(b.Prog, in, window)
+	}
+	key := StreamKey(b, ref)
+	s, status := st.Load(key)
+	switch status {
+	case StreamHit:
+		x.eng.nStream.Add(1)
+		return s
+	case StreamCorrupt:
+		x.eng.noteCorrupt(st.EntryPath(key))
+	}
+	s = isa.RecordPackedSized(b.Prog, in, window)
+	if err := st.Put(key, s); err != nil {
+		x.eng.warnPersist(err)
+	}
+	return s
 }
 
 // profile resolves one trained profile: in-process memo (with per-key

@@ -44,6 +44,12 @@ type Manifest struct {
 	// execution knob, not part of the simulated configuration, so it
 	// never enters cache keys.
 	RecordingCache int `json:"recording_cache,omitempty"`
+	// TrainWorkers bounds intra-job training parallelism
+	// (core.Config.TrainWorkers): segment shakes and batched multi-scheme
+	// collection fan out over this many workers; 0 means GOMAXPROCS.
+	// Like recording_cache it is an execution knob — every setting
+	// produces bit-identical results — so it never enters cache keys.
+	TrainWorkers int `json:"train_workers,omitempty"`
 	// Topology selects the machine's clock-domain topology by registered
 	// name (arch.TopologyNames); empty means the paper's default
 	// 4-domain split, and naming the default explicitly keys identically
@@ -84,6 +90,7 @@ func (m *Manifest) Config() core.Config {
 		cfg.Sim.Seed = m.Seed
 	}
 	cfg.Sim.Topology = arch.CanonicalTopologyName(m.Topology)
+	cfg.TrainWorkers = m.TrainWorkers
 	return cfg
 }
 

@@ -168,9 +168,9 @@ func Policies() []string {
 	return out
 }
 
-// reachableFrom accumulates the result and artifact keys in a job's
-// dependency closure (the job's own key included).
-func reachableFrom(cfg core.Config, j Job, results, artifacts map[string]bool) error {
+// reachableFrom accumulates the result, artifact, and stream keys in a
+// job's dependency closure (the job's own key included).
+func reachableFrom(cfg core.Config, j Job, results, artifacts, streams map[string]bool) error {
 	if err := j.Validate(); err != nil {
 		return err
 	}
@@ -179,6 +179,10 @@ func reachableFrom(cfg core.Config, j Job, results, artifacts map[string]bool) e
 		return nil
 	}
 	results[key] = true
+	// Every production run replays the benchmark's reference stream.
+	if b := workload.ByName(j.Bench); b != nil {
+		streams[StreamKey(b, true)] = true
+	}
 	p, ok := PolicyByName(j.Policy)
 	if !ok {
 		return fmt.Errorf("sweep: unknown policy %q", j.Policy)
@@ -186,25 +190,32 @@ func reachableFrom(cfg core.Config, j Job, results, artifacts map[string]bool) e
 	for _, d := range p.Deps(cfg, j) {
 		if d.Profile != nil {
 			artifacts[d.Profile.ArtifactKey(cfg)] = true
+			// Cold trainings replay the spec's training (or, for the
+			// oracle, reference) stream.
+			if b := workload.ByName(d.Profile.Bench); b != nil {
+				streams[StreamKey(b, d.Profile.OnRef)] = true
+			}
 			continue
 		}
-		if err := reachableFrom(cfg, *d.Job, results, artifacts); err != nil {
+		if err := reachableFrom(cfg, *d.Job, results, artifacts, streams); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Reachable returns every result-cache key and artifact-store key
-// reachable from a job set under cfg: each job's own key plus its full
-// dependency closure. This is the mark set `mcdsweep prune` retains.
-func Reachable(cfg core.Config, jobs []Job) (results, artifacts map[string]bool, err error) {
+// Reachable returns every result-cache key, artifact-store key, and
+// packed-stream key reachable from a job set under cfg: each job's own
+// key plus its full dependency closure. This is the mark set
+// `mcdsweep prune` retains.
+func Reachable(cfg core.Config, jobs []Job) (results, artifacts, streams map[string]bool, err error) {
 	results = make(map[string]bool)
 	artifacts = make(map[string]bool)
+	streams = make(map[string]bool)
 	for _, j := range jobs {
-		if err := reachableFrom(cfg, j, results, artifacts); err != nil {
-			return nil, nil, err
+		if err := reachableFrom(cfg, j, results, artifacts, streams); err != nil {
+			return nil, nil, nil, err
 		}
 	}
-	return results, artifacts, nil
+	return results, artifacts, streams, nil
 }

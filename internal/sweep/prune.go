@@ -25,8 +25,12 @@ func ArtifactStore(cacheDir string) *artifact.Store {
 
 // entryKey reports whether name looks like a content-addressed entry
 // file (<64 hex chars>.json) and returns its key.
-func entryKey(name string) (string, bool) {
-	key, ok := strings.CutSuffix(name, ".json")
+func entryKey(name string) (string, bool) { return entryKeyExt(name, ".json") }
+
+// entryKeyExt is entryKey for an arbitrary entry extension (the stream
+// store uses .bin).
+func entryKeyExt(name, ext string) (string, bool) {
+	key, ok := strings.CutSuffix(name, ext)
 	if !ok || len(key) != 64 {
 		return "", false
 	}
@@ -49,14 +53,14 @@ func isFanoutDir(name string) bool {
 }
 
 // Unreachable scans a shared cache directory — result entries at the
-// top level, the artifact store under artifacts/ — and returns the
-// entry files whose keys are not in the given reachable sets, as sorted
-// cache-relative paths. Leftover temp files from interrupted writers
-// are included (they are garbage by construction); files outside the
-// two recognized layouts are left alone.
-func Unreachable(dir string, results, artifacts map[string]bool) ([]string, error) {
+// top level, the artifact store under artifacts/, the packed-stream
+// cache under streams/ — and returns the entry files whose keys are not
+// in the given reachable sets, as sorted cache-relative paths. Leftover
+// temp files from interrupted writers are included (they are garbage by
+// construction); files outside the recognized layouts are left alone.
+func Unreachable(dir string, results, artifacts, streams map[string]bool) ([]string, error) {
 	var out []string
-	scan := func(root string, keep map[string]bool) error {
+	scan := func(root, ext string, keep map[string]bool) error {
 		entries, err := os.ReadDir(root)
 		if err != nil {
 			if os.IsNotExist(err) {
@@ -76,7 +80,7 @@ func Unreachable(dir string, results, artifacts map[string]bool) ([]string, erro
 				if f.IsDir() {
 					continue
 				}
-				if key, ok := entryKey(f.Name()); ok && keep[key] {
+				if key, ok := entryKeyExt(f.Name(), ext); ok && keep[key] {
 					continue
 				}
 				rel, err := filepath.Rel(dir, filepath.Join(root, fan.Name(), f.Name()))
@@ -88,10 +92,13 @@ func Unreachable(dir string, results, artifacts map[string]bool) ([]string, erro
 		}
 		return nil
 	}
-	if err := scan(dir, results); err != nil {
+	if err := scan(dir, ".json", results); err != nil {
 		return nil, fmt.Errorf("sweep: prune scan: %w", err)
 	}
-	if err := scan(filepath.Join(dir, artifactSubdir), artifacts); err != nil {
+	if err := scan(filepath.Join(dir, artifactSubdir), ".json", artifacts); err != nil {
+		return nil, fmt.Errorf("sweep: prune scan: %w", err)
+	}
+	if err := scan(filepath.Join(dir, streamSubdir), ".bin", streams); err != nil {
 		return nil, fmt.Errorf("sweep: prune scan: %w", err)
 	}
 	sort.Strings(out)

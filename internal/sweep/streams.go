@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// streamSubdir is where a cache directory's co-located packed-stream
+// cache lives. Like artifacts/, the name can never collide with a
+// result fan-out directory.
+const streamSubdir = "streams"
+
+// streamSchema versions the stream cache. A stream's key hashes the
+// benchmark's full calibration spec and the input, so recalibrations
+// re-key naturally; bump the schema when the walk generator or the
+// packed codec changes meaning without a spec change.
+const streamSchema = 1
+
+// StreamStore is a content-addressed on-disk cache of packed dynamic
+// streams (isa.PackedStream). A benchmark input's stream is a pure
+// function of the benchmark spec and the input — the walk does not
+// depend on the simulated configuration — so one stored stream serves
+// every config, topology, and policy. At ~13 bytes per instruction,
+// loading one is far cheaper than re-running the generating walk, which
+// is what makes cold daemons and fleet workers start fast.
+//
+// Entries are written atomically (temp file + rename) under two-hex
+// fan-out directories, named <key>.bin, and are self-describing: the
+// key is embedded ahead of the payload, so a file copied to the wrong
+// name is detected. Corrupt, truncated, or mismatched entries load as
+// StreamCorrupt; the engine counts them (Summary.CorruptEntries) and
+// rewrites them from a fresh walk.
+type StreamStore struct {
+	Dir string
+}
+
+// StreamStoreFor returns the stream store conventionally co-located
+// with a result cache directory (its streams/ subdirectory).
+func StreamStoreFor(cacheDir string) *StreamStore {
+	return &StreamStore{Dir: filepath.Join(cacheDir, streamSubdir)}
+}
+
+// StreamKey returns the content address of one benchmark input's
+// recorded stream: a hash of the stream schema, the benchmark's
+// calibration spec, and the input. Everything that can change a single
+// stream byte is in the hash; nothing else is.
+func StreamKey(b *workload.Benchmark, ref bool) string {
+	in := b.Train
+	if ref {
+		in = b.Ref
+	}
+	payload := struct {
+		Schema int           `json:"schema"`
+		Spec   workload.Spec `json:"spec"`
+		Input  isa.Input     `json:"input"`
+	}{streamSchema, b.Spec, in}
+	j, err := json.Marshal(payload)
+	if err != nil {
+		// Spec and Input are plain data; this cannot fail.
+		panic("sweep: stream key encoding: " + err.Error())
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(j))
+}
+
+// EntryPath returns the path a stream is stored at.
+func (st *StreamStore) EntryPath(key string) string {
+	return filepath.Join(st.Dir, key[:2], key+".bin")
+}
+
+// StreamStatus classifies a stream lookup.
+type StreamStatus int
+
+const (
+	// StreamMiss means no entry exists under the key.
+	StreamMiss StreamStatus = iota
+	// StreamHit means a valid stream was decoded.
+	StreamHit
+	// StreamCorrupt means an entry exists but is unreadable, truncated,
+	// fails its checksum, or is stored under a mismatched key — callers
+	// treat it as a miss and rewrite it.
+	StreamCorrupt
+)
+
+// Load decodes the stream stored under key.
+func (st *StreamStore) Load(key string) (*isa.PackedStream, StreamStatus) {
+	b, err := os.ReadFile(st.EntryPath(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, StreamMiss
+		}
+		return nil, StreamCorrupt
+	}
+	if len(b) < 65 || string(b[:64]) != key || b[64] != '\n' {
+		return nil, StreamCorrupt
+	}
+	s, err := isa.DecodePacked(b[65:])
+	if err != nil {
+		return nil, StreamCorrupt
+	}
+	return s, StreamHit
+}
+
+// Put atomically persists a stream under key.
+func (st *StreamStore) Put(key string, s *isa.PackedStream) error {
+	dir := filepath.Dir(st.EntryPath(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("stream store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("stream store: %w", err)
+	}
+	_, werr := tmp.Write(append(append([]byte(key), '\n'), isa.EncodePacked(s)...))
+	cerr := tmp.Close()
+	if err := errors.Join(werr, cerr); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("stream store: write %.12s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), st.EntryPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("stream store: %w", err)
+	}
+	return nil
+}
+
+// StreamStats reports the stream cache co-located with a cache
+// directory: entry count and total bytes (temp litter included, since
+// prune reclaims it too).
+func StreamStats(cacheDir string) (entries int, bytes int64, err error) {
+	root := filepath.Join(cacheDir, streamSubdir)
+	fans, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("sweep: stream stats: %w", err)
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() || !isFanoutDir(fan.Name()) {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, fan.Name()))
+		if err != nil {
+			return 0, 0, fmt.Errorf("sweep: stream stats: %w", err)
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			entries++
+			bytes += info.Size()
+		}
+	}
+	return entries, bytes, nil
+}

@@ -89,6 +89,13 @@ func ValidateManifest(m *Manifest) ([]Job, *ValidationError) {
 			Message: fmt.Sprintf("manifest: recording_cache %d out of range", m.RecordingCache),
 		}
 	}
+	if m.TrainWorkers < 0 {
+		return nil, &ValidationError{
+			Code:    ErrInvalidManifest,
+			Field:   "train_workers",
+			Message: fmt.Sprintf("manifest: train_workers %d out of range", m.TrainWorkers),
+		}
+	}
 	// Probe each grid dimension with a minimal job so the error text is
 	// Job.Validate's own.
 	probeBench := workload.Names()[0]

@@ -53,6 +53,42 @@ func (s *Segment) Duration() int64 {
 	return hi - lo
 }
 
+// CloneSegmentInto deep-copies seg into dst — events and Out edge lists
+// included — so the copy stays valid after a RecycleSegments collector
+// reclaims seg's storage. dst.Events and the provided edge backing are
+// reused when capacity allows; the (possibly regrown) edge backing is
+// returned so callers can recycle it across copies. All Out slices of
+// the copy alias that single backing array.
+func CloneSegmentInto(dst *Segment, edges []int32, seg *Segment) []int32 {
+	dst.Node = seg.Node
+	n := len(seg.Events)
+	if cap(dst.Events) < n {
+		dst.Events = make([]Event, n)
+	} else {
+		dst.Events = dst.Events[:n]
+	}
+	total := 0
+	for i := range seg.Events {
+		total += len(seg.Events[i].Out)
+	}
+	if cap(edges) < total {
+		edges = make([]int32, total)
+	} else {
+		edges = edges[:total]
+	}
+	pos := 0
+	for i := range seg.Events {
+		e := &seg.Events[i]
+		d := &dst.Events[i]
+		d.Domain, d.Start, d.End, d.Weight = e.Domain, e.Start, e.End, e.Weight
+		k := len(e.Out)
+		d.Out = edges[pos : pos+k : pos+k]
+		copy(d.Out, e.Out)
+		pos += k
+	}
+	return edges
+}
+
 // Collector implements sim.Tracer and sim.MarkerSink. It walks the
 // finalized training call tree in lockstep with the simulation, opening a
 // segment whenever execution enters a long-running node (up to
