@@ -5,6 +5,7 @@
 //
 //	mcdreport [-only fig4,fig5,...] [-bench name1,name2] [-delta 2.0] [-parallel N]
 //	          [-topology fine6] [-topologies paper4,sync1,fe-be2,fine6]
+//	          [-only timing -trace spans.ndjson]
 //
 // Without -only it produces everything: Tables 1-4, Figures 4-12 and the
 // MCD baseline-penalty analysis. The extra "topology" section
@@ -22,22 +23,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig4..fig12,baseline,topology")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,fig4..fig12,baseline,topology,timing")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
 	delta := flag.Float64("delta", 0, "slowdown threshold delta in percent (default: calibrated)")
 	parallel := flag.Int("parallel", 0, "worker parallelism (default GOMAXPROCS)")
 	cache := flag.String("cache", "", "persistent sweep cache directory (optional)")
 	topoName := flag.String("topology", "", "clock-domain topology for all sections (default: paper4)")
 	topoList := flag.String("topologies", "", "comma-separated topologies for -only topology (default: all registered)")
+	tracePath := flag.String("trace", "", "span NDJSON file for -only timing (a `mcdsweep run -trace` or /v1/sweeps/{id}/trace capture)")
 	flag.Parse()
 
 	topo, err := arch.TopologyByName(*topoName)
@@ -113,6 +117,18 @@ func main() {
 	if sel("baseline") {
 		emit(r.BaselinePenalty())
 	}
+	// Opt-in only: the timing report reads a captured execution trace,
+	// not the simulator, so it never rides along implicitly.
+	if want["timing"] {
+		if *tracePath == "" {
+			fmt.Fprintln(os.Stderr, "mcdreport: -only timing requires -trace FILE")
+			os.Exit(1)
+		}
+		if err := timingSection(out, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdreport:", err)
+			os.Exit(1)
+		}
+	}
 	// Opt-in only: the cross-topology comparison simulates the suite
 	// under every named topology, so it never rides along implicitly.
 	if want["topology"] {
@@ -127,4 +143,19 @@ func main() {
 		}
 		emit(table)
 	}
+}
+
+// timingSection renders the per-phase timing table from a span capture —
+// the same aggregation `mcdsweep timing` prints.
+func timingSection(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadSpans(f)
+	if err != nil {
+		return err
+	}
+	return obs.Aggregate(spans).WriteTable(w)
 }

@@ -9,6 +9,7 @@
 //
 //	mcdserved -cache DIR [-addr HOST:PORT] [-parallel K] [-train-workers P] [-queue N]
 //	          [-drain-timeout D] [-fleet [-lease-ttl D] [-lease-attempts N]]
+//	          [-trace N] [-pprof HOST:PORT]
 //
 // Endpoints:
 //
@@ -16,6 +17,7 @@
 //	GET  /v1/sweeps/{id}         progress snapshot
 //	GET  /v1/sweeps/{id}/stream  NDJSON job completions, live (?from=N resumes)
 //	GET  /v1/sweeps/{id}/results merged results, byte-identical to `mcdsweep merge`
+//	GET  /v1/sweeps/{id}/trace   NDJSON execution spans (-trace only; ?from=N resumes)
 //	POST /v1/workers             (fleet) register a worker
 //	POST /v1/leases[...]         (fleet) lease grant / heartbeat / completion
 //	GET/PUT /v1/cache/{key}      (fleet) result-cache entry sync
@@ -41,6 +43,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -62,6 +66,8 @@ func main() {
 	fleetMode := flag.Bool("fleet", false, "run as a fleet coordinator: sweeps are leased to registered mcdworker processes instead of executing locally")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "fleet: how long a lease lives without a heartbeat before its anchor group is reassigned")
 	leaseAttempts := flag.Int("lease-attempts", 3, "fleet: grants per anchor group (initial included) before its jobs fail with lease_failed")
+	traceCap := flag.Int("trace", 0, "span-trace ring capacity: >0 enables execution tracing and GET /v1/sweeps/{id}/trace (16384 is a sensible size); 0 keeps tracing off")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty keeps the profiler off")
 	flag.Parse()
 
 	if *cacheDir == "" {
@@ -70,10 +76,23 @@ func main() {
 	if *trainWorkers < 0 {
 		fatal("-train-workers must be >= 0")
 	}
+	if *traceCap < 0 {
+		fatal("-trace must be >= 0")
+	}
 	srv := serve.NewServer(*cacheDir, *parallel, *queue)
 	srv.TrainWorkers = *trainWorkers
+	if *traceCap > 0 {
+		srv.Trace = obs.NewTracer(*traceCap)
+	}
 	if *fleetMode {
 		srv.EnableFleet(serve.FleetConfig{LeaseTTL: *leaseTTL, MaxAttempts: *leaseAttempts})
+	}
+	if *pprofAddr != "" {
+		stop, err := servePprof(*pprofAddr, "mcdserved")
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer stop()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -166,6 +185,20 @@ func leakedStacks() []string {
 		}
 	}
 	return leaked
+}
+
+// servePprof serves the default mux — where the net/http/pprof import
+// registered /debug/pprof — on its own listener, so the profiler never
+// shares a port (or an exposure decision) with the API.
+func servePprof(addr, prog string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: %w", err)
+	}
+	fmt.Printf("%s: pprof on http://%s/debug/pprof/\n", prog, ln.Addr())
+	ps := &http.Server{Handler: http.DefaultServeMux}
+	go ps.Serve(ln)
+	return func() { ps.Close() }, nil
 }
 
 func fatal(msg string) {

@@ -5,12 +5,22 @@
 //
 // Usage:
 //
-//	mcdsweep enum  -manifest m.json [-shards N -shard I]
-//	mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
-//	mcdsweep run   -manifest m.json -server URL
-//	mcdsweep merge -manifest m.json -cache DIR [-o out.json] [-oracle]
-//	mcdsweep merge -manifest m.json -server URL [-o out.json]
-//	mcdsweep prune -manifest m.json -cache DIR [-rm]
+//	mcdsweep enum   -manifest m.json [-shards N -shard I]
+//	mcdsweep run    -manifest m.json -cache DIR [-shards N -shard I] [-parallel K] [-trace spans.ndjson] [-v]
+//	mcdsweep run    -manifest m.json -server URL [-v]
+//	mcdsweep merge  -manifest m.json -cache DIR [-o out.json] [-oracle]
+//	mcdsweep merge  -manifest m.json -server URL [-o out.json]
+//	mcdsweep prune  -manifest m.json -cache DIR [-rm]
+//	mcdsweep timing -trace spans.ndjson
+//
+// run -trace records every execution span (per-job and per-phase
+// timing, cache/artifact/stream outcomes) into a bounded ring and dumps
+// it as NDJSON on exit; tracing is off without the flag and costs the
+// hot path nothing. run -v prints the per-phase wall-clock breakdown
+// (train/shake/sim/merge plus hit counters) and includes it in the
+// summary JSON. timing renders a captured trace as a per-phase,
+// per-policy table: count, total, p50/p95/max, hit ratio — the same
+// report mcdreport -only timing emits.
 //
 // With -server, run submits the manifest to a running mcdserved daemon
 // (cmd/mcdserved) and waits for the streamed completion instead of
@@ -61,10 +71,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -75,7 +87,7 @@ func main() {
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
-	case "enum", "run", "merge", "prune":
+	case "enum", "run", "merge", "prune", "timing":
 	default:
 		usage()
 	}
@@ -92,8 +104,25 @@ func main() {
 	oracle := fs.Bool("oracle", false, "merge: read the per-job JSON cache only, bypassing columnar segments (the byte-identity oracle path)")
 	rm := fs.Bool("rm", false, "prune: actually delete unreachable entries and compact segments (default: dry run)")
 	server := fs.String("server", "", "mcdserved base URL (e.g. http://127.0.0.1:8337); run submits and waits instead of executing locally, merge fetches the served results")
+	tracePath := fs.String("trace", "", "run: write the sweep's execution spans to this NDJSON file; timing: read spans from it (\"-\" for stdin)")
+	verbose := fs.Bool("v", false, "run: print the per-phase wall-clock breakdown and include it in the summary JSON")
 	fs.Parse(args)
 
+	if cmd == "timing" {
+		// timing aggregates an already-captured trace; no manifest, cache
+		// or engine is involved.
+		rejectFlags(cmd, *manifestPath != "", "-manifest", *cacheDir != "", "-cache", *out != "", "-o",
+			*parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server", *oracle, "-oracle",
+			*shards != 1, "-shards", *shard != 0, "-shard", *recCache != 0, "-recording-cache",
+			*trainWorkers != 0, "-train-workers", *verbose, "-v")
+		if *tracePath == "" {
+			fatal("timing requires -trace FILE (\"-\" for stdin)")
+		}
+		if err := timingReport(os.Stdout, *tracePath); err != nil {
+			fatal(err.Error())
+		}
+		return
+	}
 	if *manifestPath == "" {
 		fatal("missing -manifest")
 	}
@@ -111,23 +140,24 @@ func main() {
 	// always reassembles the full manifest from the cache.
 	switch cmd {
 	case "enum":
-		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers", *oracle, "-oracle")
+		rejectFlags(cmd, *cacheDir != "", "-cache", *out != "", "-o", *parallel != 0, "-parallel", *rm, "-rm", *server != "", "-server", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers", *oracle, "-oracle", *tracePath != "", "-trace", *verbose, "-v")
 	case "run":
 		rejectFlags(cmd, *out != "", "-o", *rm, "-rm", *oracle, "-oracle")
 		if *server != "" {
 			// The daemon owns its cache directory, worker pool and shard
-			// placement; client mode only submits and waits.
+			// placement; client mode only submits and waits. Its trace —
+			// if it runs one — is served on /v1/sweeps/{id}/trace.
 			rejectFlags(cmd+" -server", *cacheDir != "", "-cache", *shards != 1, "-shards",
 				*shard != 0, "-shard", *parallel != 0, "-parallel", *recCache != 0, "-recording-cache",
-				*trainWorkers != 0, "-train-workers")
+				*trainWorkers != 0, "-train-workers", *tracePath != "", "-trace")
 		}
 	case "merge":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *rm, "-rm", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers", *tracePath != "", "-trace", *verbose, "-v")
 		if *server != "" {
 			rejectFlags(cmd+" -server", *cacheDir != "", "-cache", *oracle, "-oracle")
 		}
 	case "prune":
-		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers", *oracle, "-oracle")
+		rejectFlags(cmd, *shards != 1, "-shards", *shard != 0, "-shard", *parallel != 0, "-parallel", *out != "", "-o", *server != "", "-server", *recCache != 0, "-recording-cache", *trainWorkers != 0, "-train-workers", *oracle, "-oracle", *tracePath != "", "-trace", *verbose, "-v")
 	}
 	m, err := sweep.LoadManifest(*manifestPath)
 	if err != nil {
@@ -156,7 +186,7 @@ func main() {
 
 	case "run":
 		if *server != "" {
-			runRemote(*server, *manifestPath, m)
+			runRemote(*server, *manifestPath, m, *verbose)
 			return
 		}
 		if *cacheDir == "" {
@@ -174,16 +204,30 @@ func main() {
 		eng.Artifacts = sweep.ArtifactStore(*cacheDir)
 		eng.Segments = sweep.SegmentStoreFor(*cacheDir)
 		eng.Streams = sweep.StreamStoreFor(*cacheDir)
+		if *tracePath != "" {
+			eng.Trace = obs.NewTracer(0)
+		}
 		mine := sweep.Shard(cfg, jobs, *shards, *shard)
 		_, sum, err := eng.Run(context.Background(), mine)
+		phases := eng.Phases()
 		summary := struct {
 			Manifest string `json:"manifest"`
 			Shard    int    `json:"shard"`
 			Shards   int    `json:"shards"`
 			sweep.Summary
-		}{m.Name, *shard, *shards, sum}
+			Phases *sweep.PhaseBreakdown `json:"phases,omitempty"`
+		}{Manifest: m.Name, Shard: *shard, Shards: *shards, Summary: sum}
+		if *verbose {
+			summary.Phases = &phases
+			fmt.Fprintf(os.Stderr, "mcdsweep: phases: %s\n", phases)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.Encode(summary)
+		if *tracePath != "" {
+			if werr := writeTrace(*tracePath, eng.Trace); werr != nil {
+				fatal(werr.Error())
+			}
+		}
 		if err != nil {
 			fatal(err.Error())
 		}
@@ -287,7 +331,7 @@ func main() {
 // for the streamed completion, and print a run-style summary line with
 // the sweep ID and the server's batch summary (same semantics as a
 // local run: executed is zero iff everything was served from cache).
-func runRemote(server, manifestPath string, m *sweep.Manifest) {
+func runRemote(server, manifestPath string, m *sweep.Manifest, verbose bool) {
 	body, err := os.ReadFile(manifestPath)
 	if err != nil {
 		fatal(err.Error())
@@ -306,11 +350,68 @@ func runRemote(server, manifestPath string, m *sweep.Manifest) {
 		Server   string `json:"server"`
 		SweepID  string `json:"sweep_id"`
 		sweep.Summary
-	}{m.Name, server, st.ID, sum}
+		Phases *sweep.PhaseBreakdown `json:"phases,omitempty"`
+	}{Manifest: m.Name, Server: server, SweepID: st.ID, Summary: sum}
+	if verbose && st.Phases != nil {
+		summary.Phases = st.Phases
+		fmt.Fprintf(os.Stderr, "mcdsweep: phases: %s\n", *st.Phases)
+	}
 	json.NewEncoder(os.Stdout).Encode(summary)
 	if st.Error != "" {
 		fatal(st.Error)
 	}
+}
+
+// writeTrace dumps a run's spans as NDJSON, terminated by a
+// {"done":true,...} accounting line (readers skip it: spans are the
+// lines with a phase). Written through a temp file + rename so an
+// interrupted dump never leaves a truncated trace behind.
+func writeTrace(path string, tr *obs.Tracer) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	next, dropped, err := tr.WriteNDJSON(tmp, 0)
+	if err == nil {
+		_, err = fmt.Fprintf(tmp, "{\"done\":true,\"spans\":%d,\"dropped\":%d}\n", next-dropped, dropped)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp.Name(), 0o644)
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("trace: %w", err)
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "mcdsweep: trace: ring overflowed; oldest %d span(s) dropped (raise the ring with a bigger tracer)\n", dropped)
+	}
+	return nil
+}
+
+// timingReport renders the per-phase timing table from a span NDJSON
+// file ("-" for stdin) — the same aggregation mcdreport -only timing
+// prints.
+func timingReport(w io.Writer, path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, err := obs.ReadSpans(r)
+	if err != nil {
+		return err
+	}
+	return obs.Aggregate(spans).WriteTable(w)
 }
 
 // mergeRemote is merge's client mode: submit the manifest (a completed
@@ -397,12 +498,13 @@ func streamMerge(out string, cfg core.Config, jobs []sweep.Job, src sweep.MergeS
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  mcdsweep enum  -manifest m.json [-shards N -shard I]
-  mcdsweep run   -manifest m.json -cache DIR [-shards N -shard I] [-parallel K]
-  mcdsweep run   -manifest m.json -server URL
-  mcdsweep merge -manifest m.json -cache DIR [-o out.json]
-  mcdsweep merge -manifest m.json -server URL [-o out.json]
-  mcdsweep prune -manifest m.json -cache DIR [-rm]`)
+  mcdsweep enum   -manifest m.json [-shards N -shard I]
+  mcdsweep run    -manifest m.json -cache DIR [-shards N -shard I] [-parallel K] [-trace spans.ndjson] [-v]
+  mcdsweep run    -manifest m.json -server URL [-v]
+  mcdsweep merge  -manifest m.json -cache DIR [-o out.json]
+  mcdsweep merge  -manifest m.json -server URL [-o out.json]
+  mcdsweep prune  -manifest m.json -cache DIR [-rm]
+  mcdsweep timing -trace spans.ndjson`)
 	os.Exit(2)
 }
 

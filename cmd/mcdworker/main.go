@@ -8,6 +8,7 @@
 // Usage:
 //
 //	mcdworker -server URL [-name LABEL] [-cache DIR] [-parallel K] [-train-workers P]
+//	          [-trace N] [-pprof HOST:PORT]
 //
 // Because a lease is always a whole anchor group (every job that
 // resolves or feeds one training), each (benchmark, scheme, input)
@@ -25,10 +26,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -46,6 +51,8 @@ func run() error {
 	cacheDir := flag.String("cache", "", "local result-cache directory (default a temporary directory, removed on exit)")
 	parallel := flag.Int("parallel", 0, "per-lease execution parallelism (default GOMAXPROCS)")
 	trainWorkers := flag.Int("train-workers", 0, "intra-job training parallelism — worker-local, leases never carry the knob; default GOMAXPROCS; results are bit-identical at every setting")
+	traceCap := flag.Int("trace", 0, "span-trace ring capacity: >0 traces execution and ships each lease's spans with its completion report; 0 keeps tracing off")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061); empty keeps the profiler off")
 	flag.Parse()
 
 	if *server == "" {
@@ -53,6 +60,9 @@ func run() error {
 	}
 	if *trainWorkers < 0 {
 		return fmt.Errorf("-train-workers must be >= 0")
+	}
+	if *traceCap < 0 {
+		return fmt.Errorf("-trace must be >= 0")
 	}
 	if *name == "" {
 		if hn, err := os.Hostname(); err == nil {
@@ -72,6 +82,17 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "mcdworker: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		ps := &http.Server{Handler: http.DefaultServeMux}
+		go ps.Serve(ln)
+		defer ps.Close()
+	}
+
 	w := &serve.Worker{
 		Server:       *server,
 		Name:         *name,
@@ -81,6 +102,9 @@ func run() error {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "mcdworker: "+format+"\n", args...)
 		},
+	}
+	if *traceCap > 0 {
+		w.Trace = obs.NewTracer(*traceCap)
 	}
 	return w.Run(ctx)
 }

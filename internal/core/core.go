@@ -24,6 +24,7 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/calltree"
 	"repro/internal/control"
@@ -65,6 +66,23 @@ type Config struct {
 	// excluded from JSON encodings and therefore from result-cache keys,
 	// artifact keys, and the serving layer's engine keys.
 	TrainWorkers int `json:"-"`
+	// Observe, when non-nil, receives coarse wall-clock phase timings
+	// from training runs: "treewalk" (the phase-1 call-tree walk),
+	// "collect" (the phase-2 full-speed pass with DAG collection), and
+	// "shake" (one observation per segment shake). Like
+	// TrainWorkers it is an execution-side knob, not part of the
+	// simulated configuration: excluded from JSON encodings and
+	// therefore from every content-address (result-cache, artifact,
+	// stream, engine keys). Implementations must be safe for concurrent
+	// calls — shakes report from pool workers.
+	Observe PhaseObserver `json:"-"`
+}
+
+// PhaseObserver is the training pipeline's timing callback; see
+// Config.Observe. It is an interface (not a func field) so Config stays
+// a comparable type.
+type PhaseObserver interface {
+	ObservePhase(phase string, d time.Duration)
 }
 
 // trainWorkers resolves the training-parallelism knob.
@@ -109,7 +127,14 @@ func Train(cfg Config, prog *isa.Program, in isa.Input, window int64, scheme cal
 func TrainFeed(cfg Config, src isa.Feeder, window int64, scheme calltree.Scheme) *Profile {
 	topo := cfg.Sim.Topo()
 	// Phase 1: build the call tree.
+	var t0 time.Time
+	if cfg.Observe != nil {
+		t0 = time.Now()
+	}
 	tree := profiler.ProfileFeed(src, window, scheme)
+	if cfg.Observe != nil {
+		cfg.Observe.ObservePhase("treewalk", time.Since(t0))
+	}
 
 	// Phase 2: full-speed simulated run with DAG collection + shaker.
 	// The shaker's per-domain power factors follow the topology unless
@@ -120,6 +145,9 @@ func TrainFeed(cfg Config, src isa.Feeder, window int64, scheme calltree.Scheme)
 	// synchronous and this is the serial run).
 	hists := make(map[*calltree.Node]*shaker.DomainHists)
 	pool := shaker.NewPool(shaker.ConfigFor(cfg.Shaker, topo), cfg.trainWorkers())
+	if obs := cfg.Observe; obs != nil {
+		pool.Observe = func(d time.Duration) { obs.ObservePhase("shake", d) }
+	}
 	defer pool.Close()
 	seq := pool.NewSeq()
 	collector := trace.NewCollector(tree, cfg.MaxInstances, cfg.MaxEvents, func(seg *trace.Segment) {
@@ -136,9 +164,15 @@ func TrainFeed(cfg Config, src isa.Feeder, window int64, scheme calltree.Scheme)
 	m := sim.New(cfg.Sim)
 	m.SetTracer(collector)
 	m.SetMarkerSink(collector)
+	if cfg.Observe != nil {
+		t0 = time.Now()
+	}
 	src.Feed(&isa.CountingConsumer{Inner: m, Budget: window})
 	collector.Close()
 	seq.Close()
+	if cfg.Observe != nil {
+		cfg.Observe.ObservePhase("collect", time.Since(t0))
+	}
 
 	prof := &Profile{Scheme: scheme, Tree: tree, Hists: hists}
 	prof.Plan = Replan(prof, cfg.DeltaPct)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/calltree"
 	"repro/internal/control"
@@ -133,13 +134,21 @@ func TrainFeedBatch(cfg Config, src isa.Feeder, window int64, schemes []calltree
 	topo := cfg.Sim.Topo()
 	workers := cfg.trainWorkers()
 	pool := shaker.NewPool(shaker.ConfigFor(cfg.Shaker, topo), workers)
+	if obs := cfg.Observe; obs != nil {
+		pool.Observe = func(d time.Duration) { obs.ObservePhase("shake", d) }
+	}
 	defer pool.Close()
 	memo := newShakeMemo()
 	profs := make([]*Profile, len(schemes))
 	collectors := make([]*trace.Collector, len(schemes))
 	seqs := make([]*shaker.Seq, len(schemes))
 
-	// Phase 1 per scheme, fanned over the worker budget.
+	// Phase 1 per scheme, fanned over the worker budget. The profiling
+	// observation aggregates all schemes' walks into one duration.
+	var t0 time.Time
+	if cfg.Observe != nil {
+		t0 = time.Now()
+	}
 	build := func(i int) {
 		scheme := schemes[i]
 		tree := profiler.ProfileFeed(src, window, scheme)
@@ -174,6 +183,11 @@ func TrainFeedBatch(cfg Config, src isa.Feeder, window int64, schemes []calltree
 		for i := range schemes {
 			build(i)
 		}
+	}
+
+	if cfg.Observe != nil {
+		cfg.Observe.ObservePhase("treewalk", time.Since(t0))
+		t0 = time.Now()
 	}
 
 	// Phase 2, once: one machine pass fanned to every collector. The
@@ -211,6 +225,9 @@ func TrainFeedBatch(cfg Config, src isa.Feeder, window int64, schemes []calltree
 			c.Close()
 			seqs[i].Close()
 		}
+	}
+	if cfg.Observe != nil {
+		cfg.Observe.ObservePhase("collect", time.Since(t0))
 	}
 
 	for _, prof := range profs {

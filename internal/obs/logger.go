@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Logger is the repository's single structured warning channel: one
+// logfmt-style line per event (`level=warn msg="..." key=value ...`),
+// with per-key one-shot suppression for the recurring store conditions
+// (corrupt cache entries, failed persists) that would otherwise spam a
+// line per job. Zero value is not usable; NewLogger or Default.
+type Logger struct {
+	mu   sync.Mutex
+	w    io.Writer
+	seen map[string]bool
+}
+
+// Default is the process-wide logger (stderr); nil *Logger receivers
+// fall back to it, so stores carry an optional Log field with no
+// constructor churn.
+var Default = NewLogger(os.Stderr)
+
+// NewLogger returns a logger writing logfmt lines to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, seen: make(map[string]bool)}
+}
+
+// Warn emits one warning line with alternating key/value pairs.
+func (l *Logger) Warn(msg string, kv ...any) { l.emit("warn", msg, kv) }
+
+// Info emits one informational line with alternating key/value pairs.
+func (l *Logger) Info(msg string, kv ...any) { l.emit("info", msg, kv) }
+
+// WarnOnce emits the warning only the first time the given suppression
+// key is seen by this logger, and reports whether it logged. Stores use
+// the offending path as the key, so each distinct corrupt file warns
+// exactly once while repeat hits stay silent.
+func (l *Logger) WarnOnce(key, msg string, kv ...any) bool {
+	if l == nil {
+		return Default.WarnOnce(key, msg, kv...)
+	}
+	l.mu.Lock()
+	if l.seen[key] {
+		l.mu.Unlock()
+		return false
+	}
+	l.seen[key] = true
+	l.mu.Unlock()
+	l.emit("warn", msg, kv)
+	return true
+}
+
+// emit renders and writes one line; a nil receiver uses Default.
+func (l *Logger) emit(level, msg string, kv []any) {
+	if l == nil {
+		l = Default
+	}
+	var b strings.Builder
+	b.WriteString("level=")
+	b.WriteString(level)
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		b.WriteString(quoteValue(fmt.Sprint(kv[i+1])))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// quoteValue quotes a logfmt value only when it needs it (spaces,
+// quotes, equals, control characters), keeping the common case legible.
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

@@ -1,0 +1,214 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a deterministic span tracer (Tracer) feeding a bounded in-memory ring
+// with NDJSON export, a minimal structured logger (Logger) with
+// per-key one-shot suppression, and a timing aggregator (Aggregate)
+// that folds a span stream into the per-phase/per-policy wall-clock
+// report `mcdsweep timing` renders.
+//
+// Span identity is deterministic by construction: IDs derive from the
+// span's subject key plus a tracer-assigned counter — never from
+// time.Now identity or randomness — so tracing the same manifest twice
+// produces identical span sequences modulo start offsets and
+// durations. Span data is observational only: it never enters
+// result-cache, artifact, or stream keys (machine-checked by the sweep
+// package's traced-vs-untraced byte-identity tests).
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of work: a whole job, or one phase of its
+// resolution (stream decode, profile training, shaking, phase-2
+// collection, lockstep simulation, cache write, segment seal).
+type Span struct {
+	// ID derives from the subject key and the tracer's counter
+	// ("<key12>#<seq>"); it carries no wall-clock identity.
+	ID string `json:"id"`
+	// Seq is the span's position in its tracer's stream, dense from 0 —
+	// the resumption cursor for ?from=N trace fetches.
+	Seq uint64 `json:"seq"`
+	// Key is the span's subject: a job's result key, a training's
+	// artifact key, or a benchmark's stream key (64-hex content
+	// addresses all); empty for engine-wide phases (segment seal).
+	Key string `json:"key,omitempty"`
+	// Phase names the region: "job", "stream", "profile", "train",
+	// "treewalk", "collect", "shake", "simulate", "persist", "seal".
+	Phase string `json:"phase"`
+	// Policy and Bench label the owning job when one is known.
+	Policy string `json:"policy,omitempty"`
+	Bench  string `json:"bench,omitempty"`
+	// Outcome reports how the region resolved: a job's answering layer
+	// ("executed", "disk", "memory", "error"), a store probe's result
+	// ("hit", "recorded", "artifact", "trained", "memo"), etc.
+	Outcome string `json:"outcome,omitempty"`
+	// Worker, Lease and Attempt are stamped by a fleet coordinator when
+	// it ingests a worker's spans from a lease completion frame.
+	Worker  string `json:"worker,omitempty"`
+	Lease   string `json:"lease,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// StartNS is a monotonic offset from the tracer's epoch; DurNS the
+	// span's wall-clock duration. These are the only nondeterministic
+	// fields.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+}
+
+// DefaultCapacity is the span ring's size when NewTracer gets n <= 0:
+// large enough to hold a full paper-grid sweep's spans, small enough
+// (~200 B/span) to be negligible daemon state.
+const DefaultCapacity = 1 << 14
+
+// Tracer hands out spans into a bounded ring buffer. All methods are
+// safe for concurrent use. A nil *Tracer is the disabled state: callers
+// guard emission with one nil check at job/phase boundaries, and the
+// per-instruction simulation loops carry no tracing code at all.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	seq     uint64 // next sequence number
+	buf     []Span // ring storage, fixed capacity
+	head    int    // index of the oldest live span
+	n       int    // live span count
+	dropped uint64 // spans overwritten after overflow (oldest first)
+}
+
+// NewTracer returns a tracer with a ring of the given capacity
+// (DefaultCapacity when n <= 0). The epoch is captured once here; every
+// StartNS is a monotonic offset from it.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	return &Tracer{epoch: time.Now(), buf: make([]Span, n)}
+}
+
+// Now returns the monotonic nanosecond offset from the tracer's epoch —
+// the clock spans are timed with.
+func (t *Tracer) Now() int64 { return int64(time.Since(t.epoch)) }
+
+// Emit assigns the span its sequence number and identity and appends it
+// to the ring, dropping the oldest span on overflow.
+func (t *Tracer) Emit(s Span) {
+	t.mu.Lock()
+	s.Seq = t.seq
+	t.seq++
+	s.ID = spanID(s.Key, s.Seq)
+	t.push(s)
+	t.mu.Unlock()
+}
+
+// Import ingests spans recorded elsewhere (a fleet worker's lease),
+// stamping each with the worker, lease and attempt that produced it and
+// re-sequencing it into this tracer's stream so the merged trace stays
+// resumable by one dense cursor.
+func (t *Tracer) Import(spans []Span, worker, lease string, attempt int) {
+	t.mu.Lock()
+	for _, s := range spans {
+		s.Worker, s.Lease, s.Attempt = worker, lease, attempt
+		s.Seq = t.seq
+		t.seq++
+		s.ID = spanID(s.Key, s.Seq)
+		t.push(s)
+	}
+	t.mu.Unlock()
+}
+
+// push appends one stamped span; callers hold t.mu.
+func (t *Tracer) push(s Span) {
+	if t.n == len(t.buf) {
+		// Full: overwrite the oldest (drops-oldest semantics).
+		t.buf[t.head] = s
+		t.head = (t.head + 1) % len(t.buf)
+		t.dropped++
+		return
+	}
+	t.buf[(t.head+t.n)%len(t.buf)] = s
+	t.n++
+}
+
+// spanID derives a span's identity from its subject key and counter —
+// deterministic given the same emission sequence.
+func spanID(key string, seq uint64) string {
+	k := key
+	if len(k) > 12 {
+		k = k[:12]
+	}
+	if k == "" {
+		k = "-"
+	}
+	return k + "#" + strconv.FormatUint(seq, 10)
+}
+
+// NextSeq returns the sequence number the next emitted span will get —
+// the cursor a caller snapshots to later collect "everything from here".
+func (t *Tracer) NextSeq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Snapshot returns the buffered spans with Seq >= from in sequence
+// order, plus the next cursor and how many spans have ever been dropped
+// from the ring. Spans older than the ring's reach are gone (counted in
+// dropped), so a resumed fetch may observe a gap after an overflow.
+func (t *Tracer) Snapshot(from uint64) (spans []Span, next uint64, dropped uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < t.n; i++ {
+		s := t.buf[(t.head+i)%len(t.buf)]
+		if s.Seq >= from {
+			spans = append(spans, s)
+		}
+	}
+	return spans, t.seq, t.dropped
+}
+
+// WriteNDJSON writes the spans with Seq >= from as NDJSON (one span
+// object per line) and returns the next cursor and the drop count.
+func (t *Tracer) WriteNDJSON(w io.Writer, from uint64) (next uint64, dropped uint64, err error) {
+	spans, next, dropped := t.Snapshot(from)
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return next, dropped, err
+		}
+	}
+	return next, dropped, nil
+}
+
+// ReadSpans parses an NDJSON span stream. Blank lines and lines that
+// are not span objects (e.g. a trace endpoint's terminal
+// {"done":true,...} line) are skipped, so the same reader handles
+// `mcdsweep run -trace` files and saved /trace responses alike.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Span
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, fmt.Errorf("obs: span line: %w", err)
+		}
+		if s.Phase == "" {
+			continue // not a span (terminal or foreign line)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: span stream: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Span{Phase: "job", Key: fmt.Sprintf("%064d", i)})
+	}
+	spans, next, dropped := tr.Snapshot(0)
+	if next != 10 {
+		t.Fatalf("next = %d, want 10", next)
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("len(spans) = %d, want 4", len(spans))
+	}
+	// The survivors are the newest four, in sequence order.
+	for i, s := range spans {
+		want := uint64(6 + i)
+		if s.Seq != want {
+			t.Errorf("spans[%d].Seq = %d, want %d", i, s.Seq, want)
+		}
+	}
+}
+
+func TestSpanIDDerivation(t *testing.T) {
+	tr := NewTracer(8)
+	key := strings.Repeat("ab", 32)
+	tr.Emit(Span{Phase: "job", Key: key})
+	tr.Emit(Span{Phase: "seal"})
+	spans, _, _ := tr.Snapshot(0)
+	if got, want := spans[0].ID, key[:12]+"#0"; got != want {
+		t.Errorf("ID = %q, want %q", got, want)
+	}
+	if got, want := spans[1].ID, "-#1"; got != want {
+		t.Errorf("keyless ID = %q, want %q", got, want)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Span{Phase: "job", Key: strings.Repeat("0", 64), Policy: "duty", Outcome: "executed", DurNS: 5})
+	tr.Emit(Span{Phase: "seal", DurNS: 1})
+	var buf bytes.Buffer
+	next, dropped, err := tr.WriteNDJSON(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 2 || dropped != 0 {
+		t.Fatalf("next=%d dropped=%d, want 2, 0", next, dropped)
+	}
+	// A terminal non-span line must be skipped by the reader.
+	buf.WriteString("{\"done\":true,\"next\":2}\n\n")
+	got, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _, _ := tr.Snapshot(0)
+	if len(got) != len(orig) {
+		t.Fatalf("round-trip span count = %d, want %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i] != orig[i] {
+			t.Errorf("span %d round-trip mismatch: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestImportStampsAndResequences(t *testing.T) {
+	coord := NewTracer(8)
+	coord.Emit(Span{Phase: "seal"})
+	worker := []Span{
+		{Phase: "job", Key: strings.Repeat("1", 64), Seq: 0, ID: "stale#0", Outcome: "executed"},
+		{Phase: "persist", Key: strings.Repeat("1", 64), Seq: 1, ID: "stale#1"},
+	}
+	coord.Import(worker, "wk-1", "ls-3", 1)
+	spans, _, _ := coord.Snapshot(1)
+	if len(spans) != 2 {
+		t.Fatalf("len = %d, want 2", len(spans))
+	}
+	for i, s := range spans {
+		if s.Worker != "wk-1" || s.Lease != "ls-3" || s.Attempt != 1 {
+			t.Errorf("span %d not stamped: %+v", i, s)
+		}
+		if want := uint64(1 + i); s.Seq != want {
+			t.Errorf("span %d Seq = %d, want %d", i, s.Seq, want)
+		}
+		if strings.HasPrefix(s.ID, "stale") {
+			t.Errorf("span %d kept stale ID %q", i, s.ID)
+		}
+	}
+}
+
+func TestTracerDeterministicSequences(t *testing.T) {
+	emit := func() []Span {
+		tr := NewTracer(16)
+		for i := 0; i < 5; i++ {
+			tr.Emit(Span{Phase: "job", Key: fmt.Sprintf("%064d", i), Outcome: "executed", StartNS: tr.Now()})
+		}
+		spans, _, _ := tr.Snapshot(0)
+		return spans
+	}
+	a, b := emit(), emit()
+	for i := range a {
+		a[i].StartNS, a[i].DurNS = 0, 0
+		b[i].StartNS, b[i].DurNS = 0, 0
+		if a[i] != b[i] {
+			t.Errorf("span %d differs across identical runs: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoggerWarnOncePerKey(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	if !l.WarnOnce("/tmp/a.json", "corrupt cache entry", "path", "/tmp/a.json") {
+		t.Error("first WarnOnce suppressed")
+	}
+	if l.WarnOnce("/tmp/a.json", "corrupt cache entry", "path", "/tmp/a.json") {
+		t.Error("second WarnOnce for same key not suppressed")
+	}
+	if !l.WarnOnce("/tmp/b.json", "corrupt cache entry", "path", "/tmp/b.json") {
+		t.Error("distinct key suppressed")
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("logged %d lines, want 2: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], `level=warn msg="corrupt cache entry" path=/tmp/a.json`) {
+		t.Errorf("unexpected logfmt line: %q", lines[0])
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Warn("results not persisting", "err", `open "x": permission denied`)
+	got := strings.TrimSpace(buf.String())
+	want := `level=warn msg="results not persisting" err="open \"x\": permission denied"`
+	if got != want {
+		t.Errorf("line = %q, want %q", got, want)
+	}
+}
+
+func TestNilLoggerFallsBackToDefault(t *testing.T) {
+	var buf bytes.Buffer
+	old := Default
+	Default = NewLogger(&buf)
+	defer func() { Default = old }()
+	var l *Logger
+	l.Warn("nil receiver")
+	if !l.WarnOnce("k", "once via nil") {
+		t.Error("nil WarnOnce suppressed first emission")
+	}
+	if got := buf.String(); !strings.Contains(got, "nil receiver") || !strings.Contains(got, "once via nil") {
+		t.Errorf("default logger missed nil-receiver lines: %q", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	spans := []Span{
+		{Phase: "job", Policy: "duty", Outcome: "executed", DurNS: 100, Worker: "wk-2"},
+		{Phase: "job", Policy: "duty", Outcome: "disk", DurNS: 10, Worker: "wk-1"},
+		{Phase: "job", Policy: "duty", Outcome: "disk", DurNS: 20},
+		{Phase: "job", Policy: "duty", Outcome: "executed", DurNS: 70},
+		{Phase: "seal", DurNS: 5},
+	}
+	tm := Aggregate(spans)
+	if tm.Spans != 5 {
+		t.Fatalf("Spans = %d, want 5", tm.Spans)
+	}
+	if got := strings.Join(tm.Workers, ","); got != "wk-1,wk-2" {
+		t.Errorf("Workers = %q, want wk-1,wk-2", got)
+	}
+	if len(tm.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tm.Rows))
+	}
+	r := tm.Rows[0] // job/duty dominates by total
+	if r.Phase != "job" || r.Policy != "duty" || r.Count != 4 || r.TotalNS != 200 {
+		t.Fatalf("row 0 = %+v", r)
+	}
+	if r.P50NS != 20 || r.P95NS != 100 || r.MaxNS != 100 {
+		t.Errorf("percentiles p50=%d p95=%d max=%d, want 20, 100, 100", r.P50NS, r.P95NS, r.MaxNS)
+	}
+	if r.HitRatio != 0.5 {
+		t.Errorf("HitRatio = %v, want 0.5", r.HitRatio)
+	}
+	if tm.Rows[1].HitRatio != -1 {
+		t.Errorf("outcome-less row HitRatio = %v, want -1", tm.Rows[1].HitRatio)
+	}
+	var buf bytes.Buffer
+	if err := tm.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"PHASE", "job", "duty", "seal", "disk:2 executed:2", "50%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

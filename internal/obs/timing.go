@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TimingRow is one aggregated (phase, policy) group of spans.
+type TimingRow struct {
+	Phase   string `json:"phase"`
+	Policy  string `json:"policy,omitempty"`
+	Count   int    `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	P50NS   int64  `json:"p50_ns"`
+	P95NS   int64  `json:"p95_ns"`
+	MaxNS   int64  `json:"max_ns"`
+	// Outcomes counts spans per outcome label ("" excluded).
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	// HitRatio is the fraction of spans whose outcome was answered by a
+	// cache layer (disk/segment/memory/artifact/memo/hit) rather than
+	// recomputed; -1 when the group's spans carry no outcomes.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Timing is an aggregated trace: the input to the `mcdsweep timing`
+// report and the mcdreport "timing" section.
+type Timing struct {
+	Spans   int         `json:"spans"`
+	Workers []string    `json:"workers,omitempty"`
+	Rows    []TimingRow `json:"rows"`
+}
+
+// hitOutcomes are the outcome labels that mean "answered from a cache
+// layer instead of recomputed".
+var hitOutcomes = map[string]bool{
+	"disk": true, "segment": true, "memory": true,
+	"artifact": true, "memo": true, "hit": true,
+}
+
+// Aggregate folds spans into per-(phase, policy) rows with
+// nearest-rank percentiles, sorted by total wall-clock descending
+// (ties broken by phase then policy, so rendering is deterministic).
+func Aggregate(spans []Span) *Timing {
+	type acc struct {
+		durs     []int64
+		total    int64
+		outcomes map[string]int
+	}
+	groups := make(map[[2]string]*acc)
+	workers := make(map[string]bool)
+	for _, s := range spans {
+		gk := [2]string{s.Phase, s.Policy}
+		a := groups[gk]
+		if a == nil {
+			a = &acc{outcomes: make(map[string]int)}
+			groups[gk] = a
+		}
+		a.durs = append(a.durs, s.DurNS)
+		a.total += s.DurNS
+		if s.Outcome != "" {
+			a.outcomes[s.Outcome]++
+		}
+		if s.Worker != "" {
+			workers[s.Worker] = true
+		}
+	}
+	tm := &Timing{Spans: len(spans)}
+	for w := range workers {
+		tm.Workers = append(tm.Workers, w)
+	}
+	sort.Strings(tm.Workers)
+	for gk, a := range groups {
+		sort.Slice(a.durs, func(i, j int) bool { return a.durs[i] < a.durs[j] })
+		row := TimingRow{
+			Phase:   gk[0],
+			Policy:  gk[1],
+			Count:   len(a.durs),
+			TotalNS: a.total,
+			P50NS:   rank(a.durs, 50),
+			P95NS:   rank(a.durs, 95),
+			MaxNS:   a.durs[len(a.durs)-1],
+		}
+		hits, outcomes := 0, 0
+		for o, n := range a.outcomes {
+			outcomes += n
+			if hitOutcomes[o] {
+				hits += n
+			}
+		}
+		if outcomes > 0 {
+			row.Outcomes = a.outcomes
+			row.HitRatio = float64(hits) / float64(outcomes)
+		} else {
+			row.HitRatio = -1
+		}
+		tm.Rows = append(tm.Rows, row)
+	}
+	sort.Slice(tm.Rows, func(i, j int) bool {
+		a, b := tm.Rows[i], tm.Rows[j]
+		if a.TotalNS != b.TotalNS {
+			return a.TotalNS > b.TotalNS
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		return a.Policy < b.Policy
+	})
+	return tm
+}
+
+// rank returns the nearest-rank p-th percentile of ascending durs
+// (index ceil(p/100 · n) - 1).
+func rank(durs []int64, p int) int64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	i := (p*len(durs)+99)/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	return durs[i]
+}
+
+// WriteTable renders the aggregated trace as an aligned text table.
+func (tm *Timing) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "spans: %d", tm.Spans); err != nil {
+		return err
+	}
+	if len(tm.Workers) > 0 {
+		fmt.Fprintf(w, "   workers: %s", strings.Join(tm.Workers, ","))
+	}
+	fmt.Fprintln(w)
+	rows := [][]string{{"PHASE", "POLICY", "COUNT", "TOTAL", "P50", "P95", "MAX", "HIT%", "OUTCOMES"}}
+	for _, r := range tm.Rows {
+		hit := "-"
+		if r.HitRatio >= 0 {
+			hit = fmt.Sprintf("%.0f%%", r.HitRatio*100)
+		}
+		rows = append(rows, []string{
+			r.Phase, r.Policy,
+			fmt.Sprintf("%d", r.Count),
+			durString(r.TotalNS), durString(r.P50NS), durString(r.P95NS), durString(r.MaxNS),
+			hit, outcomeString(r.Outcomes),
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// durString renders nanoseconds compactly (1.234ms style, trimmed).
+func durString(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		// "us", not "µs": the table pads columns by byte width, and a
+		// multibyte micro sign would skew every column after it.
+		return fmt.Sprintf("%.0fus", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// outcomeString renders an outcome histogram deterministically
+// (count-descending, then name).
+func outcomeString(m map[string]int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	type oc struct {
+		name string
+		n    int
+	}
+	var ocs []oc
+	for o, n := range m {
+		ocs = append(ocs, oc{o, n})
+	}
+	sort.Slice(ocs, func(i, j int) bool {
+		if ocs[i].n != ocs[j].n {
+			return ocs[i].n > ocs[j].n
+		}
+		return ocs[i].name < ocs[j].name
+	})
+	parts := make([]string, len(ocs))
+	for i, o := range ocs {
+		parts[i] = fmt.Sprintf("%s:%d", o.name, o.n)
+	}
+	return strings.Join(parts, " ")
+}

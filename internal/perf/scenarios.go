@@ -10,6 +10,7 @@ import (
 	"repro/internal/calltree"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -73,6 +74,14 @@ const (
 	// walk — the cold-daemon / fleet-worker startup case the stream
 	// cache accelerates.
 	StreamCacheCold = "stream-cache-cold"
+	// TraceOverhead is the bench-smoke workload with a span tracer
+	// attached: the identical job set, plus an obs ring write per phase.
+	// Gated against the committed baseline it bounds the cost of
+	// *enabled* tracing. The disabled-tracer cost is guarded by
+	// bench-smoke itself, which runs in the same gate with Trace nil —
+	// instrumentation creep on the untraced hot path shows up there
+	// (and in sim-throughput's zero-alloc loop) first.
+	TraceOverhead = "trace-overhead"
 )
 
 // smokeBenches is the bench-smoke subset, mirroring bench_test.go's
@@ -125,6 +134,11 @@ func init() {
 		Desc: "batched six-scheme training on gzip with TrainWorkers = GOMAXPROCS",
 		Run:  runTrainParallel,
 	})
+	Register(Scenario{
+		Name: TraceOverhead,
+		Desc: "bench-smoke job set with the span tracer enabled",
+		Run:  runTraceOverhead,
+	})
 	registerSweepWarmArtifacts()
 	registerStreamCacheCold()
 }
@@ -165,6 +179,31 @@ func runBenchSmoke() (int64, error) {
 	outs, _, err := eng.Run(context.Background(), jobs)
 	if err != nil {
 		return 0, err
+	}
+	var instrs int64
+	for _, o := range outs {
+		instrs += o.Res.Instructions
+	}
+	return instrs, nil
+}
+
+func runTraceOverhead() (int64, error) {
+	eng := sweep.New(core.DefaultConfig())
+	eng.Trace = obs.NewTracer(0)
+	var jobs []sweep.Job
+	for _, n := range smokeBenches {
+		jobs = append(jobs,
+			sweep.Job{Bench: n, Policy: sweep.PolicyBaseline},
+			sweep.Job{Bench: n, Policy: sweep.PolicySingleClock},
+			sweep.Job{Bench: n, Policy: sweep.PolicyOnline},
+		)
+	}
+	outs, _, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		return 0, err
+	}
+	if spans, _, _ := eng.Trace.Snapshot(0); len(spans) == 0 {
+		return 0, fmt.Errorf("tracer attached but no spans recorded")
 	}
 	var instrs int64
 	for _, o := range outs {

@@ -108,6 +108,7 @@ func validateManifest(body []byte) (*sweep.Manifest, []sweep.Job, *apiError) {
 //	GET  /v1/sweeps/{id}               progress snapshot
 //	GET  /v1/sweeps/{id}/stream        NDJSON job completions (?from=N resumes), terminated by {"done":true,...}
 //	GET  /v1/sweeps/{id}/results       merged results, byte-identical to `mcdsweep merge`
+//	GET  /v1/sweeps/{id}/trace         NDJSON execution spans (?from=N resumes; requires -trace)
 //	POST /v1/workers                   register a fleet worker (coordinator mode)
 //	POST /v1/leases                    request the next anchor group (long poll)
 //	POST /v1/leases/{id}/heartbeat     keep a lease alive
@@ -127,6 +128,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/sweeps/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/workers", s.handleRegister)
 	mux.HandleFunc("POST /v1/leases", s.handleLease)
 	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleHeartbeat)
@@ -282,6 +284,64 @@ func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
 	sweep.MergeTo(w, r.cfg, r.jobs, src)
 }
 
+// handleTrace streams a sweep's execution spans as NDJSON: the tracer
+// ring filtered to the sweep's reachable key closure (keyless spans —
+// seals, batch-internal bookkeeping — are always included), terminated
+// by a {"done":true,"next":N,"dropped":D} line. ?from=N resumes from a
+// previous response's next, the same contract as /stream — a span ring
+// is append-only, so re-reading from a sequence is cheap and exact.
+func (s *Server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	r := s.sweepByID(req.PathValue("id"))
+	if r == nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: "unknown_sweep",
+			Message: fmt.Sprintf("no sweep %q", req.PathValue("id"))})
+		return
+	}
+	if s.Trace == nil {
+		writeError(w, &apiError{status: http.StatusNotFound, Code: "trace_disabled",
+			Message: "tracing is off; start the daemon with -trace"})
+		return
+	}
+	var from uint64
+	if q := req.URL.Query().Get("from"); q != "" {
+		n, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, &apiError{status: http.StatusBadRequest, Code: wire.CodeBadRequest,
+				Message: fmt.Sprintf("invalid from=%q", q)})
+			return
+		}
+		from = n
+	}
+	// The filter is the sweep's reachable closure: result keys (jobs and
+	// their result dependencies), trained-profile keys, and packed-stream
+	// keys. Span identity never feeds any of those keys — this is a
+	// read-side projection only.
+	keep := func(string) bool { return true }
+	if results, artifacts, streams, err := sweep.Reachable(r.cfg, r.jobs); err == nil {
+		keep = func(k string) bool {
+			return k == "" || results[k] || artifacts[k] || streams[k]
+		}
+	}
+	spans, next, dropped := s.Trace.Snapshot(from)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if !keep(spans[i].Key) {
+			continue
+		}
+		if err := enc.Encode(&spans[i]); err != nil {
+			return
+		}
+	}
+	enc.Encode(struct {
+		Done    bool   `json:"done"`
+		Next    uint64 `json:"next"`
+		Dropped uint64 `json:"dropped"`
+	}{true, next, dropped})
+}
+
 // fleetOr404 returns the coordinator state, answering the structured
 // fleet_disabled error when this daemon was not started with -fleet.
 func (s *Server) fleetOr404(w http.ResponseWriter) *fleet {
@@ -348,7 +408,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, req *http.Request) {
 	if !readFrame(w, req, &cr) {
 		return
 	}
-	if apiErr := f.complete(req.PathValue("id"), cr.WorkerID, cr.Jobs); apiErr != nil {
+	if apiErr := f.complete(req.PathValue("id"), cr.WorkerID, cr.Jobs, cr.Spans); apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}

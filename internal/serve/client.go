@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve/wire"
 )
 
@@ -277,11 +278,13 @@ func (c *Client) Heartbeat(ctx context.Context, leaseID, workerID string) (time.
 
 // CompleteLease reports a lease's jobs done. Every successful job's
 // result entry must already be uploaded (PutCacheEntry), or the
-// coordinator rejects the completion with incomplete_upload.
-func (c *Client) CompleteLease(ctx context.Context, leaseID, workerID string, jobs []wire.JobResult) error {
+// coordinator rejects the completion with incomplete_upload. spans,
+// when non-nil, attaches the worker's execution spans for the lease so
+// a tracing coordinator can serve a fleet-wide correlated trace.
+func (c *Client) CompleteLease(ctx context.Context, leaseID, workerID string, jobs []wire.JobResult, spans []obs.Span) error {
 	var cr wire.CompleteResponse
 	return c.postFrame(ctx, "/v1/leases/"+leaseID+"/complete", "complete",
-		wire.CompleteRequest{Versioned: wire.Stamp(), WorkerID: workerID, Jobs: jobs}, &cr)
+		wire.CompleteRequest{Versioned: wire.Stamp(), WorkerID: workerID, Jobs: jobs, Spans: spans}, &cr)
 }
 
 // getEntry fetches one content-addressed entry file; ok=false with a

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve/wire"
 	"repro/internal/sweep"
 )
@@ -346,8 +347,11 @@ func fire(dones []doneJob) {
 
 // complete settles a lease: verify the report covers the whole group
 // and that every claimed result was uploaded to the coordinator's
-// cache, then retire the lease and fan the outcomes out.
-func (f *fleet) complete(leaseID, workerID string, results []wire.JobResult) *apiError {
+// cache, then retire the lease and fan the outcomes out. spans are the
+// worker's execution spans for the lease; on a tracing coordinator they
+// are imported stamped with the worker and lease identity, so the
+// fleet-wide trace stays correlated.
+func (f *fleet) complete(leaseID, workerID string, results []wire.JobResult, spans []obs.Span) *apiError {
 	f.mu.Lock()
 	w, ok := f.touchWorker(workerID)
 	if !ok {
@@ -406,9 +410,13 @@ func (f *fleet) complete(leaseID, workerID string, results []wire.JobResult) *ap
 	for i := range dones {
 		delete(f.jobs, dones[i].fj.key)
 	}
+	attempt := l.g.attempts
 	f.leaseDone.Add(1)
 	f.mu.Unlock()
 
+	if tr := f.s.Trace; tr != nil && len(spans) > 0 {
+		tr.Import(spans, workerID, leaseID, attempt)
+	}
 	fire(dones)
 	return nil
 }
@@ -629,7 +637,9 @@ func (s *Server) runSweepFleet(r *sweepRun) {
 	sum.Jobs = len(r.jobs)
 	err := errors.Join(errs...)
 	mu.Unlock()
-	r.finish(sum, err)
+	// Phase time accrues on the workers that ran the leases; their spans
+	// (imported at lease completion) carry the breakdown instead.
+	r.finish(sum, nil, err)
 	s.metrics.sweepsCompleted.Add(1)
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve/wire"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -195,7 +196,7 @@ func TestFleetLeaseExpiryReassigns(t *testing.T) {
 	}
 	// The dead worker's attempt to complete its expired lease is refused.
 	err = c.CompleteLease(ctx, l.ID, reg.WorkerID,
-		[]wire.JobResult{{Key: l.JobKeys[0], Source: "executed"}})
+		[]wire.JobResult{{Key: l.JobKeys[0], Source: "executed"}}, nil)
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Code != wire.CodeLeaseExpired {
 		t.Fatalf("late completion: %v, want %s", err, wire.CodeLeaseExpired)
@@ -429,5 +430,95 @@ func TestFleetSegmentSyncByteIdentity(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatalf("segment-only merge differs from JSON oracle:\nseg:    %.200s\noracle: %.200s", buf.Bytes(), want)
+	}
+}
+
+// TestFleetTraceLeaseCorrelation drives a sweep through a traced
+// coordinator with a traced worker and asserts the worker's execution
+// spans arrive on the coordinator stamped with the lease that carried
+// them: every imported span names the worker's registered ID, a real
+// lease ID and a positive attempt number, and the sweep's /trace
+// endpoint serves the correlated capture back out.
+func TestFleetTraceLeaseCorrelation(t *testing.T) {
+	dir := t.TempDir()
+	s, c := fleetServer(t, dir, FleetConfig{LeaseTTL: 5 * time.Second, Poll: 50 * time.Millisecond})
+	s.Trace = obs.NewTracer(0)
+
+	// Wired by hand rather than via startFleetWorker: the worker needs
+	// its own tracer to have spans to ship.
+	cfg := (&sweep.Manifest{}).Config()
+	fake := &fakeExec{}
+	w := &Worker{
+		Server:   c.BaseURL,
+		Name:     "traced-worker",
+		CacheDir: t.TempDir(),
+		Workers:  2,
+		Trace:    obs.NewTracer(0),
+		ExecFn:   fake.fn(func(j sweep.Job) string { return sweep.Key(cfg, j) }),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	})
+
+	m := sweep.Manifest{Name: "fleet-trace", Benchmarks: workload.Names()[0:3], Policies: []string{"baseline", "online"}}
+	st := waitStatus(t, runManifestAsync(t, c, m), 30*time.Second)
+	if st.State != StateComplete {
+		t.Fatalf("state %s (%s)", st.State, st.Error)
+	}
+
+	spans, _, _ := s.Trace.Snapshot(0)
+	jobSpans, leases := 0, map[string]bool{}
+	for _, sp := range spans {
+		if !strings.HasPrefix(sp.Worker, "wk-") {
+			t.Fatalf("span %s/%s imported without a worker ID: %+v", sp.Phase, sp.Outcome, sp)
+		}
+		if !strings.HasPrefix(sp.Lease, "ls-") {
+			t.Fatalf("span %s/%s imported without a lease ID: %+v", sp.Phase, sp.Outcome, sp)
+		}
+		if sp.Attempt < 1 {
+			t.Fatalf("span %s/%s has attempt %d, want >= 1", sp.Phase, sp.Outcome, sp.Attempt)
+		}
+		leases[sp.Lease] = true
+		if sp.Phase == "job" {
+			jobSpans++
+			if sp.Outcome != "executed" {
+				t.Errorf("fleet job span outcome %q, want executed", sp.Outcome)
+			}
+		}
+	}
+	if jobSpans != 6 {
+		t.Fatalf("coordinator holds %d job spans, want 6 (one per leased job)", jobSpans)
+	}
+	if len(leases) == 0 {
+		t.Fatal("no lease IDs recorded")
+	}
+
+	// The /trace endpoint serves the correlated capture: every job span
+	// is keyed inside the sweep's reachable closure, so none is filtered.
+	resp, err := http.Get(c.BaseURL + "/v1/sweeps/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace: %s", resp.Status)
+	}
+	served, err := obs.ReadSpans(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served) != len(spans) {
+		t.Fatalf("/trace served %d spans, ring holds %d", len(served), len(spans))
+	}
+	for _, sp := range served {
+		if sp.Worker == "" || sp.Lease == "" {
+			t.Fatalf("/trace span lost its lease correlation: %+v", sp)
+		}
 	}
 }

@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
+	rtmetrics "runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -216,4 +218,39 @@ func (m *metrics) render(w io.Writer, pool poolGauges, fg fleetGauges) {
 		fmt.Fprintf(w, "mcdserved_job_latency_seconds_count{policy=%q} %d\n", p, h.total)
 	}
 	m.mu.Unlock()
+
+	renderRuntime(w)
+}
+
+// renderRuntime appends the Go runtime section: the handful of process
+// health gauges an operator correlates sweep behavior against (heap in
+// use, GC pressure, goroutine count), read from runtime/metrics each
+// scrape.
+func renderRuntime(w io.Writer) {
+	samples := []rtmetrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/memory/classes/total:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	rtmetrics.Read(samples)
+	u := func(i int) uint64 {
+		if samples[i].Value.Kind() == rtmetrics.KindUint64 {
+			return samples[i].Value.Uint64()
+		}
+		return 0
+	}
+	fmt.Fprintf(w, "# HELP go_goroutines Goroutines that currently exist.\n")
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\ngo_goroutines %d\n", u(0))
+	fmt.Fprintf(w, "# HELP go_heap_objects_bytes Bytes of live heap objects plus unswept garbage.\n")
+	fmt.Fprintf(w, "# TYPE go_heap_objects_bytes gauge\ngo_heap_objects_bytes %d\n", u(1))
+	fmt.Fprintf(w, "# HELP go_memory_total_bytes All memory mapped by the Go runtime.\n")
+	fmt.Fprintf(w, "# TYPE go_memory_total_bytes gauge\ngo_memory_total_bytes %d\n", u(2))
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", u(3))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Cumulative stop-the-world GC pause.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\ngo_gc_pause_seconds_total %g\n",
+		float64(ms.PauseTotalNs)/1e9)
 }

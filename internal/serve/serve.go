@@ -42,6 +42,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve/wire"
 	"repro/internal/sweep"
 )
@@ -71,6 +72,12 @@ type Server struct {
 	// Results are bit-identical at every setting, so this never affects
 	// what a sweep returns.
 	TrainWorkers int
+	// Trace, when non-nil, collects execution spans from every engine the
+	// server creates (and, on a fleet coordinator, spans imported from
+	// worker lease completions) and backs GET /v1/sweeps/{id}/trace.
+	// Nil — the default — keeps tracing entirely off. Set before serving
+	// traffic.
+	Trace *obs.Tracer
 
 	pool      *sweep.WorkerPool
 	cache     *sweep.Cache
@@ -157,6 +164,7 @@ type sweepRun struct {
 	changed chan struct{}
 	done    bool
 	summary sweep.Summary
+	phases  *sweep.PhaseBreakdown
 	err     error
 }
 
@@ -193,10 +201,13 @@ func (r *sweepRun) append(d sweep.JobDone) {
 }
 
 // finish marks the sweep done and wakes streamers one last time.
-func (r *sweepRun) finish(sum sweep.Summary, err error) {
+// phases is the engine's per-phase delta attributed to this sweep's Run
+// (nil on a fleet coordinator, where phase time accrues on workers).
+func (r *sweepRun) finish(sum sweep.Summary, phases *sweep.PhaseBreakdown, err error) {
 	r.mu.Lock()
 	r.done = true
 	r.summary = sum
+	r.phases = phases
 	r.err = err
 	close(r.changed)
 	r.changed = make(chan struct{})
@@ -236,6 +247,10 @@ func (r *sweepRun) status() Status {
 		st.State = StateComplete
 		sum := r.summary
 		st.Summary = &sum
+		if r.phases != nil {
+			pb := *r.phases
+			st.Phases = &pb
+		}
 		if r.err != nil {
 			st.State = StateFailed
 			st.Error = r.err.Error()
@@ -302,6 +317,7 @@ func (s *Server) engine(cfg core.Config, recCache int) *sweep.Engine {
 	e.Segments = s.segments
 	e.Streams = s.streams
 	e.ExecFn = s.ExecFn
+	e.Trace = s.Trace
 	s.engines[key] = e
 	return e
 }
@@ -411,6 +427,7 @@ func (s *Server) runSweep(r *sweepRun) {
 	}
 	defer s.wg.Done()
 	eng := s.engine(r.cfg, r.recCache)
+	phasesBefore := eng.Phases()
 	var sum sweep.Summary
 	_, engSum, err := eng.Run(context.Background(), r.jobs, sweep.WithPool(s.pool), sweep.WithOnDone(func(d sweep.JobDone) {
 		s.pending.Add(-1)
@@ -438,7 +455,11 @@ func (s *Server) runSweep(r *sweepRun) {
 	// only known engine-wide.
 	sum.SegmentHits = engSum.SegmentHits
 	s.metrics.corruptEntries.Add(int64(engSum.CorruptEntries))
-	r.finish(sum, err)
+	// The phase delta has the same engine-wide caveat as the corruption
+	// counter: concurrent sweeps sharing an engine may cross-attribute
+	// wall-clock, but a lone sweep's breakdown is exact.
+	phases := eng.Phases().Sub(phasesBefore)
+	r.finish(sum, &phases, err)
 	s.metrics.sweepsCompleted.Add(1)
 }
 

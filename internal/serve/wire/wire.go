@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -132,7 +133,13 @@ type Status struct {
 	// zero iff none of this sweep's jobs needed simulation. Present once
 	// the sweep is done.
 	Summary *sweep.Summary `json:"summary,omitempty"`
-	Error   string         `json:"error,omitempty"`
+	// Phases is the sweep's per-phase wall-clock breakdown, present once
+	// the sweep is done on daemons that execute locally (a fleet
+	// coordinator's phase time lives on its workers). Optional fields on
+	// an existing frame are not a protocol bump: strict decoding rejects
+	// unknown fields, and omitted knowns decode to their zero values.
+	Phases *sweep.PhaseBreakdown `json:"phases,omitempty"`
+	Error  string                `json:"error,omitempty"`
 }
 
 // Event is one completed job as it appears on the NDJSON stream, in
@@ -252,6 +259,12 @@ type CompleteRequest struct {
 	Versioned
 	WorkerID string      `json:"worker_id"`
 	Jobs     []JobResult `json:"jobs"`
+	// Spans are the worker's execution spans for this lease, present when
+	// the worker runs with tracing enabled. The coordinator imports them
+	// into its own tracer stamped with the worker and lease identity, so
+	// the fleet-wide trace correlates every span to the lease that ran it.
+	// Optional: an untraced worker omits the field (not a proto bump).
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve/wire"
 	"repro/internal/sweep"
 )
@@ -49,6 +50,11 @@ type Worker struct {
 	// DisableHeartbeat stops the worker from heartbeating its leases —
 	// fault-injection tests use it to force coordinator-side expiry.
 	DisableHeartbeat bool
+	// Trace, when non-nil, collects execution spans on this worker's
+	// engines; each lease's spans ship with its completion report so a
+	// tracing coordinator can correlate them to the lease. Nil keeps
+	// tracing off.
+	Trace *obs.Tracer
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
@@ -199,6 +205,7 @@ func (w *Worker) engine(cfg core.Config, recCache int) *sweep.Engine {
 	e.Segments = w.segs
 	e.Streams = w.streams
 	e.ExecFn = w.ExecFn
+	e.Trace = w.Trace
 	w.engines[key] = e
 	return e
 }
@@ -284,6 +291,12 @@ func (w *Worker) processLease(ctx context.Context, l *wire.Lease) error {
 		}()
 	}
 
+	// One lease runs at a time, so bracketing the tracer's sequence
+	// around the Run captures exactly this lease's spans.
+	var spanFrom uint64
+	if w.Trace != nil {
+		spanFrom = w.Trace.NextSeq()
+	}
 	results := make([]wire.JobResult, len(l.Jobs))
 	_, _, runErr := w.engine(l.Config, l.RecordingCache).Run(leaseCtx, l.Jobs,
 		sweep.WithOnDone(func(d sweep.JobDone) {
@@ -349,7 +362,17 @@ func (w *Worker) processLease(ctx context.Context, l *wire.Lease) error {
 		}
 	}
 
-	if err := w.client.CompleteLease(leaseCtx, l.ID, w.id, results); err != nil {
+	var spans []obs.Span
+	if w.Trace != nil {
+		spans, _, _ = w.Trace.Snapshot(spanFrom)
+		// Completion frames are size-capped (maxFrameBytes); keep the
+		// most recent spans if a huge lease overflows the budget.
+		const maxLeaseSpans = 4096
+		if len(spans) > maxLeaseSpans {
+			spans = spans[len(spans)-maxLeaseSpans:]
+		}
+	}
+	if err := w.client.CompleteLease(leaseCtx, l.ID, w.id, results, spans); err != nil {
 		var ae *APIError
 		if errors.As(err, &ae) && ae.Code == wire.CodeLeaseExpired {
 			w.logf("worker: lease %s expired before completion; group reassigned", l.ID)

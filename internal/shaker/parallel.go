@@ -3,6 +3,7 @@ package shaker
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -20,6 +21,13 @@ type Pool struct {
 	workers int
 	tasks   chan *shakeTask
 	wg      sync.WaitGroup
+
+	// Observe, when non-nil, receives the wall-clock duration of every
+	// segment shake the pool (or its synchronous Seqs) runs. Set it
+	// before the first Shake; it is called from worker goroutines, so it
+	// must be safe for concurrent use. Observation cannot perturb
+	// results: shakes are pure functions of segment bytes.
+	Observe func(d time.Duration)
 }
 
 // shakeTask is one submitted segment. seg is a private deep copy owned
@@ -52,7 +60,7 @@ func NewPool(cfg Config, workers int) *Pool {
 			defer p.wg.Done()
 			r := NewRunner(p.cfg)
 			for t := range p.tasks {
-				h := r.Run(&t.seg)
+				h := p.run(r, &t.seg)
 				t.h = &h
 				if t.publish != nil {
 					// Publish runs on the worker, before done closes, so
@@ -66,6 +74,17 @@ func NewPool(cfg Config, workers int) *Pool {
 		}()
 	}
 	return p
+}
+
+// run executes one shake, timing it when an observer is attached.
+func (p *Pool) run(r *Runner, seg *trace.Segment) DomainHists {
+	if p.Observe == nil {
+		return r.Run(seg)
+	}
+	start := time.Now()
+	h := r.Run(seg)
+	p.Observe(time.Since(start))
+	return h
 }
 
 // Workers reports the pool's effective worker count.
@@ -131,7 +150,7 @@ func (s *Seq) Shake(seg *trace.Segment, publish, onDone func(*DomainHists)) {
 		if s.r == nil {
 			s.r = NewRunner(s.p.cfg)
 		}
-		h := s.r.Run(seg)
+		h := s.p.run(s.r, seg)
 		if publish != nil {
 			publish(&h)
 		}

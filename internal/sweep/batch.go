@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -187,7 +188,10 @@ func (e *Engine) runWave(ctx context.Context, jobs []Job, idxs []int, width int,
 			}
 			e.nExecuted.Add(1)
 			if e.Cache != nil {
-				if err := e.Cache.Put(o.key, jobs[o.idx], out); err != nil {
+				ps := time.Now()
+				err := e.Cache.Put(o.key, jobs[o.idx], out)
+				e.notePersist(o.key, jobs[o.idx], time.Since(ps), err)
+				if err != nil {
 					// Same contract as the sequential path: never throw
 					// finished work away over a persistence failure.
 					e.warnPersist(err)
@@ -285,7 +289,26 @@ func (e *Engine) resolveWave(jobs []Job, pending []*laneJob, width int) {
 		for k, o := range chunk {
 			sl[k] = isa.StreamLane{Consumer: o.lane.Consumer, Budget: o.lane.Budget}
 		}
+		cs := time.Now()
 		stream.FeedLockstep(sl)
+		d := time.Since(cs)
+		e.phases.simNS.Add(int64(d))
+		if tr := e.Trace; tr != nil {
+			// One simulate span per lane, all sharing the chunk's window:
+			// the lanes stepped together, so the chunk duration is each
+			// job's lockstep cost and every job keeps a complete span tree.
+			for _, o := range chunk {
+				tr.Emit(obs.Span{
+					Key:     o.key,
+					Phase:   "simulate",
+					Policy:  jobs[o.idx].Policy,
+					Bench:   jobs[o.idx].Bench,
+					Outcome: "lockstep",
+					StartNS: tr.Now() - int64(d),
+					DurNS:   int64(d),
+				})
+			}
+		}
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -14,6 +13,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Source reports where an outcome came from.
@@ -115,6 +115,21 @@ type Engine struct {
 	// ExecFn overrides the built-in policy executor (tests use this to
 	// count executions without running the simulator).
 	ExecFn func(Job) (*Outcome, error)
+	// Trace, when non-nil, records span-level phase timing into a
+	// bounded ring (internal/obs): one span per job plus spans for each
+	// resolution phase (stream decode, profile resolve, training,
+	// shaking, collection, lockstep simulation, cache writes, segment
+	// seal). Off by default; spans attach at job and phase boundaries
+	// only — the per-instruction simulation loops carry no tracing code
+	// at all — and span data never enters result-cache, artifact,
+	// stream, or engine keys (Trace is an execution knob like
+	// core.Config.TrainWorkers, machine-checked by the
+	// traced-vs-untraced byte-identity tests). Set before first use.
+	Trace *obs.Tracer
+	// Log receives the engine's structured store warnings (corrupt
+	// entries, persistence failures); nil logs to obs.Default (stderr).
+	// Set before first use.
+	Log *obs.Logger
 
 	execOnce sync.Once
 	exec     *executor
@@ -122,14 +137,14 @@ type Engine struct {
 	// nExecuted, nDisk and nCorrupt count resolutions engine-wide; Run
 	// reports them as before/after deltas so dependency jobs are
 	// attributed to the batch that triggered them, independent of which
-	// worker (or nested Do) got there first.
-	nExecuted   atomic.Int64
-	nDisk       atomic.Int64
-	nSegment    atomic.Int64
-	nStream     atomic.Int64
-	nCorrupt    atomic.Int64
-	warnOnce    sync.Once
-	corruptOnce sync.Once
+	// worker (or nested Do) got there first. phases accumulates
+	// wall-clock per pipeline phase the same way (see Phases).
+	nExecuted atomic.Int64
+	nDisk     atomic.Int64
+	nSegment  atomic.Int64
+	nStream   atomic.Int64
+	nCorrupt  atomic.Int64
+	phases    phaseCounters
 
 	// segMu guards segBuf, the rows waiting to be sealed into the next
 	// segment file when the current Run finishes.
@@ -154,23 +169,30 @@ func New(cfg core.Config) *Engine {
 	return &Engine{Cfg: cfg, flight: make(map[string]*flight)}
 }
 
-// noteCorrupt records one unusable persistent entry and logs the first
+// logger resolves the engine's warning channel (obs.Default when the
+// Log field is unset).
+func (e *Engine) logger() *obs.Logger {
+	if e.Log != nil {
+		return e.Log
+	}
+	return obs.Default
+}
+
+// noteCorrupt records one unusable persistent entry and warns once per
 // offending path: corruption is handled as a miss, but it should never
 // be silent — a recurring count points at a damaged shared directory.
 func (e *Engine) noteCorrupt(path string) {
 	e.nCorrupt.Add(1)
-	e.corruptOnce.Do(func() {
-		fmt.Fprintf(os.Stderr, "sweep: corrupt cache entry (treated as a miss, will be rewritten): %s\n", path)
-	})
+	e.logger().WarnOnce(path, "corrupt cache entry, treated as a miss and rewritten",
+		"store", "results", "path", path)
 }
 
-// warnPersist reports, once, that results or artifacts are not landing
-// on disk (full disk, lost permission); completed work stays memoized
-// in process and a later merge names any jobs that never persisted.
+// warnPersist reports, once per engine, that results or artifacts are
+// not landing on disk (full disk, lost permission); completed work
+// stays memoized in process and a later merge names any jobs that
+// never persisted.
 func (e *Engine) warnPersist(err error) {
-	e.warnOnce.Do(func() {
-		fmt.Fprintf(os.Stderr, "sweep: results not persisting: %v\n", err)
-	})
+	e.logger().WarnOnce("sweep:persist", "results not persisting", "err", err)
 }
 
 // executor returns the built-in policy executor, creating it on first
@@ -250,13 +272,16 @@ func (e *Engine) resolve(key string, job Job) (*Outcome, Source, error) {
 			e.noteCorrupt(e.Cache.EntryPath(key))
 		}
 	}
-	out, err := e.execFn()(job)
+	out, err := e.executeJob(key, job)
 	if err != nil {
 		return nil, SourceExecuted, fmt.Errorf("sweep: %s: %w", job, err)
 	}
 	e.nExecuted.Add(1)
 	if e.Cache != nil {
-		if err := e.Cache.Put(key, job, out); err != nil {
+		start := time.Now()
+		err := e.Cache.Put(key, job, out)
+		e.notePersist(key, job, time.Since(start), err)
+		if err != nil {
 			// The simulation already succeeded; a persistence failure
 			// (full disk, lost permission) must not throw that work
 			// away. Keep the outcome memoized in process and warn once
@@ -270,6 +295,27 @@ func (e *Engine) resolve(key string, job Job) (*Outcome, Source, error) {
 		}
 	}
 	return out, SourceExecuted, nil
+}
+
+// notePersist accounts one result-cache write in the phase breakdown
+// and, when tracing, as a "persist" span.
+func (e *Engine) notePersist(key string, job Job, d time.Duration, err error) {
+	e.phases.persistNS.Add(int64(d))
+	if tr := e.Trace; tr != nil {
+		outcome := "written"
+		if err != nil {
+			outcome = "error"
+		}
+		tr.Emit(obs.Span{
+			Key:     key,
+			Phase:   "persist",
+			Policy:  job.Policy,
+			Bench:   job.Bench,
+			Outcome: outcome,
+			StartNS: tr.Now() - int64(d),
+			DurNS:   int64(d),
+		})
+	}
 }
 
 // segmentLookup consults the columnar layer. A segment hit counts as a
@@ -313,16 +359,34 @@ func (e *Engine) flushSegments() {
 	if len(rows) == 0 {
 		return
 	}
-	if err := e.Segments.Append(rows); err != nil {
+	start := time.Now()
+	err := e.Segments.Append(rows)
+	d := time.Since(start)
+	e.phases.sealNS.Add(int64(d))
+	if tr := e.Trace; tr != nil {
+		outcome := "sealed"
+		if err != nil {
+			outcome = "error"
+		}
+		tr.Emit(obs.Span{
+			Phase:   "seal",
+			Outcome: outcome,
+			StartNS: tr.Now() - int64(d),
+			DurNS:   int64(d),
+		})
+	}
+	if err != nil {
 		e.warnPersist(err)
 	}
 }
 
-func (e *Engine) execFn() func(Job) (*Outcome, error) {
+// executeJob dispatches one cache-missed job to the ExecFn override or
+// the built-in executor (which correlates its simulate span to key).
+func (e *Engine) executeJob(key string, job Job) (*Outcome, error) {
 	if e.ExecFn != nil {
-		return e.ExecFn
+		return e.ExecFn(job)
 	}
-	return e.executor().execute
+	return e.executor().executeKeyed(key, job)
 }
 
 // RunOption configures one Run call.
@@ -402,6 +466,21 @@ func (e *Engine) Run(ctx context.Context, jobs []Job, opts ...RunOption) ([]*Out
 	var cbMu sync.Mutex
 	report := func(i int, key string, out *Outcome, src Source, elapsed time.Duration, err error) {
 		outs[i], srcs[i], errs[i] = out, src, err
+		if tr := e.Trace; tr != nil {
+			outcome := src.String()
+			if err != nil {
+				outcome = "error"
+			}
+			tr.Emit(obs.Span{
+				Key:     key,
+				Phase:   "job",
+				Policy:  jobs[i].Policy,
+				Bench:   jobs[i].Bench,
+				Outcome: outcome,
+				StartNS: tr.Now() - int64(elapsed),
+				DurNS:   int64(elapsed),
+			})
+		}
 		if rc.onDone != nil {
 			d := JobDone{
 				Index:   i,

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/artifact"
 	"repro/internal/calltree"
 	"repro/internal/core"
 	"repro/internal/edit"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -151,16 +153,43 @@ func (x *executor) packed(b *workload.Benchmark, ref bool) *isa.PackedStream {
 // counted and treated as misses), else a fresh generating walk, which
 // is then persisted so the next cold process loads instead of walking.
 func (x *executor) resolveStream(b *workload.Benchmark, in isa.Input, window int64, ref bool) *isa.PackedStream {
+	start := time.Now()
+	s, key, outcome := x.loadOrRecordStream(b, in, window, ref)
+	d := time.Since(start)
+	e := x.eng
+	e.phases.streamNS.Add(int64(d))
+	if outcome == "hit" {
+		e.phases.streamHits.Add(1)
+	} else {
+		e.phases.streamRecords.Add(1)
+	}
+	if tr := e.Trace; tr != nil {
+		tr.Emit(obs.Span{
+			Key:     key,
+			Phase:   "stream",
+			Bench:   b.Name(),
+			Outcome: outcome,
+			StartNS: tr.Now() - int64(d),
+			DurNS:   int64(d),
+		})
+	}
+	return s
+}
+
+// loadOrRecordStream is resolveStream's store/walk logic; it reports
+// the stream key (empty without a store) and how the stream resolved
+// ("hit" from the store, "recorded" by a generating walk).
+func (x *executor) loadOrRecordStream(b *workload.Benchmark, in isa.Input, window int64, ref bool) (*isa.PackedStream, string, string) {
 	st := x.eng.Streams
 	if st == nil {
-		return isa.RecordPackedSized(b.Prog, in, window)
+		return isa.RecordPackedSized(b.Prog, in, window), "", "recorded"
 	}
 	key := StreamKey(b, ref)
 	s, status := st.Load(key)
 	switch status {
 	case StreamHit:
 		x.eng.nStream.Add(1)
-		return s
+		return s, key, "hit"
 	case StreamCorrupt:
 		x.eng.noteCorrupt(st.EntryPath(key))
 	}
@@ -168,7 +197,7 @@ func (x *executor) resolveStream(b *workload.Benchmark, in isa.Input, window int
 	if err := st.Put(key, s); err != nil {
 		x.eng.warnPersist(err)
 	}
-	return s
+	return s, key, "recorded"
 }
 
 // profile resolves one trained profile: in-process memo (with per-key
@@ -188,7 +217,9 @@ func (x *executor) profile(spec ProfileSpec) (*core.Profile, error) {
 	x.mu.Lock()
 	if f, ok := x.profiles[key]; ok {
 		x.mu.Unlock()
+		start := time.Now()
 		<-f.done
+		x.noteProfile(key, spec.Bench, "memo", time.Since(start))
 		return f.prof, nil
 	}
 	f := &profFlight{done: make(chan struct{})}
@@ -200,16 +231,50 @@ func (x *executor) profile(spec ProfileSpec) (*core.Profile, error) {
 	return f.prof, nil
 }
 
+// noteProfile accounts one profile-dependency resolution in the phase
+// breakdown and, when tracing, as a "profile" span whose outcome names
+// the answering layer (memo, artifact, trained).
+func (x *executor) noteProfile(key, bench, outcome string, d time.Duration) {
+	e := x.eng
+	switch outcome {
+	case "artifact":
+		e.phases.artifactHits.Add(1)
+	case "trained":
+		e.phases.trained.Add(1)
+	}
+	if tr := e.Trace; tr != nil {
+		tr.Emit(obs.Span{
+			Key:     key,
+			Phase:   "profile",
+			Bench:   bench,
+			Outcome: outcome,
+			StartNS: tr.Now() - int64(d),
+			DurNS:   int64(d),
+		})
+	}
+}
+
 // resolveProfile loads a stored profile or trains and stores a new one.
 // Store damage is never fatal: corrupt entries are counted, surfaced
 // once, and overwritten by the fresh training.
 func (x *executor) resolveProfile(key string, spec ProfileSpec, b *workload.Benchmark, scheme calltree.Scheme) *core.Profile {
+	start := time.Now()
 	if prof := x.loadStored(key); prof != nil {
+		x.noteProfile(key, spec.Bench, "artifact", time.Since(start))
 		return prof
 	}
 	_, window := spec.inputWindow(b)
-	prof := core.TrainFeed(x.eng.Cfg, x.Feeder(b, spec.OnRef), window, scheme)
+	// Resolve the stream before the training window opens so stream
+	// decode time stays in the "stream" phase, not in "train".
+	feed := x.Feeder(b, spec.OnRef)
+	cfg := x.eng.Cfg
+	sink := &phaseSink{e: x.eng, key: key, bench: spec.Bench}
+	cfg.Observe = sink
+	t0 := time.Now()
+	prof := core.TrainFeed(cfg, feed, window, scheme)
+	sink.finish(time.Since(t0))
 	x.persistProfile(key, prof)
+	x.noteProfile(key, spec.Bench, "trained", time.Since(start))
 	return prof
 }
 
@@ -292,7 +357,9 @@ func (x *executor) profileBatch(specs []ProfileSpec) {
 	var order []string
 	for i := range mine {
 		c := &mine[i]
+		t0 := time.Now()
 		if prof := x.loadStored(c.key); prof != nil {
+			x.noteProfile(c.key, c.spec.Bench, "artifact", time.Since(t0))
 			c.f.prof = prof
 			close(c.f.done)
 			continue
@@ -315,11 +382,21 @@ func (x *executor) profileBatch(specs []ProfileSpec) {
 			schemes[k], _ = SchemeByName(mine[i].spec.Scheme)
 		}
 		_, window := first.spec.inputWindow(first.b)
-		profs := core.TrainFeedBatch(x.eng.Cfg, x.Feeder(first.b, first.spec.OnRef), window, schemes)
+		feed := x.Feeder(first.b, first.spec.OnRef)
+		cfg := x.eng.Cfg
+		sink := &phaseSink{e: x.eng, key: first.key, bench: first.spec.Bench}
+		cfg.Observe = sink
+		t0 := time.Now()
+		profs := core.TrainFeedBatch(cfg, feed, window, schemes)
+		d := time.Since(t0)
+		sink.finish(d)
 		for k, i := range idx {
 			c := &mine[i]
 			c.f.prof = profs[k]
 			x.persistProfile(c.key, profs[k])
+			// Each spec's profile span carries the shared pass duration:
+			// the schemes trained together, none resolved faster alone.
+			x.noteProfile(c.key, c.spec.Bench, "trained", d)
 			close(c.f.done)
 		}
 	}
@@ -340,6 +417,12 @@ func (x *executor) Plan(prof *core.Profile, delta float64) *edit.Plan {
 // engine (cached and shared like any other job), profile dependencies
 // through the artifact layers — then let the policy build its outcome.
 func (x *executor) execute(job Job) (*Outcome, error) {
+	return x.executeKeyed("", job)
+}
+
+// executeKeyed is execute with the job's already-derived cache key, so
+// the sequential simulation span can be correlated to its job.
+func (x *executor) executeKeyed(key string, job Job) (*Outcome, error) {
 	if workload.ByName(job.Bench) == nil {
 		return nil, fmt.Errorf("unknown benchmark %q", job.Bench)
 	}
@@ -364,5 +447,25 @@ func (x *executor) execute(job Job) (*Outcome, error) {
 			resolved[i].Outcome = out
 		}
 	}
-	return p.Run(x, job, resolved)
+	start := time.Now()
+	out, err := p.Run(x, job, resolved)
+	d := time.Since(start)
+	e := x.eng
+	e.phases.simNS.Add(int64(d))
+	if tr := e.Trace; tr != nil {
+		outcome := "simulated"
+		if err != nil {
+			outcome = "error"
+		}
+		tr.Emit(obs.Span{
+			Key:     key,
+			Phase:   "simulate",
+			Policy:  job.Policy,
+			Bench:   job.Bench,
+			Outcome: outcome,
+			StartNS: tr.Now() - int64(d),
+			DurNS:   int64(d),
+		})
+	}
+	return out, err
 }

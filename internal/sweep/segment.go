@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/colseg"
+	"repro/internal/obs"
 )
 
 // Columnar result segments. Alongside the canonical one-JSON-file-per-
@@ -309,13 +310,16 @@ func DecodeSegmentRows(b []byte) ([]Merged, error) {
 type SegmentStore struct {
 	dir string // the segments directory itself
 
+	// Log receives corrupt-segment warnings (one per damaged file); nil
+	// logs to obs.Default (stderr). Set before first use.
+	Log *obs.Logger
+
 	mu      sync.Mutex
 	scanned bool
 	loaded  map[string]*segRows // by file name
 	bad     map[string]bool     // quarantined file names
 	index   map[string]rowRef
 	corrupt int64
-	logOnce sync.Once
 }
 
 type rowRef struct {
@@ -341,8 +345,8 @@ func segFileName(name string) bool {
 
 // noteCorrupt records one damaged segment file: its rows count as
 // corrupt entries (header row count when readable, one otherwise), and
-// the first offending path is logged — same discipline as the JSON
-// cache, a damaged shared directory must never be silent.
+// each offending path is warned about once — same discipline as the
+// JSON cache, a damaged shared directory must never be silent.
 func (s *SegmentStore) noteCorrupt(name string, b []byte) {
 	rows := 1
 	if n, ok := colseg.PeekRows(b); ok && n > 0 {
@@ -351,9 +355,12 @@ func (s *SegmentStore) noteCorrupt(name string, b []byte) {
 	s.corrupt += int64(rows)
 	s.bad[name] = true
 	path := filepath.Join(s.dir, name)
-	s.logOnce.Do(func() {
-		fmt.Fprintf(os.Stderr, "sweep: corrupt result segment (quarantined; reads fall back to the JSON cache): %s\n", path)
-	})
+	log := s.Log
+	if log == nil {
+		log = obs.Default
+	}
+	log.WarnOnce(path, "corrupt result segment, quarantined; reads fall back to the JSON cache",
+		"store", "segments", "path", path, "rows", rows)
 }
 
 // refreshLocked scans the segments directory and loads files not seen
